@@ -1,0 +1,37 @@
+//! A small relational-algebra engine — the "standard relational system"
+//! substrate of §5.
+//!
+//! The paper's practical proposal is to store a logical database as the
+//! physical database `Ph₂(LB)` and *compile* queries onto a standard
+//! relational system. This crate is that system:
+//!
+//! * [`plan::Plan`] — relational-algebra plans (scan, select, project,
+//!   product, equi-join, union, difference, domain scan);
+//! * [`exec`] — an executor with three join algorithms (nested-loop, hash,
+//!   sort-merge), selectable per run and benchmarked as an ablation;
+//! * [`compile`] — the classic Codd translation from first-order queries
+//!   to algebra over the active domain. Because every [`PhysicalDb`]
+//!   carries its finite domain explicitly, the translation is total on
+//!   first-order queries and agrees *exactly* with the naive Tarskian
+//!   evaluator (property-tested);
+//! * [`opt`] — a conservative rewrite pass (selection fusion & pushdown,
+//!   product-to-join conversion, projection fusion).
+//!
+//! [`PhysicalDb`]: qld_physical::PhysicalDb
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod display;
+pub mod exec;
+pub mod opt;
+pub mod plan;
+pub mod stats;
+
+pub use compile::{compile_query, compile_query_ordered, CompileError};
+pub use display::display_plan;
+pub use exec::{execute, ExecOptions, JoinAlgo};
+pub use opt::optimize;
+pub use plan::{Cond, Plan};
+pub use stats::{CardinalityEstimator, UniformEstimator};

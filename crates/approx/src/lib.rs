@@ -1,0 +1,53 @@
+//! The sound approximate query-evaluation algorithm of §5.
+//!
+//! Exact certain-answer evaluation is co-NP-hard in the database
+//! (Theorem 5), so the paper builds an approximation with Reiter's
+//! desiderata: it must be **sound** (`Â(Q,LB) ⊆ Q(LB)`, Theorem 11),
+//! **complete for fully specified databases** (Theorem 12), and — a bonus
+//! the paper proves in Theorem 13 — **complete for positive queries**;
+//! and it must cost no more than physical-database evaluation
+//! (Theorem 14).
+//!
+//! The scheme: store `LB` as the physical database `Ph₂(LB)` (facts plus
+//! the `NE` inequality relation) and compile every query `Q` to `Q̂`:
+//!
+//! 1. push negations to atoms (NNF);
+//! 2. replace `¬(x = y)` by `NE(x, y)`;
+//! 3. replace `¬P(x)` by the provable-disagreement formula `α_P(x)` of
+//!    Lemma 10.
+//!
+//! This crate implements that pipeline twice and cross-checks the two:
+//!
+//! * [`ApproxEngine`] with [`AlphaMode::Materialized`] follows Theorem 14's
+//!   proof and treats `α_P` as an atomic relation, materialized in
+//!   polynomial time by the union-find disagreement test of
+//!   [`disagree`];
+//! * [`AlphaMode::Lemma10`] splices in the literal `O(k log k)` first-order
+//!   formula from `qld_logic::builders::alpha_p`.
+//!
+//! The engine evaluates `Q̂` with either the naive Tarskian evaluator or
+//! the relational-algebra backend of `qld-algebra` — the paper's "on top
+//! of a standard database management system". Finally [`ne_store`]
+//! implements the virtual `NE` representation
+//! (`NE(x,y) ≡ NE′(x,y) ∨ (¬U(x) ∧ ¬U(y) ∧ x≠y)`) that §5 closes with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disagree;
+pub mod engine;
+pub mod ne_store;
+pub mod rewrite;
+
+pub use engine::{ApproxEngine, ApproxError, Backend};
+pub use ne_store::NeStore;
+pub use rewrite::AlphaMode;
+
+/// One-call convenience: approximate answers with the default pipeline
+/// (materialized `α_P`, naive evaluation).
+pub fn approximate_answers(
+    db: &qld_core::CwDatabase,
+    query: &qld_logic::Query,
+) -> Result<qld_physical::Relation, ApproxError> {
+    ApproxEngine::new(db).eval(query)
+}

@@ -1,0 +1,68 @@
+//! Ablation A3 — greedy join ordering in the FO→algebra compiler.
+//!
+//! The same chain query compiled (a) with naive left-to-right conjunction
+//! folding and (b) with the cardinality-greedy order of
+//! `qld_algebra::stats`. The query is written worst-first (a padded
+//! inequality in front), so the naive order starts from a `Dom²` product.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_algebra::{compile_query, compile_query_ordered, execute, optimize, ExecOptions};
+use qld_bench::{fmt_duration, print_header, print_row, time_once};
+use qld_core::ph::ph1;
+use qld_logic::parser::parse_query;
+use std::time::Duration;
+
+const QUERY: &str = "(x, z) . exists y. x != y & P0(x, y) & P0(y, z) & P1(z)";
+
+fn print_series() {
+    println!("\nA3: conjunction folding order (query: worst-first chain join)");
+    print_header(&["|C|", "t(naive order)", "t(greedy order)", "plan nodes n/g"]);
+    for n in [8usize, 16, 32, 64] {
+        let db = qld_bench::standard_db(n, 21);
+        let physical = ph1(&db);
+        let q = parse_query(db.voc(), QUERY).unwrap();
+        let naive_plan = optimize(db.voc(), compile_query(db.voc(), &q).unwrap());
+        let greedy_plan = optimize(
+            db.voc(),
+            compile_query_ordered(db.voc(), &physical, &q).unwrap(),
+        );
+        let (a, t_naive) = time_once(|| execute(&physical, &naive_plan, ExecOptions::default()));
+        let (b, t_greedy) = time_once(|| execute(&physical, &greedy_plan, ExecOptions::default()));
+        assert_eq!(a, b, "orders must agree");
+        print_row(&[
+            n.to_string(),
+            fmt_duration(t_naive),
+            fmt_duration(t_greedy),
+            format!("{}/{}", naive_plan.num_nodes(), greedy_plan.num_nodes()),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("a3_join_order");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [16usize, 64] {
+        let db = qld_bench::standard_db(n, 21);
+        let physical = ph1(&db);
+        let q = parse_query(db.voc(), QUERY).unwrap();
+        let naive_plan = optimize(db.voc(), compile_query(db.voc(), &q).unwrap());
+        let greedy_plan = optimize(
+            db.voc(),
+            compile_query_ordered(db.voc(), &physical, &q).unwrap(),
+        );
+        group.bench_with_input(BenchmarkId::new("naive_order", n), &n, |b, _| {
+            b.iter(|| execute(&physical, &naive_plan, ExecOptions::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_order", n), &n, |b, _| {
+            b.iter(|| execute(&physical, &greedy_plan, ExecOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

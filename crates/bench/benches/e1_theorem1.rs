@@ -1,0 +1,78 @@
+//! E1 — Theorem 1: certain answers as quantification over respecting
+//! mappings.
+//!
+//! Series: exact evaluation cost by |C| for three evaluation routes —
+//! kernel-partition enumeration (default), raw mapping enumeration
+//! (Theorem 1 verbatim), and the naive model-enumeration oracle (the bare
+//! `T ⊨_f` definition; tiny sizes only). All are exponential; each route
+//! is successively cheaper, and all agree (asserted here).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_bench::{fmt_duration, print_header, print_row, standard_db, standard_queries, time_once};
+use qld_core::exact::{certain_answers_with, ExactOptions, MappingStrategy};
+use qld_core::mappings::{count_kernel_mappings, count_respecting_mappings};
+use qld_core::oracle::certain_answers_oracle;
+use std::time::Duration;
+
+fn opts(strategy: MappingStrategy) -> ExactOptions {
+    ExactOptions {
+        strategy,
+        corollary2_fast_path: false,
+    }
+}
+
+fn print_series() {
+    println!("\nE1: exact certain answers — enumeration strategy costs (query: join)");
+    print_header(&["|C|", "kernels", "raw mappings", "t(kernel)", "t(raw)", "t(oracle)"]);
+    for n in [3usize, 4, 5, 6, 7] {
+        let db = standard_db(n, 42);
+        let queries = standard_queries(&db);
+        let (_, q) = &queries[0];
+        let (a, t_kernel) = time_once(|| {
+            certain_answers_with(&db, q, opts(MappingStrategy::Kernels)).unwrap()
+        });
+        let (b, t_raw) = time_once(|| {
+            certain_answers_with(&db, q, opts(MappingStrategy::RawMappings)).unwrap()
+        });
+        assert_eq!(a.0, b.0, "strategies must agree");
+        let t_oracle = if n <= 3 {
+            let (c, t) = time_once(|| certain_answers_oracle(&db, q).unwrap());
+            assert_eq!(a.0, c, "oracle must agree");
+            fmt_duration(t)
+        } else {
+            "—".to_string()
+        };
+        print_row(&[
+            n.to_string(),
+            count_kernel_mappings(&db).to_string(),
+            count_respecting_mappings(&db).to_string(),
+            fmt_duration(t_kernel),
+            fmt_duration(t_raw),
+            t_oracle,
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e1_theorem1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [3usize, 4, 5, 6] {
+        let db = standard_db(n, 42);
+        let queries = standard_queries(&db);
+        let (_, q) = &queries[0];
+        group.bench_with_input(BenchmarkId::new("kernels", n), &n, |b, _| {
+            b.iter(|| certain_answers_with(&db, q, opts(MappingStrategy::Kernels)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("raw", n), &n, |b, _| {
+            b.iter(|| certain_answers_with(&db, q, opts(MappingStrategy::RawMappings)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E3 — Theorem 3: the precise second-order simulation
+//! `Q(LB) = Q′(Ph₂(LB))`.
+//!
+//! Series: cost of evaluating `Q′` (brute-force second-order
+//! quantification: `2^{|C|²} · ∏ 2^{|C|^{arity}}` candidate relation
+//! assignments) against Theorem 1 evaluation and the §5 approximation on
+//! the same instances. The paper's point — the hidden second-order
+//! universal quantification is what makes logical databases hard — is
+//! this column ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_approx::ApproxEngine;
+use qld_bench::{fmt_duration, print_header, print_row, time_once};
+use qld_core::{certain_answers, precise, CwDatabase};
+use qld_logic::parser::parse_query;
+use qld_workloads::{random_cw_db, DbGenConfig};
+use std::time::Duration;
+
+fn tiny_db(n: usize) -> CwDatabase {
+    random_cw_db(&DbGenConfig {
+        num_consts: n,
+        pred_arities: vec![1],
+        facts_per_pred: 2,
+        known_fraction: 0.5,
+        extra_ne_pairs: 0,
+        seed: 3,
+    })
+}
+
+fn print_series() {
+    println!("\nE3: Theorem 3 precise simulation vs exact vs approximation (query: (x) . !P0(x))");
+    print_header(&["|C|", "t(Q' on Ph2)", "t(Theorem 1)", "t(approx)"]);
+    for n in [2usize, 3, 4] {
+        let db = tiny_db(n);
+        let q = parse_query(db.voc(), "(x) . !P0(x)").unwrap();
+        let (sim, t_sim) = time_once(|| precise::evaluate(&db, &q).unwrap());
+        let (exact, t_exact) = time_once(|| certain_answers(&db, &q).unwrap());
+        assert_eq!(sim, exact, "Theorem 3 violated");
+        let engine = ApproxEngine::new(&db);
+        let (approx, t_approx) = time_once(|| engine.eval(&q).unwrap());
+        assert!(approx.is_subset_of(&exact));
+        print_row(&[
+            n.to_string(),
+            fmt_duration(t_sim),
+            fmt_duration(t_exact),
+            fmt_duration(t_approx),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e3_precise_sim");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [2usize, 3] {
+        let db = tiny_db(n);
+        let q = parse_query(db.voc(), "(x) . !P0(x)").unwrap();
+        group.bench_with_input(BenchmarkId::new("second_order_sim", n), &n, |b, _| {
+            b.iter(|| precise::evaluate(&db, &q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("theorem1", n), &n, |b, _| {
+            b.iter(|| certain_answers(&db, &q).unwrap())
+        });
+        let engine = ApproxEngine::new(&db);
+        group.bench_with_input(BenchmarkId::new("approx", n), &n, |b, _| {
+            b.iter(|| engine.eval(&q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

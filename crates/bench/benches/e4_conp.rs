@@ -1,0 +1,69 @@
+//! E4 — Theorem 5: co-NP-completeness of first-order data complexity,
+//! felt through the 3-colorability reduction.
+//!
+//! Series: deciding 3-colorability *via the logical database* (certain
+//! answer of a fixed Boolean query) as the graph grows, against the
+//! direct backtracking solver. The logical-database route grows
+//! exponentially in the number of vertices (= unknown-identity
+//! constants); colorable instances exit early (a falsifying mapping is a
+//! coloring), non-colorable ones pay for the full enumeration — the
+//! co-NP asymmetry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_bench::{fmt_duration, print_header, print_row, time_once};
+use qld_reductions::three_color::{is_3colorable_via_logical_db, solve_3coloring};
+use qld_reductions::Graph;
+use std::time::Duration;
+
+fn cases() -> Vec<(String, Graph)> {
+    let mut cases = Vec::new();
+    for n in [3usize, 4, 5, 6] {
+        cases.push((format!("ring C{n}"), Graph::ring(n)));
+    }
+    cases.push(("K4 (uncolorable)".into(), Graph::complete(4)));
+    cases.push(("wheel W5 (uncolorable)".into(), Graph::wheel(5)));
+    cases
+}
+
+fn print_series() {
+    println!("\nE4: 3-colorability via certain answers (Theorem 5) vs direct solver");
+    print_header(&["graph", "vertices", "colorable", "t(logical DB)", "t(solver)"]);
+    for (name, g) in cases() {
+        let (expected, t_solver) = time_once(|| solve_3coloring(&g).is_some());
+        let (got, t_db) = time_once(|| is_3colorable_via_logical_db(&g));
+        assert_eq!(got, expected);
+        print_row(&[
+            name,
+            g.num_vertices().to_string(),
+            expected.to_string(),
+            fmt_duration(t_db),
+            fmt_duration(t_solver),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e4_conp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [3usize, 4, 5] {
+        let g = Graph::ring(n);
+        group.bench_with_input(BenchmarkId::new("logical_db_ring", n), &n, |b, _| {
+            b.iter(|| is_3colorable_via_logical_db(&g))
+        });
+        group.bench_with_input(BenchmarkId::new("solver_ring", n), &n, |b, _| {
+            b.iter(|| solve_3coloring(&g).is_some())
+        });
+    }
+    let k4 = Graph::complete(4);
+    group.bench_function("logical_db_K4_uncolorable", |b| {
+        b.iter(|| is_3colorable_via_logical_db(&k4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

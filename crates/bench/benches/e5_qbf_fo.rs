@@ -1,0 +1,69 @@
+//! E5 — Theorem 7: `Πᵖₖ₊₁`-completeness of combined complexity for `Σᴱₖ`
+//! first-order queries, through the QBF reduction.
+//!
+//! Series: deciding random `B_{k+1}` formulas via the logical database as
+//! `k` and the per-block width grow, against the recursive QBF solver.
+//! Cost grows with both parameters: the database contributes the
+//! enumeration over mappings (simulating the leading `∀` block), the
+//! query contributes nested quantifier evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_bench::{fmt_duration, print_header, print_row, time_once};
+use qld_reductions::qbf_fo::qbf_true_via_logical_db;
+use qld_workloads::random_qbf;
+use std::time::Duration;
+
+fn configs() -> Vec<(&'static str, Vec<usize>)> {
+    vec![
+        ("k=1, 1 per block", vec![1, 1]),
+        ("k=1, 2 per block", vec![2, 2]),
+        ("k=1, 3 per block", vec![3, 3]),
+        ("k=2, 1 per block", vec![1, 1, 1]),
+        ("k=2, 2 per block", vec![2, 2, 2]),
+        ("k=3, 1 per block", vec![1, 1, 1, 1]),
+    ]
+}
+
+fn print_series() {
+    println!("\nE5: QBF decision via Σᴱₖ first-order queries (Theorem 7) vs recursive solver");
+    print_header(&["blocks", "vars", "true", "t(logical DB)", "t(solver)"]);
+    for (name, blocks) in configs() {
+        let qbf = random_qbf(&blocks, 4, 11);
+        let (expected, t_solver) = time_once(|| qbf.is_true());
+        let (got, t_db) = time_once(|| qbf_true_via_logical_db(&qbf));
+        assert_eq!(got, expected);
+        print_row(&[
+            name.to_string(),
+            qbf.num_vars().to_string(),
+            expected.to_string(),
+            fmt_duration(t_db),
+            fmt_duration(t_solver),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e5_qbf_fo");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for (name, blocks) in [
+        ("k1_w2", vec![2usize, 2]),
+        ("k2_w1", vec![1, 1, 1]),
+        ("k2_w2", vec![2, 2, 2]),
+    ] {
+        let qbf = random_qbf(&blocks, 4, 11);
+        group.bench_function(BenchmarkId::new("logical_db", name), |b| {
+            b.iter(|| qbf_true_via_logical_db(&qbf))
+        });
+        group.bench_function(BenchmarkId::new("solver", name), |b| {
+            b.iter(|| qbf.is_true())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

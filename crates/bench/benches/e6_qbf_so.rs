@@ -1,0 +1,64 @@
+//! E6 — Theorem 9: `Πᵖₖ₊₁`-completeness of **data** complexity for `Σ¹ₖ`
+//! second-order queries, through the 3-CNF QBF reduction.
+//!
+//! Series: deciding random `B_{k+1}` 3-CNF formulas via the fixed
+//! second-order query (the clauses live in the *database*), against the
+//! recursive solver. The second-order quantifiers cost `2^{|C|}` each on
+//! top of the mapping enumeration — the steepest growth in the harness,
+//! matching the theorem's position at the top of the studied hierarchy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_bench::{fmt_duration, print_header, print_row, time_once};
+use qld_reductions::qbf_so::qbf_true_via_logical_db;
+use qld_workloads::random_qbf;
+use std::time::Duration;
+
+fn configs() -> Vec<(&'static str, Vec<usize>, usize)> {
+    vec![
+        ("k=1, 1 per block", vec![1, 1], 2),
+        ("k=1, 2 per block", vec![2, 2], 2),
+        ("k=1, 2 per block, 4 clauses", vec![2, 2], 4),
+        ("k=2, 1 per block", vec![1, 1, 1], 2),
+    ]
+}
+
+fn print_series() {
+    println!("\nE6: QBF decision via fixed Σ¹ₖ second-order query (Theorem 9) vs solver");
+    print_header(&["blocks", "vars", "clauses", "true", "t(logical DB)", "t(solver)"]);
+    for (name, blocks, clauses) in configs() {
+        let qbf = random_qbf(&blocks, clauses, 23);
+        let (expected, t_solver) = time_once(|| qbf.is_true());
+        let (got, t_db) = time_once(|| qbf_true_via_logical_db(&qbf));
+        assert_eq!(got, expected);
+        print_row(&[
+            name.to_string(),
+            qbf.num_vars().to_string(),
+            clauses.to_string(),
+            expected.to_string(),
+            fmt_duration(t_db),
+            fmt_duration(t_solver),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e6_qbf_so");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for (name, blocks) in [("k1_w1", vec![1usize, 1]), ("k1_w2", vec![2, 2])] {
+        let qbf = random_qbf(&blocks, 2, 23);
+        group.bench_function(BenchmarkId::new("logical_db", name), |b| {
+            b.iter(|| qbf_true_via_logical_db(&qbf))
+        });
+        group.bench_function(BenchmarkId::new("solver", name), |b| {
+            b.iter(|| qbf.is_true())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! E7 — Theorems 11–13: quality of the approximation.
+//!
+//! Series: recall (`|Â(Q,LB)| / |Q(LB)|`, counted tuple-wise over many
+//! random queries) by unknown-value density and query class. The claimed
+//! shape: precision ≡ 1 everywhere (soundness, Thm 11); recall ≡ 1 at
+//! density 0 (Thm 12) and for positive queries at any density (Thm 13);
+//! recall < 1 for queries with negation once identities are unknown.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_approx::ApproxEngine;
+use qld_bench::{print_header, print_row};
+use qld_core::certain_answers;
+use qld_workloads::{
+    random_cw_db, random_query, DbGenConfig, QueryFragment, QueryGenConfig,
+};
+use std::time::Duration;
+
+const DENSITIES: [(f64, &str); 4] = [
+    (1.0, "0.00"),
+    (0.75, "0.25"),
+    (0.5, "0.50"),
+    (0.25, "0.75"),
+];
+
+fn db_at(known_fraction: f64, seed: u64) -> qld_core::CwDatabase {
+    random_cw_db(&DbGenConfig {
+        num_consts: 6,
+        pred_arities: vec![2, 1],
+        facts_per_pred: 5,
+        known_fraction,
+        extra_ne_pairs: 0,
+        seed,
+    })
+}
+
+/// Tuple-weighted recall and precision of the approximation against the
+/// exact certain answers, over a batch of random queries.
+fn quality(known_fraction: f64, fragment: QueryFragment) -> (f64, f64) {
+    let mut exact_total = 0usize;
+    let mut approx_total = 0usize;
+    let mut correct = 0usize;
+    for seed in 0..8u64 {
+        let db = db_at(known_fraction, seed);
+        let engine = ApproxEngine::new(&db);
+        for qseed in 0..8u64 {
+            let q = random_query(
+                db.voc(),
+                &QueryGenConfig {
+                    fragment,
+                    max_depth: 3,
+                    head_arity: 1,
+                    seed: qseed * 101 + seed,
+                },
+            );
+            let exact = certain_answers(&db, &q).unwrap();
+            let approx = engine.eval(&q).unwrap();
+            exact_total += exact.len();
+            approx_total += approx.len();
+            correct += approx.iter().filter(|t| exact.contains(t)).count();
+        }
+    }
+    let recall = if exact_total == 0 {
+        1.0
+    } else {
+        correct as f64 / exact_total as f64
+    };
+    let precision = if approx_total == 0 {
+        1.0
+    } else {
+        correct as f64 / approx_total as f64
+    };
+    (recall, precision)
+}
+
+fn print_series() {
+    println!("\nE7: approximation quality by unknown-value density (tuple-weighted)");
+    print_header(&[
+        "null density",
+        "recall(pos)",
+        "recall(full)",
+        "prec(pos)",
+        "prec(full)",
+    ]);
+    for (known, label) in DENSITIES {
+        let (rp, pp) = quality(known, QueryFragment::Positive);
+        let (rf, pf) = quality(known, QueryFragment::FullFo);
+        assert!((pp - 1.0).abs() < 1e-9, "soundness violated (positive)");
+        assert!((pf - 1.0).abs() < 1e-9, "soundness violated (full)");
+        assert!((rp - 1.0).abs() < 1e-9, "Theorem 13 violated");
+        if known == 1.0 {
+            assert!((rf - 1.0).abs() < 1e-9, "Theorem 12 violated");
+        }
+        print_row(&[
+            label.to_string(),
+            format!("{rp:.3}"),
+            format!("{rf:.3}"),
+            format!("{pp:.3}"),
+            format!("{pf:.3}"),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    // Timing side: approximate vs exact evaluation as density varies
+    // (approximation time is flat; exact evaluation grows as identities
+    // get less specified and the kernel count explodes).
+    let mut group = c.benchmark_group("e7_approx_quality");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for (known, label) in DENSITIES {
+        let db = db_at(known, 1);
+        let engine = ApproxEngine::new(&db);
+        let q = random_query(
+            db.voc(),
+            &QueryGenConfig {
+                fragment: QueryFragment::FullFo,
+                max_depth: 3,
+                head_arity: 1,
+                seed: 5,
+            },
+        );
+        group.bench_function(BenchmarkId::new("approx", label), |b| {
+            b.iter(|| engine.eval(&q).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("exact", label), |b| {
+            b.iter(|| certain_answers(&db, &q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E8 — Theorem 14: the approximation costs what physical evaluation
+//! costs.
+//!
+//! Series: the same query evaluated (a) on the plain physical database
+//! `Ph₁(LB)` (the §2.1 semantics — the baseline), (b) approximately on
+//! `Ph₂(LB)` with the naive evaluator, and (c) approximately through the
+//! relational-algebra backend — as |C| grows into the hundreds. All
+//! three are polynomial with a bounded constant factor between them;
+//! exact evaluation is absent from this table because it stopped being
+//! runnable two orders of magnitude earlier (see E1/E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use qld_algebra::ExecOptions;
+use qld_approx::{AlphaMode, ApproxEngine, Backend};
+use qld_bench::{fmt_duration, print_header, print_row, standard_db, standard_queries, time_once};
+use qld_core::ph::ph1;
+use qld_physical::eval_query;
+use std::time::Duration;
+
+const SIZES: [usize; 4] = [16, 32, 64, 128];
+
+fn print_series() {
+    println!("\nE8: approximation vs physical evaluation (query: negation mix)");
+    print_header(&["|C|", "t(physical)", "t(approx naive)", "t(approx algebra)"]);
+    for n in SIZES {
+        let db = standard_db(n, 9);
+        let physical = ph1(&db);
+        let queries = standard_queries(&db);
+        let (_, q) = &queries[1];
+        let (_, t_phys) = time_once(|| eval_query(&physical, q));
+        let engine = ApproxEngine::new(&db);
+        let (a, t_naive) = time_once(|| engine.eval(q).unwrap());
+        let (b, t_algebra) = time_once(|| {
+            engine
+                .eval_with(
+                    q,
+                    AlphaMode::Materialized,
+                    Backend::Algebra(ExecOptions::default()),
+                )
+                .unwrap()
+        });
+        assert_eq!(a, b);
+        print_row(&[
+            n.to_string(),
+            fmt_duration(t_phys),
+            fmt_duration(t_naive),
+            fmt_duration(t_algebra),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e8_complexity_parity");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in SIZES {
+        let db = standard_db(n, 9);
+        let physical = ph1(&db);
+        let queries = standard_queries(&db);
+        let (_, q) = &queries[1];
+        let engine = ApproxEngine::new(&db);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("physical", n), &n, |b, _| {
+            b.iter(|| eval_query(&physical, q))
+        });
+        group.bench_with_input(BenchmarkId::new("approx_naive", n), &n, |b, _| {
+            b.iter(|| engine.eval(q).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("approx_algebra", n), &n, |b, _| {
+            b.iter(|| {
+                engine
+                    .eval_with(
+                        q,
+                        AlphaMode::Materialized,
+                        Backend::Algebra(ExecOptions::default()),
+                    )
+                    .unwrap()
+            })
+        });
+        // Engine construction (α_P materialization + NE) is polynomial
+        // set-up cost; measure it separately so query-time parity is
+        // visible.
+        group.bench_with_input(BenchmarkId::new("engine_build", n), &n, |b, _| {
+            b.iter(|| ApproxEngine::new(&db))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! E9 — §5's closing remark: the virtual `NE` representation
+//! (`NE(x,y) ≡ NE′(x,y) ∨ (¬U(x) ∧ ¬U(y) ∧ x≠y)`).
+//!
+//! Series: stored entries and build time of the explicit (quadratic) vs
+//! virtual (linear in nulls) representations as |C| grows with ~5% of
+//! values unknown, plus probe cost. The claimed shape: explicit storage
+//! grows as `|C|²`, virtual as `|U|·|C| + |U|`, with probe time within a
+//! constant factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_approx::NeStore;
+use qld_bench::{fmt_duration, print_header, print_row, time_once};
+use qld_core::CwDatabase;
+use qld_workloads::{random_cw_db, DbGenConfig};
+use std::time::Duration;
+
+const SIZES: [usize; 4] = [64, 256, 1024, 4096];
+
+fn db_with_nulls(n: usize) -> CwDatabase {
+    random_cw_db(&DbGenConfig {
+        num_consts: n,
+        pred_arities: vec![],
+        facts_per_pred: 0,
+        known_fraction: 0.95,
+        extra_ne_pairs: n / 20,
+        seed: 13,
+    })
+}
+
+fn print_series() {
+    println!("\nE9: explicit vs virtual NE representation (~5% unknown values)");
+    print_header(&[
+        "|C|",
+        "entries(expl)",
+        "entries(virt)",
+        "t(build expl)",
+        "t(build virt)",
+    ]);
+    for n in SIZES {
+        let db = db_with_nulls(n);
+        let (explicit, t_explicit) = time_once(|| NeStore::explicit(&db));
+        let (virt, t_virt) = time_once(|| NeStore::virtualized(&db));
+        // Exactness spot check on a sample of pairs.
+        for a in (0..n as u32).step_by((n / 32).max(1)) {
+            for b in (0..n as u32).step_by((n / 32).max(1)) {
+                assert_eq!(explicit.contains(a, b), virt.contains(a, b));
+            }
+        }
+        print_row(&[
+            n.to_string(),
+            explicit.stored_entries().to_string(),
+            virt.stored_entries().to_string(),
+            fmt_duration(t_explicit),
+            fmt_duration(t_virt),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e9_virtual_ne");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for n in [64usize, 256, 1024] {
+        let db = db_with_nulls(n);
+        group.bench_with_input(BenchmarkId::new("build_explicit", n), &n, |b, _| {
+            b.iter(|| NeStore::explicit(&db))
+        });
+        group.bench_with_input(BenchmarkId::new("build_virtual", n), &n, |b, _| {
+            b.iter(|| NeStore::virtualized(&db))
+        });
+        let explicit = NeStore::explicit(&db);
+        let virt = NeStore::virtualized(&db);
+        let probes: Vec<(u32, u32)> = (0..n as u32)
+            .map(|i| (i, (i * 7 + 3) % n as u32))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("probe_explicit", n), &n, |b, _| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|&&(x, y)| explicit.contains(x, y))
+                    .count()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("probe_virtual", n), &n, |b, _| {
+            b.iter(|| {
+                probes
+                    .iter()
+                    .filter(|&&(x, y)| virt.contains(x, y))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

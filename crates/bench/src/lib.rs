@@ -1,0 +1,77 @@
+//! Shared helpers for the E1–E9 benchmark harness (see DESIGN.md §4 and
+//! EXPERIMENTS.md).
+//!
+//! Each bench binary prints the experiment's measured series as a table
+//! (the paper is a theory paper, so the "tables/figures" being reproduced
+//! are the complexity *shapes* its theorems claim) and then runs Criterion
+//! measurements for the same points.
+
+#![forbid(unsafe_code)]
+
+use qld_core::CwDatabase;
+use qld_logic::parser::parse_query;
+use qld_logic::Query;
+use qld_workloads::{random_cw_db, DbGenConfig};
+
+/// A standard partially-specified database for the evaluation benches:
+/// one binary and one unary predicate, 30% of constants with unknown
+/// identity.
+pub fn standard_db(num_consts: usize, seed: u64) -> CwDatabase {
+    random_cw_db(&DbGenConfig {
+        num_consts,
+        pred_arities: vec![2, 1],
+        facts_per_pred: (2 * num_consts).max(4),
+        known_fraction: 0.7,
+        extra_ne_pairs: 0,
+        seed,
+    })
+}
+
+/// The standard query mix used across experiments: a join, a negation,
+/// and a universally quantified implication.
+pub fn standard_queries(db: &CwDatabase) -> Vec<(&'static str, Query)> {
+    [
+        ("join", "(x, z) . exists y. P0(x, y) & P0(y, z)"),
+        ("negation", "(x) . P1(x) & !P0(x, x)"),
+        ("universal", "(x) . forall y. P0(x, y) -> P1(y)"),
+    ]
+    .into_iter()
+    .map(|(name, text)| {
+        (
+            name,
+            parse_query(db.voc(), text).expect("standard query parses"),
+        )
+    })
+    .collect()
+}
+
+/// Prints a Markdown-ish table row, padding columns to a fixed width.
+pub fn print_row(cols: &[String]) {
+    let rendered: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("| {} |", rendered.join(" | "));
+}
+
+/// Prints a table header followed by a separator row.
+pub fn print_header(cols: &[&str]) {
+    print_row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>());
+    print_row(&cols.iter().map(|_| "---".to_string()).collect::<Vec<_>>());
+}
+
+/// Formats a `Duration` compactly for the series tables.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    if d.as_secs() >= 1 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.2}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{:.1}µs", d.as_secs_f64() * 1e6)
+    }
+}
+
+/// Times a closure once (for the printed series; Criterion does the
+/// statistically careful measurement separately).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}

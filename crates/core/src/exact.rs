@@ -1,0 +1,370 @@
+//! Exact certain-answer evaluation via Theorem 1.
+//!
+//! `c ∈ Q(LB)` iff `h(c) ∈ Q(h(Ph₁(LB)))` for every respecting
+//! `h : C → C`. The evaluator maintains the set of surviving candidate
+//! tuples and intersects it across mappings, exiting early the moment it
+//! empties (for Boolean queries: the moment one mapping refutes the
+//! sentence). Data complexity is co-NP-complete (Theorem 5), so the
+//! enumeration is inherently exponential — the approximation in
+//! `qld-approx` is the paper's answer to that.
+
+use crate::mappings::{for_each_kernel_mapping, for_each_respecting_mapping};
+use crate::ph::{apply_mapping, ph1};
+use crate::theory::CwDatabase;
+use qld_logic::{LogicError, Query};
+use qld_physical::{eval_query, Elem, Relation, TupleSpace};
+
+/// Which family of mappings to enumerate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MappingStrategy {
+    /// One canonical mapping per kernel partition (Bell(|C|) mappings) —
+    /// sound and complete by isomorphism invariance; the default.
+    #[default]
+    Kernels,
+    /// Every respecting mapping (`≤ |C|^|C|`), exactly as Theorem 1 is
+    /// stated. Exists for differential testing and for experiment E1.
+    RawMappings,
+}
+
+/// Evaluation options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactOptions {
+    /// Mapping enumeration strategy.
+    pub strategy: MappingStrategy,
+    /// Use the Corollary 2 fast path (`Q(LB) = Q(Ph₁(LB))`) when the
+    /// database is fully specified. On by default via
+    /// [`ExactOptions::default`]… except that `bool::default()` is
+    /// `false`; use [`ExactOptions::new`] for the recommended settings.
+    pub corollary2_fast_path: bool,
+}
+
+impl ExactOptions {
+    /// Recommended settings: kernel enumeration + Corollary 2 fast path.
+    pub fn new() -> Self {
+        ExactOptions {
+            strategy: MappingStrategy::Kernels,
+            corollary2_fast_path: true,
+        }
+    }
+}
+
+/// Counters reported alongside an exact evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of mappings actually evaluated (early exit shortens this).
+    pub mappings_evaluated: u64,
+    /// Whether the Corollary 2 fast path answered the query.
+    pub fast_path: bool,
+}
+
+/// Computes the certain answers `Q(LB)` with default options.
+pub fn certain_answers(db: &CwDatabase, query: &Query) -> Result<Relation, LogicError> {
+    certain_answers_with(db, query, ExactOptions::new()).map(|(rel, _)| rel)
+}
+
+/// Computes the certain answers with explicit options, reporting stats.
+pub fn certain_answers_with(
+    db: &CwDatabase,
+    query: &Query,
+    opts: ExactOptions,
+) -> Result<(Relation, EvalStats), LogicError> {
+    query.check(db.voc())?;
+    let mut stats = EvalStats::default();
+
+    if opts.corollary2_fast_path && db.is_fully_specified() {
+        stats.fast_path = true;
+        return Ok((eval_query(&ph1(db), query), stats));
+    }
+
+    let arity = query.arity();
+    let consts: Vec<Elem> = (0..db.num_consts() as Elem).collect();
+    // Candidates = C^k until the first mapping prunes them.
+    let mut candidates: Vec<Vec<Elem>> = TupleSpace::new(&consts, arity).collect();
+
+    let visit = |h: &[Elem]| -> bool {
+        stats.mappings_evaluated += 1;
+        let image = apply_mapping(db, h);
+        let answers = eval_query(&image, query);
+        candidates.retain(|c| {
+            let mapped: Vec<Elem> = c.iter().map(|&e| h[e as usize]).collect();
+            answers.contains(&mapped)
+        });
+        !candidates.is_empty()
+    };
+    match opts.strategy {
+        MappingStrategy::Kernels => for_each_kernel_mapping(db, visit),
+        MappingStrategy::RawMappings => for_each_respecting_mapping(db, visit),
+    };
+
+    Ok((Relation::collect(arity, candidates), stats))
+}
+
+/// Does the theory finitely imply the sentence? (`T ⊨_f σ`.)
+///
+/// # Panics
+/// Panics if `query` is not Boolean.
+pub fn certainly_holds(db: &CwDatabase, query: &Query) -> Result<bool, LogicError> {
+    assert!(query.is_boolean(), "certainly_holds requires a Boolean query");
+    Ok(!certain_answers(db, query)?.is_empty())
+}
+
+/// The *possible* answers: tuples true in **some** model of the theory
+/// (the union over mappings, where Theorem 1's characterization gives the
+/// intersection). Not a notion the paper evaluates queries with, but the
+/// natural dual; used by the examples to show what certainty excludes.
+pub fn possible_answers(db: &CwDatabase, query: &Query) -> Result<Relation, LogicError> {
+    query.check(db.voc())?;
+    let arity = query.arity();
+    let consts: Vec<Elem> = (0..db.num_consts() as Elem).collect();
+    let all: Vec<Vec<Elem>> = TupleSpace::new(&consts, arity).collect();
+    let mut possible: Vec<Vec<Elem>> = Vec::new();
+    let mut remaining: Vec<Vec<Elem>> = all;
+    for_each_kernel_mapping(db, |h| {
+        let image = apply_mapping(db, h);
+        let answers = eval_query(&image, query);
+        let mut still_unknown = Vec::with_capacity(remaining.len());
+        for c in remaining.drain(..) {
+            let mapped: Vec<Elem> = c.iter().map(|&e| h[e as usize]).collect();
+            if answers.contains(&mapped) {
+                possible.push(c);
+            } else {
+                still_unknown.push(c);
+            }
+        }
+        remaining = still_unknown;
+        !remaining.is_empty()
+    });
+    Ok(Relation::collect(arity, possible))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_logic::parser::parse_query;
+    use qld_logic::Vocabulary;
+
+    /// The teaching database of §2.2 flavor: TEACHES(socrates, plato);
+    /// `mystery` is a constant of unknown identity (no uniqueness axioms
+    /// about it), while socrates/plato/aristotle are pairwise distinct.
+    fn teaching() -> CwDatabase {
+        let mut voc = Vocabulary::new();
+        let ids = voc
+            .add_consts(["socrates", "plato", "aristotle", "mystery"])
+            .unwrap();
+        let teaches = voc.add_pred("TEACHES", 2).unwrap();
+        CwDatabase::builder(voc)
+            .fact(teaches, &[ids[0], ids[1]])
+            .pairwise_unique(&ids[..3])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stored_fact_is_certain() {
+        let db = teaching();
+        let q = parse_query(db.voc(), "TEACHES(socrates, plato)").unwrap();
+        assert!(certainly_holds(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn cwa_negative_fact_on_distinct_constants() {
+        let db = teaching();
+        // Aristotle provably isn't taught by Socrates: any model maps
+        // aristotle to something ≠ plato... no wait — aristotle ≠ plato and
+        // aristotle ≠ socrates are axioms, and completion says the only
+        // TEACHES pair is (socrates, plato). So ¬TEACHES(socrates, aristotle)
+        // is certain.
+        let q = parse_query(db.voc(), "!TEACHES(socrates, aristotle)").unwrap();
+        assert!(certainly_holds(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn unknown_value_blocks_negative_certainty() {
+        let db = teaching();
+        // `mystery` might BE plato, so ¬TEACHES(socrates, mystery) is NOT
+        // certain…
+        let q = parse_query(db.voc(), "!TEACHES(socrates, mystery)").unwrap();
+        assert!(!certainly_holds(&db, &q).unwrap());
+        // …and TEACHES(socrates, mystery) is not certain either: mystery
+        // might be aristotle.
+        let q = parse_query(db.voc(), "TEACHES(socrates, mystery)").unwrap();
+        assert!(!certainly_holds(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn open_query_certain_answers() {
+        let db = teaching();
+        let q = parse_query(db.voc(), "(x) . TEACHES(socrates, x)").unwrap();
+        let ans = certain_answers(&db, &q).unwrap();
+        // Only plato is certainly taught (mystery isn't: it might be
+        // aristotle).
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&[1]));
+    }
+
+    #[test]
+    fn possible_answers_superset() {
+        let db = teaching();
+        let q = parse_query(db.voc(), "(x) . TEACHES(socrates, x)").unwrap();
+        let certain = certain_answers(&db, &q).unwrap();
+        let possible = possible_answers(&db, &q).unwrap();
+        assert!(certain.is_subset_of(&possible));
+        // plato certainly; mystery possibly (it may be plato).
+        assert_eq!(possible.len(), 2);
+        assert!(possible.contains(&[1]));
+        assert!(possible.contains(&[3]));
+    }
+
+    #[test]
+    fn negated_open_query() {
+        let db = teaching();
+        let q = parse_query(db.voc(), "(x) . !TEACHES(socrates, x)").unwrap();
+        let ans = certain_answers(&db, &q).unwrap();
+        // socrates and aristotle are provably not taught by socrates;
+        // plato is taught; mystery is unknown.
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&[0]));
+        assert!(ans.contains(&[2]));
+    }
+
+    #[test]
+    fn strategies_agree() {
+        let db = teaching();
+        for input in [
+            "(x) . TEACHES(socrates, x)",
+            "(x) . !TEACHES(socrates, x)",
+            "(x, y) . TEACHES(x, y)",
+            "exists x. TEACHES(x, mystery)",
+            "forall x. TEACHES(socrates, x) -> x != aristotle",
+        ] {
+            let q = parse_query(db.voc(), input).unwrap();
+            let kern = certain_answers_with(
+                &db,
+                &q,
+                ExactOptions {
+                    strategy: MappingStrategy::Kernels,
+                    corollary2_fast_path: false,
+                },
+            )
+            .unwrap()
+            .0;
+            let raw = certain_answers_with(
+                &db,
+                &q,
+                ExactOptions {
+                    strategy: MappingStrategy::RawMappings,
+                    corollary2_fast_path: false,
+                },
+            )
+            .unwrap()
+            .0;
+            assert_eq!(kern, raw, "strategy mismatch on {input}");
+        }
+    }
+
+    #[test]
+    fn corollary2_fast_path_agrees() {
+        // Fully specified database: fast path == generic path.
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b", "c"]).unwrap();
+        let r = voc.add_pred("R", 2).unwrap();
+        let db = CwDatabase::builder(voc)
+            .fact(r, &[ids[0], ids[1]])
+            .fact(r, &[ids[1], ids[2]])
+            .fully_specified()
+            .build()
+            .unwrap();
+        for input in [
+            "(x) . exists y. R(x, y)",
+            "(x) . !R(x, x)",
+            "(x, y) . R(x, y) & x != y",
+            "forall x, y. R(x, y) -> x != y",
+        ] {
+            let q = parse_query(db.voc(), input).unwrap();
+            let (fast, s1) = certain_answers_with(&db, &q, ExactOptions::new()).unwrap();
+            assert!(s1.fast_path);
+            let (slow, s2) = certain_answers_with(
+                &db,
+                &q,
+                ExactOptions {
+                    strategy: MappingStrategy::Kernels,
+                    corollary2_fast_path: false,
+                },
+            )
+            .unwrap();
+            assert!(!s2.fast_path);
+            assert_eq!(fast, slow, "fast path mismatch on {input}");
+        }
+    }
+
+    #[test]
+    fn equality_queries_track_uniqueness() {
+        let db = teaching();
+        // socrates != plato is an axiom → certain.
+        let q = parse_query(db.voc(), "socrates != plato").unwrap();
+        assert!(certainly_holds(&db, &q).unwrap());
+        // mystery != plato is not an axiom → not certain.
+        let q = parse_query(db.voc(), "mystery != plato").unwrap();
+        assert!(!certainly_holds(&db, &q).unwrap());
+        // mystery = plato is not certain either (mystery may be fresh).
+        let q = parse_query(db.voc(), "mystery = plato").unwrap();
+        assert!(!certainly_holds(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn domain_closure_is_certain() {
+        let db = teaching();
+        // Every object is one of the named constants (domain closure).
+        let q = parse_query(
+            db.voc(),
+            "forall x. x = socrates | x = plato | x = aristotle | x = mystery",
+        )
+        .unwrap();
+        assert!(certainly_holds(&db, &q).unwrap());
+    }
+
+    #[test]
+    fn stats_report_early_exit() {
+        let db = teaching();
+        // A sentence falsified by the identity mapping exits after few
+        // mappings.
+        let q = parse_query(db.voc(), "TEACHES(plato, socrates)").unwrap();
+        let (ans, stats) = certain_answers_with(
+            &db,
+            &q,
+            ExactOptions {
+                strategy: MappingStrategy::Kernels,
+                corollary2_fast_path: false,
+            },
+        )
+        .unwrap();
+        assert!(ans.is_empty());
+        assert_eq!(stats.mappings_evaluated, 1);
+    }
+
+    #[test]
+    fn invalid_query_rejected() {
+        let db = teaching();
+        // Build a query against a different vocabulary.
+        let mut other = Vocabulary::new();
+        other.add_const("zeus").unwrap();
+        other.add_pred("TEACHES", 3).unwrap();
+        let q = parse_query(&other, "exists x, y, w. TEACHES(x, y, w)").unwrap();
+        assert!(certain_answers(&db, &q).is_err());
+    }
+
+    #[test]
+    fn second_order_certain_answers() {
+        // Theorem 9 situations: SO queries are legal inputs too. On a tiny
+        // database, ∃S (S contains exactly the taught people) is trivially
+        // certain.
+        let db = teaching();
+        let q = parse_query(
+            db.voc(),
+            "exists2 ?S:1. forall x. (?S(x) -> exists t. TEACHES(t, x)) \
+             & ((exists t. TEACHES(t, x)) -> ?S(x))",
+        )
+        .unwrap();
+        assert!(certainly_holds(&db, &q).unwrap());
+    }
+}

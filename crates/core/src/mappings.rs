@@ -1,0 +1,291 @@
+//! Enumeration of the mappings `h : C → C` that respect the uniqueness
+//! axioms — the quantification domain of Theorem 1.
+//!
+//! Two enumerators are provided:
+//!
+//! * [`for_each_respecting_mapping`] — every respecting `h`, all
+//!   `≤ |C|^|C|` of them, by backtracking over the NE constraint graph.
+//!   Faithful to the statement of Theorem 1; kept for differential
+//!   testing and for the E1 experiment's cost comparison.
+//! * [`for_each_kernel_mapping`] — one canonical representative per
+//!   *kernel partition*. Certain-answer membership `h(c) ∈ Q(h(Ph₁(LB)))`
+//!   is invariant under post-composition of `h` with any bijection
+//!   `σ : C → C` (such a `σ` is an `L`-isomorphism from `h(Ph₁)` to
+//!   `σ(h(Ph₁))` that also maps `h(c)` to `σ(h(c))`), and two mappings are
+//!   related that way exactly when they have the same kernel. So it
+//!   suffices to enumerate NE-separating set partitions of `C` —
+//!   Bell(|C|) of them instead of `|C|^|C|` — and take as representative
+//!   the map sending each constant to the least constant of its block.
+//!   The two enumerators are property-tested to yield identical certain
+//!   answers.
+//!
+//! Both use callbacks (`visit` returns `false` to stop early) because the
+//! exact evaluator wants early exit on an emptied candidate set.
+
+use crate::theory::CwDatabase;
+use qld_physical::Elem;
+
+/// Smaller-indexed NE neighbours of each constant, for forward checking.
+fn smaller_neighbors(db: &CwDatabase) -> Vec<Vec<u32>> {
+    let n = db.num_consts();
+    let mut nbrs = vec![Vec::new(); n];
+    for &(a, b) in db.ne_pairs() {
+        // normalized a < b
+        nbrs[b as usize].push(a);
+    }
+    nbrs
+}
+
+/// Enumerates every mapping `h : C → C` respecting the uniqueness axioms,
+/// invoking `visit(h)` on each (as a slice `h[i] = h(ConstId(i))`).
+/// Returns `false` iff `visit` stopped the enumeration early.
+pub fn for_each_respecting_mapping(
+    db: &CwDatabase,
+    mut visit: impl FnMut(&[Elem]) -> bool,
+) -> bool {
+    let n = db.num_consts();
+    let nbrs = smaller_neighbors(db);
+    let mut h: Vec<Elem> = vec![0; n];
+    fn rec(
+        pos: usize,
+        n: usize,
+        h: &mut Vec<Elem>,
+        nbrs: &[Vec<u32>],
+        visit: &mut dyn FnMut(&[Elem]) -> bool,
+    ) -> bool {
+        if pos == n {
+            return visit(h);
+        }
+        'values: for v in 0..n as Elem {
+            for &j in &nbrs[pos] {
+                if h[j as usize] == v {
+                    continue 'values;
+                }
+            }
+            h[pos] = v;
+            if !rec(pos + 1, n, h, nbrs, visit) {
+                return false;
+            }
+        }
+        true
+    }
+    rec(0, n, &mut h, &nbrs, &mut visit)
+}
+
+/// Enumerates one canonical respecting mapping per kernel partition (see
+/// module docs), invoking `visit(h)` on each. Returns `false` iff `visit`
+/// stopped the enumeration early.
+pub fn for_each_kernel_mapping(db: &CwDatabase, mut visit: impl FnMut(&[Elem]) -> bool) -> bool {
+    let n = db.num_consts();
+    let nbrs = smaller_neighbors(db);
+    // Restricted growth string `block[i] ∈ 0..=max(block[..i])+1`, with the
+    // NE constraint that neighbours get distinct blocks. The canonical
+    // representative of block `b` is the first constant placed in it, so
+    // the mapping is h[i] = rep[block[i]].
+    let mut block: Vec<u32> = vec![0; n];
+    let mut rep: Vec<Elem> = Vec::with_capacity(n);
+    let mut h: Vec<Elem> = vec![0; n];
+    fn rec(
+        pos: usize,
+        n: usize,
+        block: &mut Vec<u32>,
+        rep: &mut Vec<Elem>,
+        h: &mut Vec<Elem>,
+        nbrs: &[Vec<u32>],
+        visit: &mut dyn FnMut(&[Elem]) -> bool,
+    ) -> bool {
+        if pos == n {
+            return visit(h);
+        }
+        let num_blocks = rep.len() as u32;
+        'blocks: for b in 0..=num_blocks {
+            for &j in &nbrs[pos] {
+                if block[j as usize] == b {
+                    continue 'blocks;
+                }
+            }
+            block[pos] = b;
+            let new_block = b == num_blocks;
+            if new_block {
+                rep.push(pos as Elem);
+            }
+            h[pos] = rep[b as usize];
+            let keep_going = rec(pos + 1, n, block, rep, h, nbrs, visit);
+            if new_block {
+                rep.pop();
+            }
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+    rec(0, n, &mut block, &mut rep, &mut h, &nbrs, &mut visit)
+}
+
+/// Counts the respecting mappings (`|C|^|C|` when there are no uniqueness
+/// axioms).
+pub fn count_respecting_mappings(db: &CwDatabase) -> u64 {
+    let mut count = 0u64;
+    for_each_respecting_mapping(db, |_| {
+        count += 1;
+        true
+    });
+    count
+}
+
+/// Counts the NE-separating kernel partitions (Bell(|C|) when there are no
+/// uniqueness axioms).
+pub fn count_kernel_mappings(db: &CwDatabase) -> u64 {
+    let mut count = 0u64;
+    for_each_kernel_mapping(db, |_| {
+        count += 1;
+        true
+    });
+    count
+}
+
+/// True iff `h` (as a slice) respects the database's uniqueness axioms.
+pub fn respects(db: &CwDatabase, h: &[Elem]) -> bool {
+    db.ne_pairs()
+        .iter()
+        .all(|&(a, b)| h[a as usize] != h[b as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_logic::Vocabulary;
+
+    fn db_with(n: usize, ne: &[(u32, u32)]) -> CwDatabase {
+        let mut voc = Vocabulary::new();
+        for i in 0..n {
+            voc.add_const(&format!("c{i}")).unwrap();
+        }
+        let mut b = CwDatabase::builder(voc);
+        for &(x, y) in ne {
+            b = b.unique(qld_logic::ConstId(x), qld_logic::ConstId(y));
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unconstrained_counts() {
+        // n^n mappings, Bell(n) kernels.
+        let expectations = [(1, 1u64, 1u64), (2, 4, 2), (3, 27, 5), (4, 256, 15)];
+        for (n, raw, bell) in expectations {
+            let db = db_with(n, &[]);
+            assert_eq!(count_respecting_mappings(&db), raw, "n={n}");
+            assert_eq!(count_kernel_mappings(&db), bell, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fully_specified_counts() {
+        // All pairs distinct: respecting mappings are the n! injections;
+        // only one kernel (the discrete partition).
+        let db = db_with(3, &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(count_respecting_mappings(&db), 6);
+        assert_eq!(count_kernel_mappings(&db), 1);
+    }
+
+    #[test]
+    fn single_constraint() {
+        // n=3, NE(0,1): raw = 27 − |h(0)=h(1)| = 27 − 9 = 18.
+        // Kernels: partitions of {0,1,2} separating 0 and 1:
+        // {0}{1}{2}, {0,2}{1}, {0}{1,2} → 3.
+        let db = db_with(3, &[(0, 1)]);
+        assert_eq!(count_respecting_mappings(&db), 18);
+        assert_eq!(count_kernel_mappings(&db), 3);
+    }
+
+    #[test]
+    fn every_raw_mapping_respects() {
+        let db = db_with(4, &[(0, 1), (2, 3)]);
+        let complete = for_each_respecting_mapping(&db, |h| {
+            assert!(respects(&db, h));
+            true
+        });
+        assert!(complete);
+    }
+
+    #[test]
+    fn every_kernel_mapping_respects_and_is_idempotent() {
+        let db = db_with(4, &[(0, 1), (2, 3)]);
+        for_each_kernel_mapping(&db, |h| {
+            assert!(respects(&db, h));
+            // Canonical representatives are idempotent: h(h(c)) = h(c).
+            for &v in h {
+                assert_eq!(h[v as usize], v);
+            }
+            true
+        });
+    }
+
+    #[test]
+    fn kernels_are_distinct() {
+        let db = db_with(4, &[(1, 2)]);
+        let mut seen = std::collections::HashSet::new();
+        for_each_kernel_mapping(&db, |h| {
+            assert!(seen.insert(h.to_vec()), "kernel visited twice: {h:?}");
+            true
+        });
+        // Bell(4)=15 minus partitions merging 1 and 2. Partitions of a
+        // 4-set where two fixed elements share a block = Bell(3) = 5.
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn early_exit_works() {
+        let db = db_with(3, &[]);
+        let mut n = 0;
+        let completed = for_each_respecting_mapping(&db, |_| {
+            n += 1;
+            n < 5
+        });
+        assert!(!completed);
+        assert_eq!(n, 5);
+
+        let mut k = 0;
+        let completed = for_each_kernel_mapping(&db, |_| {
+            k += 1;
+            k < 2
+        });
+        assert!(!completed);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn kernel_set_equals_raw_kernel_set() {
+        // The set of kernels of raw respecting mappings equals the set of
+        // enumerated kernel partitions.
+        let db = db_with(4, &[(0, 3), (1, 3)]);
+        let kernel_of = |h: &[Elem]| -> Vec<u32> {
+            // canonical kernel encoding: block id = first occurrence index
+            let mut ids: Vec<u32> = Vec::new();
+            let mut seen: Vec<(Elem, u32)> = Vec::new();
+            for &v in h {
+                match seen.iter().find(|(e, _)| *e == v) {
+                    Some((_, id)) => ids.push(*id),
+                    None => {
+                        let id = seen.len() as u32;
+                        seen.push((v, id));
+                        ids.push(id);
+                    }
+                }
+            }
+            ids
+        };
+        let mut raw_kernels = std::collections::HashSet::new();
+        for_each_respecting_mapping(&db, |h| {
+            raw_kernels.insert(kernel_of(h));
+            true
+        });
+        let mut canon_kernels = std::collections::HashSet::new();
+        for_each_kernel_mapping(&db, |h| {
+            canon_kernels.insert(kernel_of(h));
+            true
+        });
+        assert_eq!(raw_kernels, canon_kernels);
+    }
+}

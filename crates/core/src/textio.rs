@@ -1,0 +1,343 @@
+//! A small line-oriented text format for CW logical databases, so that
+//! databases can be shipped as files and loaded by the `qld` shell.
+//!
+//! ```text
+//! # Philosophy department (comments run to end of line)
+//! const socrates plato aristotle mystery
+//! pred TEACHES/2 WISE/1
+//! fact TEACHES(socrates, plato)
+//! fact WISE(socrates)
+//! unique socrates plato          # one uniqueness axiom
+//! distinct socrates plato aristotle   # pairwise axioms for a list
+//! ```
+//!
+//! Directives:
+//! * `const NAME…` — declare constant symbols (repeatable);
+//! * `pred NAME/ARITY…` — declare predicates (repeatable);
+//! * `fact P(c1, …, ck)` — an atomic fact axiom;
+//! * `unique A B` — the axiom `¬(A = B)`;
+//! * `distinct A B C…` — pairwise uniqueness for the listed constants;
+//! * `fully_specified` — pairwise uniqueness for *all* constants.
+//!
+//! [`to_text`] renders a database back; the round-trip is exact
+//! (property-tested below and in the workspace tests).
+
+use crate::theory::{CwDatabase, CwError};
+use qld_logic::{ConstId, LogicError, Vocabulary};
+use std::fmt;
+
+/// Errors from parsing the `.qld` format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// Lexical/syntactic problem with a line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// Symbol errors (duplicates, unknowns) from the vocabulary.
+    Logic(LogicError),
+    /// Semantic errors from the database builder.
+    Cw(CwError),
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            TextError::Logic(e) => write!(f, "{e}"),
+            TextError::Cw(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<LogicError> for TextError {
+    fn from(e: LogicError) -> Self {
+        TextError::Logic(e)
+    }
+}
+
+impl From<CwError> for TextError {
+    fn from(e: CwError) -> Self {
+        TextError::Cw(e)
+    }
+}
+
+enum Pending {
+    Fact(String, Vec<String>, usize),
+    Unique(String, String, usize),
+    Distinct(Vec<String>, usize),
+    FullySpecified,
+}
+
+/// Parses the text format into a CW logical database.
+pub fn from_text(input: &str) -> Result<CwDatabase, TextError> {
+    let mut voc = Vocabulary::new();
+    let mut pending: Vec<Pending> = Vec::new();
+
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw_line.find('#') {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        }
+        .trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().expect("nonempty line");
+        match head {
+            "const" => {
+                let mut any = false;
+                for name in words {
+                    voc.add_const(name)?;
+                    any = true;
+                }
+                if !any {
+                    return Err(syntax(line_no, "`const` needs at least one name"));
+                }
+            }
+            "pred" => {
+                let mut any = false;
+                for decl in words {
+                    let (name, arity) = decl.split_once('/').ok_or_else(|| {
+                        syntax(line_no, format!("expected NAME/ARITY, found `{decl}`"))
+                    })?;
+                    let arity: usize = arity.parse().map_err(|_| {
+                        syntax(line_no, format!("bad arity in `{decl}`"))
+                    })?;
+                    voc.add_pred(name, arity)?;
+                    any = true;
+                }
+                if !any {
+                    return Err(syntax(line_no, "`pred` needs at least one declaration"));
+                }
+            }
+            "fact" => {
+                let rest = line["fact".len()..].trim();
+                let open = rest.find('(').ok_or_else(|| {
+                    syntax(line_no, "expected `fact P(c1, …)`")
+                })?;
+                if !rest.ends_with(')') {
+                    return Err(syntax(line_no, "missing `)` in fact"));
+                }
+                let pred = rest[..open].trim().to_owned();
+                let inner = &rest[open + 1..rest.len() - 1];
+                let args: Vec<String> = if inner.trim().is_empty() {
+                    Vec::new()
+                } else {
+                    inner.split(',').map(|a| a.trim().to_owned()).collect()
+                };
+                if args.iter().any(String::is_empty) {
+                    return Err(syntax(line_no, "empty argument in fact"));
+                }
+                pending.push(Pending::Fact(pred, args, line_no));
+            }
+            "unique" => {
+                let names: Vec<&str> = words.collect();
+                if names.len() != 2 {
+                    return Err(syntax(line_no, "`unique` takes exactly two constants"));
+                }
+                pending.push(Pending::Unique(
+                    names[0].to_owned(),
+                    names[1].to_owned(),
+                    line_no,
+                ));
+            }
+            "distinct" => {
+                let names: Vec<String> = words.map(str::to_owned).collect();
+                if names.len() < 2 {
+                    return Err(syntax(line_no, "`distinct` needs at least two constants"));
+                }
+                pending.push(Pending::Distinct(names, line_no));
+            }
+            "fully_specified" | "fully-specified" => pending.push(Pending::FullySpecified),
+            other => {
+                return Err(syntax(
+                    line_no,
+                    format!("unknown directive `{other}` (expected const/pred/fact/unique/distinct/fully_specified)"),
+                ))
+            }
+        }
+    }
+
+    let lookup_const = |voc: &Vocabulary, name: &str, line: usize| -> Result<ConstId, TextError> {
+        voc.const_id(name)
+            .ok_or_else(|| syntax(line, format!("unknown constant `{name}`")))
+    };
+
+    let mut builder = CwDatabase::builder(voc.clone());
+    for p in pending {
+        match p {
+            Pending::Fact(pred, args, line) => {
+                let pid = voc
+                    .pred_id(&pred)
+                    .ok_or_else(|| syntax(line, format!("unknown predicate `{pred}`")))?;
+                let ids: Vec<ConstId> = args
+                    .iter()
+                    .map(|a| lookup_const(&voc, a, line))
+                    .collect::<Result<_, _>>()?;
+                builder = builder.fact(pid, &ids);
+            }
+            Pending::Unique(a, b, line) => {
+                builder = builder.unique(
+                    lookup_const(&voc, &a, line)?,
+                    lookup_const(&voc, &b, line)?,
+                );
+            }
+            Pending::Distinct(names, line) => {
+                let ids: Vec<ConstId> = names
+                    .iter()
+                    .map(|a| lookup_const(&voc, a, line))
+                    .collect::<Result<_, _>>()?;
+                builder = builder.pairwise_unique(&ids);
+            }
+            Pending::FullySpecified => builder = builder.fully_specified(),
+        }
+    }
+    Ok(builder.build()?)
+}
+
+fn syntax(line: usize, message: impl Into<String>) -> TextError {
+    TextError::Syntax {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Renders a database in the text format (round-trips through
+/// [`from_text`] exactly).
+pub fn to_text(db: &CwDatabase) -> String {
+    use std::fmt::Write;
+    let voc = db.voc();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# CW logical database: {} constants, {} facts, {} uniqueness axioms",
+        db.num_consts(),
+        db.num_facts(),
+        db.num_ne()
+    );
+    let consts: Vec<&str> = voc.consts().map(|c| voc.const_name(c)).collect();
+    let _ = writeln!(out, "const {}", consts.join(" "));
+    if voc.num_preds() > 0 {
+        let preds: Vec<String> = voc
+            .preds()
+            .map(|p| format!("{}/{}", voc.pred_name(p), voc.pred_arity(p)))
+            .collect();
+        let _ = writeln!(out, "pred {}", preds.join(" "));
+    }
+    for p in voc.preds() {
+        for t in db.facts(p).iter() {
+            let args: Vec<&str> = t
+                .iter()
+                .map(|&e| voc.const_name(ConstId(e)))
+                .collect();
+            let _ = writeln!(out, "fact {}({})", voc.pred_name(p), args.join(", "));
+        }
+    }
+    if db.is_fully_specified() && db.num_consts() > 1 {
+        let _ = writeln!(out, "fully_specified");
+    } else {
+        for &(a, b) in db.ne_pairs() {
+            let _ = writeln!(
+                out,
+                "unique {} {}",
+                voc.const_name(ConstId(a)),
+                voc.const_name(ConstId(b))
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# Philosophy department
+const socrates plato aristotle mystery
+pred TEACHES/2 WISE/1
+fact TEACHES(socrates, plato)
+fact WISE(socrates)
+distinct socrates plato aristotle
+unique mystery socrates  # the mystery pupil is at least not socrates
+";
+
+    #[test]
+    fn parses_sample() {
+        let db = from_text(SAMPLE).unwrap();
+        assert_eq!(db.num_consts(), 4);
+        assert_eq!(db.num_facts(), 2);
+        assert_eq!(db.num_ne(), 4);
+        let teaches = db.voc().pred_id("TEACHES").unwrap();
+        assert!(db.facts(teaches).contains(&[0, 1]));
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let db = from_text(SAMPLE).unwrap();
+        let text = to_text(&db);
+        let back = from_text(&text).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn fully_specified_round_trip() {
+        let input = "const a b c\npred P/1\nfact P(a)\nfully_specified\n";
+        let db = from_text(input).unwrap();
+        assert!(db.is_fully_specified());
+        let back = from_text(&to_text(&db)).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn declarations_may_interleave_with_use() {
+        // Facts may be stated before later `const`/`pred` lines, since
+        // resolution happens after all declarations are read.
+        let input = "fact P(a)\nconst a\npred P/1\n";
+        let db = from_text(input).unwrap();
+        assert_eq!(db.num_facts(), 1);
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        let err = from_text("const a\nbogus x y\n").unwrap_err();
+        assert!(matches!(err, TextError::Syntax { line: 2, .. }), "{err}");
+
+        let err = from_text("const a\npred P/1\nfact Q(a)\n").unwrap_err();
+        assert!(matches!(err, TextError::Syntax { line: 3, .. }), "{err}");
+
+        let err = from_text("const a\npred P/x\n").unwrap_err();
+        assert!(matches!(err, TextError::Syntax { line: 2, .. }), "{err}");
+
+        let err = from_text("const a\nunique a\n").unwrap_err();
+        assert!(matches!(err, TextError::Syntax { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_symbol_rejected() {
+        let err = from_text("const a a\n").unwrap_err();
+        assert!(matches!(err, TextError::Logic(_)), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = from_text("const a\npred P/2\nfact P(a)\n").unwrap_err();
+        assert!(matches!(err, TextError::Cw(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_arity_facts() {
+        let db = from_text("const a\npred FLAG/0\nfact FLAG()\n").unwrap();
+        let flag = db.voc().pred_id("FLAG").unwrap();
+        assert_eq!(db.facts(flag).len(), 1);
+        let back = from_text(&to_text(&db)).unwrap();
+        assert_eq!(db, back);
+    }
+}

@@ -1,0 +1,236 @@
+//! Pretty-printing of formulas and queries against a vocabulary.
+//!
+//! The output uses the same surface syntax the parser accepts, so
+//! `parse(print(q)) == q` up to variable renaming (round-trip tested in the
+//! parser module).
+
+use crate::formula::Formula;
+use crate::query::Query;
+use crate::symbols::Vocabulary;
+use crate::term::Term;
+use std::fmt;
+
+/// Wrapper that renders a [`Formula`] with symbol names from a vocabulary.
+pub struct FormulaDisplay<'a> {
+    voc: &'a Vocabulary,
+    formula: &'a Formula,
+}
+
+/// Wrapper that renders a [`Query`] with symbol names from a vocabulary.
+pub struct QueryDisplay<'a> {
+    voc: &'a Vocabulary,
+    query: &'a Query,
+}
+
+/// Renders `f` using the names in `voc`.
+pub fn display_formula<'a>(voc: &'a Vocabulary, formula: &'a Formula) -> FormulaDisplay<'a> {
+    FormulaDisplay { voc, formula }
+}
+
+/// Renders `q` using the names in `voc`.
+pub fn display_query<'a>(voc: &'a Vocabulary, query: &'a Query) -> QueryDisplay<'a> {
+    QueryDisplay { voc, query }
+}
+
+fn write_term(f: &mut fmt::Formatter<'_>, voc: &Vocabulary, t: &Term) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "{v}"),
+        Term::Const(c) => write!(f, "{}", voc.const_name(*c)),
+    }
+}
+
+/// Precedence levels, loosest to tightest:
+/// quantifiers < iff < implies < or < and < unary.
+/// Quantifier scope extends maximally to the right, so a quantified formula
+/// needs parentheses in any tighter context.
+fn prec(formula: &Formula) -> u8 {
+    match formula {
+        Formula::Exists(..)
+        | Formula::Forall(..)
+        | Formula::SoExists(..)
+        | Formula::SoForall(..) => 0,
+        Formula::Iff(..) => 1,
+        Formula::Implies(..) => 2,
+        Formula::Or(..) => 3,
+        Formula::And(..) => 4,
+        _ => 5,
+    }
+}
+
+fn write_formula(
+    f: &mut fmt::Formatter<'_>,
+    voc: &Vocabulary,
+    formula: &Formula,
+    min_prec: u8,
+) -> fmt::Result {
+    let p = prec(formula);
+    let parens = p < min_prec;
+    if parens {
+        write!(f, "(")?;
+    }
+    match formula {
+        Formula::True => write!(f, "true")?,
+        Formula::False => write!(f, "false")?,
+        Formula::Atom(pid, ts) => {
+            write!(f, "{}(", voc.pred_name(*pid))?;
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_term(f, voc, t)?;
+            }
+            write!(f, ")")?;
+        }
+        Formula::SoAtom(r, ts) => {
+            write!(f, "?R{}(", r.0)?;
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_term(f, voc, t)?;
+            }
+            write!(f, ")")?;
+        }
+        Formula::Eq(a, b) => {
+            write_term(f, voc, a)?;
+            write!(f, " = ")?;
+            write_term(f, voc, b)?;
+        }
+        Formula::Not(g) => {
+            // Render ¬(a=b) as a != b, matching the paper's uniqueness axioms.
+            if let Formula::Eq(a, b) = &**g {
+                write_term(f, voc, a)?;
+                write!(f, " != ")?;
+                write_term(f, voc, b)?;
+            } else {
+                write!(f, "!")?;
+                write_formula(f, voc, g, 5)?;
+            }
+        }
+        Formula::And(fs) => {
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " & ")?;
+                }
+                write_formula(f, voc, g, 5)?;
+            }
+        }
+        Formula::Or(fs) => {
+            for (i, g) in fs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write_formula(f, voc, g, 4)?;
+            }
+        }
+        Formula::Implies(a, b) => {
+            write_formula(f, voc, a, 3)?;
+            write!(f, " -> ")?;
+            write_formula(f, voc, b, 2)?;
+        }
+        Formula::Iff(a, b) => {
+            write_formula(f, voc, a, 2)?;
+            write!(f, " <-> ")?;
+            write_formula(f, voc, b, 2)?;
+        }
+        Formula::Exists(v, g) => {
+            write!(f, "exists {v}. ")?;
+            write_formula(f, voc, g, 0)?;
+        }
+        Formula::Forall(v, g) => {
+            write!(f, "forall {v}. ")?;
+            write_formula(f, voc, g, 0)?;
+        }
+        Formula::SoExists(r, k, g) => {
+            write!(f, "exists2 ?R{}:{k}. ", r.0)?;
+            write_formula(f, voc, g, 0)?;
+        }
+        Formula::SoForall(r, k, g) => {
+            write!(f, "forall2 ?R{}:{k}. ", r.0)?;
+            write_formula(f, voc, g, 0)?;
+        }
+    }
+    if parens {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for FormulaDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_formula(f, self.voc, self.formula, 0)
+    }
+}
+
+impl fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.query.is_boolean() {
+            write!(f, "(")?;
+            for (i, v) in self.query.head().iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, ") . ")?;
+        }
+        write_formula(f, self.voc, self.query.body(), 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::Var;
+
+    #[test]
+    fn renders_readably() {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_const("a").unwrap();
+        let r = voc.add_pred("R", 2).unwrap();
+        let x = Var(0);
+        let y = Var(1);
+        let q = Query::new(
+            vec![x],
+            Formula::exists(
+                [y],
+                Formula::and(vec![
+                    Formula::atom(r, [Term::Var(x), Term::Var(y)]),
+                    Formula::neq(Term::Var(y), Term::Const(a)),
+                ]),
+            ),
+        )
+        .unwrap();
+        let s = display_query(&voc, &q).to_string();
+        assert_eq!(s, "(x0) . exists x1. R(x0, x1) & x1 != a");
+    }
+
+    #[test]
+    fn precedence_parens() {
+        let mut voc = Vocabulary::new();
+        let m = voc.add_pred("M", 1).unwrap();
+        let n = voc.add_pred("N", 1).unwrap();
+        let x = Var(0);
+        let f = Formula::and(vec![
+            Formula::or(vec![
+                Formula::atom(m, [Term::Var(x)]),
+                Formula::atom(n, [Term::Var(x)]),
+            ]),
+            Formula::atom(m, [Term::Var(x)]),
+        ]);
+        let s = display_formula(&voc, &f).to_string();
+        assert_eq!(s, "(M(x0) | N(x0)) & M(x0)");
+    }
+
+    #[test]
+    fn boolean_query_has_no_header() {
+        let mut voc = Vocabulary::new();
+        let m = voc.add_pred("M", 1).unwrap();
+        let q = Query::boolean(Formula::forall(
+            [Var(0)],
+            Formula::atom(m, [Term::Var(Var(0))]),
+        ))
+        .unwrap();
+        assert_eq!(display_query(&voc, &q).to_string(), "forall x0. M(x0)");
+    }
+}

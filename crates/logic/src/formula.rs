@@ -1,0 +1,654 @@
+//! First- and second-order formulas over a relational vocabulary.
+//!
+//! The representation is a plain AST. Binders use explicit [`Var`] /
+//! [`PredVarId`] indices; shadowing is permitted and handled by the
+//! evaluators via save/restore environments.
+
+use crate::symbols::{PredId, PredVarId, Var, Vocabulary};
+use crate::term::Term;
+use crate::{LogicError, Result};
+use std::collections::BTreeSet;
+
+/// A first- or second-order formula.
+///
+/// `And`/`Or` are n-ary to keep the big conjunctions the paper builds
+/// (completion axioms, the `θ` of Theorem 3, the `ξ` of Theorem 9) shallow.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// The true sentence.
+    True,
+    /// The false sentence.
+    False,
+    /// `P(t₁,…,tₖ)` for a vocabulary predicate `P`.
+    Atom(PredId, Box<[Term]>),
+    /// `R(t₁,…,tₖ)` for a second-order predicate variable `R`.
+    SoAtom(PredVarId, Box<[Term]>),
+    /// `t₁ = t₂`.
+    Eq(Term, Term),
+    /// `¬φ`.
+    Not(Box<Formula>),
+    /// `φ₁ ∧ … ∧ φₙ` (empty conjunction is `True`).
+    And(Vec<Formula>),
+    /// `φ₁ ∨ … ∨ φₙ` (empty disjunction is `False`).
+    Or(Vec<Formula>),
+    /// `φ → ψ`.
+    Implies(Box<Formula>, Box<Formula>),
+    /// `φ ↔ ψ`.
+    Iff(Box<Formula>, Box<Formula>),
+    /// `∃x φ`.
+    Exists(Var, Box<Formula>),
+    /// `∀x φ`.
+    Forall(Var, Box<Formula>),
+    /// `∃R φ` where `R` is a predicate variable of the given arity.
+    SoExists(PredVarId, usize, Box<Formula>),
+    /// `∀R φ` where `R` is a predicate variable of the given arity.
+    SoForall(PredVarId, usize, Box<Formula>),
+}
+
+impl Formula {
+    /// `P(terms…)` convenience constructor.
+    pub fn atom<I: IntoIterator<Item = Term>>(p: PredId, terms: I) -> Formula {
+        Formula::Atom(p, terms.into_iter().collect())
+    }
+
+    /// `R(terms…)` for a second-order predicate variable.
+    pub fn so_atom<I: IntoIterator<Item = Term>>(r: PredVarId, terms: I) -> Formula {
+        Formula::SoAtom(r, terms.into_iter().collect())
+    }
+
+    /// `t₁ = t₂` convenience constructor.
+    pub fn eq(a: impl Into<Term>, b: impl Into<Term>) -> Formula {
+        Formula::Eq(a.into(), b.into())
+    }
+
+    /// `¬(t₁ = t₂)` convenience constructor (uniqueness-axiom shape).
+    pub fn neq(a: impl Into<Term>, b: impl Into<Term>) -> Formula {
+        Formula::Not(Box::new(Formula::Eq(a.into(), b.into())))
+    }
+
+    /// `¬φ` convenience constructor.
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// n-ary conjunction that flattens the trivial cases.
+    pub fn and(fs: Vec<Formula>) -> Formula {
+        match fs.len() {
+            0 => Formula::True,
+            1 => fs.into_iter().next().expect("len checked"),
+            _ => Formula::And(fs),
+        }
+    }
+
+    /// n-ary disjunction that flattens the trivial cases.
+    pub fn or(fs: Vec<Formula>) -> Formula {
+        match fs.len() {
+            0 => Formula::False,
+            1 => fs.into_iter().next().expect("len checked"),
+            _ => Formula::Or(fs),
+        }
+    }
+
+    /// `φ → ψ` convenience constructor.
+    pub fn implies(p: Formula, q: Formula) -> Formula {
+        Formula::Implies(Box::new(p), Box::new(q))
+    }
+
+    /// `φ ↔ ψ` convenience constructor.
+    pub fn iff(p: Formula, q: Formula) -> Formula {
+        Formula::Iff(Box::new(p), Box::new(q))
+    }
+
+    /// `∃x₁ … ∃xₙ φ`.
+    pub fn exists<I: IntoIterator<Item = Var>>(vars: I, f: Formula) -> Formula {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        vars.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::Exists(v, Box::new(acc)))
+    }
+
+    /// `∀x₁ … ∀xₙ φ`.
+    pub fn forall<I: IntoIterator<Item = Var>>(vars: I, f: Formula) -> Formula {
+        let vars: Vec<Var> = vars.into_iter().collect();
+        vars.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::Forall(v, Box::new(acc)))
+    }
+
+    /// Free individual variables, in ascending index order.
+    pub fn free_vars(&self) -> Vec<Var> {
+        let mut free = BTreeSet::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut free);
+        free.into_iter().collect()
+    }
+
+    fn collect_free(&self, bound: &mut Vec<Var>, free: &mut BTreeSet<Var>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_, ts) | Formula::SoAtom(_, ts) => {
+                for t in ts.iter() {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(*v);
+                        }
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) {
+                            free.insert(*v);
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, free),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, free);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.collect_free(bound, free);
+                q.collect_free(bound, free);
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                bound.push(*v);
+                f.collect_free(bound, free);
+                bound.pop();
+            }
+            Formula::SoExists(_, _, f) | Formula::SoForall(_, _, f) => {
+                f.collect_free(bound, free);
+            }
+        }
+    }
+
+    /// Largest individual-variable index occurring anywhere (bound or free),
+    /// or `None` for a variable-free formula. Evaluators use this to size
+    /// their environments.
+    pub fn max_var(&self) -> Option<Var> {
+        let mut max: Option<Var> = None;
+        self.visit_vars(&mut |v| {
+            max = Some(max.map_or(v, |m| m.max(v)));
+        });
+        max
+    }
+
+    fn visit_vars(&self, f: &mut impl FnMut(Var)) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_, ts) | Formula::SoAtom(_, ts) => {
+                for t in ts.iter() {
+                    if let Term::Var(v) = t {
+                        f(*v);
+                    }
+                }
+            }
+            Formula::Eq(a, b) => {
+                for t in [a, b] {
+                    if let Term::Var(v) = t {
+                        f(*v);
+                    }
+                }
+            }
+            Formula::Not(g) => g.visit_vars(f),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    g.visit_vars(f);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.visit_vars(f);
+                q.visit_vars(f);
+            }
+            Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                f(*v);
+                g.visit_vars(f);
+            }
+            Formula::SoExists(_, _, g) | Formula::SoForall(_, _, g) => g.visit_vars(f),
+        }
+    }
+
+    /// Largest second-order variable index occurring anywhere, or `None`.
+    pub fn max_pred_var(&self) -> Option<PredVarId> {
+        let mut max: Option<PredVarId> = None;
+        self.visit_pred_vars(&mut |r| {
+            max = Some(max.map_or(r, |m| m.max(r)));
+        });
+        max
+    }
+
+    fn visit_pred_vars(&self, f: &mut impl FnMut(PredVarId)) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Atom(..) => {}
+            Formula::SoAtom(r, _) => f(*r),
+            Formula::Not(g) => g.visit_pred_vars(f),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    g.visit_pred_vars(f);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.visit_pred_vars(f);
+                q.visit_pred_vars(f);
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => g.visit_pred_vars(f),
+            Formula::SoExists(r, _, g) | Formula::SoForall(r, _, g) => {
+                f(*r);
+                g.visit_pred_vars(f);
+            }
+        }
+    }
+
+    /// True iff the formula is first-order (no second-order atoms or
+    /// quantifiers).
+    pub fn is_first_order(&self) -> bool {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Atom(..) => true,
+            Formula::SoAtom(..) | Formula::SoExists(..) | Formula::SoForall(..) => false,
+            Formula::Not(f) => f.is_first_order(),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_first_order),
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.is_first_order() && q.is_first_order()
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => f.is_first_order(),
+        }
+    }
+
+    /// Substitutes terms for *free* occurrences of variables.
+    ///
+    /// `subst[v.index()]`, when `Some(t)`, replaces free occurrences of `v`
+    /// by `t`. Bound occurrences are untouched; because the substituted
+    /// terms in this codebase are always constants or globally fresh
+    /// variables, no capture can occur (asserted in debug builds).
+    pub fn substitute(&self, subst: &[Option<Term>]) -> Formula {
+        let map_term = |t: &Term, bound: &[Var]| -> Term {
+            match t {
+                Term::Var(v) if !bound.contains(v) => {
+                    subst.get(v.index()).copied().flatten().unwrap_or(*t)
+                }
+                _ => *t,
+            }
+        };
+        fn go(
+            f: &Formula,
+            bound: &mut Vec<Var>,
+            map_term: &impl Fn(&Term, &[Var]) -> Term,
+        ) -> Formula {
+            match f {
+                Formula::True => Formula::True,
+                Formula::False => Formula::False,
+                Formula::Atom(p, ts) => {
+                    Formula::Atom(*p, ts.iter().map(|t| map_term(t, bound)).collect())
+                }
+                Formula::SoAtom(r, ts) => {
+                    Formula::SoAtom(*r, ts.iter().map(|t| map_term(t, bound)).collect())
+                }
+                Formula::Eq(a, b) => Formula::Eq(map_term(a, bound), map_term(b, bound)),
+                Formula::Not(g) => Formula::Not(Box::new(go(g, bound, map_term))),
+                Formula::And(fs) => {
+                    Formula::And(fs.iter().map(|g| go(g, bound, map_term)).collect())
+                }
+                Formula::Or(fs) => Formula::Or(fs.iter().map(|g| go(g, bound, map_term)).collect()),
+                Formula::Implies(p, q) => Formula::Implies(
+                    Box::new(go(p, bound, map_term)),
+                    Box::new(go(q, bound, map_term)),
+                ),
+                Formula::Iff(p, q) => Formula::Iff(
+                    Box::new(go(p, bound, map_term)),
+                    Box::new(go(q, bound, map_term)),
+                ),
+                Formula::Exists(v, g) => {
+                    bound.push(*v);
+                    let g = go(g, bound, map_term);
+                    bound.pop();
+                    Formula::Exists(*v, Box::new(g))
+                }
+                Formula::Forall(v, g) => {
+                    bound.push(*v);
+                    let g = go(g, bound, map_term);
+                    bound.pop();
+                    Formula::Forall(*v, Box::new(g))
+                }
+                Formula::SoExists(r, k, g) => {
+                    Formula::SoExists(*r, *k, Box::new(go(g, bound, map_term)))
+                }
+                Formula::SoForall(r, k, g) => {
+                    Formula::SoForall(*r, *k, Box::new(go(g, bound, map_term)))
+                }
+            }
+        }
+        let mut bound = Vec::new();
+        go(self, &mut bound, &map_term)
+    }
+
+    /// The constant symbols occurring anywhere in the formula, sorted and
+    /// deduplicated.
+    pub fn constants(&self) -> Vec<crate::symbols::ConstId> {
+        let mut out = Vec::new();
+        self.visit_terms(&mut |t| {
+            if let Term::Const(c) = t {
+                out.push(*c);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn visit_terms(&self, f: &mut impl FnMut(&Term)) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_, ts) | Formula::SoAtom(_, ts) => ts.iter().for_each(&mut *f),
+            Formula::Eq(a, b) => {
+                f(a);
+                f(b);
+            }
+            Formula::Not(g) => g.visit_terms(f),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    g.visit_terms(f);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.visit_terms(f);
+                q.visit_terms(f);
+            }
+            Formula::Exists(_, g)
+            | Formula::Forall(_, g)
+            | Formula::SoExists(_, _, g)
+            | Formula::SoForall(_, _, g) => g.visit_terms(f),
+        }
+    }
+
+    /// Replaces constant symbols by terms: `subst[c.index()]`, when
+    /// `Some(t)`, replaces every occurrence of the constant `c` by `t`.
+    /// Constants are never bound, so no capture analysis is needed — but
+    /// the substituted terms must be fresh for the formula's binders.
+    pub fn replace_consts(&self, subst: &[Option<Term>]) -> Formula {
+        let map_term = |t: &Term| -> Term {
+            match t {
+                Term::Const(c) => subst.get(c.index()).copied().flatten().unwrap_or(*t),
+                Term::Var(_) => *t,
+            }
+        };
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Atom(p, ts) => Formula::Atom(*p, ts.iter().map(map_term).collect()),
+            Formula::SoAtom(r, ts) => Formula::SoAtom(*r, ts.iter().map(map_term).collect()),
+            Formula::Eq(a, b) => Formula::Eq(map_term(a), map_term(b)),
+            Formula::Not(g) => Formula::Not(Box::new(g.replace_consts(subst))),
+            Formula::And(fs) => {
+                Formula::And(fs.iter().map(|g| g.replace_consts(subst)).collect())
+            }
+            Formula::Or(fs) => Formula::Or(fs.iter().map(|g| g.replace_consts(subst)).collect()),
+            Formula::Implies(p, q) => Formula::Implies(
+                Box::new(p.replace_consts(subst)),
+                Box::new(q.replace_consts(subst)),
+            ),
+            Formula::Iff(p, q) => Formula::Iff(
+                Box::new(p.replace_consts(subst)),
+                Box::new(q.replace_consts(subst)),
+            ),
+            Formula::Exists(v, g) => Formula::Exists(*v, Box::new(g.replace_consts(subst))),
+            Formula::Forall(v, g) => Formula::Forall(*v, Box::new(g.replace_consts(subst))),
+            Formula::SoExists(r, k, g) => {
+                Formula::SoExists(*r, *k, Box::new(g.replace_consts(subst)))
+            }
+            Formula::SoForall(r, k, g) => {
+                Formula::SoForall(*r, *k, Box::new(g.replace_consts(subst)))
+            }
+        }
+    }
+
+    /// Number of AST nodes — the paper's "length of the formula" measure for
+    /// expression complexity (up to a constant factor).
+    pub fn size(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) => 1,
+            Formula::Atom(_, ts) | Formula::SoAtom(_, ts) => 1 + ts.len(),
+            Formula::Not(f) => 1 + f.size(),
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
+            Formula::Implies(p, q) | Formula::Iff(p, q) => 1 + p.size() + q.size(),
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.size(),
+            Formula::SoExists(_, _, f) | Formula::SoForall(_, _, f) => 1 + f.size(),
+        }
+    }
+
+    /// First-order quantifier rank (maximum nesting depth of `∃`/`∀`).
+    pub fn quantifier_rank(&self) -> usize {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::Atom(..)
+            | Formula::SoAtom(..) => 0,
+            Formula::Not(f) => f.quantifier_rank(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                fs.iter().map(Formula::quantifier_rank).max().unwrap_or(0)
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.quantifier_rank().max(q.quantifier_rank())
+            }
+            Formula::Exists(_, f) | Formula::Forall(_, f) => 1 + f.quantifier_rank(),
+            Formula::SoExists(_, _, f) | Formula::SoForall(_, _, f) => f.quantifier_rank(),
+        }
+    }
+
+    /// Checks well-formedness against a vocabulary: every vocabulary atom
+    /// has the declared arity, and every second-order atom matches the arity
+    /// of its binder (free predicate variables are rejected).
+    pub fn check(&self, voc: &Vocabulary) -> Result<()> {
+        fn go(f: &Formula, voc: &Vocabulary, so_scope: &mut Vec<(PredVarId, usize)>) -> Result<()> {
+            match f {
+                Formula::True | Formula::False | Formula::Eq(..) => Ok(()),
+                Formula::Atom(p, ts) => {
+                    let expected = voc.pred_arity(*p);
+                    if ts.len() != expected {
+                        return Err(LogicError::ArityMismatch {
+                            predicate: voc.pred_name(*p).to_owned(),
+                            expected,
+                            found: ts.len(),
+                        });
+                    }
+                    Ok(())
+                }
+                Formula::SoAtom(r, ts) => {
+                    match so_scope.iter().rev().find(|(id, _)| id == r) {
+                        None => Err(LogicError::UnknownSymbol(format!("R{}", r.0))),
+                        Some((_, arity)) if *arity != ts.len() => Err(LogicError::PredVarArity {
+                            name: format!("R{}", r.0),
+                            expected: *arity,
+                            found: ts.len(),
+                        }),
+                        Some(_) => Ok(()),
+                    }
+                }
+                Formula::Not(g) => go(g, voc, so_scope),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    fs.iter().try_for_each(|g| go(g, voc, so_scope))
+                }
+                Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                    go(p, voc, so_scope)?;
+                    go(q, voc, so_scope)
+                }
+                Formula::Exists(_, g) | Formula::Forall(_, g) => go(g, voc, so_scope),
+                Formula::SoExists(r, k, g) | Formula::SoForall(r, k, g) => {
+                    so_scope.push((*r, *k));
+                    let out = go(g, voc, so_scope);
+                    so_scope.pop();
+                    out
+                }
+            }
+        }
+        let mut scope = Vec::new();
+        go(self, voc, &mut scope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::ConstId;
+
+    fn voc2() -> (Vocabulary, PredId, PredId) {
+        let mut voc = Vocabulary::new();
+        voc.add_const("a").unwrap();
+        voc.add_const("b").unwrap();
+        let r = voc.add_pred("R", 2).unwrap();
+        let m = voc.add_pred("M", 1).unwrap();
+        (voc, r, m)
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let (_, r, _) = voc2();
+        let x = Var(0);
+        let y = Var(1);
+        let f = Formula::exists(
+            [y],
+            Formula::atom(r, [Term::Var(x), Term::Var(y)]),
+        );
+        assert_eq!(f.free_vars(), vec![x]);
+    }
+
+    #[test]
+    fn free_vars_shadowing() {
+        let (_, r, _) = voc2();
+        let x = Var(0);
+        // R(x,x) ∧ ∃x R(x,x): only the outer occurrence is free.
+        let f = Formula::and(vec![
+            Formula::atom(r, [Term::Var(x), Term::Var(x)]),
+            Formula::exists([x], Formula::atom(r, [Term::Var(x), Term::Var(x)])),
+        ]);
+        assert_eq!(f.free_vars(), vec![x]);
+    }
+
+    #[test]
+    fn substitute_avoids_bound() {
+        let (_, r, _) = voc2();
+        let x = Var(0);
+        let a = ConstId(0);
+        // ∃x R(x,x) — substituting for x must do nothing.
+        let f = Formula::exists([x], Formula::atom(r, [Term::Var(x), Term::Var(x)]));
+        let subst = vec![Some(Term::Const(a))];
+        assert_eq!(f.substitute(&subst), f);
+    }
+
+    #[test]
+    fn substitute_free() {
+        let (_, r, _) = voc2();
+        let x = Var(0);
+        let a = ConstId(0);
+        let f = Formula::atom(r, [Term::Var(x), Term::Var(x)]);
+        let expected = Formula::atom(r, [Term::Const(a), Term::Const(a)]);
+        assert_eq!(f.substitute(&[Some(Term::Const(a))]), expected);
+    }
+
+    #[test]
+    fn arity_check() {
+        let (voc, r, _) = voc2();
+        let bad = Formula::atom(r, [Term::Var(Var(0))]);
+        assert!(matches!(
+            bad.check(&voc),
+            Err(LogicError::ArityMismatch { .. })
+        ));
+        let good = Formula::atom(r, [Term::Var(Var(0)), Term::Var(Var(1))]);
+        assert!(good.check(&voc).is_ok());
+    }
+
+    #[test]
+    fn so_atom_scope_check() {
+        let (voc, _, _) = voc2();
+        let p = PredVarId(0);
+        let x = Var(0);
+        let unbound = Formula::so_atom(p, [Term::Var(x)]);
+        assert!(matches!(
+            unbound.check(&voc),
+            Err(LogicError::UnknownSymbol(_))
+        ));
+        let bound = Formula::SoExists(p, 1, Box::new(Formula::so_atom(p, [Term::Var(x)])));
+        assert!(bound.check(&voc).is_ok());
+        let wrong_arity = Formula::SoExists(
+            p,
+            2,
+            Box::new(Formula::so_atom(p, [Term::Var(x)])),
+        );
+        assert!(matches!(
+            wrong_arity.check(&voc),
+            Err(LogicError::PredVarArity { .. })
+        ));
+    }
+
+    #[test]
+    fn size_and_rank() {
+        let (_, r, _) = voc2();
+        let x = Var(0);
+        let y = Var(1);
+        let f = Formula::forall(
+            [x],
+            Formula::exists([y], Formula::atom(r, [Term::Var(x), Term::Var(y)])),
+        );
+        assert_eq!(f.quantifier_rank(), 2);
+        assert_eq!(f.size(), 1 + 1 + 3);
+        assert!(f.is_first_order());
+    }
+
+    #[test]
+    fn nary_constructors_flatten() {
+        assert_eq!(Formula::and(vec![]), Formula::True);
+        assert_eq!(Formula::or(vec![]), Formula::False);
+        let (_, _, m) = voc2();
+        let a = Formula::atom(m, [Term::Var(Var(0))]);
+        assert_eq!(Formula::and(vec![a.clone()]), a);
+    }
+
+    #[test]
+    fn constants_collected_and_deduped() {
+        let (_, r, m) = voc2();
+        let a = ConstId(0);
+        let b = ConstId(1);
+        let f = Formula::and(vec![
+            Formula::atom(r, [Term::Const(a), Term::Const(b)]),
+            Formula::exists(
+                [Var(0)],
+                Formula::and(vec![
+                    Formula::atom(m, [Term::Const(a)]),
+                    Formula::eq(Term::Var(Var(0)), Term::Const(b)),
+                ]),
+            ),
+        ]);
+        assert_eq!(f.constants(), vec![a, b]);
+        assert!(Formula::True.constants().is_empty());
+    }
+
+    #[test]
+    fn replace_consts_substitutes_everywhere() {
+        let (_, r, _) = voc2();
+        let a = ConstId(0);
+        let w = Var(7);
+        // Constants are replaced even under binders (no capture possible
+        // for fresh variables).
+        let f = Formula::forall(
+            [Var(0)],
+            Formula::atom(r, [Term::Var(Var(0)), Term::Const(a)]),
+        );
+        let mut subst = vec![None; 1];
+        subst[a.index()] = Some(Term::Var(w));
+        let g = f.replace_consts(&subst);
+        assert_eq!(g.constants(), vec![]);
+        assert_eq!(g.max_var(), Some(w));
+        // Unmapped constants survive.
+        let b = ConstId(1);
+        let f = Formula::eq(Term::Const(a), Term::Const(b));
+        let g = f.replace_consts(&subst);
+        assert_eq!(g, Formula::eq(Term::Var(w), Term::Const(b)));
+    }
+
+    #[test]
+    fn max_var_tracks_binders() {
+        let (_, r, _) = voc2();
+        let f = Formula::exists([Var(5)], Formula::atom(r, [Term::Var(Var(5)), Term::Var(Var(2))]));
+        assert_eq!(f.max_var(), Some(Var(5)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Negation normal form.
+//!
+//! The first step of the paper's §5 approximation algorithm: "we push, in
+//! the standard way, all negations in Q down to the atomic formulas". The
+//! rewrites used are exactly the ones the paper lists, extended to the
+//! implication/biconditional sugar and to second-order quantifiers:
+//!
+//! * `¬∀x φ  ⇒ ∃x ¬φ`, `¬∃x φ ⇒ ∀x ¬φ`
+//! * `¬(φ ∧ ψ) ⇒ ¬φ ∨ ¬ψ`, `¬(φ ∨ ψ) ⇒ ¬φ ∧ ¬ψ`
+//! * `¬¬φ ⇒ φ`
+//! * `φ → ψ ⇒ ¬φ ∨ ψ`, `φ ↔ ψ ⇒ (φ∧ψ) ∨ (¬φ∧¬ψ)` (and the duals under ¬)
+//! * `¬∀R φ ⇒ ∃R ¬φ`, `¬∃R φ ⇒ ∀R ¬φ`
+//!
+//! In the result, `Not` appears only directly above `Atom`, `SoAtom`, or
+//! `Eq`.
+
+use crate::formula::Formula;
+
+/// Converts a formula to negation normal form.
+///
+/// Logical equivalence (hence equality of answers on every physical
+/// database) is property-tested in `qld-physical`.
+pub fn to_nnf(f: &Formula) -> Formula {
+    nnf(f, false)
+}
+
+/// True iff `f` is already in negation normal form.
+pub fn is_nnf(f: &Formula) -> bool {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(..) | Formula::SoAtom(..)
+        | Formula::Eq(..) => true,
+        Formula::Not(inner) => matches!(
+            **inner,
+            Formula::Atom(..) | Formula::SoAtom(..) | Formula::Eq(..)
+        ),
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_nnf),
+        Formula::Implies(..) | Formula::Iff(..) => false,
+        Formula::Exists(_, g) | Formula::Forall(_, g) => is_nnf(g),
+        Formula::SoExists(_, _, g) | Formula::SoForall(_, _, g) => is_nnf(g),
+    }
+}
+
+fn negate_literal(f: &Formula) -> Formula {
+    Formula::Not(Box::new(f.clone()))
+}
+
+fn nnf(f: &Formula, neg: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if neg {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::False => {
+            if neg {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::Atom(..) | Formula::SoAtom(..) | Formula::Eq(..) => {
+            if neg {
+                negate_literal(f)
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(g) => nnf(g, !neg),
+        Formula::And(fs) => {
+            let parts: Vec<Formula> = fs.iter().map(|g| nnf(g, neg)).collect();
+            if neg {
+                Formula::or(parts)
+            } else {
+                Formula::and(parts)
+            }
+        }
+        Formula::Or(fs) => {
+            let parts: Vec<Formula> = fs.iter().map(|g| nnf(g, neg)).collect();
+            if neg {
+                Formula::and(parts)
+            } else {
+                Formula::or(parts)
+            }
+        }
+        Formula::Implies(p, q) => {
+            if neg {
+                // ¬(p → q) = p ∧ ¬q
+                Formula::and(vec![nnf(p, false), nnf(q, true)])
+            } else {
+                Formula::or(vec![nnf(p, true), nnf(q, false)])
+            }
+        }
+        Formula::Iff(p, q) => {
+            if neg {
+                // ¬(p ↔ q) = (p ∧ ¬q) ∨ (¬p ∧ q)
+                Formula::or(vec![
+                    Formula::and(vec![nnf(p, false), nnf(q, true)]),
+                    Formula::and(vec![nnf(p, true), nnf(q, false)]),
+                ])
+            } else {
+                Formula::or(vec![
+                    Formula::and(vec![nnf(p, false), nnf(q, false)]),
+                    Formula::and(vec![nnf(p, true), nnf(q, true)]),
+                ])
+            }
+        }
+        Formula::Exists(v, g) => {
+            if neg {
+                Formula::Forall(*v, Box::new(nnf(g, true)))
+            } else {
+                Formula::Exists(*v, Box::new(nnf(g, false)))
+            }
+        }
+        Formula::Forall(v, g) => {
+            if neg {
+                Formula::Exists(*v, Box::new(nnf(g, true)))
+            } else {
+                Formula::Forall(*v, Box::new(nnf(g, false)))
+            }
+        }
+        Formula::SoExists(r, k, g) => {
+            if neg {
+                Formula::SoForall(*r, *k, Box::new(nnf(g, true)))
+            } else {
+                Formula::SoExists(*r, *k, Box::new(nnf(g, false)))
+            }
+        }
+        Formula::SoForall(r, k, g) => {
+            if neg {
+                Formula::SoExists(*r, *k, Box::new(nnf(g, true)))
+            } else {
+                Formula::SoForall(*r, *k, Box::new(nnf(g, false)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{PredId, Var};
+    use crate::term::Term;
+
+    fn atom(p: u32, v: u32) -> Formula {
+        Formula::atom(PredId(p), [Term::Var(Var(v))])
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let f = Formula::not(Formula::not(atom(0, 0)));
+        assert_eq!(to_nnf(&f), atom(0, 0));
+    }
+
+    #[test]
+    fn de_morgan_and() {
+        let f = Formula::not(Formula::and(vec![atom(0, 0), atom(1, 1)]));
+        let expected = Formula::or(vec![
+            Formula::not(atom(0, 0)),
+            Formula::not(atom(1, 1)),
+        ]);
+        assert_eq!(to_nnf(&f), expected);
+    }
+
+    #[test]
+    fn negated_quantifiers_flip() {
+        let f = Formula::not(Formula::forall([Var(0)], atom(0, 0)));
+        let expected = Formula::Exists(Var(0), Box::new(Formula::not(atom(0, 0))));
+        assert_eq!(to_nnf(&f), expected);
+
+        let f = Formula::not(Formula::exists([Var(0)], atom(0, 0)));
+        let expected = Formula::Forall(Var(0), Box::new(Formula::not(atom(0, 0))));
+        assert_eq!(to_nnf(&f), expected);
+    }
+
+    #[test]
+    fn implication_expands() {
+        let f = Formula::implies(atom(0, 0), atom(1, 1));
+        let expected = Formula::or(vec![Formula::not(atom(0, 0)), atom(1, 1)]);
+        assert_eq!(to_nnf(&f), expected);
+    }
+
+    #[test]
+    fn negated_implication() {
+        let f = Formula::not(Formula::implies(atom(0, 0), atom(1, 1)));
+        let expected = Formula::and(vec![atom(0, 0), Formula::not(atom(1, 1))]);
+        assert_eq!(to_nnf(&f), expected);
+    }
+
+    #[test]
+    fn iff_expands_both_polarities() {
+        let f = Formula::iff(atom(0, 0), atom(1, 1));
+        let nnf_pos = to_nnf(&f);
+        assert!(is_nnf(&nnf_pos));
+        let nnf_neg = to_nnf(&Formula::not(f));
+        assert!(is_nnf(&nnf_neg));
+        assert_ne!(nnf_pos, nnf_neg);
+    }
+
+    #[test]
+    fn constants_flip() {
+        assert_eq!(to_nnf(&Formula::not(Formula::True)), Formula::False);
+        assert_eq!(to_nnf(&Formula::not(Formula::False)), Formula::True);
+    }
+
+    #[test]
+    fn so_quantifiers_flip() {
+        use crate::symbols::PredVarId;
+        let r = PredVarId(0);
+        let body = Formula::so_atom(r, [Term::Var(Var(0))]);
+        let f = Formula::not(Formula::SoForall(
+            r,
+            1,
+            Box::new(Formula::exists([Var(0)], body.clone())),
+        ));
+        let g = to_nnf(&f);
+        assert!(matches!(g, Formula::SoExists(..)));
+        assert!(is_nnf(&g));
+    }
+
+    #[test]
+    fn idempotent_on_nnf() {
+        let f = Formula::or(vec![
+            Formula::not(atom(0, 0)),
+            Formula::and(vec![atom(1, 1), Formula::not(atom(2, 2))]),
+        ]);
+        assert!(is_nnf(&f));
+        assert_eq!(to_nnf(&f), f);
+    }
+}

@@ -1,0 +1,687 @@
+//! A small recursive-descent parser for the surface syntax used by examples
+//! and tests.
+//!
+//! Grammar (loosest to tightest binding):
+//!
+//! ```text
+//! query    := '(' var {',' var} ')' '.' formula     -- open query
+//!           | formula                               -- Boolean query
+//! formula  := iff
+//! iff      := implies { '<->' implies }
+//! implies  := or [ '->' implies ]                   -- right associative
+//! or       := and { '|' and }
+//! and      := unary { '&' unary }
+//! unary    := '!' unary
+//!           | ('forall' | 'exists') var {',' var} '.' unary
+//!           | ('forall2' | 'exists2') sovar ':' NAT {',' sovar ':' NAT} '.' unary
+//!           | 'true' | 'false'
+//!           | NAME '(' terms ')'                    -- vocabulary atom
+//!           | sovar '(' terms ')'                   -- second-order atom
+//!           | term ('=' | '!=') term
+//!           | '(' formula ')'
+//! term     := NAME                                  -- constant if declared, else variable
+//! sovar    := '?' NAME
+//! ```
+//!
+//! Identifiers that are declared constants in the vocabulary parse as
+//! constants; all other identifiers in term position are variables, scoped
+//! to the query. Head variables of open queries are declared by the header.
+
+use crate::formula::Formula;
+use crate::query::Query;
+use crate::symbols::{PredVarId, Var, Vocabulary};
+use crate::term::Term;
+use crate::{LogicError, Result};
+use std::collections::HashMap;
+
+/// Parses a query (open or Boolean) against a vocabulary.
+pub fn parse_query(voc: &Vocabulary, input: &str) -> Result<Query> {
+    let mut p = Parser::new(voc, input);
+    let q = p.query()?;
+    p.expect_eof()?;
+    q.check(voc)?;
+    Ok(q)
+}
+
+/// Parses a closed formula (sentence); convenience wrapper for axioms.
+pub fn parse_sentence(voc: &Vocabulary, input: &str) -> Result<Formula> {
+    let q = parse_query(voc, input)?;
+    if !q.is_boolean() {
+        return Err(LogicError::FreeVariableMismatch(
+            "expected a sentence, found an open query".into(),
+        ));
+    }
+    Ok(q.into_parts().1)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Name(String),
+    SoName(String),
+    Nat(usize),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Colon,
+    Bang,
+    Amp,
+    Pipe,
+    Arrow,
+    DArrow,
+    Eq,
+    Neq,
+}
+
+struct Parser<'a> {
+    voc: &'a Vocabulary,
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+    input_len: usize,
+    vars: HashMap<String, Var>,
+    so_vars: HashMap<String, (PredVarId, usize)>,
+    next_so: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn new(voc: &'a Vocabulary, input: &str) -> Self {
+        Parser {
+            voc,
+            toks: lex(input),
+            pos: 0,
+            input_len: input.len(),
+            vars: HashMap::new(),
+            so_vars: HashMap::new(),
+            next_so: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(LogicError::Parse {
+            offset: self.offset(),
+            message: message.into(),
+        })
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            self.error(format!("expected {what}"))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.pos == self.toks.len() {
+            Ok(())
+        } else {
+            self.error("unexpected trailing input")
+        }
+    }
+
+    fn var(&mut self, name: &str) -> Var {
+        if let Some(v) = self.vars.get(name) {
+            return *v;
+        }
+        let v = Var(self.vars.len() as u32);
+        self.vars.insert(name.to_owned(), v);
+        v
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        // Lookahead: '(' NAME (',' | ')') ... '.' starts an open-query header
+        // only if the parenthesized list is followed by a dot. We try the
+        // header parse and backtrack on failure.
+        let save = self.pos;
+        if self.eat(&Tok::LParen) {
+            let mut head_names = Vec::new();
+            let mut ok = true;
+            loop {
+                match self.bump() {
+                    Some(Tok::Name(n)) if self.voc.const_id(&n).is_none() => head_names.push(n),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                if !self.eat(&Tok::Comma) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok && self.eat(&Tok::Dot) {
+                let head: Vec<Var> = head_names.iter().map(|n| self.var(n)).collect();
+                let body = self.formula()?;
+                return Query::new(head, body);
+            }
+            self.pos = save;
+        }
+        let body = self.formula()?;
+        Query::boolean(body)
+    }
+
+    fn formula(&mut self) -> Result<Formula> {
+        self.iff()
+    }
+
+    fn iff(&mut self) -> Result<Formula> {
+        let mut f = self.implies()?;
+        while self.eat(&Tok::DArrow) {
+            let g = self.implies()?;
+            f = Formula::iff(f, g);
+        }
+        Ok(f)
+    }
+
+    fn implies(&mut self) -> Result<Formula> {
+        let f = self.or()?;
+        if self.eat(&Tok::Arrow) {
+            let g = self.implies()?;
+            Ok(Formula::implies(f, g))
+        } else {
+            Ok(f)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula> {
+        let mut parts = vec![self.and()?];
+        while self.eat(&Tok::Pipe) {
+            parts.push(self.and()?);
+        }
+        Ok(Formula::or(parts))
+    }
+
+    fn and(&mut self) -> Result<Formula> {
+        let mut parts = vec![self.unary()?];
+        while self.eat(&Tok::Amp) {
+            parts.push(self.unary()?);
+        }
+        Ok(Formula::and(parts))
+    }
+
+    fn unary(&mut self) -> Result<Formula> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.bump();
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Name(n)) if n == "forall" || n == "exists" => {
+                let is_forall = n == "forall";
+                self.bump();
+                let mut vars = Vec::new();
+                loop {
+                    match self.bump() {
+                        Some(Tok::Name(v)) => {
+                            if self.voc.const_id(&v).is_some() {
+                                return self
+                                    .error(format!("cannot quantify over constant symbol {v}"));
+                            }
+                            vars.push(self.var(&v));
+                        }
+                        _ => return self.error("expected variable after quantifier"),
+                    }
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Dot, "'.' after quantifier variables")?;
+                // Quantifier scope extends as far right as possible.
+                let body = self.formula()?;
+                Ok(if is_forall {
+                    Formula::forall(vars, body)
+                } else {
+                    Formula::exists(vars, body)
+                })
+            }
+            Some(Tok::Name(n)) if n == "forall2" || n == "exists2" => {
+                let is_forall = n == "forall2";
+                self.bump();
+                let mut binders = Vec::new();
+                loop {
+                    let name = match self.bump() {
+                        Some(Tok::SoName(s)) => s,
+                        _ => return self.error("expected ?Name after second-order quantifier"),
+                    };
+                    self.expect(&Tok::Colon, "':' before predicate-variable arity")?;
+                    let arity = match self.bump() {
+                        Some(Tok::Nat(k)) => k,
+                        _ => return self.error("expected arity after ':'"),
+                    };
+                    let id = PredVarId(self.next_so);
+                    self.next_so += 1;
+                    binders.push((name, id, arity));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::Dot, "'.' after second-order binders")?;
+                // Scoped registration: save shadowed entries, restore after.
+                let mut shadowed = Vec::new();
+                for (name, id, arity) in &binders {
+                    shadowed.push((name.clone(), self.so_vars.get(name).copied()));
+                    self.so_vars.insert(name.clone(), (*id, *arity));
+                }
+                let body = self.formula()?;
+                for (name, prev) in shadowed {
+                    match prev {
+                        Some(p) => {
+                            self.so_vars.insert(name, p);
+                        }
+                        None => {
+                            self.so_vars.remove(&name);
+                        }
+                    }
+                }
+                Ok(binders.into_iter().rev().fold(body, |acc, (_, id, k)| {
+                    if is_forall {
+                        Formula::SoForall(id, k, Box::new(acc))
+                    } else {
+                        Formula::SoExists(id, k, Box::new(acc))
+                    }
+                }))
+            }
+            Some(Tok::Name(n)) if n == "true" => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Tok::Name(n)) if n == "false" => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Some(Tok::LParen) => {
+                // Either a parenthesized formula or... always a formula here
+                // (query headers are handled in `query`).
+                self.bump();
+                let f = self.formula()?;
+                self.expect(&Tok::RParen, "')'")?;
+                // A parenthesized *term* comparison like `(x) = y` is not in
+                // the grammar; formulas only.
+                Ok(f)
+            }
+            Some(Tok::SoName(_)) => {
+                let name = match self.bump() {
+                    Some(Tok::SoName(s)) => s,
+                    _ => unreachable!("peeked SoName"),
+                };
+                let (id, arity) = match self.so_vars.get(&name) {
+                    Some(x) => *x,
+                    None => return self.error(format!("unbound predicate variable ?{name}")),
+                };
+                self.expect(&Tok::LParen, "'(' after predicate variable")?;
+                let ts = self.terms()?;
+                self.expect(&Tok::RParen, "')'")?;
+                if ts.len() != arity {
+                    return Err(LogicError::PredVarArity {
+                        name: format!("?{name}"),
+                        expected: arity,
+                        found: ts.len(),
+                    });
+                }
+                Ok(Formula::SoAtom(id, ts.into_boxed_slice()))
+            }
+            Some(Tok::Name(_)) => {
+                let name = match self.bump() {
+                    Some(Tok::Name(s)) => s,
+                    _ => unreachable!("peeked Name"),
+                };
+                if self.peek() == Some(&Tok::LParen) {
+                    if let Some(p) = self.voc.pred_id(&name) {
+                        self.bump();
+                        let ts = self.terms()?;
+                        self.expect(&Tok::RParen, "')'")?;
+                        let expected = self.voc.pred_arity(p);
+                        if ts.len() != expected {
+                            return Err(LogicError::ArityMismatch {
+                                predicate: name,
+                                expected,
+                                found: ts.len(),
+                            });
+                        }
+                        return Ok(Formula::Atom(p, ts.into_boxed_slice()));
+                    }
+                    return self.error(format!("unknown predicate {name}"));
+                }
+                // Equality / inequality between terms.
+                let lhs = self.name_to_term(&name);
+                match self.bump() {
+                    Some(Tok::Eq) => {
+                        let rhs = self.term()?;
+                        Ok(Formula::Eq(lhs, rhs))
+                    }
+                    Some(Tok::Neq) => {
+                        let rhs = self.term()?;
+                        Ok(Formula::not(Formula::Eq(lhs, rhs)))
+                    }
+                    _ => self.error("expected '=' or '!=' after term"),
+                }
+            }
+            _ => self.error("expected a formula"),
+        }
+    }
+
+    fn name_to_term(&mut self, name: &str) -> Term {
+        match self.voc.const_id(name) {
+            Some(c) => Term::Const(c),
+            None => Term::Var(self.var(name)),
+        }
+    }
+
+    fn term(&mut self) -> Result<Term> {
+        match self.bump() {
+            Some(Tok::Name(n)) => Ok(self.name_to_term(&n)),
+            _ => self.error("expected a term"),
+        }
+    }
+
+    fn terms(&mut self) -> Result<Vec<Term>> {
+        let mut ts = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            return Ok(ts);
+        }
+        loop {
+            ts.push(self.term()?);
+            if !self.eat(&Tok::Comma) {
+                return Ok(ts);
+            }
+        }
+    }
+}
+
+fn lex(input: &str) -> Vec<(usize, Tok)> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'(' => {
+                toks.push((i, Tok::LParen));
+                i += 1;
+            }
+            b')' => {
+                toks.push((i, Tok::RParen));
+                i += 1;
+            }
+            b',' => {
+                toks.push((i, Tok::Comma));
+                i += 1;
+            }
+            b'.' => {
+                toks.push((i, Tok::Dot));
+                i += 1;
+            }
+            b':' => {
+                toks.push((i, Tok::Colon));
+                i += 1;
+            }
+            b'&' => {
+                toks.push((i, Tok::Amp));
+                i += 1;
+            }
+            b'|' => {
+                toks.push((i, Tok::Pipe));
+                i += 1;
+            }
+            b'=' => {
+                toks.push((i, Tok::Eq));
+                i += 1;
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push((i, Tok::Neq));
+                    i += 2;
+                } else {
+                    toks.push((i, Tok::Bang));
+                    i += 1;
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push((i, Tok::Arrow));
+                    i += 2;
+                } else {
+                    // Treat a stray '-' as part of an identifier start error;
+                    // emit a token the parser will reject.
+                    toks.push((i, Tok::Colon));
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    toks.push((i, Tok::DArrow));
+                    i += 3;
+                } else {
+                    toks.push((i, Tok::Colon));
+                    i += 1;
+                }
+            }
+            b'?' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                toks.push((i, Tok::SoName(input[start..j].to_owned())));
+                i = j;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // A digit run followed by ident chars is an identifier
+                // (constants like `1a` are unusual but allowed).
+                if j < bytes.len() && is_ident_byte(bytes[j]) {
+                    while j < bytes.len() && is_ident_byte(bytes[j]) {
+                        j += 1;
+                    }
+                    toks.push((start, Tok::Name(input[start..j].to_owned())));
+                } else {
+                    // Bare numerals serve double duty: arities after ':' and
+                    // constant names like `1`, `2`, `3` (the paper uses
+                    // numeric constants). The parser disambiguates by
+                    // context; we emit Name and convert to Nat on demand.
+                    let text = &input[start..j];
+                    match text.parse::<usize>() {
+                        Ok(n) if toks.last().map(|(_, t)| t) == Some(&Tok::Colon) => {
+                            toks.push((start, Tok::Nat(n)));
+                        }
+                        _ => toks.push((start, Tok::Name(text.to_owned()))),
+                    }
+                }
+                i = j;
+            }
+            _ if is_ident_byte(b) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_byte(bytes[j]) {
+                    j += 1;
+                }
+                toks.push((start, Tok::Name(input[start..j].to_owned())));
+                i = j;
+            }
+            _ => {
+                // Unknown byte: emit a token the parser will reject at the
+                // right offset.
+                toks.push((i, Tok::Colon));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b == b'\''
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::display_query;
+
+    fn voc() -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b", "1", "2", "3"]).unwrap();
+        voc.add_pred("R", 2).unwrap();
+        voc.add_pred("M", 1).unwrap();
+        voc.add_pred("EMP_DEPT", 2).unwrap();
+        voc.add_pred("DEPT_MGR", 2).unwrap();
+        voc
+    }
+
+    #[test]
+    fn parses_paper_example_query() {
+        // The §2.1 example: (x1,x2). ∃y (EMP-DEPT(x1,y) ∧ DEPT-MGR(y,x2))
+        let voc = voc();
+        let q = parse_query(
+            &voc,
+            "(e, m) . exists d. EMP_DEPT(e, d) & DEPT_MGR(d, m)",
+        )
+        .unwrap();
+        assert_eq!(q.arity(), 2);
+        assert!(q.is_positive());
+    }
+
+    #[test]
+    fn parses_boolean_query() {
+        let voc = voc();
+        let q = parse_query(&voc, "(forall y. M(y)) -> (exists z. R(z, z))").unwrap();
+        assert!(q.is_boolean());
+        assert!(!q.is_positive());
+    }
+
+    #[test]
+    fn constants_resolve() {
+        let voc = voc();
+        let q = parse_query(&voc, "(x) . R(x, a) & x != b").unwrap();
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn numeric_constants() {
+        let voc = voc();
+        let q = parse_query(&voc, "M(1) & 1 != 2").unwrap();
+        assert!(q.is_boolean());
+    }
+
+    #[test]
+    fn second_order_query() {
+        let voc = voc();
+        let q = parse_query(
+            &voc,
+            "exists2 ?P:1. forall x. (?P(x) -> M(x)) & (M(x) -> ?P(x))",
+        )
+        .unwrap();
+        assert_eq!(q.class(), crate::query::QueryClass::SecondOrder);
+    }
+
+    #[test]
+    fn unknown_predicate_rejected() {
+        let voc = voc();
+        assert!(matches!(
+            parse_query(&voc, "NOPE(x)"),
+            Err(LogicError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let voc = voc();
+        assert!(matches!(
+            parse_query(&voc, "R(x)"),
+            Err(LogicError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unbound_so_var_rejected() {
+        let voc = voc();
+        assert!(matches!(
+            parse_query(&voc, "?P(x)"),
+            Err(LogicError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let voc = voc();
+        assert!(parse_query(&voc, "M(a) M(b)").is_err());
+    }
+
+    #[test]
+    fn sentence_helper_rejects_open_query() {
+        let voc = voc();
+        assert!(parse_sentence(&voc, "(x) . M(x)").is_err());
+        assert!(parse_sentence(&voc, "exists x. M(x)").is_ok());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let voc = voc();
+        let inputs = [
+            "(e, m) . exists d. EMP_DEPT(e, d) & DEPT_MGR(d, m)",
+            "(forall y. M(y)) -> (exists z. R(z, z))",
+            "(x) . !R(x, x) & x != a",
+            "forall x. M(x) <-> R(x, x)",
+        ];
+        for input in inputs {
+            let q1 = parse_query(&voc, input).unwrap();
+            let printed = display_query(&voc, &q1).to_string();
+            let q2 = parse_query(&voc, &printed).unwrap();
+            // Round-trip is stable modulo variable renaming; printing again
+            // must be a fixpoint.
+            let printed2 = display_query(&voc, &q2).to_string();
+            assert_eq!(printed, printed2, "for input {input}");
+        }
+    }
+
+    #[test]
+    fn quantifier_over_constant_rejected() {
+        let voc = voc();
+        assert!(parse_query(&voc, "forall a. M(a)").is_err());
+    }
+
+    #[test]
+    fn implication_right_associative() {
+        let voc = voc();
+        let q = parse_query(&voc, "M(a) -> M(b) -> R(a, b)").unwrap();
+        match q.body() {
+            Formula::Implies(_, rhs) => assert!(matches!(**rhs, Formula::Implies(..))),
+            other => panic!("expected implication, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Prenex normal form and the `Σᴱₖ` classification of §4.
+//!
+//! Theorem 6/7 speak of "the class of first-order queries with k
+//! alternations of quantifiers, starting with an existential quantifier".
+//! This module makes that syntactic class checkable: [`to_prenex`] pulls
+//! all quantifiers of a first-order formula to the front (NNF first, then
+//! bottom-up extraction with all binders renamed apart, so no capture is
+//! possible), and [`Prenex::alternation`] reads off the block structure.
+//!
+//! Semantics preservation is property-tested against the Tarskian
+//! evaluator in the workspace tests (`tests/prenex_semantics.rs`).
+
+use crate::builders::VarGen;
+use crate::formula::Formula;
+use crate::nnf::to_nnf;
+use crate::symbols::Var;
+use crate::term::Term;
+
+/// A first-order quantifier kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantKind {
+    /// `∃`.
+    Exists,
+    /// `∀`.
+    Forall,
+}
+
+/// A formula in prenex normal form: a quantifier prefix over a
+/// quantifier-free matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prenex {
+    /// Outermost-first quantifier prefix; all variables distinct.
+    pub prefix: Vec<(QuantKind, Var)>,
+    /// Quantifier-free matrix in negation normal form.
+    pub matrix: Formula,
+}
+
+impl Prenex {
+    /// Rebuilds the ordinary formula.
+    pub fn to_formula(&self) -> Formula {
+        self.prefix
+            .iter()
+            .rev()
+            .fold(self.matrix.clone(), |acc, (q, v)| match q {
+                QuantKind::Exists => Formula::Exists(*v, Box::new(acc)),
+                QuantKind::Forall => Formula::Forall(*v, Box::new(acc)),
+            })
+    }
+
+    /// The quantifier block structure, outermost first (empty for a
+    /// quantifier-free formula).
+    pub fn blocks(&self) -> Vec<(QuantKind, usize)> {
+        let mut blocks: Vec<(QuantKind, usize)> = Vec::new();
+        for (q, _) in &self.prefix {
+            match blocks.last_mut() {
+                Some((kind, n)) if kind == q => *n += 1,
+                _ => blocks.push((*q, 1)),
+            }
+        }
+        blocks
+    }
+
+    /// `(k, starts_existential)` where `k` is the number of quantifier
+    /// blocks: the formula is in `Σᴱₖ` iff this returns
+    /// `(j, true)` with `j ≤ k` (or `(0, _)`), per the paper's definition.
+    pub fn alternation(&self) -> (usize, bool) {
+        let blocks = self.blocks();
+        (
+            blocks.len(),
+            blocks.first().is_none_or(|(q, _)| *q == QuantKind::Exists),
+        )
+    }
+
+    /// Is the formula in `Σᴱₖ` — at most `k` alternating blocks starting
+    /// existentially?
+    pub fn is_sigma_k(&self, k: usize) -> bool {
+        let (blocks, starts_e) = self.alternation();
+        blocks == 0 || (starts_e && blocks <= k)
+    }
+}
+
+/// Converts a first-order formula to prenex normal form. Returns `None`
+/// if the formula contains second-order quantifiers (second-order *atoms*
+/// with already-bound predicate variables cannot occur free in a valid
+/// query either, so they are rejected too).
+pub fn to_prenex(f: &Formula, gen: &mut VarGen) -> Option<Prenex> {
+    if !f.is_first_order() {
+        return None;
+    }
+    Some(pull(&to_nnf(f), gen))
+}
+
+/// Bottom-up quantifier extraction over an NNF formula. Invariant: the
+/// returned matrix is quantifier-free, and every binder in the returned
+/// prefix is a fresh variable (so prefixes from sibling subformulas can
+/// be concatenated without capture).
+fn pull(f: &Formula, gen: &mut VarGen) -> Prenex {
+    match f {
+        Formula::True
+        | Formula::False
+        | Formula::Atom(..)
+        | Formula::Eq(..)
+        | Formula::Not(_)
+        | Formula::SoAtom(..) => Prenex {
+            prefix: Vec::new(),
+            matrix: f.clone(),
+        },
+        Formula::And(fs) | Formula::Or(fs) => {
+            let is_and = matches!(f, Formula::And(_));
+            let mut prefix = Vec::new();
+            let mut matrices = Vec::with_capacity(fs.len());
+            for g in fs {
+                let p = pull(g, gen);
+                prefix.extend(p.prefix);
+                matrices.push(p.matrix);
+            }
+            Prenex {
+                prefix,
+                matrix: if is_and {
+                    Formula::and(matrices)
+                } else {
+                    Formula::or(matrices)
+                },
+            }
+        }
+        Formula::Exists(v, g) | Formula::Forall(v, g) => {
+            let kind = if matches!(f, Formula::Exists(..)) {
+                QuantKind::Exists
+            } else {
+                QuantKind::Forall
+            };
+            let inner = pull(g, gen);
+            // All inner binders are already fresh, so the remaining free
+            // occurrences of `v` in the matrix are exactly the ones this
+            // binder captures. Rename them to a fresh variable.
+            let w = gen.fresh();
+            let mut subst: Vec<Option<Term>> = vec![None; v.index() + 1];
+            subst[v.index()] = Some(Term::Var(w));
+            let mut prefix = vec![(kind, w)];
+            prefix.extend(inner.prefix);
+            Prenex {
+                prefix,
+                matrix: inner.matrix.substitute(&subst),
+            }
+        }
+        Formula::Implies(..) | Formula::Iff(..) => {
+            unreachable!("NNF eliminates implications")
+        }
+        Formula::SoExists(..) | Formula::SoForall(..) => {
+            unreachable!("to_prenex rejects second-order formulas")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::symbols::Vocabulary;
+
+    fn voc() -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b"]).unwrap();
+        voc.add_pred("R", 2).unwrap();
+        voc.add_pred("M", 1).unwrap();
+        voc
+    }
+
+    fn prenex_of(text: &str) -> Prenex {
+        let voc = voc();
+        let q = parse_query(&voc, text).unwrap();
+        let mut gen = VarGen::after(q.body().max_var());
+        to_prenex(q.body(), &mut gen).unwrap()
+    }
+
+    fn is_quantifier_free(f: &Formula) -> bool {
+        match f {
+            Formula::Exists(..) | Formula::Forall(..) | Formula::SoExists(..)
+            | Formula::SoForall(..) => false,
+            Formula::True | Formula::False | Formula::Atom(..) | Formula::SoAtom(..)
+            | Formula::Eq(..) => true,
+            Formula::Not(g) => is_quantifier_free(g),
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_quantifier_free),
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                is_quantifier_free(p) && is_quantifier_free(q)
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_quantifier_free_and_binders_distinct() {
+        let p = prenex_of(
+            "(exists x. R(x, x)) & (forall y. M(y) -> exists z. R(y, z))",
+        );
+        assert!(is_quantifier_free(&p.matrix));
+        let mut vars: Vec<Var> = p.prefix.iter().map(|(_, v)| *v).collect();
+        let n = vars.len();
+        vars.sort_unstable();
+        vars.dedup();
+        assert_eq!(vars.len(), n, "binders must be pairwise distinct");
+    }
+
+    #[test]
+    fn block_structure() {
+        let p = prenex_of("exists x, y. forall z. exists w. R(x, y) & R(z, w)");
+        let blocks = p.blocks();
+        assert_eq!(
+            blocks.iter().map(|(q, n)| (*q, *n)).collect::<Vec<_>>(),
+            vec![
+                (QuantKind::Exists, 2),
+                (QuantKind::Forall, 1),
+                (QuantKind::Exists, 1)
+            ]
+        );
+        assert_eq!(p.alternation(), (3, true));
+        assert!(p.is_sigma_k(3));
+        assert!(!p.is_sigma_k(2));
+    }
+
+    #[test]
+    fn negation_flips_hidden_quantifiers() {
+        // ¬∀x M(x) is prenex-∃.
+        let p = prenex_of("!(forall x. M(x))");
+        assert_eq!(p.blocks().first().map(|(q, _)| *q), Some(QuantKind::Exists));
+    }
+
+    #[test]
+    fn quantifier_free_formula() {
+        let p = prenex_of("R(a, b) | !M(a)");
+        assert!(p.prefix.is_empty());
+        assert_eq!(p.alternation(), (0, true));
+        assert!(p.is_sigma_k(0));
+    }
+
+    #[test]
+    fn shadowing_resolved_by_renaming() {
+        // exists x. M(x) & exists x. R(x, x): both binders named x in the
+        // source; prenexing must keep them apart.
+        let p = prenex_of("exists x. M(x) & (exists x. R(x, x))");
+        assert_eq!(p.prefix.len(), 2);
+        assert_ne!(p.prefix[0].1, p.prefix[1].1);
+    }
+
+    #[test]
+    fn free_variables_preserved() {
+        let voc = voc();
+        let q = parse_query(&voc, "(u) . exists x. R(u, x) & forall y. M(y)").unwrap();
+        let mut gen = VarGen::after(q.body().max_var());
+        let p = to_prenex(q.body(), &mut gen).unwrap();
+        assert_eq!(p.to_formula().free_vars(), q.body().free_vars());
+    }
+
+    #[test]
+    fn second_order_rejected() {
+        let voc = voc();
+        let q = parse_query(&voc, "exists2 ?S:1. exists x. ?S(x)").unwrap();
+        let mut gen = VarGen::after(q.body().max_var());
+        assert!(to_prenex(q.body(), &mut gen).is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Queries `(x₁,…,xₖ).φ` (paper §2.1) and their syntactic classification.
+
+use crate::formula::Formula;
+use crate::nnf::to_nnf;
+use crate::symbols::{Var, Vocabulary};
+use crate::{LogicError, Result};
+
+/// A query `(x).φ(x)`: a formula together with an ordered tuple of distinct
+/// head variables containing all free variables of the body.
+///
+/// A query with an empty head is a *Boolean* query (a sentence); its answer
+/// is either `{()}` ("yes") or `{}` ("no").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    head: Vec<Var>,
+    body: Formula,
+}
+
+/// Syntactic class of a query, used to route evaluation and to label
+/// experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// First-order and negation-free after NNF (Theorem 13's class).
+    PositiveFirstOrder,
+    /// First-order with negations.
+    FirstOrder,
+    /// Uses second-order quantification.
+    SecondOrder,
+}
+
+impl Query {
+    /// Builds and validates a query. The head must list distinct variables
+    /// and must contain every free variable of the body (the paper requires
+    /// exactly this shape).
+    pub fn new(head: Vec<Var>, body: Formula) -> Result<Query> {
+        for (i, v) in head.iter().enumerate() {
+            if head[..i].contains(v) {
+                return Err(LogicError::FreeVariableMismatch(format!(
+                    "head variable {v} repeated"
+                )));
+            }
+        }
+        let free = body.free_vars();
+        for v in &free {
+            if !head.contains(v) {
+                return Err(LogicError::FreeVariableMismatch(format!(
+                    "body has free variable {v} not in head"
+                )));
+            }
+        }
+        Ok(Query { head, body })
+    }
+
+    /// Builds a Boolean query (sentence). Fails if the body has free
+    /// variables.
+    pub fn boolean(body: Formula) -> Result<Query> {
+        Query::new(Vec::new(), body)
+    }
+
+    /// The ordered head variables.
+    pub fn head(&self) -> &[Var] {
+        &self.head
+    }
+
+    /// The body formula.
+    pub fn body(&self) -> &Formula {
+        &self.body
+    }
+
+    /// Number of head variables (the arity of the answer relation).
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// True iff this is a Boolean query.
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Validates predicate arities against a vocabulary.
+    pub fn check(&self, voc: &Vocabulary) -> Result<()> {
+        self.body.check(voc)
+    }
+
+    /// Classifies the query per the paper's fragments.
+    pub fn class(&self) -> QueryClass {
+        if !self.body.is_first_order() {
+            QueryClass::SecondOrder
+        } else if is_positive(&self.body) {
+            QueryClass::PositiveFirstOrder
+        } else {
+            QueryClass::FirstOrder
+        }
+    }
+
+    /// True iff the body is first-order.
+    pub fn is_first_order(&self) -> bool {
+        self.body.is_first_order()
+    }
+
+    /// True iff the query is *positive* in the paper's sense: every atom is
+    /// governed by an even number of negations — equivalently, the NNF of
+    /// the body contains no negation (§5, before Theorem 13).
+    pub fn is_positive(&self) -> bool {
+        is_positive(&self.body)
+    }
+
+    /// Destructures into `(head, body)`.
+    pub fn into_parts(self) -> (Vec<Var>, Formula) {
+        (self.head, self.body)
+    }
+}
+
+/// True iff `to_nnf(f)` is negation-free.
+pub fn is_positive(f: &Formula) -> bool {
+    fn negation_free(f: &Formula) -> bool {
+        match f {
+            Formula::Not(_) => false,
+            Formula::True | Formula::False | Formula::Atom(..) | Formula::SoAtom(..)
+            | Formula::Eq(..) => true,
+            Formula::And(fs) | Formula::Or(fs) => fs.iter().all(negation_free),
+            Formula::Implies(p, q) | Formula::Iff(p, q) => negation_free(p) && negation_free(q),
+            Formula::Exists(_, g) | Formula::Forall(_, g) => negation_free(g),
+            Formula::SoExists(_, _, g) | Formula::SoForall(_, _, g) => negation_free(g),
+        }
+    }
+    negation_free(&to_nnf(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::{PredVarId, Vocabulary};
+    use crate::term::Term;
+
+    fn setup() -> (Vocabulary, crate::symbols::PredId) {
+        let mut voc = Vocabulary::new();
+        voc.add_const("a").unwrap();
+        let r = voc.add_pred("R", 2).unwrap();
+        (voc, r)
+    }
+
+    #[test]
+    fn head_must_cover_free_vars() {
+        let (_, r) = setup();
+        let x = Var(0);
+        let y = Var(1);
+        let body = Formula::atom(r, [Term::Var(x), Term::Var(y)]);
+        assert!(Query::new(vec![x, y], body.clone()).is_ok());
+        assert!(matches!(
+            Query::new(vec![x], body),
+            Err(LogicError::FreeVariableMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn head_vars_distinct() {
+        let (_, r) = setup();
+        let x = Var(0);
+        let body = Formula::atom(r, [Term::Var(x), Term::Var(x)]);
+        assert!(matches!(
+            Query::new(vec![x, x], body),
+            Err(LogicError::FreeVariableMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_query() {
+        let (_, r) = setup();
+        let x = Var(0);
+        let body = Formula::exists([x], Formula::atom(r, [Term::Var(x), Term::Var(x)]));
+        let q = Query::boolean(body).unwrap();
+        assert!(q.is_boolean());
+        assert_eq!(q.arity(), 0);
+    }
+
+    #[test]
+    fn classification() {
+        let (_, r) = setup();
+        let x = Var(0);
+        let pos = Query::new(
+            vec![x],
+            Formula::exists([Var(1)], Formula::atom(r, [Term::Var(x), Term::Var(Var(1))])),
+        )
+        .unwrap();
+        assert_eq!(pos.class(), QueryClass::PositiveFirstOrder);
+
+        let neg = Query::new(
+            vec![x],
+            Formula::not(Formula::atom(r, [Term::Var(x), Term::Var(x)])),
+        )
+        .unwrap();
+        assert_eq!(neg.class(), QueryClass::FirstOrder);
+
+        let p = PredVarId(0);
+        let so = Query::boolean(Formula::SoExists(
+            p,
+            1,
+            Box::new(Formula::exists(
+                [x],
+                Formula::so_atom(p, [Term::Var(x)]),
+            )),
+        ))
+        .unwrap();
+        assert_eq!(so.class(), QueryClass::SecondOrder);
+    }
+
+    #[test]
+    fn implication_antecedent_is_negative() {
+        // (∀y)(M(y) → R(y,y)) is NOT positive: M sits under an implicit
+        // negation.
+        let mut voc = Vocabulary::new();
+        let m = voc.add_pred("M", 1).unwrap();
+        let r = voc.add_pred("R", 2).unwrap();
+        let y = Var(0);
+        let f = Formula::forall(
+            [y],
+            Formula::implies(
+                Formula::atom(m, [Term::Var(y)]),
+                Formula::atom(r, [Term::Var(y), Term::Var(y)]),
+            ),
+        );
+        assert!(!is_positive(&f));
+    }
+
+    #[test]
+    fn double_negation_is_positive() {
+        let (_, r) = setup();
+        let x = Var(0);
+        let f = Formula::not(Formula::not(Formula::atom(
+            r,
+            [Term::Var(x), Term::Var(x)],
+        )));
+        assert!(is_positive(&f));
+    }
+}

@@ -1,0 +1,265 @@
+//! Relational vocabularies and interned symbol identifiers.
+//!
+//! A relational vocabulary `L` (paper §2.1) consists of finitely many
+//! constant symbols, finitely many predicate symbols (plus the always-present
+//! equality symbol, which is *not* stored as an ordinary predicate), and no
+//! function symbols. All symbols are interned to dense `u32` identifiers so
+//! that hot evaluation paths work on integers, never on strings.
+
+use crate::{LogicError, Result};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An individual (first-order) variable, interned as a dense index.
+///
+/// Variables are scoped per [`crate::Query`]; the evaluator sizes its
+/// environment by the largest variable index occurring in a formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable's index as a `usize` (for environment addressing).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// An interned constant symbol of the vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstId(pub u32);
+
+impl ConstId {
+    /// The constant's index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned predicate symbol of the vocabulary (equality excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// The predicate's index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A second-order predicate *variable* (quantified by `∃P` / `∀P`).
+///
+/// These are scoped per query, like individual variables, and carry their
+/// arity at the binder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PredVarId(pub u32);
+
+impl PredVarId {
+    /// The predicate variable's index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declaration of one predicate symbol: display name and arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredDecl {
+    /// Display name (e.g. `"TEACHES"`).
+    pub name: String,
+    /// Number of argument positions.
+    pub arity: usize,
+}
+
+/// A relational vocabulary: the symbol table every database and query in
+/// this reproduction is checked against.
+///
+/// ```
+/// use qld_logic::Vocabulary;
+/// let mut voc = Vocabulary::new();
+/// let socrates = voc.add_const("socrates").unwrap();
+/// let teaches = voc.add_pred("TEACHES", 2).unwrap();
+/// assert_eq!(voc.const_name(socrates), "socrates");
+/// assert_eq!(voc.pred_arity(teaches), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Vocabulary {
+    consts: Vec<String>,
+    const_index: HashMap<String, ConstId>,
+    preds: Vec<PredDecl>,
+    pred_index: HashMap<String, PredId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a constant symbol, failing on duplicates.
+    pub fn add_const(&mut self, name: &str) -> Result<ConstId> {
+        if self.const_index.contains_key(name) {
+            return Err(LogicError::DuplicateSymbol(name.to_owned()));
+        }
+        let id = ConstId(self.consts.len() as u32);
+        self.consts.push(name.to_owned());
+        self.const_index.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Adds several constants at once, returning their ids in order.
+    pub fn add_consts<'a, I: IntoIterator<Item = &'a str>>(&mut self, names: I) -> Result<Vec<ConstId>> {
+        names.into_iter().map(|n| self.add_const(n)).collect()
+    }
+
+    /// Adds a predicate symbol with the given arity, failing on duplicates.
+    pub fn add_pred(&mut self, name: &str, arity: usize) -> Result<PredId> {
+        if self.pred_index.contains_key(name) {
+            return Err(LogicError::DuplicateSymbol(name.to_owned()));
+        }
+        let id = PredId(self.preds.len() as u32);
+        self.preds.push(PredDecl {
+            name: name.to_owned(),
+            arity,
+        });
+        self.pred_index.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Looks up a constant symbol by name.
+    pub fn const_id(&self, name: &str) -> Option<ConstId> {
+        self.const_index.get(name).copied()
+    }
+
+    /// Looks up a predicate symbol by name.
+    pub fn pred_id(&self, name: &str) -> Option<PredId> {
+        self.pred_index.get(name).copied()
+    }
+
+    /// Display name of a constant.
+    pub fn const_name(&self, id: ConstId) -> &str {
+        &self.consts[id.index()]
+    }
+
+    /// Display name of a predicate.
+    pub fn pred_name(&self, id: PredId) -> &str {
+        &self.preds[id.index()].name
+    }
+
+    /// Declared arity of a predicate.
+    pub fn pred_arity(&self, id: PredId) -> usize {
+        self.preds[id.index()].arity
+    }
+
+    /// Number of constant symbols (`|C_L|`).
+    pub fn num_consts(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Number of predicate symbols (equality excluded).
+    pub fn num_preds(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterator over all constant ids, in interning order.
+    pub fn consts(&self) -> impl ExactSizeIterator<Item = ConstId> + 'static {
+        (0..self.consts.len() as u32).map(ConstId)
+    }
+
+    /// Iterator over all predicate ids, in interning order.
+    pub fn preds(&self) -> impl ExactSizeIterator<Item = PredId> + 'static {
+        (0..self.preds.len() as u32).map(PredId)
+    }
+
+    /// Extends this vocabulary with a fresh predicate whose name is derived
+    /// from `base`, avoiding collisions (used by the §3.2 and §5 query
+    /// transformations, which must invent symbols such as `NE`, `H`, `P′`).
+    pub fn add_fresh_pred(&mut self, base: &str, arity: usize) -> PredId {
+        if !self.pred_index.contains_key(base) {
+            return self.add_pred(base, arity).expect("checked non-duplicate");
+        }
+        let mut n = 1usize;
+        loop {
+            let candidate = format!("{base}_{n}");
+            if !self.pred_index.contains_key(&candidate) {
+                return self
+                    .add_pred(&candidate, arity)
+                    .expect("checked non-duplicate");
+            }
+            n += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_round_trips() {
+        let mut voc = Vocabulary::new();
+        let a = voc.add_const("a").unwrap();
+        let b = voc.add_const("b").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(voc.const_id("a"), Some(a));
+        assert_eq!(voc.const_id("b"), Some(b));
+        assert_eq!(voc.const_name(a), "a");
+        assert_eq!(voc.num_consts(), 2);
+    }
+
+    #[test]
+    fn duplicate_const_rejected() {
+        let mut voc = Vocabulary::new();
+        voc.add_const("a").unwrap();
+        assert_eq!(
+            voc.add_const("a"),
+            Err(LogicError::DuplicateSymbol("a".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_pred_rejected() {
+        let mut voc = Vocabulary::new();
+        voc.add_pred("R", 2).unwrap();
+        assert_eq!(
+            voc.add_pred("R", 3),
+            Err(LogicError::DuplicateSymbol("R".into()))
+        );
+    }
+
+    #[test]
+    fn pred_metadata() {
+        let mut voc = Vocabulary::new();
+        let r = voc.add_pred("R", 2).unwrap();
+        let m = voc.add_pred("M", 1).unwrap();
+        assert_eq!(voc.pred_arity(r), 2);
+        assert_eq!(voc.pred_arity(m), 1);
+        assert_eq!(voc.pred_name(m), "M");
+        assert_eq!(voc.preds().collect::<Vec<_>>(), vec![r, m]);
+    }
+
+    #[test]
+    fn fresh_pred_avoids_collision() {
+        let mut voc = Vocabulary::new();
+        voc.add_pred("NE", 2).unwrap();
+        let fresh = voc.add_fresh_pred("NE", 2);
+        assert_eq!(voc.pred_name(fresh), "NE_1");
+        let fresher = voc.add_fresh_pred("NE", 2);
+        assert_eq!(voc.pred_name(fresher), "NE_2");
+    }
+
+    #[test]
+    fn consts_iterator_in_order() {
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["x", "y", "z"]).unwrap();
+        assert_eq!(voc.consts().collect::<Vec<_>>(), ids);
+    }
+}

@@ -1,0 +1,75 @@
+//! Terms: variables or constant symbols (the vocabulary has no function
+//! symbols, per §2.1).
+
+use crate::symbols::{ConstId, Var};
+
+/// A term of the relational language: an individual variable or a constant
+/// symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Term {
+    /// An individual variable.
+    Var(Var),
+    /// A constant symbol.
+    Const(ConstId),
+}
+
+impl Term {
+    /// Returns the variable if this term is one.
+    #[inline]
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this term is one.
+    #[inline]
+    pub fn as_const(self) -> Option<ConstId> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// True iff this term is a variable.
+    #[inline]
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<ConstId> for Term {
+    fn from(c: ConstId) -> Self {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Term::Var(Var(3));
+        let c = Term::Const(ConstId(7));
+        assert_eq!(v.as_var(), Some(Var(3)));
+        assert_eq!(v.as_const(), None);
+        assert_eq!(c.as_const(), Some(ConstId(7)));
+        assert_eq!(c.as_var(), None);
+        assert!(v.is_var());
+        assert!(!c.is_var());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Term::from(Var(1)), Term::Var(Var(1)));
+        assert_eq!(Term::from(ConstId(2)), Term::Const(ConstId(2)));
+    }
+}

@@ -1,0 +1,317 @@
+//! Tarskian evaluation of queries over physical databases (§2.1).
+//!
+//! The evaluator is the textbook recursive one: first-order quantifiers
+//! iterate over the domain, so a fixed first-order query is evaluated in
+//! polynomial time and logarithmic space in the database — the
+//! LOGSPACE data complexity of Theorem 4(1). Second-order quantifiers are
+//! evaluated by enumerating all relations over the domain; this is
+//! intentionally brutal, because the whole point of Theorem 3 is that the
+//! precise simulation hides a second-order quantification whose cost is
+//! exactly this enumeration.
+
+use crate::db::PhysicalDb;
+use crate::relation::{Elem, Relation};
+use crate::tuples::{for_each_relation, TupleSpace};
+use qld_logic::{Formula, Query, Term};
+
+/// Evaluation state: a physical database plus variable environments.
+pub struct Evaluator<'a> {
+    db: &'a PhysicalDb,
+    env: Vec<Option<Elem>>,
+    so_env: Vec<Option<Relation>>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator sized for `formula`.
+    pub fn new(db: &'a PhysicalDb, formula: &Formula) -> Self {
+        let env_len = formula.max_var().map_or(0, |v| v.index() + 1);
+        let so_len = formula.max_pred_var().map_or(0, |r| r.index() + 1);
+        Evaluator {
+            db,
+            env: vec![None; env_len],
+            so_env: vec![None; so_len],
+        }
+    }
+
+    /// Binds a free variable before evaluation (used for query answers).
+    /// Grows the environment if the variable exceeds the body's variables
+    /// (a head variable need not occur in the body).
+    pub fn bind(&mut self, v: qld_logic::Var, e: Elem) {
+        if v.index() >= self.env.len() {
+            self.env.resize(v.index() + 1, None);
+        }
+        self.env[v.index()] = Some(e);
+    }
+
+    fn term(&self, t: &Term) -> Elem {
+        match t {
+            Term::Var(v) => self.env[v.index()]
+                .expect("unbound variable: queries must be validated via Query::new"),
+            Term::Const(c) => self.db.const_val(*c),
+        }
+    }
+
+    /// Evaluates a formula under the current environment.
+    pub fn eval(&mut self, f: &Formula) -> bool {
+        match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(p, ts) => {
+                let tuple: Vec<Elem> = ts.iter().map(|t| self.term(t)).collect();
+                self.db.relation(*p).contains(&tuple)
+            }
+            Formula::SoAtom(r, ts) => {
+                let tuple: Vec<Elem> = ts.iter().map(|t| self.term(t)).collect();
+                self.so_env[r.index()]
+                    .as_ref()
+                    .expect("unbound predicate variable: formula must be checked")
+                    .contains(&tuple)
+            }
+            Formula::Eq(a, b) => self.term(a) == self.term(b),
+            Formula::Not(g) => !self.eval(g),
+            Formula::And(fs) => fs.iter().all(|g| self.eval(g)),
+            Formula::Or(fs) => fs.iter().any(|g| self.eval(g)),
+            Formula::Implies(p, q) => !self.eval(p) || self.eval(q),
+            Formula::Iff(p, q) => self.eval(p) == self.eval(q),
+            Formula::Exists(v, g) => self.quantify(*v, g, true),
+            Formula::Forall(v, g) => self.quantify(*v, g, false),
+            Formula::SoExists(r, k, g) => self.so_quantify(*r, *k, g, true),
+            Formula::SoForall(r, k, g) => self.so_quantify(*r, *k, g, false),
+        }
+    }
+
+    fn quantify(&mut self, v: qld_logic::Var, body: &Formula, existential: bool) -> bool {
+        let saved = self.env[v.index()];
+        // Iterate by index to avoid borrowing self.db across the recursive
+        // call (the domain slice is cheap to re-fetch).
+        let n = self.db.domain().len();
+        let mut result = !existential;
+        for i in 0..n {
+            let e = self.db.domain()[i];
+            self.env[v.index()] = Some(e);
+            let holds = self.eval(body);
+            if holds == existential {
+                result = existential;
+                break;
+            }
+        }
+        self.env[v.index()] = saved;
+        result
+    }
+
+    fn so_quantify(
+        &mut self,
+        r: qld_logic::PredVarId,
+        arity: usize,
+        body: &Formula,
+        existential: bool,
+    ) -> bool {
+        let saved = self.so_env[r.index()].take();
+        let domain: Vec<Elem> = self.db.domain().to_vec();
+        let mut result = !existential;
+        for_each_relation(&domain, arity, |rel| {
+            self.so_env[r.index()] = Some(rel.clone());
+            let holds = self.eval(body);
+            if holds == existential {
+                result = existential;
+                false // early exit
+            } else {
+                true
+            }
+        });
+        self.so_env[r.index()] = saved;
+        result
+    }
+}
+
+/// Does the database satisfy the sentence?
+///
+/// # Panics
+/// Panics if the formula has free (individual or predicate) variables; use
+/// [`eval_query`] for open formulas.
+pub fn satisfies(db: &PhysicalDb, sentence: &Formula) -> bool {
+    debug_assert!(
+        sentence.free_vars().is_empty(),
+        "satisfies() requires a sentence"
+    );
+    Evaluator::new(db, sentence).eval(sentence)
+}
+
+/// Does the database satisfy every sentence?
+pub fn satisfies_all<'a, I: IntoIterator<Item = &'a Formula>>(db: &PhysicalDb, sentences: I) -> bool {
+    sentences.into_iter().all(|s| satisfies(db, s))
+}
+
+/// Computes the answer `Q(PB) = { d ∈ D^k : I ⊨ φ(d) }` of §2.1.
+pub fn eval_query(db: &PhysicalDb, query: &Query) -> Relation {
+    let arity = query.arity();
+    let head = query.head();
+    let body = query.body();
+    let mut evaluator = Evaluator::new(db, body);
+    let mut answers: Vec<Box<[Elem]>> = Vec::new();
+    for tuple in TupleSpace::new(db.domain(), arity) {
+        for (v, e) in head.iter().zip(tuple.iter()) {
+            evaluator.bind(*v, *e);
+        }
+        if evaluator.eval(body) {
+            answers.push(tuple.into_boxed_slice());
+        }
+    }
+    Relation::from_tuples(arity, answers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_logic::parser::parse_query;
+    use qld_logic::Vocabulary;
+
+    /// A little family database: parent edges over {alice, bob, carol}.
+    fn family() -> (Vocabulary, PhysicalDb) {
+        let mut voc = Vocabulary::new();
+        let alice = voc.add_const("alice").unwrap();
+        let bob = voc.add_const("bob").unwrap();
+        let carol = voc.add_const("carol").unwrap();
+        let parent = voc.add_pred("PARENT", 2).unwrap();
+        let db = PhysicalDb::builder(&voc)
+            .domain([0, 1, 2])
+            .constant(alice, 0)
+            .constant(bob, 1)
+            .constant(carol, 2)
+            // alice -> bob -> carol
+            .relation_from_tuples(parent, vec![vec![0, 1], vec![1, 2]])
+            .build()
+            .unwrap();
+        (voc, db)
+    }
+
+    #[test]
+    fn atom_and_equality() {
+        let (voc, db) = family();
+        let q = parse_query(&voc, "PARENT(alice, bob)").unwrap();
+        assert!(satisfies(&db, q.body()));
+        let q = parse_query(&voc, "PARENT(bob, alice)").unwrap();
+        assert!(!satisfies(&db, q.body()));
+        let q = parse_query(&voc, "alice = alice & alice != bob").unwrap();
+        assert!(satisfies(&db, q.body()));
+    }
+
+    #[test]
+    fn open_query_answers() {
+        let (voc, db) = family();
+        let q = parse_query(&voc, "(x) . exists y. PARENT(x, y)").unwrap();
+        let ans = eval_query(&db, &q);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&[0]));
+        assert!(ans.contains(&[1]));
+    }
+
+    #[test]
+    fn grandparent_join() {
+        let (voc, db) = family();
+        let q = parse_query(&voc, "(x, z) . exists y. PARENT(x, y) & PARENT(y, z)").unwrap();
+        let ans = eval_query(&db, &q);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&[0, 2]));
+    }
+
+    #[test]
+    fn universal_quantifier() {
+        let (voc, db) = family();
+        // Everything with a parent-child edge out has alice as ancestor?
+        // Simpler: ∀x ∃y (PARENT(x,y) ∨ PARENT(y,x)) — connected graph.
+        let q = parse_query(&voc, "forall x. exists y. PARENT(x, y) | PARENT(y, x)").unwrap();
+        assert!(satisfies(&db, q.body()));
+        let q = parse_query(&voc, "forall x. exists y. PARENT(x, y)").unwrap();
+        assert!(!satisfies(&db, q.body())); // carol has no child
+    }
+
+    #[test]
+    fn negation_and_implication() {
+        let (voc, db) = family();
+        let q = parse_query(&voc, "(x) . !PARENT(x, bob)").unwrap();
+        let ans = eval_query(&db, &q);
+        assert_eq!(ans.len(), 2); // everyone but alice
+        assert!(!ans.contains(&[0]));
+        let q = parse_query(&voc, "forall x, y. PARENT(x, y) -> x != y").unwrap();
+        assert!(satisfies(&db, q.body()));
+    }
+
+    #[test]
+    fn boolean_query_zero_arity_answer() {
+        let (voc, db) = family();
+        let q = parse_query(&voc, "exists x. PARENT(alice, x)").unwrap();
+        let ans = eval_query(&db, &q);
+        assert_eq!(ans.arity(), 0);
+        assert_eq!(ans.len(), 1); // "yes"
+        let q = parse_query(&voc, "exists x. PARENT(x, alice)").unwrap();
+        let ans = eval_query(&db, &q);
+        assert!(ans.is_empty()); // "no"
+    }
+
+    #[test]
+    fn second_order_exists_transitive_superset() {
+        let (voc, db) = family();
+        // There is a binary relation containing PARENT that is transitive
+        // and relates alice to carol.
+        let q = parse_query(
+            &voc,
+            "exists2 ?T:2. (forall x, y. PARENT(x, y) -> ?T(x, y)) \
+             & (forall x, y, z. ?T(x, y) & ?T(y, z) -> ?T(x, z)) \
+             & ?T(alice, carol)",
+        )
+        .unwrap();
+        assert!(satisfies(&db, q.body()));
+    }
+
+    #[test]
+    fn second_order_forall() {
+        let (voc, db) = family();
+        // Every unary set containing alice's children contains bob.
+        let q = parse_query(
+            &voc,
+            "forall2 ?S:1. (forall x. PARENT(alice, x) -> ?S(x)) -> ?S(bob)",
+        )
+        .unwrap();
+        assert!(satisfies(&db, q.body()));
+        // ... but not carol.
+        let q = parse_query(
+            &voc,
+            "forall2 ?S:1. (forall x. PARENT(alice, x) -> ?S(x)) -> ?S(carol)",
+        )
+        .unwrap();
+        assert!(!satisfies(&db, q.body()));
+    }
+
+    #[test]
+    fn shadowed_variable_scoping() {
+        let (voc, db) = family();
+        // exists x. PARENT(alice,x) & exists x. PARENT(x,carol):
+        // the two x's are independent.
+        let q = parse_query(
+            &voc,
+            "(exists x. PARENT(alice, x)) & (exists x. PARENT(x, carol))",
+        )
+        .unwrap();
+        assert!(satisfies(&db, q.body()));
+    }
+
+    #[test]
+    fn nnf_preserves_semantics_spot_check() {
+        let (voc, db) = family();
+        let inputs = [
+            "forall x. !(exists y. PARENT(x, y) & !PARENT(y, x))",
+            "!(forall x. PARENT(x, x) <-> exists y. PARENT(x, y))",
+            "(forall y. PARENT(alice, y)) -> (exists z. PARENT(z, z))",
+        ];
+        for input in inputs {
+            let q = parse_query(&voc, input).unwrap();
+            let nnf = qld_logic::nnf::to_nnf(q.body());
+            assert_eq!(
+                satisfies(&db, q.body()),
+                satisfies(&db, &nnf),
+                "NNF changed semantics of {input}"
+            );
+        }
+    }
+}

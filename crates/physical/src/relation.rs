@@ -1,0 +1,212 @@
+//! Relations: immutable, sorted, duplicate-free tuple sets.
+//!
+//! Tuples are boxed slices of dense `u32` domain elements; the sorted
+//! representation gives `O(log n)` membership, cheap set-equality, and
+//! deterministic iteration order (important for reproducible experiment
+//! output).
+
+use std::fmt;
+
+/// A domain element. Physical databases in this reproduction always use
+/// dense small integers; for the canonical database `Ph₁(LB)` the element
+/// `i` *is* the constant `ConstId(i)`.
+pub type Elem = u32;
+
+/// An immutable relation: a set of `arity`-tuples over some domain.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Relation {
+    arity: usize,
+    /// Sorted lexicographically, no duplicates.
+    tuples: Vec<Box<[Elem]>>,
+}
+
+impl Relation {
+    /// The empty relation of the given arity.
+    pub fn empty(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from tuples, sorting and deduplicating.
+    ///
+    /// # Panics
+    /// Panics if a tuple's length differs from `arity`.
+    pub fn from_tuples(arity: usize, mut tuples: Vec<Box<[Elem]>>) -> Relation {
+        for t in &tuples {
+            assert_eq!(t.len(), arity, "tuple arity mismatch");
+        }
+        tuples.sort_unstable();
+        tuples.dedup();
+        Relation { arity, tuples }
+    }
+
+    /// Builds a relation from an iterator of `Vec` tuples.
+    pub fn collect<I: IntoIterator<Item = Vec<Elem>>>(arity: usize, iter: I) -> Relation {
+        Relation::from_tuples(
+            arity,
+            iter.into_iter().map(Vec::into_boxed_slice).collect(),
+        )
+    }
+
+    /// Number of argument positions.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff the relation has no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Membership test (binary search).
+    #[inline]
+    pub fn contains(&self, tuple: &[Elem]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.tuples
+            .binary_search_by(|probe| probe.as_ref().cmp(tuple))
+            .is_ok()
+    }
+
+    /// Iterates over tuples in lexicographic order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &[Elem]> {
+        self.tuples.iter().map(|t| t.as_ref())
+    }
+
+    /// Applies `f` to every component of every tuple, producing a new
+    /// relation (used to compute `h(I(P))` in Theorem 1).
+    pub fn map_elems(&self, mut f: impl FnMut(Elem) -> Elem) -> Relation {
+        Relation::from_tuples(
+            self.arity,
+            self.tuples
+                .iter()
+                .map(|t| t.iter().map(|&e| f(e)).collect())
+                .collect(),
+        )
+    }
+
+    /// True iff `self ⊆ other` (both must have equal arity).
+    pub fn is_subset_of(&self, other: &Relation) -> bool {
+        debug_assert_eq!(self.arity, other.arity);
+        // Merge-walk over the two sorted lists.
+        let mut oi = other.tuples.iter();
+        'outer: for t in &self.tuples {
+            for o in oi.by_ref() {
+                match o.cmp(t) {
+                    std::cmp::Ordering::Less => continue,
+                    std::cmp::Ordering::Equal => continue 'outer,
+                    std::cmp::Ordering::Greater => return false,
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// The set of elements occurring in any tuple (the active domain
+    /// contribution of this relation), sorted.
+    pub fn active_elems(&self) -> Vec<Elem> {
+        let mut elems: Vec<Elem> = self.tuples.iter().flat_map(|t| t.iter().copied()).collect();
+        elems.sort_unstable();
+        elems.dedup();
+        elems
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation/{}{{", self.arity)?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a [Elem];
+    type IntoIter = std::iter::Map<std::slice::Iter<'a, Box<[Elem]>>, fn(&Box<[Elem]>) -> &[Elem]>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter().map(|t| t.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(tuples: &[&[Elem]]) -> Relation {
+        Relation::from_tuples(
+            tuples.first().map_or(2, |t| t.len()),
+            tuples.iter().map(|t| t.to_vec().into_boxed_slice()).collect(),
+        )
+    }
+
+    #[test]
+    fn dedup_and_sort() {
+        let r = rel(&[&[2, 1], &[1, 2], &[2, 1]]);
+        assert_eq!(r.len(), 2);
+        let collected: Vec<&[Elem]> = r.iter().collect();
+        assert_eq!(collected, vec![&[1, 2][..], &[2, 1][..]]);
+    }
+
+    #[test]
+    fn contains_works() {
+        let r = rel(&[&[0, 1], &[1, 0], &[3, 3]]);
+        assert!(r.contains(&[1, 0]));
+        assert!(!r.contains(&[0, 0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        Relation::from_tuples(2, vec![vec![1].into_boxed_slice()]);
+    }
+
+    #[test]
+    fn map_elems_merges() {
+        let r = rel(&[&[0, 1], &[1, 2]]);
+        // Collapse 1 into 0.
+        let m = r.map_elems(|e| if e == 1 { 0 } else { e });
+        assert_eq!(m.len(), 2);
+        assert!(m.contains(&[0, 0]));
+        assert!(m.contains(&[0, 2]));
+    }
+
+    #[test]
+    fn subset() {
+        let small = rel(&[&[1, 2]]);
+        let big = rel(&[&[0, 0], &[1, 2], &[3, 4]]);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(Relation::empty(2).is_subset_of(&small));
+    }
+
+    #[test]
+    fn active_elems() {
+        let r = rel(&[&[5, 2], &[2, 7]]);
+        assert_eq!(r.active_elems(), vec![2, 5, 7]);
+    }
+
+    #[test]
+    fn zero_arity_relation() {
+        // Boolean answers: {} = no, {()} = yes.
+        let no = Relation::empty(0);
+        let yes = Relation::from_tuples(0, vec![Vec::new().into_boxed_slice()]);
+        assert!(no.is_empty());
+        assert_eq!(yes.len(), 1);
+        assert!(yes.contains(&[]));
+    }
+}

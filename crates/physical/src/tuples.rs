@@ -1,0 +1,170 @@
+//! Iteration over the tuple space `Dᵏ` and enumeration of relations over it.
+
+use crate::relation::{Elem, Relation};
+
+/// Iterator over all `arity`-tuples with components drawn from `domain`,
+/// in lexicographic order of component *positions* (odometer order).
+///
+/// Yields `|domain|^arity` tuples; the zero-arity space yields exactly the
+/// empty tuple.
+#[derive(Debug, Clone)]
+pub struct TupleSpace<'a> {
+    domain: &'a [Elem],
+    /// Indices into `domain`, or `None` once exhausted.
+    counters: Option<Vec<usize>>,
+}
+
+impl<'a> TupleSpace<'a> {
+    /// Creates the tuple space `domain^arity`.
+    pub fn new(domain: &'a [Elem], arity: usize) -> Self {
+        let counters = if arity > 0 && domain.is_empty() {
+            None // empty domain has no tuples of positive arity
+        } else {
+            Some(vec![0; arity])
+        };
+        TupleSpace { domain, counters }
+    }
+
+    /// Total number of tuples in the space.
+    pub fn size(&self) -> usize {
+        if self.counters.is_none() {
+            return 0;
+        }
+        self.domain
+            .len()
+            .checked_pow(self.counters.as_ref().map_or(0, Vec::len) as u32)
+            .expect("tuple space too large")
+    }
+}
+
+impl Iterator for TupleSpace<'_> {
+    type Item = Vec<Elem>;
+
+    fn next(&mut self) -> Option<Vec<Elem>> {
+        let counters = self.counters.as_mut()?;
+        let tuple: Vec<Elem> = counters.iter().map(|&i| self.domain[i]).collect();
+        // Advance the odometer (most significant digit first, so iteration
+        // is lexicographic in the tuple).
+        let mut pos = counters.len();
+        loop {
+            if pos == 0 {
+                self.counters = None;
+                break;
+            }
+            pos -= 1;
+            counters[pos] += 1;
+            if counters[pos] < self.domain.len() {
+                break;
+            }
+            counters[pos] = 0;
+        }
+        Some(tuple)
+    }
+}
+
+/// Enumerates every relation of the given arity over `domain`, invoking
+/// `visit` on each; stops early (returning `false`) when `visit` returns
+/// `false`.
+///
+/// There are `2^(|domain|^arity)` such relations, so this is only usable
+/// for tiny universes — exactly the situation of the Theorem 3 precise
+/// simulation, whose cost this brute force *is* (the "second-order
+/// universal quantification hidden in the semantics"). The universe is
+/// capped at 2⁶³ subsets (tuple-space size ≤ 63) to keep the bitmask in a
+/// `u64`; larger requests panic rather than silently truncating.
+pub fn for_each_relation(
+    domain: &[Elem],
+    arity: usize,
+    mut visit: impl FnMut(&Relation) -> bool,
+) -> bool {
+    let universe: Vec<Vec<Elem>> = TupleSpace::new(domain, arity).collect();
+    assert!(
+        universe.len() <= 63,
+        "second-order enumeration over {} tuples is infeasible",
+        universe.len()
+    );
+    let count: u64 = 1u64 << universe.len();
+    for mask in 0..count {
+        let tuples: Vec<Box<[Elem]>> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1u64 << i) != 0)
+            .map(|(_, t)| t.clone().into_boxed_slice())
+            .collect();
+        let rel = Relation::from_tuples(arity, tuples);
+        if !visit(&rel) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_space_counts() {
+        let domain = [0, 1, 2];
+        assert_eq!(TupleSpace::new(&domain, 0).count(), 1);
+        assert_eq!(TupleSpace::new(&domain, 1).count(), 3);
+        assert_eq!(TupleSpace::new(&domain, 2).count(), 9);
+        assert_eq!(TupleSpace::new(&domain, 3).count(), 27);
+    }
+
+    #[test]
+    fn tuple_space_order_is_lexicographic() {
+        let domain = [5, 7];
+        let tuples: Vec<Vec<Elem>> = TupleSpace::new(&domain, 2).collect();
+        assert_eq!(
+            tuples,
+            vec![vec![5, 5], vec![5, 7], vec![7, 5], vec![7, 7]]
+        );
+    }
+
+    #[test]
+    fn empty_domain_positive_arity() {
+        let domain: [Elem; 0] = [];
+        assert_eq!(TupleSpace::new(&domain, 2).count(), 0);
+        // Zero arity still has the empty tuple even over an empty domain.
+        assert_eq!(TupleSpace::new(&domain, 0).count(), 1);
+    }
+
+    #[test]
+    fn size_matches_count() {
+        let domain = [1, 2, 3, 4];
+        for arity in 0..4 {
+            let ts = TupleSpace::new(&domain, arity);
+            assert_eq!(ts.size(), ts.clone().count());
+        }
+    }
+
+    #[test]
+    fn relation_enumeration_counts() {
+        let domain = [0, 1];
+        let mut n = 0usize;
+        for_each_relation(&domain, 1, |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 4); // 2^(2^1)
+        n = 0;
+        for_each_relation(&domain, 2, |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 16); // 2^(2^2)
+    }
+
+    #[test]
+    fn relation_enumeration_early_exit() {
+        let domain = [0, 1];
+        let mut n = 0usize;
+        let completed = for_each_relation(&domain, 2, |_| {
+            n += 1;
+            n < 3
+        });
+        assert!(!completed);
+        assert_eq!(n, 3);
+    }
+}

@@ -1,0 +1,143 @@
+//! Undirected graphs for the 3-colorability reduction.
+
+/// A simple undirected graph on vertices `0..n` (self-loops permitted —
+//  they make a graph trivially non-colorable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// Normalized `(lo, hi)` edges, sorted, deduplicated.
+    edges: Vec<(u32, u32)>,
+}
+
+impl Graph {
+    /// Builds a graph, normalizing the edge list.
+    ///
+    /// # Panics
+    /// Panics if an edge mentions a vertex `≥ n`.
+    pub fn new(n: usize, edges: impl IntoIterator<Item = (u32, u32)>) -> Graph {
+        let mut es: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        for &(_, hi) in &es {
+            assert!((hi as usize) < n, "edge endpoint {hi} out of range (n={n})");
+        }
+        es.sort_unstable();
+        es.dedup();
+        Graph { n, edges: es }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The normalized edge list.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Per-vertex neighbour lists.
+    pub fn adjacency(&self) -> Vec<Vec<u32>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for &(a, b) in &self.edges {
+            adj[a as usize].push(b);
+            if a != b {
+                adj[b as usize].push(a);
+            }
+        }
+        adj
+    }
+
+    /// The cycle `C_n` (rings with `n` odd and `n ≥ 3` are 3-chromatic;
+    /// even rings are 2-chromatic).
+    pub fn ring(n: usize) -> Graph {
+        let edges = (0..n as u32).map(|i| (i, ((i + 1) % n as u32)));
+        Graph::new(n, edges)
+    }
+
+    /// The complete graph `K_n` (3-colorable iff `n ≤ 3`).
+    pub fn complete(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        Graph::new(n, edges)
+    }
+
+    /// Complete bipartite `K_{a,b}` (always 2-colorable).
+    pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..a as u32 {
+            for j in 0..b as u32 {
+                edges.push((i, a as u32 + j));
+            }
+        }
+        Graph::new(a + b, edges)
+    }
+
+    /// The wheel `W_n`: a ring of `n` vertices all joined to a hub
+    /// (3-colorable iff `n` is even).
+    pub fn wheel(n: usize) -> Graph {
+        let mut edges: Vec<(u32, u32)> = (0..n as u32)
+            .map(|i| (i, (i + 1) % n as u32))
+            .collect();
+        let hub = n as u32;
+        edges.extend((0..n as u32).map(|i| (i, hub)));
+        Graph::new(n + 1, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let g = Graph::new(3, [(2, 0), (0, 2), (1, 0)]);
+        assert_eq!(g.edges(), &[(0, 1), (0, 2)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge() {
+        Graph::new(2, [(0, 5)]);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let g = Graph::ring(4);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        let adj = g.adjacency();
+        assert!(adj.iter().all(|nbrs| nbrs.len() == 2));
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = Graph::complete(5);
+        assert_eq!(g.num_edges(), 10);
+    }
+
+    #[test]
+    fn wheel_shape() {
+        let g = Graph::wheel(4);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 8);
+    }
+
+    #[test]
+    fn self_loop_kept() {
+        let g = Graph::new(2, [(1, 1)]);
+        assert_eq!(g.edges(), &[(1, 1)]);
+        assert_eq!(g.adjacency()[1], vec![1]);
+    }
+}

@@ -1,0 +1,30 @@
+//! The complexity reductions of §4 of *Querying Logical Databases*,
+//! together with independent solvers used as test oracles.
+//!
+//! * [`three_color`] — Theorem 5(2): graph 3-colorability reduces to
+//!   (the complement of) Boolean query evaluation over CW logical
+//!   databases, witnessing co-NP-hardness of data complexity; plus a
+//!   backtracking 3-coloring solver.
+//! * [`qbf`] — quantified Boolean formulas (`B_{k+1}`) and a recursive
+//!   solver.
+//! * [`qbf_fo`] — Theorem 7: `B_{k+1}` reduces to evaluation of `Σᴱₖ`
+//!   first-order queries (combined complexity is `Πᵖₖ₊₁`-complete).
+//! * [`qbf_so`] — Theorem 9: `B_{k+1}` reduces to evaluation of `Σ¹ₖ`
+//!   second-order queries (data complexity is `Πᵖₖ₊₁`-complete).
+//!
+//! Beyond reproducing the lower bounds, these constructions double as a
+//! deep differential test of the exact evaluator: every reduction output
+//! is decided through `qld_core::exact::certainly_holds` and compared
+//! against the dedicated solver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod qbf;
+pub mod qbf_fo;
+pub mod qbf_so;
+pub mod three_color;
+
+pub use graph::Graph;
+pub use qbf::{Lit, Qbf, Quant};

@@ -1,0 +1,289 @@
+//! Quantified Boolean formulas in the `B_{k+1}` shape of \[St77\] used by
+//! Theorems 7 and 9, plus a recursive solver (the oracle).
+
+/// A quantifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quant {
+    /// Universal block.
+    Forall,
+    /// Existential block.
+    Exists,
+}
+
+impl Quant {
+    /// The other quantifier.
+    pub fn flip(self) -> Quant {
+        match self {
+            Quant::Forall => Quant::Exists,
+            Quant::Exists => Quant::Forall,
+        }
+    }
+}
+
+/// A literal: a propositional variable or its negation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lit {
+    /// Global variable index.
+    pub var: usize,
+    /// `true` for a positive occurrence.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// Positive literal on `var`.
+    pub fn pos(var: usize) -> Lit {
+        Lit {
+            var,
+            positive: true,
+        }
+    }
+
+    /// Negative literal on `var`.
+    pub fn neg(var: usize) -> Lit {
+        Lit {
+            var,
+            positive: false,
+        }
+    }
+}
+
+/// A prenex CNF quantified Boolean formula.
+///
+/// Variables are numbered globally `0..num_vars()`, block by block: block
+/// `i` covers the `block_sizes[i]` variables following those of earlier
+/// blocks. `B_{k+1}` formulas have strictly alternating blocks starting
+/// with `∀` (validated by [`Qbf::new`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Qbf {
+    blocks: Vec<(Quant, usize)>,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl Qbf {
+    /// Builds and validates a QBF.
+    ///
+    /// # Panics
+    /// Panics on: empty blocks, consecutive blocks with the same
+    /// quantifier (not prenex-alternating), or a literal out of range.
+    pub fn new(blocks: Vec<(Quant, usize)>, clauses: Vec<Vec<Lit>>) -> Qbf {
+        assert!(!blocks.is_empty(), "QBF needs at least one block");
+        for (q, size) in &blocks {
+            assert!(*size > 0, "empty {q:?} block");
+        }
+        for pair in blocks.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "blocks must alternate");
+        }
+        let n: usize = blocks.iter().map(|(_, s)| s).sum();
+        for clause in &clauses {
+            for lit in clause {
+                assert!(lit.var < n, "literal variable {} out of range", lit.var);
+            }
+        }
+        Qbf { blocks, clauses }
+    }
+
+    /// The quantifier blocks `(quantifier, size)`.
+    pub fn blocks(&self) -> &[(Quant, usize)] {
+        &self.blocks
+    }
+
+    /// The CNF matrix.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// Total number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.blocks.iter().map(|(_, s)| s).sum()
+    }
+
+    /// The block index of a variable.
+    pub fn block_of(&self, var: usize) -> usize {
+        let mut acc = 0;
+        for (i, (_, s)) in self.blocks.iter().enumerate() {
+            acc += s;
+            if var < acc {
+                return i;
+            }
+        }
+        panic!("variable {var} out of range");
+    }
+
+    /// The index of a variable within its block.
+    pub fn index_in_block(&self, var: usize) -> usize {
+        let mut acc = 0;
+        for (_, s) in &self.blocks {
+            if var < acc + s {
+                return var - acc;
+            }
+            acc += s;
+        }
+        panic!("variable {var} out of range");
+    }
+
+    /// Is this in the `B_{k+1}` shape (first block universal)? Theorems 7
+    /// and 9 require it.
+    pub fn starts_universal(&self) -> bool {
+        self.blocks[0].0 == Quant::Forall
+    }
+
+    /// `k` such that this formula is in `B_{k+1}`: the number of blocks
+    /// after the leading universal one.
+    pub fn alternations_after_first(&self) -> usize {
+        self.blocks.len() - 1
+    }
+
+    /// Evaluates the matrix under a full assignment.
+    pub fn matrix_value(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| assignment[lit.var] == lit.positive)
+        })
+    }
+
+    /// Recursive QBF solver — the independent oracle for Theorems 7 and 9.
+    pub fn is_true(&self) -> bool {
+        let mut assignment = vec![false; self.num_vars()];
+        self.solve(0, &mut assignment)
+    }
+
+    fn solve(&self, var: usize, assignment: &mut Vec<bool>) -> bool {
+        if var == self.num_vars() {
+            return self.matrix_value(assignment);
+        }
+        let quant = self.blocks[self.block_of(var)].0;
+        for value in [false, true] {
+            assignment[var] = value;
+            let sub = self.solve(var + 1, assignment);
+            match quant {
+                Quant::Exists if sub => return true,
+                Quant::Forall if !sub => return false,
+                _ => {}
+            }
+        }
+        quant == Quant::Forall
+    }
+
+    /// Pads every clause to exactly three literals by repeating its last
+    /// literal (semantically neutral); clauses longer than three are
+    /// rejected. Theorem 9's construction wants exactly-3 clauses.
+    pub fn to_exactly_three(&self) -> Option<Qbf> {
+        let mut clauses = Vec::with_capacity(self.clauses.len());
+        for clause in &self.clauses {
+            if clause.is_empty() || clause.len() > 3 {
+                return None;
+            }
+            let mut c = clause.clone();
+            while c.len() < 3 {
+                c.push(*c.last().expect("nonempty"));
+            }
+            clauses.push(c);
+        }
+        Some(Qbf {
+            blocks: self.blocks.clone(),
+            clauses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ∀x ∃y (x ∨ y) ∧ (¬x ∨ ¬y) — true: pick y = ¬x.
+    fn xor_like() -> Qbf {
+        Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        )
+    }
+
+    #[test]
+    fn solver_on_xor_like() {
+        assert!(xor_like().is_true());
+    }
+
+    #[test]
+    fn forall_fails_when_no_uniform_choice() {
+        // ∀x ∃y (x ∧ y)… as CNF: (x) ∧ (y). ∀x fails at x=false.
+        let q = Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1)],
+            vec![vec![Lit::pos(0)], vec![Lit::pos(1)]],
+        );
+        assert!(!q.is_true());
+    }
+
+    #[test]
+    fn pure_universal_tautology() {
+        // ∀x (x ∨ ¬x)
+        let q = Qbf::new(
+            vec![(Quant::Forall, 1)],
+            vec![vec![Lit::pos(0), Lit::neg(0)]],
+        );
+        assert!(q.is_true());
+    }
+
+    #[test]
+    fn empty_matrix_is_true() {
+        let q = Qbf::new(vec![(Quant::Forall, 2)], vec![]);
+        assert!(q.is_true());
+    }
+
+    #[test]
+    fn three_level_alternation() {
+        // ∀x ∃y ∀z ((x∨y∨z) ∧ (¬x∨y∨¬z)): choose y = true always.
+        let q = Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1), (Quant::Forall, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            ],
+        );
+        assert!(q.is_true());
+        // Flip: require y to track z, impossible before seeing z.
+        // ∀x ∃y ∀z ((y∨z) ∧ (¬y∨¬z))
+        let q = Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1), (Quant::Forall, 1)],
+            vec![
+                vec![Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(1), Lit::neg(2)],
+            ],
+        );
+        assert!(!q.is_true());
+    }
+
+    #[test]
+    fn block_indexing() {
+        let q = Qbf::new(
+            vec![(Quant::Forall, 2), (Quant::Exists, 3)],
+            vec![vec![Lit::pos(4)]],
+        );
+        assert_eq!(q.block_of(0), 0);
+        assert_eq!(q.block_of(1), 0);
+        assert_eq!(q.block_of(2), 1);
+        assert_eq!(q.block_of(4), 1);
+        assert_eq!(q.index_in_block(1), 1);
+        assert_eq!(q.index_in_block(2), 0);
+        assert_eq!(q.index_in_block(4), 2);
+        assert!(q.starts_universal());
+        assert_eq!(q.alternations_after_first(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alternate")]
+    fn non_alternating_rejected() {
+        Qbf::new(vec![(Quant::Forall, 1), (Quant::Forall, 1)], vec![]);
+    }
+
+    #[test]
+    fn padding_to_three() {
+        let q = xor_like();
+        let padded = q.to_exactly_three().unwrap();
+        assert!(padded.clauses().iter().all(|c| c.len() == 3));
+        assert_eq!(q.is_true(), padded.is_true());
+    }
+}

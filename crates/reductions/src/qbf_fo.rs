@@ -1,0 +1,216 @@
+//! Theorem 7: reduction from `B_{k+1}` QBF truth to evaluation of `Σᴱₖ`
+//! first-order queries over CW logical databases.
+//!
+//! For `φ = ∀x_{1,1}…x_{1,m₁} ∃x_{2,*} … Q x_{k+1,*} ψ`, the database has
+//! constants `0, 1, c₁,…,c_{m₁}`, facts `M(1)` and `Nⱼ(cⱼ)`, and the
+//! single uniqueness axiom `¬(0 = 1)`. The query replaces first-block
+//! variables `x_{1,j}` by `Nⱼ(1)` and later variables `x_{i,j}` by
+//! `M(y_{i,j})`, keeping the quantifier prefix from block 2 on:
+//!
+//! `σ = ∃y_{2,*} … Q y_{k+1,*} χ`.
+//!
+//! The universal quantification over the mappings `h` of Theorem 1
+//! simulates the universal first block (`x_{1,j}` is true iff
+//! `h(cⱼ) = h(1)`), and the query's own quantifiers simulate the rest
+//! (`y = h(1)` encodes true). Then `φ` is true iff `T ⊨_f σ`.
+
+use crate::qbf::{Lit, Qbf, Quant};
+use qld_core::{certainly_holds, CwDatabase};
+use qld_logic::{Formula, Query, Term, Var, Vocabulary};
+
+/// The output of the Theorem 7 reduction.
+#[derive(Debug, Clone)]
+pub struct QbfFoInstance {
+    /// The CW logical database (grows with `m₁` only).
+    pub db: CwDatabase,
+    /// The `Σᴱₖ`-shaped first-order Boolean query.
+    pub query: Query,
+}
+
+/// Builds the Theorem 7 instance.
+///
+/// # Panics
+/// Panics if the formula does not start with a universal block (`B_{k+1}`
+/// shape).
+pub fn reduce(qbf: &Qbf) -> QbfFoInstance {
+    assert!(
+        qbf.starts_universal(),
+        "Theorem 7 requires a leading universal block"
+    );
+    let m1 = qbf.blocks()[0].1;
+
+    let mut voc = Vocabulary::new();
+    let zero = voc.add_const("0").unwrap();
+    let one = voc.add_const("1").unwrap();
+    let cs: Vec<_> = (1..=m1)
+        .map(|j| voc.add_const(&format!("c{j}")).unwrap())
+        .collect();
+    let m = voc.add_pred("M", 1).unwrap();
+    let ns: Vec<_> = (1..=m1)
+        .map(|j| voc.add_pred(&format!("N{j}"), 1).unwrap())
+        .collect();
+
+    let mut builder = CwDatabase::builder(voc).fact(m, &[one]).unique(zero, one);
+    for (j, c) in cs.iter().enumerate() {
+        builder = builder.fact(ns[j], &[*c]);
+    }
+    let db = builder.build().expect("reduction output is well-formed");
+
+    // χ: the matrix with x_{1,j} ↦ N_j(1) and x_{i,j} ↦ M(y_{i,j}).
+    let lit_formula = |lit: &Lit| -> Formula {
+        let atom = if qbf.block_of(lit.var) == 0 {
+            Formula::atom(ns[qbf.index_in_block(lit.var)], [Term::Const(one)])
+        } else {
+            Formula::atom(m, [Term::Var(Var(lit.var as u32))])
+        };
+        if lit.positive {
+            atom
+        } else {
+            Formula::not(atom)
+        }
+    };
+    let chi = Formula::and(
+        qbf.clauses()
+            .iter()
+            .map(|clause| Formula::or(clause.iter().map(lit_formula).collect()))
+            .collect(),
+    );
+
+    // Prefix: blocks 2..k+1 quantify their y variables.
+    let mut body = chi;
+    let mut var_base: usize = qbf.num_vars();
+    for (quant, size) in qbf.blocks().iter().skip(1).rev() {
+        var_base -= size;
+        let vars = (var_base..var_base + size).map(|v| Var(v as u32));
+        body = match quant {
+            Quant::Exists => Formula::exists(vars, body),
+            Quant::Forall => Formula::forall(vars, body),
+        };
+    }
+    let query = Query::boolean(body).expect("all matrix variables are quantified");
+    query.check(db.voc()).expect("construction is well-formed");
+    QbfFoInstance { db, query }
+}
+
+/// Decides the QBF through the logical database (exponential — this is
+/// the `Πᵖₖ₊₁`-complete combined-complexity evaluation).
+pub fn qbf_true_via_logical_db(qbf: &Qbf) -> bool {
+    let inst = reduce(qbf);
+    certainly_holds(&inst.db, &inst.query).expect("constructed query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(qbf: &Qbf) {
+        assert_eq!(
+            qbf_true_via_logical_db(qbf),
+            qbf.is_true(),
+            "reduction disagrees with solver on {qbf:?}"
+        );
+    }
+
+    #[test]
+    fn k0_pure_universal() {
+        // ∀x₁x₂ (x₁ ∨ ¬x₁): true.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 2)],
+            vec![vec![Lit::pos(0), Lit::neg(0)]],
+        ));
+        // ∀x₁x₂ (x₁ ∨ x₂): false.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 2)],
+            vec![vec![Lit::pos(0), Lit::pos(1)]],
+        ));
+        // ∀x (¬x): false.
+        check(&Qbf::new(vec![(Quant::Forall, 1)], vec![vec![Lit::neg(0)]]));
+    }
+
+    #[test]
+    fn k1_forall_exists() {
+        // ∀x ∃y ((x∨y) ∧ (¬x∨¬y)): true (y = ¬x).
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        ));
+        // ∀x ∃y ((x∨y) ∧ (x∨¬y)): false (x=false kills both).
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::pos(0), Lit::neg(1)],
+            ],
+        ));
+        // Two universal vars: ∀x₁x₂ ∃y ((x₁∨x₂∨y) ∧ (¬x₁∨¬x₂∨¬y)): true.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 2), (Quant::Exists, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::neg(1), Lit::neg(2)],
+            ],
+        ));
+    }
+
+    #[test]
+    fn k2_three_blocks() {
+        // ∀x ∃y ∀z ((x∨y∨z) ∧ (¬x∨y∨¬z)): true (y = true).
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1), (Quant::Forall, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            ],
+        ));
+        // ∀x ∃y ∀z ((y∨z) ∧ (¬y∨¬z)): false.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1), (Quant::Forall, 1)],
+            vec![
+                vec![Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(1), Lit::neg(2)],
+            ],
+        ));
+    }
+
+    #[test]
+    fn query_shape_is_sigma_k() {
+        // The query must carry only the blocks after the first, and be
+        // Boolean first-order.
+        let qbf = Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 2), (Quant::Forall, 1)],
+            vec![vec![Lit::pos(1), Lit::neg(3)]],
+        );
+        let inst = reduce(&qbf);
+        assert!(inst.query.is_boolean());
+        assert!(inst.query.is_first_order());
+        // Prefix: ∃∃∀…
+        match inst.query.body() {
+            Formula::Exists(..) => {}
+            other => panic!("expected leading ∃, got {other:?}"),
+        }
+        assert_eq!(inst.query.body().quantifier_rank(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "universal block")]
+    fn existential_start_rejected() {
+        let qbf = Qbf::new(vec![(Quant::Exists, 1)], vec![vec![Lit::pos(0)]]);
+        reduce(&qbf);
+    }
+
+    #[test]
+    fn database_size_depends_on_first_block_only() {
+        let small = reduce(&Qbf::new(
+            vec![(Quant::Forall, 2), (Quant::Exists, 1)],
+            vec![vec![Lit::pos(0)]],
+        ));
+        let large = reduce(&Qbf::new(
+            vec![(Quant::Forall, 2), (Quant::Exists, 4)],
+            vec![vec![Lit::pos(0)]],
+        ));
+        assert_eq!(small.db.num_consts(), large.db.num_consts());
+    }
+}

@@ -1,0 +1,274 @@
+//! Theorem 9: reduction from `B_{k+1}` QBF truth to evaluation of a
+//! **fixed** `Σ¹ₖ` second-order query — the data-complexity analogue of
+//! Theorem 7.
+//!
+//! The matrix must be a conjunction of 3-literal clauses. For a clause
+//! whose literals have signs `(s₁,s₂,s₃)` and quantifier levels
+//! `(i₁,i₂,i₃)` there is a ternary predicate `R^{s₁s₂s₃}_{i₁i₂i₃}`, and
+//! the clause contributes the fact
+//! `R^{s₁s₂s₃}_{i₁i₂i₃}(c_{i₁,j₁}, c_{i₂,j₂}, c_{i₃,j₃})` — *the clauses
+//! live in the data*, while the query only depends on `k` and the clause
+//! shapes. Level-1 variables are simulated by the Theorem 1 mapping `h`
+//! (`x_{1,j}` is true iff `h(c_{1,j})` lands in `N₁ = {h(1)}`); levels
+//! ≥ 2 are simulated by quantified unary predicate variables `N₂ … N_{k+1}`:
+//!
+//! `σ = ∃N₂ ∀N₃ … Q N_{k+1} ⋀_{shapes} ∀xyz (R(x,y,z) → l₁(x) ∨ l₂(y) ∨ l₃(z))`.
+//!
+//! Uniqueness axioms make all level-≥2 constants pairwise distinct, so
+//! the set quantifiers can realize every Boolean assignment of those
+//! blocks.
+
+use crate::qbf::{Qbf, Quant};
+use qld_core::{certainly_holds, CwDatabase};
+use qld_logic::{ConstId, Formula, PredVarId, Query, Term, Var, Vocabulary};
+use std::collections::HashMap;
+
+/// The output of the Theorem 9 reduction.
+#[derive(Debug, Clone)]
+pub struct QbfSoInstance {
+    /// The CW logical database carrying the clauses as facts.
+    pub db: CwDatabase,
+    /// The `Σ¹ₖ` second-order Boolean query (fixed given `k` and the
+    /// clause shapes).
+    pub query: Query,
+}
+
+/// Builds the Theorem 9 instance. Clauses are padded to exactly three
+/// literals first.
+///
+/// # Panics
+/// Panics if the formula does not start with a universal block, or has a
+/// clause with more than three (or zero) literals.
+pub fn reduce(qbf: &Qbf) -> QbfSoInstance {
+    assert!(
+        qbf.starts_universal(),
+        "Theorem 9 requires a leading universal block"
+    );
+    let qbf = qbf
+        .to_exactly_three()
+        .expect("Theorem 9 requires 1..=3-literal clauses");
+    let k_plus_1 = qbf.blocks().len();
+
+    let mut voc = Vocabulary::new();
+    let one = voc.add_const("1").unwrap();
+    // Constant per propositional variable, in global order.
+    let cvar: Vec<ConstId> = (0..qbf.num_vars())
+        .map(|v| {
+            let level = qbf.block_of(v) + 1;
+            let j = qbf.index_in_block(v) + 1;
+            voc.add_const(&format!("x{level}_{j}")).unwrap()
+        })
+        .collect();
+    let n1 = voc.add_pred("N1", 1).unwrap();
+
+    // One ternary predicate per clause *shape* (signs × levels).
+    let mut shape_preds: HashMap<(Vec<bool>, Vec<usize>), qld_logic::PredId> = HashMap::new();
+    let mut shapes: Vec<(Vec<bool>, Vec<usize>, qld_logic::PredId)> = Vec::new();
+    for clause in qbf.clauses() {
+        let signs: Vec<bool> = clause.iter().map(|l| l.positive).collect();
+        let levels: Vec<usize> = clause.iter().map(|l| qbf.block_of(l.var) + 1).collect();
+        let key = (signs.clone(), levels.clone());
+        if !shape_preds.contains_key(&key) {
+            let name = format!(
+                "R_{}_{}",
+                signs
+                    .iter()
+                    .map(|s| if *s { 'p' } else { 'n' })
+                    .collect::<String>(),
+                levels
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join("_")
+            );
+            let p = voc.add_pred(&name, 3).unwrap();
+            shape_preds.insert(key, p);
+            shapes.push((signs, levels, p));
+        }
+    }
+
+    let mut builder = CwDatabase::builder(voc).fact(n1, &[one]);
+    // Facts: the clauses.
+    for clause in qbf.clauses() {
+        let signs: Vec<bool> = clause.iter().map(|l| l.positive).collect();
+        let levels: Vec<usize> = clause.iter().map(|l| qbf.block_of(l.var) + 1).collect();
+        let p = shape_preds[&(signs, levels)];
+        let args: Vec<ConstId> = clause.iter().map(|l| cvar[l.var]).collect();
+        builder = builder.fact(p, &args);
+    }
+    // Uniqueness: all pairs of level-≥2 variable constants are distinct,
+    // so the quantified sets can realize every assignment.
+    let level_ge2: Vec<ConstId> = (0..qbf.num_vars())
+        .filter(|&v| qbf.block_of(v) >= 1)
+        .map(|v| cvar[v])
+        .collect();
+    builder = builder.pairwise_unique(&level_ge2);
+    let db = builder.build().expect("reduction output is well-formed");
+
+    // ξ: per shape, ∀xyz (R(x,y,z) → l₁(x) ∨ l₂(y) ∨ l₃(z)), where the
+    // level-1 literal reads the base predicate N1 and level-i (i ≥ 2)
+    // literals read predicate variable N_i = PredVar(i − 2).
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let membership = |level: usize, t: Var| -> Formula {
+        if level == 1 {
+            Formula::atom(n1, [Term::Var(t)])
+        } else {
+            Formula::so_atom(PredVarId((level - 2) as u32), [Term::Var(t)])
+        }
+    };
+    let xi = Formula::and(
+        shapes
+            .iter()
+            .map(|(signs, levels, p)| {
+                let lits: Vec<Formula> = signs
+                    .iter()
+                    .zip(levels.iter())
+                    .zip([x, y, z])
+                    .map(|((sign, level), t)| {
+                        let atom = membership(*level, t);
+                        if *sign {
+                            atom
+                        } else {
+                            Formula::not(atom)
+                        }
+                    })
+                    .collect();
+                Formula::forall(
+                    [x, y, z],
+                    Formula::implies(
+                        Formula::atom(*p, [Term::Var(x), Term::Var(y), Term::Var(z)]),
+                        Formula::or(lits),
+                    ),
+                )
+            })
+            .collect(),
+    );
+
+    // σ: the alternating second-order prefix over N₂ … N_{k+1}.
+    let mut body = xi;
+    for (b, (quant, _)) in qbf.blocks().iter().enumerate().skip(1).rev() {
+        let nv = PredVarId((b - 1) as u32);
+        body = match quant {
+            Quant::Exists => Formula::SoExists(nv, 1, Box::new(body)),
+            Quant::Forall => Formula::SoForall(nv, 1, Box::new(body)),
+        };
+    }
+    debug_assert_eq!(qbf.blocks().len(), k_plus_1);
+    let query = Query::boolean(body).expect("sentence");
+    query.check(db.voc()).expect("construction is well-formed");
+    QbfSoInstance { db, query }
+}
+
+/// Decides the QBF through the logical database (doubly exponential here:
+/// kernel enumeration × brute-force second-order quantification).
+pub fn qbf_true_via_logical_db(qbf: &Qbf) -> bool {
+    let inst = reduce(qbf);
+    certainly_holds(&inst.db, &inst.query).expect("constructed query is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qbf::Lit;
+
+    fn check(qbf: &Qbf) {
+        assert_eq!(
+            qbf_true_via_logical_db(qbf),
+            qbf.is_true(),
+            "reduction disagrees with solver on {qbf:?}"
+        );
+    }
+
+    #[test]
+    fn k0_pure_universal() {
+        // ∀x₁x₂ (x₁ ∨ ¬x₁ ∨ x₂): true.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 2)],
+            vec![vec![Lit::pos(0), Lit::neg(0), Lit::pos(1)]],
+        ));
+        // ∀x₁x₂ (x₁ ∨ x₂ ∨ x₂): false.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 2)],
+            vec![vec![Lit::pos(0), Lit::pos(1), Lit::pos(1)]],
+        ));
+    }
+
+    #[test]
+    fn k1_forall_exists() {
+        // ∀x ∃y ((x∨y) ∧ (¬x∨¬y)): true.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::neg(0), Lit::neg(1)],
+            ],
+        ));
+        // ∀x ∃y ((x∨y) ∧ (x∨¬y)): false.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1)],
+                vec![Lit::pos(0), Lit::neg(1)],
+            ],
+        ));
+        // Mixed-level clause with two ∃ vars:
+        // ∀x ∃y₁y₂ ((¬x∨y₁∨y₂) ∧ (x∨¬y₁∨¬y₂)): true.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 2)],
+            vec![
+                vec![Lit::neg(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::pos(0), Lit::neg(1), Lit::neg(2)],
+            ],
+        ));
+    }
+
+    #[test]
+    fn k2_three_blocks() {
+        // ∀x ∃y ∀z ((x∨y∨z) ∧ (¬x∨y∨¬z)): true (y = true).
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1), (Quant::Forall, 1)],
+            vec![
+                vec![Lit::pos(0), Lit::pos(1), Lit::pos(2)],
+                vec![Lit::neg(0), Lit::pos(1), Lit::neg(2)],
+            ],
+        ));
+        // ∀x ∃y ∀z ((y∨z∨z) ∧ (¬y∨¬z∨¬z)): false.
+        check(&Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1), (Quant::Forall, 1)],
+            vec![
+                vec![Lit::pos(1), Lit::pos(2), Lit::pos(2)],
+                vec![Lit::neg(1), Lit::neg(2), Lit::neg(2)],
+            ],
+        ));
+    }
+
+    #[test]
+    fn query_is_fixed_given_shapes() {
+        // Two formulas with identical clause shapes but different clause
+        // *contents* produce the same query — data complexity: only the
+        // database changes.
+        let a = Qbf::new(
+            vec![(Quant::Forall, 2), (Quant::Exists, 2)],
+            vec![vec![Lit::pos(0), Lit::pos(2), Lit::pos(3)]],
+        );
+        let b = Qbf::new(
+            vec![(Quant::Forall, 2), (Quant::Exists, 2)],
+            vec![vec![Lit::pos(1), Lit::pos(3), Lit::pos(2)]],
+        );
+        let ia = reduce(&a);
+        let ib = reduce(&b);
+        assert_eq!(ia.query, ib.query);
+        assert_ne!(ia.db, ib.db);
+    }
+
+    #[test]
+    fn query_class_is_second_order() {
+        let qbf = Qbf::new(
+            vec![(Quant::Forall, 1), (Quant::Exists, 1)],
+            vec![vec![Lit::pos(0), Lit::pos(1)]],
+        );
+        let inst = reduce(&qbf);
+        assert_eq!(inst.query.class(), qld_logic::QueryClass::SecondOrder);
+        assert!(matches!(inst.query.body(), Formula::SoExists(..)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Theorem 5(2): the reduction from graph 3-colorability to the complement
+//! of Boolean query evaluation over CW logical databases.
+//!
+//! Given `G = (V, E)`, the database has constants `1, 2, 3` (pairwise
+//! distinct) and one constant `c_v` per vertex (with *no* uniqueness
+//! axioms — the vertex constants are the unknown values the mapping `h`
+//! is free to collapse onto colors), facts `M(1), M(2), M(3)` and
+//! `R(c_u, c_v)` per edge, and the fixed Boolean query
+//!
+//! `φ = (∀y M(y)) → (∃z R(z, z))`.
+//!
+//! `G` is 3-colorable **iff** `LB ⊭_f φ`: a respecting mapping that
+//! falsifies `φ` must squash every vertex constant onto `{1,2,3}` without
+//! creating a self-loop — i.e., it *is* a proper 3-coloring.
+
+use crate::graph::Graph;
+use qld_core::{certainly_holds, CwDatabase};
+use qld_logic::{parser::parse_query, Query, Vocabulary};
+
+/// The output of the reduction.
+#[derive(Debug, Clone)]
+pub struct ThreeColorInstance {
+    /// The CW logical database encoding the graph.
+    pub db: CwDatabase,
+    /// The fixed query `(∀y M(y)) → (∃z R(z, z))`. Note the query does
+    /// not depend on the graph — that is what makes this a *data*
+    /// complexity bound.
+    pub query: Query,
+}
+
+/// Builds the Theorem 5 instance for a graph.
+pub fn reduce(g: &Graph) -> ThreeColorInstance {
+    let mut voc = Vocabulary::new();
+    voc.add_consts(["1", "2", "3"]).unwrap();
+    for v in 0..g.num_vertices() {
+        voc.add_const(&format!("v{v}")).unwrap();
+    }
+    let m = voc.add_pred("M", 1).unwrap();
+    let r = voc.add_pred("R", 2).unwrap();
+    let one = voc.const_id("1").unwrap();
+    let two = voc.const_id("2").unwrap();
+    let three = voc.const_id("3").unwrap();
+    let cv = |v: u32| qld_logic::ConstId(3 + v);
+
+    let mut builder = CwDatabase::builder(voc)
+        .fact(m, &[one])
+        .fact(m, &[two])
+        .fact(m, &[three])
+        .unique(one, two)
+        .unique(one, three)
+        .unique(two, three);
+    for &(u, v) in g.edges() {
+        builder = builder.fact(r, &[cv(u), cv(v)]);
+    }
+    let db = builder.build().expect("reduction output is well-formed");
+    let query =
+        parse_query(db.voc(), "(forall y. M(y)) -> (exists z. R(z, z))").expect("fixed query");
+    ThreeColorInstance { db, query }
+}
+
+/// Decides 3-colorability through the logical database (exponential: this
+/// is the co-NP-complete certain-answer evaluation).
+pub fn is_3colorable_via_logical_db(g: &Graph) -> bool {
+    let inst = reduce(g);
+    !certainly_holds(&inst.db, &inst.query).expect("fixed query is valid")
+}
+
+/// Independent backtracking 3-coloring solver (the oracle). Returns a
+/// proper coloring when one exists.
+pub fn solve_3coloring(g: &Graph) -> Option<Vec<u8>> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    let adj = g.adjacency();
+    // Order vertices by descending degree for earlier pruning.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(adj[v].len()));
+    let mut color: Vec<u8> = vec![u8::MAX; n];
+    fn rec(pos: usize, order: &[usize], adj: &[Vec<u32>], color: &mut [u8]) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let v = order[pos];
+        'colors: for c in 0..3u8 {
+            for &w in &adj[v] {
+                if w as usize == v {
+                    return false; // self-loop: no proper coloring
+                }
+                if color[w as usize] == c {
+                    continue 'colors;
+                }
+            }
+            color[v] = c;
+            if rec(pos + 1, order, adj, color) {
+                return true;
+            }
+            color[v] = u8::MAX;
+        }
+        false
+    }
+    if rec(0, &order, &adj, &mut color) {
+        Some(color)
+    } else {
+        None
+    }
+}
+
+/// Checks that a coloring is proper.
+pub fn is_proper_coloring(g: &Graph, coloring: &[u8]) -> bool {
+    g.edges()
+        .iter()
+        .all(|&(u, v)| u != v && coloring[u as usize] != coloring[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_basics() {
+        assert!(solve_3coloring(&Graph::ring(4)).is_some());
+        assert!(solve_3coloring(&Graph::ring(5)).is_some()); // odd ring: 3 colors
+        assert!(solve_3coloring(&Graph::complete(3)).is_some());
+        assert!(solve_3coloring(&Graph::complete(4)).is_none());
+        assert!(solve_3coloring(&Graph::new(2, [(1, 1)])).is_none()); // self-loop
+        let g = Graph::wheel(5); // odd ring + hub needs 4 colors
+        assert!(solve_3coloring(&g).is_none());
+        let g = Graph::wheel(4); // even ring + hub: 3 colors
+        assert!(solve_3coloring(&g).is_some());
+    }
+
+    #[test]
+    fn solver_returns_proper_colorings() {
+        for g in [
+            Graph::ring(5),
+            Graph::ring(6),
+            Graph::complete(3),
+            Graph::complete_bipartite(2, 3),
+            Graph::wheel(4),
+        ] {
+            let coloring = solve_3coloring(&g).expect("colorable");
+            assert!(is_proper_coloring(&g, &coloring), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn reduction_database_shape() {
+        let g = Graph::ring(3);
+        let inst = reduce(&g);
+        assert_eq!(inst.db.num_consts(), 6); // 1,2,3 + three vertices
+        assert_eq!(inst.db.num_facts(), 3 + 3); // M facts + edges
+        assert_eq!(inst.db.num_ne(), 3);
+        assert!(inst.query.is_boolean());
+        assert!(inst.query.is_first_order());
+    }
+
+    #[test]
+    fn logical_db_agrees_with_solver() {
+        let cases = [
+            Graph::ring(3),
+            Graph::ring(4),
+            Graph::ring(5),
+            Graph::complete(3),
+            Graph::complete(4),
+            Graph::complete_bipartite(2, 2),
+            Graph::new(2, [(1, 1)]),
+            Graph::new(3, []),
+            Graph::wheel(4),
+        ];
+        for g in cases {
+            let expected = solve_3coloring(&g).is_some();
+            let via_db = is_3colorable_via_logical_db(&g);
+            assert_eq!(via_db, expected, "disagreement on {g:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_is_colorable() {
+        let g = Graph::new(0, []);
+        assert!(is_3colorable_via_logical_db(&g));
+    }
+}

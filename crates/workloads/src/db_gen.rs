@@ -1,0 +1,143 @@
+//! Random CW logical databases with a controlled unknown-value density.
+
+use qld_core::CwDatabase;
+use qld_logic::{ConstId, Vocabulary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_cw_db`].
+#[derive(Debug, Clone)]
+pub struct DbGenConfig {
+    /// Number of constant symbols.
+    pub num_consts: usize,
+    /// Arity of each predicate (`pred_arities.len()` predicates named
+    /// `P0, P1, …`).
+    pub pred_arities: Vec<usize>,
+    /// Facts generated per predicate (duplicates collapse, so the stored
+    /// count may be lower).
+    pub facts_per_pred: usize,
+    /// Fraction of constants that are *known* (pairwise covered by
+    /// uniqueness axioms). `1.0` produces a fully specified database —
+    /// zero unknown values; `0.0` leaves every identity open.
+    pub known_fraction: f64,
+    /// Extra random uniqueness axioms among/touching the unknown
+    /// constants.
+    pub extra_ne_pairs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DbGenConfig {
+    fn default() -> Self {
+        DbGenConfig {
+            num_consts: 6,
+            pred_arities: vec![2, 1],
+            facts_per_pred: 4,
+            known_fraction: 0.7,
+            extra_ne_pairs: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random CW logical database.
+///
+/// Constants are named `k0, k1, …` (known) and `u0, u1, …` (unknown);
+/// predicates `P0, P1, …` with the configured arities.
+pub fn random_cw_db(cfg: &DbGenConfig) -> CwDatabase {
+    assert!(cfg.num_consts > 0, "need at least one constant");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let num_known = ((cfg.num_consts as f64) * cfg.known_fraction).round() as usize;
+    let num_known = num_known.min(cfg.num_consts);
+
+    let mut voc = Vocabulary::new();
+    for i in 0..num_known {
+        voc.add_const(&format!("k{i}")).unwrap();
+    }
+    for i in num_known..cfg.num_consts {
+        voc.add_const(&format!("u{}", i - num_known)).unwrap();
+    }
+    let preds: Vec<_> = cfg
+        .pred_arities
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| voc.add_pred(&format!("P{i}"), a).unwrap())
+        .collect();
+
+    let known: Vec<ConstId> = (0..num_known as u32).map(ConstId).collect();
+    let mut builder = CwDatabase::builder(voc).pairwise_unique(&known);
+    for (pi, p) in preds.iter().enumerate() {
+        let arity = cfg.pred_arities[pi];
+        for _ in 0..cfg.facts_per_pred {
+            let tuple: Vec<ConstId> = (0..arity)
+                .map(|_| ConstId(rng.gen_range(0..cfg.num_consts as u32)))
+                .collect();
+            builder = builder.fact(*p, &tuple);
+        }
+    }
+    for _ in 0..cfg.extra_ne_pairs {
+        if cfg.num_consts < 2 {
+            break;
+        }
+        let a = rng.gen_range(0..cfg.num_consts as u32);
+        let mut b = rng.gen_range(0..cfg.num_consts as u32 - 1);
+        if b >= a {
+            b += 1;
+        }
+        builder = builder.unique(ConstId(a), ConstId(b));
+    }
+    builder.build().expect("generated database is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = DbGenConfig::default();
+        let a = random_cw_db(&cfg);
+        let b = random_cw_db(&cfg);
+        assert_eq!(a, b);
+        let c = random_cw_db(&DbGenConfig { seed: 1, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn known_fraction_one_is_fully_specified() {
+        let db = random_cw_db(&DbGenConfig {
+            known_fraction: 1.0,
+            ..Default::default()
+        });
+        assert!(db.is_fully_specified());
+    }
+
+    #[test]
+    fn known_fraction_zero_has_no_axioms() {
+        let db = random_cw_db(&DbGenConfig {
+            known_fraction: 0.0,
+            extra_ne_pairs: 0,
+            ..Default::default()
+        });
+        assert_eq!(db.num_ne(), 0);
+    }
+
+    #[test]
+    fn shapes_respected() {
+        let cfg = DbGenConfig {
+            num_consts: 5,
+            pred_arities: vec![1, 2, 3],
+            facts_per_pred: 3,
+            known_fraction: 0.5,
+            extra_ne_pairs: 2,
+            seed: 42,
+        };
+        let db = random_cw_db(&cfg);
+        assert_eq!(db.num_consts(), 5);
+        assert_eq!(db.voc().num_preds(), 3);
+        for (i, p) in db.voc().preds().enumerate() {
+            assert_eq!(db.voc().pred_arity(p), cfg.pred_arities[i]);
+            assert!(db.facts(p).len() <= cfg.facts_per_pred);
+        }
+    }
+}

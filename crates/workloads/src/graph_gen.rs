@@ -1,0 +1,37 @@
+//! Random graphs for the Theorem 5 experiments.
+
+use qld_reductions::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: each of the `n(n−1)/2` candidate edges is
+/// present independently with probability `p`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((i, j));
+            }
+        }
+    }
+    Graph::new(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(gnp(8, 0.5, 7), gnp(8, 0.5, 7));
+        assert_ne!(gnp(8, 0.5, 7), gnp(8, 0.5, 8));
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        assert_eq!(gnp(6, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(6, 1.0, 1).num_edges(), 15);
+    }
+}

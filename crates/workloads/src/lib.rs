@@ -1,0 +1,18 @@
+//! Seeded workload generators for tests, property tests, and the E1–E9
+//! benchmark harness.
+//!
+//! Everything here is deterministic given a seed (`StdRng::seed_from_u64`),
+//! so experiments are reproducible run to run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db_gen;
+pub mod graph_gen;
+pub mod qbf_gen;
+pub mod query_gen;
+
+pub use db_gen::{random_cw_db, DbGenConfig};
+pub use graph_gen::gnp;
+pub use qbf_gen::random_qbf;
+pub use query_gen::{random_query, QueryFragment, QueryGenConfig};

@@ -1,0 +1,62 @@
+//! Random quantified Boolean formulas in the `B_{k+1}` shape.
+
+use qld_reductions::{Lit, Qbf, Quant};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random 3-CNF QBF with the given block sizes (alternating,
+/// starting with `∀`) and clause count.
+pub fn random_qbf(block_sizes: &[usize], num_clauses: usize, seed: u64) -> Qbf {
+    assert!(!block_sizes.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blocks: Vec<(Quant, usize)> = block_sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            (
+                if i % 2 == 0 {
+                    Quant::Forall
+                } else {
+                    Quant::Exists
+                },
+                s,
+            )
+        })
+        .collect();
+    let n: usize = block_sizes.iter().sum();
+    let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+        .map(|_| {
+            (0..3)
+                .map(|_| Lit {
+                    var: rng.gen_range(0..n),
+                    positive: rng.gen_bool(0.5),
+                })
+                .collect()
+        })
+        .collect();
+    Qbf::new(blocks, clauses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_shaped() {
+        let a = random_qbf(&[2, 2], 4, 3);
+        let b = random_qbf(&[2, 2], 4, 3);
+        assert_eq!(a, b);
+        assert!(a.starts_universal());
+        assert_eq!(a.num_vars(), 4);
+        assert_eq!(a.clauses().len(), 4);
+        assert!(a.clauses().iter().all(|c| c.len() == 3));
+    }
+
+    #[test]
+    fn solver_runs_on_generated() {
+        for seed in 0..10 {
+            let q = random_qbf(&[2, 2], 3, seed);
+            let _ = q.is_true(); // no panic, deterministic
+        }
+    }
+}

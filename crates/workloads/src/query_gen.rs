@@ -1,0 +1,251 @@
+//! Random first-order queries over a given vocabulary, by fragment.
+
+use qld_logic::{Formula, Query, Term, Var, Vocabulary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The syntactic fragment to generate in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryFragment {
+    /// No negation anywhere (Theorem 13's class).
+    Positive,
+    /// Conjunctive with existential quantifiers and inequalities.
+    Existential,
+    /// Full first-order: negation and both quantifiers.
+    FullFo,
+}
+
+/// Parameters for [`random_query`].
+#[derive(Debug, Clone)]
+pub struct QueryGenConfig {
+    /// Fragment to draw from.
+    pub fragment: QueryFragment,
+    /// Maximum formula nesting depth.
+    pub max_depth: usize,
+    /// Number of head variables.
+    pub head_arity: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        QueryGenConfig {
+            fragment: QueryFragment::FullFo,
+            max_depth: 4,
+            head_arity: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a random well-formed query over `voc`.
+///
+/// The head variables are `Var(0..head_arity)`; bound variables are
+/// allocated above them. Every generated query passes `Query::new`
+/// validation by construction.
+pub fn random_query(voc: &Vocabulary, cfg: &QueryGenConfig) -> Query {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let head: Vec<Var> = (0..cfg.head_arity as u32).map(Var).collect();
+    let mut next_var = cfg.head_arity as u32;
+    let mut scope: Vec<Var> = head.clone();
+    let body = gen(
+        voc,
+        cfg.fragment,
+        cfg.max_depth,
+        &mut rng,
+        &mut scope,
+        &mut next_var,
+    );
+    Query::new(head, body).expect("generated body only uses scoped variables")
+}
+
+fn random_term(voc: &Vocabulary, rng: &mut StdRng, scope: &[Var]) -> Term {
+    // Prefer variables when available; sprinkle constants.
+    if !scope.is_empty() && (voc.num_consts() == 0 || rng.gen_bool(0.7)) {
+        Term::Var(scope[rng.gen_range(0..scope.len())])
+    } else {
+        Term::Const(qld_logic::ConstId(rng.gen_range(0..voc.num_consts() as u32)))
+    }
+}
+
+fn gen_atom(voc: &Vocabulary, rng: &mut StdRng, scope: &[Var]) -> Formula {
+    if voc.num_preds() == 0 || rng.gen_bool(0.2) {
+        return Formula::Eq(random_term(voc, rng, scope), random_term(voc, rng, scope));
+    }
+    let p = qld_logic::PredId(rng.gen_range(0..voc.num_preds() as u32));
+    let args: Vec<Term> = (0..voc.pred_arity(p))
+        .map(|_| random_term(voc, rng, scope))
+        .collect();
+    Formula::atom(p, args)
+}
+
+fn gen(
+    voc: &Vocabulary,
+    fragment: QueryFragment,
+    depth: usize,
+    rng: &mut StdRng,
+    scope: &mut Vec<Var>,
+    next_var: &mut u32,
+) -> Formula {
+    if depth == 0 {
+        let atom = gen_atom(voc, rng, scope);
+        // Leaf negation only in the full fragment (an inequality leaf is
+        // fine for Existential).
+        return match fragment {
+            QueryFragment::FullFo if rng.gen_bool(0.3) => Formula::not(atom),
+            QueryFragment::Existential
+                if rng.gen_bool(0.2) && scope.len() >= 2 =>
+            {
+                Formula::neq(
+                    Term::Var(scope[rng.gen_range(0..scope.len())]),
+                    Term::Var(scope[rng.gen_range(0..scope.len())]),
+                )
+            }
+            _ => atom,
+        };
+    }
+    let choice = rng.gen_range(0..100);
+    match fragment {
+        QueryFragment::Positive => match choice {
+            0..=29 => nary(voc, fragment, depth, rng, scope, next_var, true),
+            30..=54 => nary(voc, fragment, depth, rng, scope, next_var, false),
+            55..=79 => quantified(voc, fragment, depth, rng, scope, next_var, true),
+            80..=89 => quantified(voc, fragment, depth, rng, scope, next_var, false),
+            _ => gen_atom(voc, rng, scope),
+        },
+        QueryFragment::Existential => match choice {
+            0..=44 => nary(voc, fragment, depth, rng, scope, next_var, true),
+            45..=69 => quantified(voc, fragment, depth, rng, scope, next_var, true),
+            _ => gen(voc, fragment, 0, rng, scope, next_var),
+        },
+        QueryFragment::FullFo => match choice {
+            0..=24 => nary(voc, fragment, depth, rng, scope, next_var, true),
+            25..=44 => nary(voc, fragment, depth, rng, scope, next_var, false),
+            45..=59 => quantified(voc, fragment, depth, rng, scope, next_var, true),
+            60..=74 => quantified(voc, fragment, depth, rng, scope, next_var, false),
+            75..=89 => Formula::not(gen(voc, fragment, depth - 1, rng, scope, next_var)),
+            _ => gen_atom(voc, rng, scope),
+        },
+    }
+}
+
+fn nary(
+    voc: &Vocabulary,
+    fragment: QueryFragment,
+    depth: usize,
+    rng: &mut StdRng,
+    scope: &mut Vec<Var>,
+    next_var: &mut u32,
+    conj: bool,
+) -> Formula {
+    let n = rng.gen_range(2..=3);
+    let parts: Vec<Formula> = (0..n)
+        .map(|_| gen(voc, fragment, depth - 1, rng, scope, next_var))
+        .collect();
+    if conj {
+        Formula::and(parts)
+    } else {
+        Formula::or(parts)
+    }
+}
+
+fn quantified(
+    voc: &Vocabulary,
+    fragment: QueryFragment,
+    depth: usize,
+    rng: &mut StdRng,
+    scope: &mut Vec<Var>,
+    next_var: &mut u32,
+    existential: bool,
+) -> Formula {
+    let v = Var(*next_var);
+    *next_var += 1;
+    scope.push(v);
+    let inner = gen(voc, fragment, depth - 1, rng, scope, next_var);
+    scope.pop();
+    if existential {
+        Formula::Exists(v, Box::new(inner))
+    } else {
+        Formula::Forall(v, Box::new(inner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voc() -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b", "c"]).unwrap();
+        voc.add_pred("R", 2).unwrap();
+        voc.add_pred("M", 1).unwrap();
+        voc
+    }
+
+    #[test]
+    fn deterministic() {
+        let voc = voc();
+        let cfg = QueryGenConfig::default();
+        assert_eq!(random_query(&voc, &cfg), random_query(&voc, &cfg));
+    }
+
+    #[test]
+    fn generated_queries_are_wellformed() {
+        let voc = voc();
+        for seed in 0..200 {
+            for fragment in [
+                QueryFragment::Positive,
+                QueryFragment::Existential,
+                QueryFragment::FullFo,
+            ] {
+                let q = random_query(
+                    &voc,
+                    &QueryGenConfig {
+                        fragment,
+                        max_depth: 4,
+                        head_arity: seed as usize % 3,
+                        seed,
+                    },
+                );
+                q.check(&voc).expect("generated query must be well-formed");
+                assert!(q.is_first_order());
+            }
+        }
+    }
+
+    #[test]
+    fn positive_fragment_is_positive() {
+        let voc = voc();
+        for seed in 0..100 {
+            let q = random_query(
+                &voc,
+                &QueryGenConfig {
+                    fragment: QueryFragment::Positive,
+                    max_depth: 4,
+                    head_arity: 1,
+                    seed,
+                },
+            );
+            assert!(q.is_positive(), "seed {seed} produced {q:?}");
+        }
+    }
+
+    #[test]
+    fn full_fragment_eventually_negates() {
+        let voc = voc();
+        let negated = (0..50).any(|seed| {
+            !random_query(
+                &voc,
+                &QueryGenConfig {
+                    fragment: QueryFragment::FullFo,
+                    max_depth: 4,
+                    head_arity: 1,
+                    seed,
+                },
+            )
+            .is_positive()
+        });
+        assert!(negated, "full fragment never produced a negation");
+    }
+}

@@ -1,0 +1,100 @@
+//! §2.2's identity puzzle: "we may not have the axiom
+//! ¬(Jack the Ripper = Benjamin D'Israeli), since we do not know the
+//! identity of Jack the Ripper."
+//!
+//! A detective's closed-world casebook: every *recorded* sighting is a
+//! fact, anything unrecorded is false (CWA) — but the Ripper constant is
+//! only partially separated from the citizens, so the engine must reason
+//! over every way his identity could resolve.
+//!
+//! Run with: `cargo run --example detective`
+
+use querying_logical_databases::prelude::*;
+
+fn main() {
+    let mut voc = Vocabulary::new();
+    // Citizens (pairwise distinct) and the unknown Ripper.
+    let disraeli = voc.add_const("disraeli").unwrap();
+    let gladstone = voc.add_const("gladstone").unwrap();
+    let victoria = voc.add_const("victoria").unwrap();
+    let ripper = voc.add_const("ripper").unwrap();
+    // Places.
+    let whitechapel = voc.add_const("whitechapel").unwrap();
+    let westminster = voc.add_const("westminster").unwrap();
+
+    let seen_at = voc.add_pred("SEEN_AT", 2).unwrap();
+
+    let db = CwDatabase::builder(voc)
+        // The casebook.
+        .fact(seen_at, &[ripper, whitechapel])
+        .fact(seen_at, &[disraeli, whitechapel])
+        .fact(seen_at, &[gladstone, westminster])
+        .fact(seen_at, &[victoria, westminster])
+        // Citizens and places are pairwise distinct…
+        .pairwise_unique(&[disraeli, gladstone, victoria, whitechapel, westminster])
+        // …the Ripper is a person, not a place…
+        .unique(ripper, whitechapel)
+        .unique(ripper, westminster)
+        // …and Gladstone has produced an alibi: he is NOT the Ripper.
+        // Disraeli and Victoria remain under suspicion (no axiom).
+        .unique(ripper, gladstone)
+        .build()
+        .unwrap();
+
+    let ask = |text: &str| {
+        let q = parse_query(db.voc(), text).unwrap();
+        let verdict = certainly_holds(&db, &q).unwrap();
+        println!("{text:42} {}", if verdict { "CERTAIN" } else { "not certain" });
+        verdict
+    };
+
+    println!("-- what the closed-world casebook entails --");
+    // Stored fact.
+    assert!(ask("SEEN_AT(ripper, whitechapel)"));
+    // Gladstone is cleared, so CWA gives a certain negative: the only
+    // Whitechapel sightings are the Ripper and Disraeli, both provably
+    // distinct from him.
+    assert!(ask("!SEEN_AT(gladstone, whitechapel)"));
+    // Victoria has no alibi — she might BE the Ripper, hence might have
+    // been at Whitechapel.
+    assert!(!ask("!SEEN_AT(victoria, whitechapel)"));
+    // Identity questions mirror the axioms exactly:
+    assert!(ask("ripper != gladstone"));
+    assert!(!ask("ripper != disraeli"));
+    assert!(!ask("ripper != victoria"));
+    // And since Victoria is a suspect, the Ripper cannot be cleared of
+    // the Westminster sighting either (he might be her).
+    assert!(!ask("!SEEN_AT(ripper, westminster)"));
+
+    println!("\n-- who was at whitechapel? --");
+    let q = parse_query(db.voc(), "(x) . SEEN_AT(x, whitechapel)").unwrap();
+    let certain = certain_answers(&db, &q).unwrap();
+    let possible = possible_answers(&db, &q).unwrap();
+    let fmt = |rel: &Relation| {
+        answer_names(db.voc(), rel)
+            .into_iter()
+            .map(|t| t.join(","))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    println!("certainly: {}", fmt(&certain));
+    println!("possibly:  {}", fmt(&possible));
+    assert!(certain.is_subset_of(&possible));
+
+    // The §5 approximation is sound — and on this query, complete.
+    let engine = ApproxEngine::new(&db);
+    let approx = engine.eval(&q).unwrap();
+    println!("approx:    {}", fmt(&approx));
+    assert!(approx.is_subset_of(&certain), "Theorem 11: soundness");
+
+    // But certainty obtained only by case analysis over an unresolved
+    // identity is invisible to it — even the excluded middle:
+    let q = parse_query(db.voc(), "ripper = victoria | ripper != victoria").unwrap();
+    assert!(certainly_holds(&db, &q).unwrap());
+    let tautology = engine.eval(&q).unwrap();
+    println!(
+        "\n'ripper = victoria | ripper != victoria': exact CERTAIN, approximation {}",
+        if tautology.is_empty() { "not certain (sound, incomplete)" } else { "CERTAIN" }
+    );
+    assert!(tautology.is_empty());
+}

@@ -1,0 +1,68 @@
+//! The possible-worlds view: enumerate every model (up to isomorphism) of
+//! a small CW logical database and watch certain/possible answers emerge
+//! as the intersection/union over worlds.
+//!
+//! Run with: `cargo run --example possible_worlds`
+
+use querying_logical_databases::core::ph::ph1;
+use querying_logical_databases::core::worlds::{answer_bounds, count_worlds, for_each_world};
+use querying_logical_databases::logic::ConstId;
+use querying_logical_databases::prelude::*;
+
+fn main() {
+    // Two known values, one null; one fact mentioning the null.
+    let mut voc = Vocabulary::new();
+    let ids = voc.add_consts(["alice", "bob", "someone"]).unwrap();
+    let likes = voc.add_pred("LIKES", 2).unwrap();
+    let db = CwDatabase::builder(voc)
+        .fact(likes, &[ids[0], ids[2]]) // LIKES(alice, someone)
+        .unique(ids[0], ids[1])
+        .build()
+        .unwrap();
+
+    println!(
+        "theory: LIKES(alice, someone), alice != bob   [{} possible worlds]",
+        count_worlds(&db)
+    );
+
+    // Print each world: its domain and its LIKES relation, rendered with
+    // the constant names of the representative elements.
+    let name = |e: u32| db.voc().const_name(ConstId(e)).to_owned();
+    let mut world_no = 0;
+    for_each_world(&db, |world| {
+        world_no += 1;
+        let domain: Vec<String> = world.domain().iter().map(|&e| name(e)).collect();
+        let tuples: Vec<String> = world
+            .relation(likes)
+            .iter()
+            .map(|t| format!("LIKES({}, {})", name(t[0]), name(t[1])))
+            .collect();
+        println!(
+            "world {world_no}: domain {{{}}}  {}",
+            domain.join(", "),
+            tuples.join("  ")
+        );
+        true
+    });
+
+    // The bounds of a query across those worlds.
+    let q = parse_query(db.voc(), "(x) . LIKES(alice, x)").unwrap();
+    let bounds = answer_bounds(&db, &q).unwrap();
+    let fmt = |rel: &Relation| {
+        answer_names(db.voc(), rel)
+            .into_iter()
+            .map(|t| t.join(","))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    println!("\nLIKES(alice, ·) certain:  {}", fmt(&bounds.certain));
+    println!("LIKES(alice, ·) possible: {}", fmt(&bounds.possible));
+    println!("uncertain zone:           {}", fmt(&bounds.uncertain()));
+    println!("fully determined: {}", bounds.is_determined());
+
+    // Sanity: evaluating in world 1 (the identity world = Ph1) gives a
+    // set between the bounds.
+    let one_world = eval_query(&ph1(&db), &q);
+    assert!(bounds.certain.is_subset_of(&one_world));
+    assert!(one_world.is_subset_of(&bounds.possible));
+}

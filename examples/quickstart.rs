@@ -1,0 +1,60 @@
+//! Quickstart: build a closed-world logical database with an unknown
+//! value, then compare exact certain answers, possible answers, and the
+//! §5 approximation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use querying_logical_databases::prelude::*;
+
+fn main() {
+    // Vocabulary (the paper's §2.2 flavour): three philosophers whose
+    // identities are fully known, plus a constant `mystery` about which no
+    // uniqueness axioms are stated — an unknown value.
+    let mut voc = Vocabulary::new();
+    let ids = voc
+        .add_consts(["socrates", "plato", "aristotle", "mystery"])
+        .unwrap();
+    let teaches = voc.add_pred("TEACHES", 2).unwrap();
+
+    // The theory T: atomic facts + uniqueness axioms. Domain closure and
+    // completion axioms are implicit, exactly as §2.2 permits.
+    let db = CwDatabase::builder(voc)
+        .fact(teaches, &[ids[0], ids[1]]) // TEACHES(socrates, plato)
+        .pairwise_unique(&ids[..3])
+        .build()
+        .unwrap();
+
+    println!("database: {} facts, {} uniqueness axioms, fully specified: {}", db.num_facts(), db.num_ne(), db.is_fully_specified());
+
+    let show = |label: &str, rel: &Relation| {
+        let names: Vec<String> = answer_names(db.voc(), rel)
+            .into_iter()
+            .map(|t| t.join(", "))
+            .collect();
+        println!("{label}: {{{}}}", names.join(" | "));
+    };
+
+    // Who does Socrates certainly teach? Only plato: `mystery` *might* be
+    // plato, but might equally be aristotle.
+    let q = parse_query(db.voc(), "(x) . TEACHES(socrates, x)").unwrap();
+    show("certain TEACHES(socrates, ·)", &certain_answers(&db, &q).unwrap());
+    show("possible TEACHES(socrates, ·)", &possible_answers(&db, &q).unwrap());
+
+    // Negative query: the closed-world assumption yields negative facts,
+    // but only where identities are known.
+    let q = parse_query(db.voc(), "(x) . !TEACHES(socrates, x)").unwrap();
+    show("certain ¬TEACHES(socrates, ·)", &certain_answers(&db, &q).unwrap());
+
+    // Boolean query: is it certain that someone teaches plato?
+    let q = parse_query(db.voc(), "exists t. TEACHES(t, plato)").unwrap();
+    println!("certain ∃t TEACHES(t, plato): {}", certainly_holds(&db, &q).unwrap());
+
+    // The same queries through the polynomial-time §5 approximation:
+    // sound always, complete here because the first query is positive and
+    // the second's negation is resolved by α_P.
+    let engine = ApproxEngine::new(&db);
+    let q = parse_query(db.voc(), "(x) . TEACHES(socrates, x)").unwrap();
+    show("approx  TEACHES(socrates, ·)", &engine.eval(&q).unwrap());
+    let q = parse_query(db.voc(), "(x) . !TEACHES(socrates, x)").unwrap();
+    show("approx ¬TEACHES(socrates, ·)", &engine.eval(&q).unwrap());
+}

@@ -1,0 +1,111 @@
+//! `qld` — an interactive shell over closed-world logical databases.
+//!
+//! ```text
+//! qld <database.qld>                         # REPL
+//! qld <database.qld> -q "(x) . P(x)"         # one-shot query
+//! qld <database.qld> --mode approx -q "..."  # choose semantics
+//! ```
+
+use querying_logical_databases::cli::{Mode, Outcome, Session};
+use std::io::{self, BufRead, Write};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: qld <database.qld> [--mode exact|approx|possible] [-q <query>]...\n\
+     With no -q, starts an interactive shell (:help for commands)."
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut path: Option<String> = None;
+    let mut mode = Mode::Exact;
+    let mut one_shots: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--mode" | "-m" => match args.next().as_deref().and_then(Mode::parse) {
+                Some(m) => mode = m,
+                None => {
+                    eprintln!("--mode needs exact|approx|possible");
+                    return ExitCode::from(2);
+                }
+            },
+            "-q" | "--query" => match args.next() {
+                Some(q) => one_shots.push(q),
+                None => {
+                    eprintln!("-q needs a query argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let db = match querying_logical_databases::core::textio::from_text(&text) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut session = Session::new(db);
+    session.set_mode(mode);
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+
+    if !one_shots.is_empty() {
+        for q in &one_shots {
+            if session.execute(q, &mut out).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let _ = writeln!(
+        out,
+        "qld — querying logical databases ({}). :help for commands.",
+        path
+    );
+    let stdin = io::stdin();
+    loop {
+        let _ = write!(out, "qld> ");
+        let _ = out.flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => match session.execute(&line, &mut out) {
+                Ok(Outcome::Quit) => break,
+                Ok(Outcome::Continue) => {}
+                Err(e) => {
+                    eprintln!("io error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("io error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,340 @@
+//! The interactive `qld` shell: load a `.qld` database, ask queries,
+//! switch between exact certain answers, the §5 approximation, and
+//! possible answers.
+//!
+//! The command logic lives here (testable, I/O injected); the binary in
+//! `src/bin/qld.rs` is a thin wrapper.
+
+use qld_approx::{ApproxEngine, ApproxError};
+use qld_core::{answer_names, certain_answers, possible_answers, CwDatabase};
+use qld_logic::parser::parse_query;
+use qld_physical::Relation;
+use std::io::{self, Write};
+use std::time::Instant;
+
+/// Which evaluation semantics the shell is using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Exact certain answers via Theorem 1 (exponential).
+    #[default]
+    Exact,
+    /// The §5 approximation (polynomial; sound, not complete).
+    Approx,
+    /// Tuples true in at least one model.
+    Possible,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Exact => "exact",
+            Mode::Approx => "approx",
+            Mode::Possible => "possible",
+        }
+    }
+
+    /// Parses a mode name.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s {
+            "exact" => Some(Mode::Exact),
+            "approx" | "approximate" => Some(Mode::Approx),
+            "possible" => Some(Mode::Possible),
+            _ => None,
+        }
+    }
+}
+
+/// Whether the session should keep reading input.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Keep going.
+    Continue,
+    /// The user asked to quit.
+    Quit,
+}
+
+/// An interactive session over one database.
+pub struct Session {
+    db: CwDatabase,
+    engine: Option<ApproxEngine>,
+    mode: Mode,
+}
+
+impl Session {
+    /// Starts a session in [`Mode::Exact`].
+    pub fn new(db: CwDatabase) -> Session {
+        Session {
+            db,
+            engine: None,
+            mode: Mode::Exact,
+        }
+    }
+
+    /// The current evaluation mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Sets the evaluation mode.
+    pub fn set_mode(&mut self, mode: Mode) {
+        self.mode = mode;
+    }
+
+    fn engine(&mut self) -> Result<&ApproxEngine, ApproxError> {
+        if self.engine.is_none() {
+            self.engine = Some(ApproxEngine::new(&self.db));
+        }
+        Ok(self.engine.as_ref().expect("just initialized"))
+    }
+
+    /// Executes one input line (a `:command` or a query).
+    pub fn execute(&mut self, line: &str, out: &mut dyn Write) -> io::Result<Outcome> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(Outcome::Continue);
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            return self.command(rest.trim(), out);
+        }
+        self.query(line, out)?;
+        Ok(Outcome::Continue)
+    }
+
+    fn command(&mut self, cmd: &str, out: &mut dyn Write) -> io::Result<Outcome> {
+        let mut words = cmd.split_whitespace();
+        match words.next() {
+            Some("quit") | Some("q") | Some("exit") => return Ok(Outcome::Quit),
+            Some("help") | Some("h") => {
+                writeln!(out, "queries: any formula in the surface syntax, e.g.")?;
+                writeln!(out, "    (x) . TEACHES(socrates, x)")?;
+                writeln!(out, "    forall y. M(y) -> exists z. R(z, z)")?;
+                writeln!(out, "commands:")?;
+                writeln!(out, "    :mode exact|approx|possible   switch semantics")?;
+                writeln!(out, "    :stats                        database statistics")?;
+                writeln!(out, "    :worlds                       count possible worlds")?;
+                writeln!(out, "    :explain <query>              show Q̂ and its algebra plan")?;
+                writeln!(out, "    :dump                         print the database")?;
+                writeln!(out, "    :help  :quit")?;
+            }
+            Some("mode") => match words.next().and_then(Mode::parse) {
+                Some(mode) => {
+                    self.mode = mode;
+                    writeln!(out, "mode: {}", mode.name())?;
+                }
+                None => writeln!(out, "usage: :mode exact|approx|possible")?,
+            },
+            Some("stats") => {
+                writeln!(
+                    out,
+                    "{} constants, {} predicates, {} facts, {} uniqueness axioms, fully specified: {}",
+                    self.db.num_consts(),
+                    self.db.voc().num_preds(),
+                    self.db.num_facts(),
+                    self.db.num_ne(),
+                    self.db.is_fully_specified()
+                )?;
+                writeln!(out, "mode: {}", self.mode.name())?;
+            }
+            Some("dump") => {
+                write!(out, "{}", qld_core::textio::to_text(&self.db))?;
+            }
+            Some("worlds") => {
+                let n = qld_core::worlds::count_worlds(&self.db);
+                writeln!(
+                    out,
+                    "{n} possible world(s) up to isomorphism{}",
+                    if n == 1 { " (fully determined)" } else { "" }
+                )?;
+            }
+            Some("explain") => {
+                let rest = cmd["explain".len()..].trim();
+                if rest.is_empty() {
+                    writeln!(out, "usage: :explain <query>")?;
+                } else {
+                    self.explain(rest, out)?;
+                }
+            }
+            Some(other) => writeln!(out, "unknown command `:{other}` (try :help)")?,
+            None => writeln!(out, "empty command (try :help)")?,
+        }
+        Ok(Outcome::Continue)
+    }
+
+    /// Shows the §5 pipeline for a query: the rewritten `Q̂` over the
+    /// extended vocabulary and the optimized relational-algebra plan.
+    fn explain(&mut self, text: &str, out: &mut dyn Write) -> io::Result<()> {
+        let query = match parse_query(self.db.voc(), text) {
+            Ok(q) => q,
+            Err(e) => return writeln!(out, "parse error: {e}"),
+        };
+        let engine = match self.engine() {
+            Ok(e) => e,
+            Err(e) => return writeln!(out, "error: {e}"),
+        };
+        let rewritten = match engine.rewrite(&query, qld_approx::AlphaMode::Materialized) {
+            Ok(q) => q,
+            Err(e) => return writeln!(out, "error: {e}"),
+        };
+        writeln!(
+            out,
+            "Q̂: {}",
+            qld_logic::display::display_query(engine.extended_voc(), &rewritten)
+        )?;
+        match qld_algebra::compile_query_ordered(
+            engine.extended_voc(),
+            engine.extended_db(),
+            &rewritten,
+        ) {
+            Ok(plan) => {
+                let plan = qld_algebra::optimize(engine.extended_voc(), plan);
+                write!(
+                    out,
+                    "plan:\n{}",
+                    qld_algebra::display_plan(engine.extended_voc(), &plan)
+                )
+            }
+            Err(e) => writeln!(out, "(no algebra plan: {e})"),
+        }
+    }
+
+    fn query(&mut self, text: &str, out: &mut dyn Write) -> io::Result<()> {
+        let query = match parse_query(self.db.voc(), text) {
+            Ok(q) => q,
+            Err(e) => return writeln!(out, "parse error: {e}"),
+        };
+        let start = Instant::now();
+        let result: Result<Relation, String> = match self.mode {
+            Mode::Exact => certain_answers(&self.db, &query).map_err(|e| e.to_string()),
+            Mode::Possible => possible_answers(&self.db, &query).map_err(|e| e.to_string()),
+            Mode::Approx => match self.engine() {
+                Ok(engine) => engine.eval(&query).map_err(|e| e.to_string()),
+                Err(e) => Err(e.to_string()),
+            },
+        };
+        let elapsed = start.elapsed();
+        match result {
+            Err(e) => writeln!(out, "error: {e}"),
+            Ok(answers) if query.is_boolean() => {
+                let verdict = match (self.mode, answers.is_empty()) {
+                    (Mode::Possible, false) => "POSSIBLE",
+                    (Mode::Possible, true) => "impossible",
+                    (_, false) => "CERTAIN",
+                    (_, true) => "not certain",
+                };
+                writeln!(out, "{verdict}   [{} in {:.2?}]", self.mode.name(), elapsed)
+            }
+            Ok(answers) => {
+                for tuple in answer_names(self.db.voc(), &answers) {
+                    writeln!(out, "({})", tuple.join(", "))?;
+                }
+                writeln!(
+                    out,
+                    "{} tuple(s)   [{} in {:.2?}]",
+                    answers.len(),
+                    self.mode.name(),
+                    elapsed
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_core::textio::from_text;
+
+    const SAMPLE: &str = "
+const socrates plato aristotle mystery
+pred TEACHES/2
+fact TEACHES(socrates, plato)
+distinct socrates plato aristotle
+";
+
+    fn run(lines: &[&str]) -> (String, Outcome) {
+        let mut session = Session::new(from_text(SAMPLE).unwrap());
+        let mut out = Vec::new();
+        let mut outcome = Outcome::Continue;
+        for line in lines {
+            outcome = session.execute(line, &mut out).unwrap();
+        }
+        (String::from_utf8(out).unwrap(), outcome)
+    }
+
+    #[test]
+    fn open_query_lists_answers() {
+        let (out, _) = run(&["(x) . TEACHES(socrates, x)"]);
+        assert!(out.contains("(plato)"), "{out}");
+        assert!(out.contains("1 tuple(s)"), "{out}");
+    }
+
+    #[test]
+    fn boolean_query_verdicts() {
+        let (out, _) = run(&["TEACHES(socrates, plato)"]);
+        assert!(out.contains("CERTAIN"), "{out}");
+        let (out, _) = run(&["TEACHES(socrates, mystery)"]);
+        assert!(out.contains("not certain"), "{out}");
+    }
+
+    #[test]
+    fn mode_switching() {
+        let (out, _) = run(&[
+            ":mode possible",
+            "TEACHES(socrates, mystery)",
+            ":mode approx",
+            "(x) . TEACHES(socrates, x)",
+        ]);
+        assert!(out.contains("POSSIBLE"), "{out}");
+        assert!(out.contains("(plato)"), "{out}");
+    }
+
+    #[test]
+    fn stats_and_dump() {
+        let (out, _) = run(&[":stats", ":dump"]);
+        assert!(out.contains("4 constants"), "{out}");
+        assert!(out.contains("fact TEACHES(socrates, plato)"), "{out}");
+    }
+
+    #[test]
+    fn worlds_command() {
+        let (out, _) = run(&[":worlds"]);
+        // socrates/plato/aristotle fixed; mystery can be itself or any of
+        // the three.
+        assert!(out.contains("4 possible world(s)"), "{out}");
+    }
+
+    #[test]
+    fn explain_command() {
+        let (out, _) = run(&[":explain (x) . !TEACHES(socrates, x)"]);
+        assert!(out.contains("ALPHA_TEACHES"), "{out}");
+        assert!(out.contains("plan:"), "{out}");
+        assert!(out.contains("Scan(ALPHA_TEACHES)"), "{out}");
+        let (out, _) = run(&[":explain"]);
+        assert!(out.contains("usage"), "{out}");
+        let (out, _) = run(&[":explain NOPE("]);
+        assert!(out.contains("parse error"), "{out}");
+    }
+
+    #[test]
+    fn quit_and_unknown() {
+        let (_, outcome) = run(&[":quit"]);
+        assert_eq!(outcome, Outcome::Quit);
+        let (out, outcome) = run(&[":frobnicate"]);
+        assert_eq!(outcome, Outcome::Continue);
+        assert!(out.contains("unknown command"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let (out, outcome) = run(&["NOPE(", "(x) . TEACHES(socrates, x)"]);
+        assert_eq!(outcome, Outcome::Continue);
+        assert!(out.contains("parse error"), "{out}");
+        assert!(out.contains("(plato)"), "{out}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let (out, _) = run(&["", "# a comment"]);
+        assert!(out.is_empty(), "{out}");
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end tests of the `qld` binary: load a `.qld` file, run queries
+//! in each mode, exercise the error paths.
+
+use std::process::{Command, Stdio};
+
+fn qld() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qld"))
+}
+
+const DB: &str = "examples/data/philosophy.qld";
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = qld()
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn one_shot_query() {
+    let (stdout, _, ok) = run(&[DB, "-q", "(x) . TEACHES(socrates, x)"]);
+    assert!(ok);
+    assert!(stdout.contains("(plato)"), "{stdout}");
+    assert!(stdout.contains("1 tuple(s)"), "{stdout}");
+}
+
+#[test]
+fn boolean_verdicts_per_mode() {
+    let (stdout, _, ok) = run(&[DB, "-q", "TEACHES(socrates, mystery)"]);
+    assert!(ok);
+    assert!(stdout.contains("not certain"), "{stdout}");
+
+    let (stdout, _, ok) = run(&[DB, "--mode", "possible", "-q", "TEACHES(socrates, mystery)"]);
+    assert!(ok);
+    assert!(stdout.contains("POSSIBLE"), "{stdout}");
+
+    let (stdout, _, ok) = run(&[DB, "--mode", "approx", "-q", "TEACHES(socrates, plato)"]);
+    assert!(ok);
+    assert!(stdout.contains("CERTAIN"), "{stdout}");
+}
+
+#[test]
+fn multiple_queries_and_commands() {
+    let (stdout, _, ok) = run(&[DB, "-q", ":stats", "-q", "(x) . WISE(x)"]);
+    assert!(ok);
+    assert!(stdout.contains("4 constants"), "{stdout}");
+    assert!(stdout.contains("(socrates)"), "{stdout}");
+}
+
+#[test]
+fn missing_file_fails_cleanly() {
+    let (_, stderr, ok) = run(&["/nonexistent/db.qld", "-q", "true"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn bad_database_reports_line() {
+    let dir = std::env::temp_dir().join("qld_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.qld");
+    std::fs::write(&path, "const a\nbogus directive\n").unwrap();
+    let (_, stderr, ok) = run(&[path.to_str().unwrap(), "-q", "true"]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+}
+
+#[test]
+fn usage_on_no_args() {
+    let (_, stderr, ok) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn help_flag() {
+    let (stdout, _, ok) = run(&["--help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage"), "{stdout}");
+}
