@@ -31,7 +31,10 @@ impl fmt::Display for CompileError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CompileError::SecondOrder => {
-                write!(f, "second-order queries cannot be compiled to relational algebra")
+                write!(
+                    f,
+                    "second-order queries cannot be compiled to relational algebra"
+                )
             }
             CompileError::Logic(e) => write!(f, "{e}"),
         }
@@ -262,10 +265,7 @@ fn translate(
         Formula::Forall(v, g) => translate(
             voc,
             est,
-            &Formula::not(Formula::Exists(
-                *v,
-                Box::new(Formula::not((**g).clone())),
-            )),
+            &Formula::not(Formula::Exists(*v, Box::new(Formula::not((**g).clone())))),
         ),
     }
 }
@@ -385,7 +385,10 @@ mod tests {
     fn second_order_rejected() {
         let (voc, _) = setup();
         let q = parse_query(&voc, "exists2 ?S:1. exists x. ?S(x)").unwrap();
-        assert_eq!(compile_query(&voc, &q).unwrap_err(), CompileError::SecondOrder);
+        assert_eq!(
+            compile_query(&voc, &q).unwrap_err(),
+            CompileError::SecondOrder
+        );
     }
 
     #[test]

@@ -60,10 +60,7 @@ fn write_plan(
             write_plan(f, voc, r, indent + 1)
         }
         Plan::Join { left, right, keys } => {
-            let keys: Vec<String> = keys
-                .iter()
-                .map(|(l, r)| format!("L#{l} = R#{r}"))
-                .collect();
+            let keys: Vec<String> = keys.iter().map(|(l, r)| format!("L#{l} = R#{r}")).collect();
             writeln!(f, "{pad}Join[{}]", keys.join(" & "))?;
             write_plan(f, voc, left, indent + 1)?;
             write_plan(f, voc, right, indent + 1)
@@ -107,7 +104,10 @@ mod tests {
         assert!(rendered.contains("Scan(M)"), "{rendered}");
         assert!(rendered.contains("Join["), "{rendered}");
         // Indentation shows tree depth.
-        assert!(rendered.lines().any(|l| l.starts_with("    ")), "{rendered}");
+        assert!(
+            rendered.lines().any(|l| l.starts_with("    ")),
+            "{rendered}"
+        );
     }
 
     #[test]
@@ -115,10 +115,7 @@ mod tests {
         let mut voc = Vocabulary::new();
         let a = voc.add_const("alpha").unwrap();
         let r = voc.add_pred("R", 2).unwrap();
-        let plan = Plan::select(
-            Plan::Scan(r),
-            vec![Cond::EqConst(0, a), Cond::NeCol(0, 1)],
-        );
+        let plan = Plan::select(Plan::Scan(r), vec![Cond::EqConst(0, a), Cond::NeCol(0, 1)]);
         let rendered = display_plan(&voc, &plan).to_string();
         assert!(rendered.contains("#0 = alpha & #0 != #1"), "{rendered}");
     }

@@ -162,7 +162,12 @@ fn eval_cond(db: &PhysicalDb, cond: &Cond, t: &[Elem]) -> bool {
 
 /// Dispatches to the configured join implementation. Output tuples are
 /// left ++ right.
-pub fn join(left: &Relation, right: &Relation, keys: &[(usize, usize)], algo: JoinAlgo) -> Relation {
+pub fn join(
+    left: &Relation,
+    right: &Relation,
+    keys: &[(usize, usize)],
+    algo: JoinAlgo,
+) -> Relation {
     match algo {
         JoinAlgo::NestedLoop => nested_loop_join(left, right, keys),
         JoinAlgo::Hash => hash_join(left, right, keys),
@@ -219,7 +224,11 @@ fn hash_join(left: &Relation, right: &Relation, keys: &[(usize, usize)]) -> Rela
     }
     // Build on the smaller side.
     let build_left = left.len() <= right.len();
-    let (build, probe) = if build_left { (left, right) } else { (right, left) };
+    let (build, probe) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
     let build_cols: Vec<usize> = if build_left {
         keys.iter().map(|&(l, _)| l).collect()
     } else {
@@ -433,10 +442,7 @@ mod tests {
         let (voc, db) = setup();
         let r = voc.pred_id("R").unwrap();
         let a = voc.const_id("a").unwrap();
-        let plan = Plan::select(
-            Plan::Scan(r),
-            vec![Cond::NeConst(0, a), Cond::NeCol(0, 1)],
-        );
+        let plan = Plan::select(Plan::Scan(r), vec![Cond::NeConst(0, a), Cond::NeCol(0, 1)]);
         let out = execute(&db, &plan, ExecOptions::default());
         assert_eq!(out.len(), 2); // (1,2),(2,3)
     }

@@ -101,9 +101,10 @@ impl Plan {
             Plan::Scan(p) => voc.pred_arity(*p),
             Plan::Select { input, .. } => input.arity(voc),
             Plan::Project { cols, .. } => cols.len(),
-            Plan::Product(l, r) | Plan::Join { left: l, right: r, .. } => {
-                l.arity(voc) + r.arity(voc)
-            }
+            Plan::Product(l, r)
+            | Plan::Join {
+                left: l, right: r, ..
+            } => l.arity(voc) + r.arity(voc),
             Plan::Union(l, _) | Plan::Difference(l, _) => l.arity(voc),
         }
     }
@@ -115,7 +116,9 @@ impl Plan {
             Plan::Select { input, .. } => 1 + input.num_nodes(),
             Plan::Project { input, .. } => 1 + input.num_nodes(),
             Plan::Product(l, r)
-            | Plan::Join { left: l, right: r, .. }
+            | Plan::Join {
+                left: l, right: r, ..
+            }
             | Plan::Union(l, r)
             | Plan::Difference(l, r) => 1 + l.num_nodes() + r.num_nodes(),
         }

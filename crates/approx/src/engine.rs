@@ -109,11 +109,13 @@ impl ApproxEngine {
         }
         if virtual_ne {
             let store = NeStore::virtualized(cw);
-            if let NeStore::Virtual { unknown, ne_prime: npr } = &store {
-                builder = builder.relation(
-                    u,
-                    Relation::collect(1, unknown.iter().map(|&e| vec![e])),
-                );
+            if let NeStore::Virtual {
+                unknown,
+                ne_prime: npr,
+            } = &store
+            {
+                builder =
+                    builder.relation(u, Relation::collect(1, unknown.iter().map(|&e| vec![e])));
                 builder = builder.relation(ne_prime, npr.clone());
             }
             // NE left empty: every probe must go through the expansion.
@@ -183,21 +185,16 @@ impl ApproxEngine {
             Formula::Not(g) => Formula::Not(Box::new(self.expand_ne(g))),
             Formula::And(fs) => Formula::And(fs.iter().map(|g| self.expand_ne(g)).collect()),
             Formula::Or(fs) => Formula::Or(fs.iter().map(|g| self.expand_ne(g)).collect()),
-            Formula::Implies(p, q) => Formula::Implies(
-                Box::new(self.expand_ne(p)),
-                Box::new(self.expand_ne(q)),
-            ),
+            Formula::Implies(p, q) => {
+                Formula::Implies(Box::new(self.expand_ne(p)), Box::new(self.expand_ne(q)))
+            }
             Formula::Iff(p, q) => {
                 Formula::Iff(Box::new(self.expand_ne(p)), Box::new(self.expand_ne(q)))
             }
             Formula::Exists(v, g) => Formula::Exists(*v, Box::new(self.expand_ne(g))),
             Formula::Forall(v, g) => Formula::Forall(*v, Box::new(self.expand_ne(g))),
-            Formula::SoExists(r, k, g) => {
-                Formula::SoExists(*r, *k, Box::new(self.expand_ne(g)))
-            }
-            Formula::SoForall(r, k, g) => {
-                Formula::SoForall(*r, *k, Box::new(self.expand_ne(g)))
-            }
+            Formula::SoExists(r, k, g) => Formula::SoExists(*r, *k, Box::new(self.expand_ne(g))),
+            Formula::SoForall(r, k, g) => Formula::SoForall(*r, *k, Box::new(self.expand_ne(g))),
         }
     }
 
@@ -217,9 +214,7 @@ impl ApproxEngine {
         let rewritten = self.rewrite(query, mode)?;
         match backend {
             Backend::Naive => Ok(eval_query(&self.db, &rewritten)),
-            Backend::Algebra(opts) => {
-                Ok(eval_via_algebra(&self.voc, &self.db, &rewritten, opts)?)
-            }
+            Backend::Algebra(opts) => Ok(eval_via_algebra(&self.voc, &self.db, &rewritten, opts)?),
         }
     }
 }

@@ -103,9 +103,7 @@ impl NeStore {
                 if ne_prime.contains(&[a, b]) {
                     return true;
                 }
-                a != b
-                    && unknown.binary_search(&a).is_err()
-                    && unknown.binary_search(&b).is_err()
+                a != b && unknown.binary_search(&a).is_err() && unknown.binary_search(&b).is_err()
             }
         }
     }

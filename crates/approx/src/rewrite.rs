@@ -69,21 +69,21 @@ fn rewrite(
             Formula::SoAtom(r, ts) => alpha_so(*r, ts.len(), ne, ts, gen),
             other => unreachable!("not in NNF: ¬({other:?})"),
         },
-        Formula::And(fs) => {
-            Formula::And(fs.iter().map(|g| rewrite(g, ne, alpha, mode, gen)).collect())
-        }
-        Formula::Or(fs) => {
-            Formula::Or(fs.iter().map(|g| rewrite(g, ne, alpha, mode, gen)).collect())
-        }
+        Formula::And(fs) => Formula::And(
+            fs.iter()
+                .map(|g| rewrite(g, ne, alpha, mode, gen))
+                .collect(),
+        ),
+        Formula::Or(fs) => Formula::Or(
+            fs.iter()
+                .map(|g| rewrite(g, ne, alpha, mode, gen))
+                .collect(),
+        ),
         Formula::Implies(..) | Formula::Iff(..) => {
             unreachable!("NNF eliminates implications")
         }
-        Formula::Exists(v, g) => {
-            Formula::Exists(*v, Box::new(rewrite(g, ne, alpha, mode, gen)))
-        }
-        Formula::Forall(v, g) => {
-            Formula::Forall(*v, Box::new(rewrite(g, ne, alpha, mode, gen)))
-        }
+        Formula::Exists(v, g) => Formula::Exists(*v, Box::new(rewrite(g, ne, alpha, mode, gen))),
+        Formula::Forall(v, g) => Formula::Forall(*v, Box::new(rewrite(g, ne, alpha, mode, gen))),
         Formula::SoExists(r, k, g) => {
             Formula::SoExists(*r, *k, Box::new(rewrite(g, ne, alpha, mode, gen)))
         }
@@ -98,7 +98,10 @@ fn rewrite(
 pub fn negation_free(f: &Formula) -> bool {
     match f {
         Formula::Not(_) => false,
-        Formula::True | Formula::False | Formula::Atom(..) | Formula::SoAtom(..)
+        Formula::True
+        | Formula::False
+        | Formula::Atom(..)
+        | Formula::SoAtom(..)
         | Formula::Eq(..) => true,
         Formula::And(fs) | Formula::Or(fs) => fs.iter().all(negation_free),
         Formula::Implies(p, q) | Formula::Iff(p, q) => negation_free(p) && negation_free(q),

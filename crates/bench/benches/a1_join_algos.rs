@@ -19,7 +19,10 @@ fn rel(rows: usize, salt: u64) -> Relation {
         2,
         (0..rows as u64).map(|i| {
             let x = (i.wrapping_mul(6364136223846793005).wrapping_add(salt)) % domain;
-            let y = (i.wrapping_mul(1442695040888963407).wrapping_add(salt ^ 0xabcd)) % domain;
+            let y = (i
+                .wrapping_mul(1442695040888963407)
+                .wrapping_add(salt ^ 0xabcd))
+                % domain;
             vec![x as u32, y as u32]
         }),
     )
@@ -27,7 +30,13 @@ fn rel(rows: usize, salt: u64) -> Relation {
 
 fn print_series() {
     println!("\nA1: equi-join algorithms (R ⋈ S on R.1 = S.0)");
-    print_header(&["rows/side", "out rows", "t(hash)", "t(sort-merge)", "t(nested loop)"]);
+    print_header(&[
+        "rows/side",
+        "out rows",
+        "t(hash)",
+        "t(sort-merge)",
+        "t(nested loop)",
+    ]);
     for rows in [64usize, 256, 1024, 4096] {
         let left = rel(rows, 1);
         let right = rel(rows, 2);

@@ -23,17 +23,22 @@ fn opts(strategy: MappingStrategy) -> ExactOptions {
 
 fn print_series() {
     println!("\nE1: exact certain answers — enumeration strategy costs (query: join)");
-    print_header(&["|C|", "kernels", "raw mappings", "t(kernel)", "t(raw)", "t(oracle)"]);
+    print_header(&[
+        "|C|",
+        "kernels",
+        "raw mappings",
+        "t(kernel)",
+        "t(raw)",
+        "t(oracle)",
+    ]);
     for n in [3usize, 4, 5, 6, 7] {
         let db = standard_db(n, 42);
         let queries = standard_queries(&db);
         let (_, q) = &queries[0];
-        let (a, t_kernel) = time_once(|| {
-            certain_answers_with(&db, q, opts(MappingStrategy::Kernels)).unwrap()
-        });
-        let (b, t_raw) = time_once(|| {
-            certain_answers_with(&db, q, opts(MappingStrategy::RawMappings)).unwrap()
-        });
+        let (a, t_kernel) =
+            time_once(|| certain_answers_with(&db, q, opts(MappingStrategy::Kernels)).unwrap());
+        let (b, t_raw) =
+            time_once(|| certain_answers_with(&db, q, opts(MappingStrategy::RawMappings)).unwrap());
         assert_eq!(a.0, b.0, "strategies must agree");
         let t_oracle = if n <= 3 {
             let (c, t) = time_once(|| certain_answers_oracle(&db, q).unwrap());

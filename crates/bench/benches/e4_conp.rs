@@ -27,7 +27,13 @@ fn cases() -> Vec<(String, Graph)> {
 
 fn print_series() {
     println!("\nE4: 3-colorability via certain answers (Theorem 5) vs direct solver");
-    print_header(&["graph", "vertices", "colorable", "t(logical DB)", "t(solver)"]);
+    print_header(&[
+        "graph",
+        "vertices",
+        "colorable",
+        "t(logical DB)",
+        "t(solver)",
+    ]);
     for (name, g) in cases() {
         let (expected, t_solver) = time_once(|| solve_3coloring(&g).is_some());
         let (got, t_db) = time_once(|| is_3colorable_via_logical_db(&g));

@@ -24,7 +24,14 @@ fn configs() -> Vec<(&'static str, Vec<usize>, usize)> {
 
 fn print_series() {
     println!("\nE6: QBF decision via fixed Σ¹ₖ second-order query (Theorem 9) vs solver");
-    print_header(&["blocks", "vars", "clauses", "true", "t(logical DB)", "t(solver)"]);
+    print_header(&[
+        "blocks",
+        "vars",
+        "clauses",
+        "true",
+        "t(logical DB)",
+        "t(solver)",
+    ]);
     for (name, blocks, clauses) in configs() {
         let qbf = random_qbf(&blocks, clauses, 23);
         let (expected, t_solver) = time_once(|| qbf.is_true());

@@ -10,17 +10,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qld_approx::ApproxEngine;
 use qld_bench::{print_header, print_row};
 use qld_core::certain_answers;
-use qld_workloads::{
-    random_cw_db, random_query, DbGenConfig, QueryFragment, QueryGenConfig,
-};
+use qld_workloads::{random_cw_db, random_query, DbGenConfig, QueryFragment, QueryGenConfig};
 use std::time::Duration;
 
-const DENSITIES: [(f64, &str); 4] = [
-    (1.0, "0.00"),
-    (0.75, "0.25"),
-    (0.5, "0.50"),
-    (0.25, "0.75"),
-];
+const DENSITIES: [(f64, &str); 4] = [(1.0, "0.00"), (0.75, "0.25"), (0.5, "0.50"), (0.25, "0.75")];
 
 fn db_at(known_fraction: f64, seed: u64) -> qld_core::CwDatabase {
     random_cw_db(&DbGenConfig {

@@ -73,9 +73,7 @@ fn bench(c: &mut Criterion) {
         });
         let explicit = NeStore::explicit(&db);
         let virt = NeStore::virtualized(&db);
-        let probes: Vec<(u32, u32)> = (0..n as u32)
-            .map(|i| (i, (i * 7 + 3) % n as u32))
-            .collect();
+        let probes: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i * 7 + 3) % n as u32)).collect();
         group.bench_with_input(BenchmarkId::new("probe_explicit", n), &n, |b, _| {
             b.iter(|| {
                 probes
@@ -85,12 +83,7 @@ fn bench(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("probe_virtual", n), &n, |b, _| {
-            b.iter(|| {
-                probes
-                    .iter()
-                    .filter(|&&(x, y)| virt.contains(x, y))
-                    .count()
-            })
+            b.iter(|| probes.iter().filter(|&&(x, y)| virt.contains(x, y)).count())
         });
     }
     group.finish();

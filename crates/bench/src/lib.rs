@@ -1,5 +1,5 @@
-//! Shared helpers for the E1–E9 benchmark harness (see DESIGN.md §4 and
-//! EXPERIMENTS.md).
+//! Shared helpers for the E1–E9 benchmark harness (see the benchmark
+//! section of ARCHITECTURE.md at the workspace root).
 //!
 //! Each bench binary prints the experiment's measured series as a table
 //! (the paper is a theory paper, so the "tables/figures" being reproduced

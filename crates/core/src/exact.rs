@@ -104,7 +104,10 @@ pub fn certain_answers_with(
 /// # Panics
 /// Panics if `query` is not Boolean.
 pub fn certainly_holds(db: &CwDatabase, query: &Query) -> Result<bool, LogicError> {
-    assert!(query.is_boolean(), "certainly_holds requires a Boolean query");
+    assert!(
+        query.is_boolean(),
+        "certainly_holds requires a Boolean query"
+    );
     Ok(!certain_answers(db, query)?.is_empty())
 }
 

@@ -18,7 +18,7 @@
 //! uniqueness axioms. Module [`mappings`] enumerates those `h` (either
 //! raw, or — the default — one canonical representative per kernel
 //! partition, an isomorphism-invariance optimization documented in
-//! DESIGN.md); module [`exact`] implements the evaluation itself with the
+//! ARCHITECTURE.md); module [`exact`] implements the evaluation itself with the
 //! Corollary 2 fast path for fully specified databases; module [`oracle`]
 //! re-derives the semantics from first principles (enumerate candidate
 //! models, check the *explicit* theory) as an independent cross-check; and

@@ -53,12 +53,8 @@ fn replace_preds(f: &Formula, map: &[PredVarId]) -> Formula {
         ),
         Formula::Exists(v, g) => Formula::Exists(*v, Box::new(replace_preds(g, map))),
         Formula::Forall(v, g) => Formula::Forall(*v, Box::new(replace_preds(g, map))),
-        Formula::SoExists(r, k, g) => {
-            Formula::SoExists(*r, *k, Box::new(replace_preds(g, map)))
-        }
-        Formula::SoForall(r, k, g) => {
-            Formula::SoForall(*r, *k, Box::new(replace_preds(g, map)))
-        }
+        Formula::SoExists(r, k, g) => Formula::SoExists(*r, *k, Box::new(replace_preds(g, map))),
+        Formula::SoForall(r, k, g) => Formula::SoForall(*r, *k, Box::new(replace_preds(g, map))),
     }
 }
 
@@ -99,17 +95,10 @@ fn relativize(f: &Formula, h: PredVarId, gen: &mut VarGen) -> Formula {
         }
         Formula::Forall(v, g) => {
             let guard = img(*v, gen);
-            Formula::Forall(
-                *v,
-                Box::new(Formula::implies(guard, relativize(g, h, gen))),
-            )
+            Formula::Forall(*v, Box::new(Formula::implies(guard, relativize(g, h, gen))))
         }
-        Formula::SoExists(r, k, g) => {
-            Formula::SoExists(*r, *k, Box::new(relativize(g, h, gen)))
-        }
-        Formula::SoForall(r, k, g) => {
-            Formula::SoForall(*r, *k, Box::new(relativize(g, h, gen)))
-        }
+        Formula::SoExists(r, k, g) => Formula::SoExists(*r, *k, Box::new(relativize(g, h, gen))),
+        Formula::SoForall(r, k, g) => Formula::SoForall(*r, *k, Box::new(relativize(g, h, gen))),
     }
 }
 
@@ -131,8 +120,7 @@ pub fn build(db: &CwDatabase, query: &Query) -> Result<PreciseSimulation, LogicE
         // body mentioning none of them.
         query.head().iter().fold(v, |acc, hv| acc.max(*hv))
     }));
-    let h_atom =
-        |a: Var, b: Var| Formula::so_atom(h, [Term::Var(a), Term::Var(b)]);
+    let h_atom = |a: Var, b: Var| Formula::so_atom(h, [Term::Var(a), Term::Var(b)]);
 
     // ρ₁: H is total.
     let (x, y) = (gen.fresh(), gen.fresh());
@@ -205,7 +193,7 @@ pub fn build(db: &CwDatabase, query: &Query) -> Result<PreciseSimulation, LogicE
 
     // ψ: ∃x₁…xₖ (H(z₁,x₁) ∧ … ∧ H(zₖ,xₖ) ∧ φ′), with fresh head z.
     //
-    // Faithful repair (documented in DESIGN.md): the paper's ψ routes the
+    // Faithful repair (documented in ARCHITECTURE.md): the paper's ψ routes the
     // answer tuple through H but leaves constant symbols *inside* φ
     // interpreted by Ph₂ — i.e. un-mapped — while its correctness proof
     // identifies the primed part of the structure with h(Ph₁(LB)), where a
@@ -255,11 +243,7 @@ pub fn build(db: &CwDatabase, query: &Query) -> Result<PreciseSimulation, LogicE
     // Q′ = (z) . ∀H ∀P′ (ρ ∧ θ → ψ).
     let mut body = Formula::implies(Formula::and(vec![rho, theta]), psi);
     for p in db.voc().preds().collect::<Vec<_>>().into_iter().rev() {
-        body = Formula::SoForall(
-            p_primes[p.index()],
-            db.voc().pred_arity(p),
-            Box::new(body),
-        );
+        body = Formula::SoForall(p_primes[p.index()], db.voc().pred_arity(p), Box::new(body));
     }
     body = Formula::SoForall(h, 2, Box::new(body));
     let q_prime = Query::new(zs, body)?;

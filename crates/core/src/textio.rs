@@ -184,10 +184,8 @@ pub fn from_text(input: &str) -> Result<CwDatabase, TextError> {
                 builder = builder.fact(pid, &ids);
             }
             Pending::Unique(a, b, line) => {
-                builder = builder.unique(
-                    lookup_const(&voc, &a, line)?,
-                    lookup_const(&voc, &b, line)?,
-                );
+                builder =
+                    builder.unique(lookup_const(&voc, &a, line)?, lookup_const(&voc, &b, line)?);
             }
             Pending::Distinct(names, line) => {
                 let ids: Vec<ConstId> = names
@@ -233,10 +231,7 @@ pub fn to_text(db: &CwDatabase) -> String {
     }
     for p in voc.preds() {
         for t in db.facts(p).iter() {
-            let args: Vec<&str> = t
-                .iter()
-                .map(|&e| voc.const_name(ConstId(e)))
-                .collect();
+            let args: Vec<&str> = t.iter().map(|&e| voc.const_name(ConstId(e))).collect();
             let _ = writeln!(out, "fact {}({})", voc.pred_name(p), args.join(", "));
         }
     }

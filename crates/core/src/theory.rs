@@ -1,8 +1,6 @@
 //! The CW logical database: facts + uniqueness axioms (§2.2).
 
-use qld_logic::builders::{
-    completion_axiom, domain_closure_axiom, uniqueness_axiom, VarGen,
-};
+use qld_logic::builders::{completion_axiom, domain_closure_axiom, uniqueness_axiom, VarGen};
 use qld_logic::{ConstId, Formula, PredId, Term, Vocabulary};
 use qld_physical::Relation;
 use std::fmt;
@@ -147,10 +145,7 @@ impl CwDatabase {
         let mut sentences = Vec::new();
         for p in self.voc.preds() {
             for t in self.facts(p).iter() {
-                sentences.push(Formula::atom(
-                    p,
-                    t.iter().map(|&e| Term::Const(ConstId(e))),
-                ));
+                sentences.push(Formula::atom(p, t.iter().map(|&e| Term::Const(ConstId(e)))));
             }
         }
         for &(a, b) in &self.ne_pairs {

@@ -92,14 +92,8 @@ pub fn gamma_edge(xs: &[Term], ys: &[Term], u: Term, v: Term) -> Formula {
     debug_assert_eq!(xs.len(), ys.len());
     let mut disjuncts = Vec::with_capacity(2 * xs.len());
     for (x, y) in xs.iter().zip(ys.iter()) {
-        disjuncts.push(Formula::and(vec![
-            Formula::Eq(u, *x),
-            Formula::Eq(v, *y),
-        ]));
-        disjuncts.push(Formula::and(vec![
-            Formula::Eq(u, *y),
-            Formula::Eq(v, *x),
-        ]));
+        disjuncts.push(Formula::and(vec![Formula::Eq(u, *x), Formula::Eq(v, *y)]));
+        disjuncts.push(Formula::and(vec![Formula::Eq(u, *y), Formula::Eq(v, *x)]));
     }
     Formula::or(disjuncts)
 }
@@ -157,15 +151,9 @@ fn alpha_generic(
     let conn = reachability(bound, Term::Var(u), Term::Var(v), &mut edge, gen);
     let exists_witness = Formula::exists(
         [u, v],
-        Formula::and(vec![
-            Formula::atom(ne, [Term::Var(u), Term::Var(v)]),
-            conn,
-        ]),
+        Formula::and(vec![Formula::atom(ne, [Term::Var(u), Term::Var(v)]), conn]),
     );
-    Formula::forall(
-        ys.clone(),
-        Formula::implies(atom(y_terms), exists_witness),
-    )
+    Formula::forall(ys.clone(), Formula::implies(atom(y_terms), exists_witness))
 }
 
 /// The domain-closure axiom of §2.2: `∀x (x=c₁ ∨ … ∨ x=cₙ)`.

@@ -250,9 +250,7 @@ impl Formula {
             Formula::SoAtom(..) | Formula::SoExists(..) | Formula::SoForall(..) => false,
             Formula::Not(f) => f.is_first_order(),
             Formula::And(fs) | Formula::Or(fs) => fs.iter().all(Formula::is_first_order),
-            Formula::Implies(p, q) | Formula::Iff(p, q) => {
-                p.is_first_order() && q.is_first_order()
-            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => p.is_first_order() && q.is_first_order(),
             Formula::Exists(_, f) | Formula::Forall(_, f) => f.is_first_order(),
         }
     }
@@ -381,9 +379,7 @@ impl Formula {
             Formula::SoAtom(r, ts) => Formula::SoAtom(*r, ts.iter().map(map_term).collect()),
             Formula::Eq(a, b) => Formula::Eq(map_term(a), map_term(b)),
             Formula::Not(g) => Formula::Not(Box::new(g.replace_consts(subst))),
-            Formula::And(fs) => {
-                Formula::And(fs.iter().map(|g| g.replace_consts(subst)).collect())
-            }
+            Formula::And(fs) => Formula::And(fs.iter().map(|g| g.replace_consts(subst)).collect()),
             Formula::Or(fs) => Formula::Or(fs.iter().map(|g| g.replace_consts(subst)).collect()),
             Formula::Implies(p, q) => Formula::Implies(
                 Box::new(p.replace_consts(subst)),
@@ -421,7 +417,10 @@ impl Formula {
     /// First-order quantifier rank (maximum nesting depth of `∃`/`∀`).
     pub fn quantifier_rank(&self) -> usize {
         match self {
-            Formula::True | Formula::False | Formula::Eq(..) | Formula::Atom(..)
+            Formula::True
+            | Formula::False
+            | Formula::Eq(..)
+            | Formula::Atom(..)
             | Formula::SoAtom(..) => 0,
             Formula::Not(f) => f.quantifier_rank(),
             Formula::And(fs) | Formula::Or(fs) => {
@@ -453,17 +452,15 @@ impl Formula {
                     }
                     Ok(())
                 }
-                Formula::SoAtom(r, ts) => {
-                    match so_scope.iter().rev().find(|(id, _)| id == r) {
-                        None => Err(LogicError::UnknownSymbol(format!("R{}", r.0))),
-                        Some((_, arity)) if *arity != ts.len() => Err(LogicError::PredVarArity {
-                            name: format!("R{}", r.0),
-                            expected: *arity,
-                            found: ts.len(),
-                        }),
-                        Some(_) => Ok(()),
-                    }
-                }
+                Formula::SoAtom(r, ts) => match so_scope.iter().rev().find(|(id, _)| id == r) {
+                    None => Err(LogicError::UnknownSymbol(format!("R{}", r.0))),
+                    Some((_, arity)) if *arity != ts.len() => Err(LogicError::PredVarArity {
+                        name: format!("R{}", r.0),
+                        expected: *arity,
+                        found: ts.len(),
+                    }),
+                    Some(_) => Ok(()),
+                },
                 Formula::Not(g) => go(g, voc, so_scope),
                 Formula::And(fs) | Formula::Or(fs) => {
                     fs.iter().try_for_each(|g| go(g, voc, so_scope))
@@ -505,10 +502,7 @@ mod tests {
         let (_, r, _) = voc2();
         let x = Var(0);
         let y = Var(1);
-        let f = Formula::exists(
-            [y],
-            Formula::atom(r, [Term::Var(x), Term::Var(y)]),
-        );
+        let f = Formula::exists([y], Formula::atom(r, [Term::Var(x), Term::Var(y)]));
         assert_eq!(f.free_vars(), vec![x]);
     }
 
@@ -569,11 +563,7 @@ mod tests {
         ));
         let bound = Formula::SoExists(p, 1, Box::new(Formula::so_atom(p, [Term::Var(x)])));
         assert!(bound.check(&voc).is_ok());
-        let wrong_arity = Formula::SoExists(
-            p,
-            2,
-            Box::new(Formula::so_atom(p, [Term::Var(x)])),
-        );
+        let wrong_arity = Formula::SoExists(p, 2, Box::new(Formula::so_atom(p, [Term::Var(x)])));
         assert!(matches!(
             wrong_arity.check(&voc),
             Err(LogicError::PredVarArity { .. })
@@ -648,7 +638,10 @@ mod tests {
     #[test]
     fn max_var_tracks_binders() {
         let (_, r, _) = voc2();
-        let f = Formula::exists([Var(5)], Formula::atom(r, [Term::Var(Var(5)), Term::Var(Var(2))]));
+        let f = Formula::exists(
+            [Var(5)],
+            Formula::atom(r, [Term::Var(Var(5)), Term::Var(Var(2))]),
+        );
         assert_eq!(f.max_var(), Some(Var(5)));
     }
 }

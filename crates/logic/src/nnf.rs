@@ -27,7 +27,10 @@ pub fn to_nnf(f: &Formula) -> Formula {
 /// True iff `f` is already in negation normal form.
 pub fn is_nnf(f: &Formula) -> bool {
     match f {
-        Formula::True | Formula::False | Formula::Atom(..) | Formula::SoAtom(..)
+        Formula::True
+        | Formula::False
+        | Formula::Atom(..)
+        | Formula::SoAtom(..)
         | Formula::Eq(..) => true,
         Formula::Not(inner) => matches!(
             **inner,
@@ -156,10 +159,7 @@ mod tests {
     #[test]
     fn de_morgan_and() {
         let f = Formula::not(Formula::and(vec![atom(0, 0), atom(1, 1)]));
-        let expected = Formula::or(vec![
-            Formula::not(atom(0, 0)),
-            Formula::not(atom(1, 1)),
-        ]);
+        let expected = Formula::or(vec![Formula::not(atom(0, 0)), Formula::not(atom(1, 1))]);
         assert_eq!(to_nnf(&f), expected);
     }
 

@@ -567,11 +567,7 @@ mod tests {
     fn parses_paper_example_query() {
         // The §2.1 example: (x1,x2). ∃y (EMP-DEPT(x1,y) ∧ DEPT-MGR(y,x2))
         let voc = voc();
-        let q = parse_query(
-            &voc,
-            "(e, m) . exists d. EMP_DEPT(e, d) & DEPT_MGR(d, m)",
-        )
-        .unwrap();
+        let q = parse_query(&voc, "(e, m) . exists d. EMP_DEPT(e, d) & DEPT_MGR(d, m)").unwrap();
         assert_eq!(q.arity(), 2);
         assert!(q.is_positive());
     }

@@ -175,9 +175,14 @@ mod tests {
 
     fn is_quantifier_free(f: &Formula) -> bool {
         match f {
-            Formula::Exists(..) | Formula::Forall(..) | Formula::SoExists(..)
+            Formula::Exists(..)
+            | Formula::Forall(..)
+            | Formula::SoExists(..)
             | Formula::SoForall(..) => false,
-            Formula::True | Formula::False | Formula::Atom(..) | Formula::SoAtom(..)
+            Formula::True
+            | Formula::False
+            | Formula::Atom(..)
+            | Formula::SoAtom(..)
             | Formula::Eq(..) => true,
             Formula::Not(g) => is_quantifier_free(g),
             Formula::And(fs) | Formula::Or(fs) => fs.iter().all(is_quantifier_free),
@@ -189,9 +194,7 @@ mod tests {
 
     #[test]
     fn matrix_is_quantifier_free_and_binders_distinct() {
-        let p = prenex_of(
-            "(exists x. R(x, x)) & (forall y. M(y) -> exists z. R(y, z))",
-        );
+        let p = prenex_of("(exists x. R(x, x)) & (forall y. M(y) -> exists z. R(y, z))");
         assert!(is_quantifier_free(&p.matrix));
         let mut vars: Vec<Var> = p.prefix.iter().map(|(_, v)| *v).collect();
         let n = vars.len();

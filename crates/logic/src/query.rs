@@ -116,7 +116,10 @@ pub fn is_positive(f: &Formula) -> bool {
     fn negation_free(f: &Formula) -> bool {
         match f {
             Formula::Not(_) => false,
-            Formula::True | Formula::False | Formula::Atom(..) | Formula::SoAtom(..)
+            Formula::True
+            | Formula::False
+            | Formula::Atom(..)
+            | Formula::SoAtom(..)
             | Formula::Eq(..) => true,
             Formula::And(fs) | Formula::Or(fs) => fs.iter().all(negation_free),
             Formula::Implies(p, q) | Formula::Iff(p, q) => negation_free(p) && negation_free(q),
@@ -180,7 +183,10 @@ mod tests {
         let x = Var(0);
         let pos = Query::new(
             vec![x],
-            Formula::exists([Var(1)], Formula::atom(r, [Term::Var(x), Term::Var(Var(1))])),
+            Formula::exists(
+                [Var(1)],
+                Formula::atom(r, [Term::Var(x), Term::Var(Var(1))]),
+            ),
         )
         .unwrap();
         assert_eq!(pos.class(), QueryClass::PositiveFirstOrder);
@@ -196,10 +202,7 @@ mod tests {
         let so = Query::boolean(Formula::SoExists(
             p,
             1,
-            Box::new(Formula::exists(
-                [x],
-                Formula::so_atom(p, [Term::Var(x)]),
-            )),
+            Box::new(Formula::exists([x], Formula::so_atom(p, [Term::Var(x)]))),
         ))
         .unwrap();
         assert_eq!(so.class(), QueryClass::SecondOrder);
@@ -227,10 +230,7 @@ mod tests {
     fn double_negation_is_positive() {
         let (_, r) = setup();
         let x = Var(0);
-        let f = Formula::not(Formula::not(Formula::atom(
-            r,
-            [Term::Var(x), Term::Var(x)],
-        )));
+        let f = Formula::not(Formula::not(Formula::atom(r, [Term::Var(x), Term::Var(x)])));
         assert!(is_positive(&f));
     }
 }

@@ -116,7 +116,10 @@ impl Vocabulary {
     }
 
     /// Adds several constants at once, returning their ids in order.
-    pub fn add_consts<'a, I: IntoIterator<Item = &'a str>>(&mut self, names: I) -> Result<Vec<ConstId>> {
+    pub fn add_consts<'a, I: IntoIterator<Item = &'a str>>(
+        &mut self,
+        names: I,
+    ) -> Result<Vec<ConstId>> {
         names.into_iter().map(|n| self.add_const(n)).collect()
     }
 

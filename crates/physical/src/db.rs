@@ -34,7 +34,10 @@ impl fmt::Display for PhysicalError {
                 write!(f, "constant {c} has no assigned value")
             }
             PhysicalError::ConstantOutsideDomain(c, e) => {
-                write!(f, "constant {c} assigned to {e}, which is outside the domain")
+                write!(
+                    f,
+                    "constant {c} assigned to {e}, which is outside the domain"
+                )
             }
             PhysicalError::TupleOutsideDomain(p, t) => {
                 write!(f, "relation {p} contains tuple {t:?} outside the domain")
@@ -138,10 +141,7 @@ impl PhysicalDbBuilder {
         PhysicalDbBuilder {
             pred_arities: voc.preds().map(|p| voc.pred_arity(p)).collect(),
             pred_names: voc.preds().map(|p| voc.pred_name(p).to_owned()).collect(),
-            const_names: voc
-                .consts()
-                .map(|c| voc.const_name(c).to_owned())
-                .collect(),
+            const_names: voc.consts().map(|c| voc.const_name(c).to_owned()).collect(),
             domain: Vec::new(),
             const_val: vec![None; voc.num_consts()],
             rels: vec![None; voc.num_preds()],
@@ -303,7 +303,10 @@ mod tests {
             .relation_from_tuples(r, vec![vec![0, 7]])
             .build()
             .unwrap_err();
-        assert_eq!(err, PhysicalError::TupleOutsideDomain("R".into(), vec![0, 7]));
+        assert_eq!(
+            err,
+            PhysicalError::TupleOutsideDomain("R".into(), vec![0, 7])
+        );
     }
 
     #[test]

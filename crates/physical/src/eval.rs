@@ -138,7 +138,10 @@ pub fn satisfies(db: &PhysicalDb, sentence: &Formula) -> bool {
 }
 
 /// Does the database satisfy every sentence?
-pub fn satisfies_all<'a, I: IntoIterator<Item = &'a Formula>>(db: &PhysicalDb, sentences: I) -> bool {
+pub fn satisfies_all<'a, I: IntoIterator<Item = &'a Formula>>(
+    db: &PhysicalDb,
+    sentences: I,
+) -> bool {
     sentences.into_iter().all(|s| satisfies(db, s))
 }
 

@@ -44,10 +44,7 @@ impl Relation {
 
     /// Builds a relation from an iterator of `Vec` tuples.
     pub fn collect<I: IntoIterator<Item = Vec<Elem>>>(arity: usize, iter: I) -> Relation {
-        Relation::from_tuples(
-            arity,
-            iter.into_iter().map(Vec::into_boxed_slice).collect(),
-        )
+        Relation::from_tuples(arity, iter.into_iter().map(Vec::into_boxed_slice).collect())
     }
 
     /// Number of argument positions.
@@ -150,7 +147,10 @@ mod tests {
     fn rel(tuples: &[&[Elem]]) -> Relation {
         Relation::from_tuples(
             tuples.first().map_or(2, |t| t.len()),
-            tuples.iter().map(|t| t.to_vec().into_boxed_slice()).collect(),
+            tuples
+                .iter()
+                .map(|t| t.to_vec().into_boxed_slice())
+                .collect(),
         )
     }
 

@@ -116,10 +116,7 @@ mod tests {
     fn tuple_space_order_is_lexicographic() {
         let domain = [5, 7];
         let tuples: Vec<Vec<Elem>> = TupleSpace::new(&domain, 2).collect();
-        assert_eq!(
-            tuples,
-            vec![vec![5, 5], vec![5, 7], vec![7, 5], vec![7, 7]]
-        );
+        assert_eq!(tuples, vec![vec![5, 5], vec![5, 7], vec![7, 5], vec![7, 7]]);
     }
 
     #[test]

@@ -86,9 +86,7 @@ impl Graph {
     /// The wheel `W_n`: a ring of `n` vertices all joined to a hub
     /// (3-colorable iff `n` is even).
     pub fn wheel(n: usize) -> Graph {
-        let mut edges: Vec<(u32, u32)> = (0..n as u32)
-            .map(|i| (i, (i + 1) % n as u32))
-            .collect();
+        let mut edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         let hub = n as u32;
         edges.extend((0..n as u32).map(|i| (i, hub)));
         Graph::new(n + 1, edges)

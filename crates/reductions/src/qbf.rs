@@ -135,11 +135,9 @@ impl Qbf {
 
     /// Evaluates the matrix under a full assignment.
     pub fn matrix_value(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|clause| {
-            clause
-                .iter()
-                .any(|lit| assignment[lit.var] == lit.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|lit| assignment[lit.var] == lit.positive))
     }
 
     /// Recursive QBF solver — the independent oracle for Theorems 7 and 9.

@@ -65,7 +65,9 @@ fn random_term(voc: &Vocabulary, rng: &mut StdRng, scope: &[Var]) -> Term {
     if !scope.is_empty() && (voc.num_consts() == 0 || rng.gen_bool(0.7)) {
         Term::Var(scope[rng.gen_range(0..scope.len())])
     } else {
-        Term::Const(qld_logic::ConstId(rng.gen_range(0..voc.num_consts() as u32)))
+        Term::Const(qld_logic::ConstId(
+            rng.gen_range(0..voc.num_consts() as u32),
+        ))
     }
 }
 
@@ -94,14 +96,10 @@ fn gen(
         // fine for Existential).
         return match fragment {
             QueryFragment::FullFo if rng.gen_bool(0.3) => Formula::not(atom),
-            QueryFragment::Existential
-                if rng.gen_bool(0.2) && scope.len() >= 2 =>
-            {
-                Formula::neq(
-                    Term::Var(scope[rng.gen_range(0..scope.len())]),
-                    Term::Var(scope[rng.gen_range(0..scope.len())]),
-                )
-            }
+            QueryFragment::Existential if rng.gen_bool(0.2) && scope.len() >= 2 => Formula::neq(
+                Term::Var(scope[rng.gen_range(0..scope.len())]),
+                Term::Var(scope[rng.gen_range(0..scope.len())]),
+            ),
             _ => atom,
         };
     }

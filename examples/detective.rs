@@ -7,6 +7,9 @@
 //! only partially separated from the citizens, so the engine must reason
 //! over every way his identity could resolve.
 //!
+//! Paper: §2.2 (uniqueness axioms and unknown identities under the
+//! closed-world assumption).
+//!
 //! Run with: `cargo run --example detective`
 
 use querying_logical_databases::prelude::*;
@@ -44,7 +47,10 @@ fn main() {
     let ask = |text: &str| {
         let q = parse_query(db.voc(), text).unwrap();
         let verdict = certainly_holds(&db, &q).unwrap();
-        println!("{text:42} {}", if verdict { "CERTAIN" } else { "not certain" });
+        println!(
+            "{text:42} {}",
+            if verdict { "CERTAIN" } else { "not certain" }
+        );
         verdict
     };
 
@@ -94,7 +100,11 @@ fn main() {
     let tautology = engine.eval(&q).unwrap();
     println!(
         "\n'ripper = victoria | ripper != victoria': exact CERTAIN, approximation {}",
-        if tautology.is_empty() { "not certain (sound, incomplete)" } else { "CERTAIN" }
+        if tautology.is_empty() {
+            "not certain (sound, incomplete)"
+        } else {
+            "CERTAIN"
+        }
     );
     assert!(tautology.is_empty());
 }

@@ -9,6 +9,9 @@
 //! and you can feel the exponential here, long before you can on the
 //! approximate evaluator.
 //!
+//! Paper: Theorem 5 (§4, co-NP-hardness of data complexity) via the
+//! 3-colorability reduction.
+//!
 //! Run with: `cargo run --example graph_coloring`
 
 use querying_logical_databases::reductions::three_color::{

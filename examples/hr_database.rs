@@ -6,6 +6,9 @@
 //! department as an unknown value and watch how exact certain answers,
 //! the approximation (both backends), and possible answers behave.
 //!
+//! Paper: §2.1 (the motivating EMP/DEPT example) evaluated under
+//! Theorem 1 (exact) and §5 (approximate, naive and algebra backends).
+//!
 //! Run with: `cargo run --example hr_database`
 
 use querying_logical_databases::algebra::ExecOptions;
@@ -77,7 +80,10 @@ fn main() {
         "(e) . exists d. EMP_DEPT(e, d) & !DEPT_MGR(d, barbara)",
     )
     .unwrap();
-    show("certainly not managed by barbara:", &certain_answers(&db, &q).unwrap());
+    show(
+        "certainly not managed by barbara:",
+        &certain_answers(&db, &q).unwrap(),
+    );
     show("approx  not managed by barbara:", &engine.eval(&q).unwrap());
 
     // Possible managers of edsger: anyone new_hire could be.
@@ -86,6 +92,12 @@ fn main() {
         "(m) . exists d. EMP_DEPT(edsger, d) & DEPT_MGR(d, m)",
     )
     .unwrap();
-    show("certain manager of edsger:", &certain_answers(&db, &q).unwrap());
-    show("possible manager of edsger:", &possible_answers(&db, &q).unwrap());
+    show(
+        "certain manager of edsger:",
+        &certain_answers(&db, &q).unwrap(),
+    );
+    show(
+        "possible manager of edsger:",
+        &possible_answers(&db, &q).unwrap(),
+    );
 }

@@ -2,6 +2,9 @@
 //! a small CW logical database and watch certain/possible answers emerge
 //! as the intersection/union over worlds.
 //!
+//! Paper: §2 (the possible-worlds semantics of CW logical databases) and
+//! the model-enumeration baseline that Theorem 1 short-circuits.
+//!
 //! Run with: `cargo run --example possible_worlds`
 
 use querying_logical_databases::core::ph::ph1;

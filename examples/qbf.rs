@@ -7,6 +7,9 @@
 //! * Theorem 9 packs the *clauses* into the database and uses a fixed
 //!   `Σ¹ₖ` second-order query — the same jump in **data** complexity.
 //!
+//! Paper: Theorems 7 and 9 (§4, the QBF reductions pinning combined and
+//! data complexity to the polynomial hierarchy).
+//!
 //! Run with: `cargo run --example qbf`
 
 use querying_logical_databases::logic::display::display_query;
@@ -56,7 +59,10 @@ fn main() {
         ),
     ];
 
-    println!("{:48} {:>7} {:>8} {:>8}", "formula", "solver", "Thm 7", "Thm 9");
+    println!(
+        "{:48} {:>7} {:>8} {:>8}",
+        "formula", "solver", "Thm 7", "Thm 9"
+    );
     for (name, qbf) in &cases {
         let by_solver = qbf.is_true();
         let by_fo = qbf_fo::qbf_true_via_logical_db(qbf);

@@ -2,6 +2,9 @@
 //! value, then compare exact certain answers, possible answers, and the
 //! §5 approximation.
 //!
+//! Paper: Theorem 1 (exact certain-answer evaluation) versus §5 (the
+//! sound approximate algorithm running on a relational engine).
+//!
 //! Run with: `cargo run --example quickstart`
 
 use querying_logical_databases::prelude::*;
@@ -24,7 +27,12 @@ fn main() {
         .build()
         .unwrap();
 
-    println!("database: {} facts, {} uniqueness axioms, fully specified: {}", db.num_facts(), db.num_ne(), db.is_fully_specified());
+    println!(
+        "database: {} facts, {} uniqueness axioms, fully specified: {}",
+        db.num_facts(),
+        db.num_ne(),
+        db.is_fully_specified()
+    );
 
     let show = |label: &str, rel: &Relation| {
         let names: Vec<String> = answer_names(db.voc(), rel)
@@ -37,17 +45,29 @@ fn main() {
     // Who does Socrates certainly teach? Only plato: `mystery` *might* be
     // plato, but might equally be aristotle.
     let q = parse_query(db.voc(), "(x) . TEACHES(socrates, x)").unwrap();
-    show("certain TEACHES(socrates, ·)", &certain_answers(&db, &q).unwrap());
-    show("possible TEACHES(socrates, ·)", &possible_answers(&db, &q).unwrap());
+    show(
+        "certain TEACHES(socrates, ·)",
+        &certain_answers(&db, &q).unwrap(),
+    );
+    show(
+        "possible TEACHES(socrates, ·)",
+        &possible_answers(&db, &q).unwrap(),
+    );
 
     // Negative query: the closed-world assumption yields negative facts,
     // but only where identities are known.
     let q = parse_query(db.voc(), "(x) . !TEACHES(socrates, x)").unwrap();
-    show("certain ¬TEACHES(socrates, ·)", &certain_answers(&db, &q).unwrap());
+    show(
+        "certain ¬TEACHES(socrates, ·)",
+        &certain_answers(&db, &q).unwrap(),
+    );
 
     // Boolean query: is it certain that someone teaches plato?
     let q = parse_query(db.voc(), "exists t. TEACHES(t, plato)").unwrap();
-    println!("certain ∃t TEACHES(t, plato): {}", certainly_holds(&db, &q).unwrap());
+    println!(
+        "certain ∃t TEACHES(t, plato): {}",
+        certainly_holds(&db, &q).unwrap()
+    );
 
     // The same queries through the polynomial-time §5 approximation:
     // sound always, complete here because the first query is positive and

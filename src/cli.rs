@@ -111,8 +111,14 @@ impl Session {
                 writeln!(out, "commands:")?;
                 writeln!(out, "    :mode exact|approx|possible   switch semantics")?;
                 writeln!(out, "    :stats                        database statistics")?;
-                writeln!(out, "    :worlds                       count possible worlds")?;
-                writeln!(out, "    :explain <query>              show Q̂ and its algebra plan")?;
+                writeln!(
+                    out,
+                    "    :worlds                       count possible worlds"
+                )?;
+                writeln!(
+                    out,
+                    "    :explain <query>              show Q̂ and its algebra plan"
+                )?;
                 writeln!(out, "    :dump                         print the database")?;
                 writeln!(out, "    :help  :quit")?;
             }

@@ -6,8 +6,8 @@
 use querying_logical_databases::algebra::{
     compile_query, execute, optimize, ExecOptions, JoinAlgo,
 };
-use querying_logical_databases::core::ph::{apply_mapping, ph1};
 use querying_logical_databases::core::mappings::for_each_kernel_mapping;
+use querying_logical_databases::core::ph::{apply_mapping, ph1};
 use querying_logical_databases::logic::nnf::{is_nnf, to_nnf};
 use querying_logical_databases::logic::Query;
 use querying_logical_databases::physical::eval_query;
@@ -15,7 +15,12 @@ use querying_logical_databases::workloads::{
     random_cw_db, random_query, DbGenConfig, QueryFragment, QueryGenConfig,
 };
 
-fn dbs(seed: u64) -> Vec<(querying_logical_databases::logic::Vocabulary, querying_logical_databases::physical::PhysicalDb)> {
+fn dbs(
+    seed: u64,
+) -> Vec<(
+    querying_logical_databases::logic::Vocabulary,
+    querying_logical_databases::physical::PhysicalDb,
+)> {
     let cw = random_cw_db(&DbGenConfig {
         num_consts: 5,
         pred_arities: vec![2, 1],

@@ -39,7 +39,11 @@ fn theorem_11_soundness_on_random_instances() {
         for qseed in 0..8 {
             let q = random_query(
                 db.voc(),
-                &q_cfg(QueryFragment::FullFo, (qseed % 3) as usize, qseed * 31 + seed),
+                &q_cfg(
+                    QueryFragment::FullFo,
+                    (qseed % 3) as usize,
+                    qseed * 31 + seed,
+                ),
             );
             let approx = engine.eval(&q).unwrap();
             let exact = certain_answers(&db, &q).unwrap();
@@ -143,7 +147,11 @@ fn algebra_backend_agrees_with_naive() {
         for qseed in 0..6 {
             let q = random_query(
                 db.voc(),
-                &q_cfg(QueryFragment::FullFo, (qseed % 2) as usize, qseed * 13 + seed),
+                &q_cfg(
+                    QueryFragment::FullFo,
+                    (qseed % 2) as usize,
+                    qseed * 13 + seed,
+                ),
             );
             let naive = engine.eval(&q).unwrap();
             for join in [JoinAlgo::Hash, JoinAlgo::SortMerge, JoinAlgo::NestedLoop] {

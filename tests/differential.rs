@@ -48,7 +48,10 @@ fn kernel_enumeration_equals_raw_enumeration() {
             );
             let a = certain_answers_with(&db, &q, kernels()).unwrap().0;
             let b = certain_answers_with(&db, &q, raw()).unwrap().0;
-            assert_eq!(a, b, "strategy mismatch: db seed {seed}, query seed {qseed}, query {q:?}");
+            assert_eq!(
+                a, b,
+                "strategy mismatch: db seed {seed}, query seed {qseed}, query {q:?}"
+            );
         }
     }
 }
@@ -140,7 +143,10 @@ fn corollary2_on_random_fully_specified_databases() {
             let (fast, s) = certain_answers_with(&db, &q, ExactOptions::new()).unwrap();
             assert!(s.fast_path);
             let (generic, _) = certain_answers_with(&db, &q, kernels()).unwrap();
-            assert_eq!(fast, generic, "Corollary 2 violated: db seed {seed}, query {q:?}");
+            assert_eq!(
+                fast, generic,
+                "Corollary 2 violated: db seed {seed}, query {q:?}"
+            );
         }
     }
 }

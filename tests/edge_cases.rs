@@ -66,11 +66,7 @@ fn constant_only_boolean_queries() {
         ("false", false),
     ] {
         let q = parse_query(db.voc(), text).unwrap();
-        assert_eq!(
-            certainly_holds(&db, &q).unwrap(),
-            expected,
-            "query: {text}"
-        );
+        assert_eq!(certainly_holds(&db, &q).unwrap(), expected, "query: {text}");
     }
 }
 

@@ -63,8 +63,7 @@ fn beta_reachability_matches_bfs() {
         for bound in [1usize, 2, 5] {
             let (u, v) = (Var(0), Var(1));
             let mut gen = VarGen::after(Some(v));
-            let mut edge =
-                |a: Term, b: Term| Formula::atom(e, [a, b]);
+            let mut edge = |a: Term, b: Term| Formula::atom(e, [a, b]);
             let formula = reachability(bound, Term::Var(u), Term::Var(v), &mut edge, &mut gen);
             formula.check(&voc).unwrap();
             for start in 0..n {

@@ -2,10 +2,10 @@
 //! evaluator on random formulas and databases, plus the Σᴱₖ shape check
 //! on the Theorem 7 reduction outputs.
 
+use querying_logical_databases::core::ph::ph1;
 use querying_logical_databases::logic::builders::VarGen;
 use querying_logical_databases::logic::prenex::{to_prenex, QuantKind};
 use querying_logical_databases::logic::Query;
-use querying_logical_databases::core::ph::ph1;
 use querying_logical_databases::physical::eval_query;
 use querying_logical_databases::reductions::{qbf_fo, Lit, Qbf, Quant};
 use querying_logical_databases::workloads::{
@@ -60,7 +60,10 @@ fn theorem7_queries_are_sigma_k_shaped() {
         (
             Qbf::new(
                 vec![(Quant::Forall, 2), (Quant::Exists, 2)],
-                vec![vec![Lit::pos(0), Lit::pos(2)], vec![Lit::neg(1), Lit::pos(3)]],
+                vec![
+                    vec![Lit::pos(0), Lit::pos(2)],
+                    vec![Lit::neg(1), Lit::pos(3)],
+                ],
             ),
             1usize,
         ),

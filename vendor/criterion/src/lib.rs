@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal wall-clock benchmark harness with the same spelling as the
+//! `criterion` API surface it uses: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! There is no statistical analysis: each benchmark runs a calibration pass
+//! followed by timed batches, and the mean iteration time is printed. That is
+//! enough to compare the implementations this repository benchmarks against
+//! each other on one machine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function (re-export shim over
+/// `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (subset of criterion's).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.name.fmt(f)
+    }
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration, filled in by `iter`.
+    mean_ns: f64,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Calibrates then times `routine`, recording the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count that fills ~1/5 of the
+        // measurement window, growing geometrically from 1.
+        let mut iters: u64 = 1;
+        let target = self.measurement_time.as_secs_f64() / 5.0;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed >= target || iters >= (1 << 30) {
+                break;
+            }
+            iters = if elapsed <= f64::EPSILON {
+                iters * 8
+            } else {
+                ((iters as f64 * target / elapsed).ceil() as u64).clamp(iters + 1, iters * 16)
+            };
+        }
+        // Measurement: repeat timed batches until the window is spent.
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        let window = Instant::now();
+        while window.elapsed() < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total_ns += start.elapsed().as_nanos() as f64;
+            total_iters += iters;
+        }
+        if total_iters > 0 {
+            self.mean_ns = total_ns / total_iters as f64;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count (accepted for API
+    /// compatibility; this harness sizes batches by time, not samples).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Overrides the warm-up duration (accepted for API compatibility; the
+    /// calibration pass in [`Bencher::iter`] doubles as warm-up).
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets how long this group's measurement windows last (per-group,
+    /// like real criterion: other groups keep the harness default).
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mean_ns: f64::NAN,
+            measurement_time: self.window(),
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.mean_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            mean_ns: f64::NAN,
+            measurement_time: self.window(),
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.mean_ns);
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn window(&self) -> Duration {
+        self.measurement_time
+            .unwrap_or(self.criterion.measurement_time)
+    }
+
+    fn report(&self, id: &BenchmarkId, mean_ns: f64) {
+        let per_iter = format_ns(mean_ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let rate = n as f64 / (mean_ns * 1e-9);
+                println!(
+                    "{}/{:<40} {:>12}/iter  {:>14.0} elem/s",
+                    self.name, id, per_iter, rate
+                );
+            }
+            _ => println!("{}/{:<40} {:>12}/iter", self.name, id, per_iter),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "—".to_string()
+    } else if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark harness entry point (subset of criterion's `Criterion`).
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            throughput: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// Declares a benchmark group function list (stand-in for criterion's).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` (stand-in for criterion's).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal property-testing harness with the same spelling as the `proptest`
+//! API surface it uses: the [`proptest!`] macro with `#![proptest_config]`,
+//! integer-range and tuple strategies, [`collection::vec`], `prop_assert!`,
+//! `prop_assert_eq!`, [`TestCaseError`], and [`ProptestConfig`].
+//!
+//! Unlike real proptest there is no shrinking: on failure the harness reports
+//! the seed and case index so the run can be reproduced deterministically.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+
+/// A source of random test inputs (stand-in for proptest's `TestRunner`).
+pub type TestRunner = StdRng;
+
+/// An error raised inside a property test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Fails the current test case with `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Per-test configuration (subset of proptest's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values (stand-in for proptest's `Strategy`).
+///
+/// No shrinking: `generate` draws one value from the runner.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one random value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                rand::Rng::gen_range(runner, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                rand::Rng::gen_range(runner, self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+pub mod collection {
+    //! Collection strategies (subset of `proptest::collection`).
+
+    use super::{Strategy, TestRunner};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec()`] (stand-in for proptest's
+    /// `SizeRange`): a fixed length or a half-open/inclusive range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range {}..{}", r.start, r.end);
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(
+                r.start() <= r.end(),
+                "empty size range {}..={}",
+                r.start(),
+                r.end()
+            );
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a strategy for vectors of length in `size` with elements
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let len = rand::Rng::gen_range(runner, self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+/// Asserts a condition inside a property test, returning a
+/// [`TestCaseError`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property test (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "left = {:?}, right = {:?}", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "left = {:?}, right = {:?}: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Defines property tests (stand-in for `proptest::proptest!`).
+///
+/// Supported grammar, matching this workspace's usage:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u32..10, v in proptest::collection::vec(0u32..6, 0..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a leading #![proptest_config(...)] attribute.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($config) $( $(#[$meta])* fn $name($($arg in $strategy),*) $body )*);
+    };
+    // Without configuration: default case count.
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $( $(#[$meta])* fn $name($($arg in $strategy),*) $body )*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),*) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                // Derive a per-test seed from the test name so distinct
+                // properties explore distinct input streams, deterministically.
+                let seed = {
+                    let name = concat!(module_path!(), "::", stringify!($name));
+                    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                    for b in name.bytes() {
+                        h ^= b as u64;
+                        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                    }
+                    h
+                };
+                let mut runner: $crate::TestRunner =
+                    <$crate::TestRunner as rand::SeedableRng>::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strategy, &mut runner);
+                    )*
+                    let result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = result {
+                        panic!(
+                            "property {} failed on case {}/{} (seed {:#x}): {}",
+                            stringify!($name), case + 1, config.cases, seed, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}

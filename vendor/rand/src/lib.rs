@@ -1,0 +1,186 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a
+//! minimal, dependency-free implementation of the `rand` API surface it
+//! actually uses: [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over
+//! integer ranges, [`Rng::gen_bool`], and [`rngs::StdRng`].
+//!
+//! The generator is xoshiro256++ seeded via SplitMix64 — deterministic for a
+//! given seed, which is all the seeded workload generators and tests rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can describe a sampling range for [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // i128 intermediates: every $t value fits, and the
+                // subtraction cannot underflow for negative starts.
+                let span = ((self.end as i128) - (self.start as i128)) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                ((self.start as i128) + (draw as i128)) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = ((hi as i128) - (lo as i128) + 1) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                ((lo as i128) + (draw as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing random value methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive integer range).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 high bits give a uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators (subset of `rand::rngs`).
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator, the stand-in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(2usize..=3);
+            assert!((2..=3).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_signed_negative_start() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(-3i32..=-1);
+            assert!((-3..=-1).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_extreme_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let _ = rng.gen_range(0u64..=u64::MAX);
+            let v = rng.gen_range(i64::MIN..=i64::MAX);
+            let _ = v;
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}
