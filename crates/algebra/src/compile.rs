@@ -71,7 +71,7 @@ fn compile_inner(
     query: &Query,
 ) -> Result<Plan, CompileError> {
     query.check(voc)?;
-    let (mut plan, mut cols) = translate(voc, est, query.body())?;
+    let (mut plan, mut cols) = translate(est, query.body())?;
     // Pad head variables that the body never mentions (they range over the
     // whole domain, matching the naive evaluator).
     for hv in query.head() {
@@ -114,7 +114,6 @@ fn dom_pow(k: usize) -> Plan {
 /// Translates a formula into a plan over its free variables; returns the
 /// plan and the variable each output column carries.
 fn translate(
-    voc: &Vocabulary,
     est: Option<&dyn CardinalityEstimator>,
     f: &Formula,
 ) -> Result<(Plan, Vec<Var>), CompileError> {
@@ -167,7 +166,7 @@ fn translate(
             }
         },
         Formula::Not(g) => {
-            let (pg, cols) = translate(voc, est, g)?;
+            let (pg, cols) = translate(est, g)?;
             Ok((
                 Plan::Difference(Box::new(dom_pow(cols.len())), Box::new(pg)),
                 cols,
@@ -176,13 +175,13 @@ fn translate(
         Formula::And(fs) => {
             let mut parts: Vec<(Plan, Vec<Var>)> = fs
                 .iter()
-                .map(|g| translate(voc, est, g))
+                .map(|g| translate(est, g))
                 .collect::<Result<_, _>>()?;
             if let Some(est) = est {
                 // Greedy join ordering: smallest connected conjunct first.
                 let items: Vec<(f64, Vec<Var>)> = parts
                     .iter()
-                    .map(|(p, vars)| (estimate_plan(est, p, voc), vars.clone()))
+                    .map(|(p, vars)| (estimate_plan(est, p), vars.clone()))
                     .collect();
                 let order = order_conjuncts(&items);
                 let mut reordered: Vec<Option<(Plan, Vec<Var>)>> =
@@ -204,7 +203,7 @@ fn translate(
         Formula::Or(fs) => {
             let translated: Vec<(Plan, Vec<Var>)> = fs
                 .iter()
-                .map(|g| translate(voc, est, g))
+                .map(|g| translate(est, g))
                 .collect::<Result<_, _>>()?;
             // Target column set: union of free variables, sorted by index.
             let mut union_vars: Vec<Var> = translated
@@ -234,12 +233,10 @@ fn translate(
             Ok((acc.unwrap_or(Plan::empty(0)), union_vars))
         }
         Formula::Implies(p, q) => translate(
-            voc,
             est,
             &Formula::or(vec![Formula::not((**p).clone()), (**q).clone()]),
         ),
         Formula::Iff(p, q) => translate(
-            voc,
             est,
             &Formula::or(vec![
                 Formula::and(vec![(**p).clone(), (**q).clone()]),
@@ -250,7 +247,7 @@ fn translate(
             ]),
         ),
         Formula::Exists(v, g) => {
-            let (pg, mut cols) = translate(voc, est, g)?;
+            let (pg, mut cols) = translate(est, g)?;
             match cols.iter().position(|c| c == v) {
                 // v not free in g: ∃v g ≡ g over a nonempty domain (which
                 // §2.1 guarantees).
@@ -263,7 +260,6 @@ fn translate(
             }
         }
         Formula::Forall(v, g) => translate(
-            voc,
             est,
             &Formula::not(Formula::Exists(*v, Box::new(Formula::not((**g).clone())))),
         ),

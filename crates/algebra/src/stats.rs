@@ -11,7 +11,7 @@
 //! order on random queries.
 
 use crate::plan::Plan;
-use qld_logic::{PredId, Var, Vocabulary};
+use qld_logic::{PredId, Var};
 use qld_physical::PhysicalDb;
 
 /// Source of table and domain cardinalities for planning.
@@ -56,7 +56,7 @@ impl CardinalityEstimator for UniformEstimator {
 /// count their table; everything else is bounded by the tuple space of
 /// its columns. Good enough to separate "a selective scan" from "a
 /// padded domain product", which is what the greedy order needs.
-pub fn estimate_plan(est: &dyn CardinalityEstimator, plan: &Plan, voc: &Vocabulary) -> f64 {
+pub fn estimate_plan(est: &dyn CardinalityEstimator, plan: &Plan) -> f64 {
     match plan {
         Plan::Values { tuples, .. } => tuples.len() as f64,
         Plan::Dom => est.domain_size() as f64,
@@ -64,19 +64,17 @@ pub fn estimate_plan(est: &dyn CardinalityEstimator, plan: &Plan, voc: &Vocabula
         Plan::Scan(p) => est.scan_rows(*p) as f64,
         // Selections filter: attenuate by a conventional factor per
         // condition.
-        Plan::Select { input, conds } => {
-            estimate_plan(est, input, voc) / (1.0 + conds.len() as f64)
-        }
-        Plan::Project { input, .. } => estimate_plan(est, input, voc),
-        Plan::Product(l, r) => estimate_plan(est, l, voc) * estimate_plan(est, r, voc),
+        Plan::Select { input, conds } => estimate_plan(est, input) / (1.0 + conds.len() as f64),
+        Plan::Project { input, .. } => estimate_plan(est, input),
+        Plan::Product(l, r) => estimate_plan(est, l) * estimate_plan(est, r),
         Plan::Join { left, right, keys } => {
-            let cross = estimate_plan(est, left, voc) * estimate_plan(est, right, voc);
+            let cross = estimate_plan(est, left) * estimate_plan(est, right);
             // Each key equality divides by the domain size (uniformity
             // assumption).
             cross / (est.domain_size().max(1) as f64).powi(keys.len() as i32)
         }
-        Plan::Union(l, r) => estimate_plan(est, l, voc) + estimate_plan(est, r, voc),
-        Plan::Difference(l, _) => estimate_plan(est, l, voc),
+        Plan::Union(l, r) => estimate_plan(est, l) + estimate_plan(est, r),
+        Plan::Difference(l, _) => estimate_plan(est, l),
     }
 }
 
@@ -128,6 +126,7 @@ pub fn order_conjuncts(items: &[(f64, Vec<Var>)]) -> Vec<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qld_logic::Vocabulary;
 
     #[test]
     fn uniform_estimator() {
@@ -154,9 +153,9 @@ mod tests {
             right: Box::new(scan.clone()),
             keys: vec![(1, 0)],
         };
-        let e_scan = estimate_plan(&est, &scan, &voc);
-        let e_prod = estimate_plan(&est, &product, &voc);
-        let e_join = estimate_plan(&est, &join, &voc);
+        let e_scan = estimate_plan(&est, &scan);
+        let e_prod = estimate_plan(&est, &product);
+        let e_join = estimate_plan(&est, &join);
         assert_eq!(e_scan, 100.0);
         assert_eq!(e_prod, 1000.0);
         assert_eq!(e_join, 1000.0); // 100·100/10

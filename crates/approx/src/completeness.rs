@@ -1,0 +1,140 @@
+//! The paper's completeness criteria for the §5 approximation, as
+//! checkable predicates.
+//!
+//! Theorem 11 makes the approximation *sound* unconditionally:
+//! `Â(Q, LB) ⊆ Q(LB)`. Completeness — the reverse inclusion, which turns
+//! the cheap polynomial answer into the exact certain answers — holds in
+//! exactly two situations the paper identifies:
+//!
+//! * **Theorem 12** — the database is *fully specified* (every pair of
+//!   distinct constants carries a uniqueness axiom). Then by Corollary 2
+//!   the logical database behaves like the physical database `Ph₁(LB)`,
+//!   and the approximation loses nothing.
+//! * **Theorem 13** — the query is *positive* (its NNF contains no
+//!   negation). Then `Q̂ = Q` and evaluation over `Ph₂(LB)` is already
+//!   exact.
+//!
+//! [`exactness_theorem`] is the decision procedure a certifying engine
+//! needs: given a database and a query it names the theorem (if any) that
+//! licenses treating the §5 answer as exact. `qld_engine`'s `Auto` mode is
+//! built directly on it.
+
+use qld_core::CwDatabase;
+use qld_logic::{Query, QueryClass};
+use std::fmt;
+
+/// Which completeness theorem (if any) makes the §5 approximation exact
+/// for a given database/query pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompletenessTheorem {
+    /// Theorem 12: the database is fully specified, so the approximation
+    /// is complete regardless of the query (and Corollary 2 applies).
+    FullySpecified,
+    /// Theorem 13: the query is positive first-order, so `Q̂ = Q` and the
+    /// approximation is complete regardless of the database.
+    PositiveQuery,
+}
+
+impl CompletenessTheorem {
+    /// The paper's name for the result.
+    pub fn name(self) -> &'static str {
+        match self {
+            CompletenessTheorem::FullySpecified => "Theorem 12",
+            CompletenessTheorem::PositiveQuery => "Theorem 13",
+        }
+    }
+}
+
+impl fmt::Display for CompletenessTheorem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Returns the theorem that proves the §5 approximation *exact* on this
+/// database/query pair, or `None` if no completeness theorem applies (the
+/// approximation is then only a sound lower bound, Theorem 11).
+///
+/// The query-side test is deliberately conservative: Theorem 13 is
+/// claimed only for positive **first-order** queries
+/// ([`QueryClass::PositiveFirstOrder`]), the fragment the paper states it
+/// for. Positive second-order queries fall through to `None`.
+pub fn exactness_theorem(db: &CwDatabase, query: &Query) -> Option<CompletenessTheorem> {
+    if db.is_fully_specified() {
+        Some(CompletenessTheorem::FullySpecified)
+    } else if query.class() == QueryClass::PositiveFirstOrder {
+        Some(CompletenessTheorem::PositiveQuery)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_logic::parser::parse_query;
+    use qld_logic::Vocabulary;
+
+    fn partial_db() -> CwDatabase {
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b", "u"]).unwrap();
+        let p = voc.add_pred("P", 1).unwrap();
+        CwDatabase::builder(voc)
+            .fact(p, &[ids[0]])
+            .unique(ids[0], ids[1])
+            .build()
+            .unwrap()
+    }
+
+    fn full_db() -> CwDatabase {
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b"]).unwrap();
+        let p = voc.add_pred("P", 1).unwrap();
+        CwDatabase::builder(voc)
+            .fact(p, &[ids[0]])
+            .fully_specified()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fully_specified_wins_for_any_query() {
+        let db = full_db();
+        let q = parse_query(db.voc(), "(x) . !P(x)").unwrap();
+        assert_eq!(
+            exactness_theorem(&db, &q),
+            Some(CompletenessTheorem::FullySpecified)
+        );
+    }
+
+    #[test]
+    fn positive_queries_certified_on_partial_databases() {
+        let db = partial_db();
+        let q = parse_query(db.voc(), "(x) . P(x)").unwrap();
+        assert_eq!(
+            exactness_theorem(&db, &q),
+            Some(CompletenessTheorem::PositiveQuery)
+        );
+    }
+
+    #[test]
+    fn negation_on_partial_database_is_uncertified() {
+        let db = partial_db();
+        let q = parse_query(db.voc(), "(x) . !P(x)").unwrap();
+        assert_eq!(exactness_theorem(&db, &q), None);
+    }
+
+    #[test]
+    fn positive_second_order_is_uncertified() {
+        let db = partial_db();
+        let q = parse_query(db.voc(), "exists2 ?S:1. exists x. ?S(x) & P(x)").unwrap();
+        assert!(q.is_positive());
+        assert_eq!(exactness_theorem(&db, &q), None);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(CompletenessTheorem::FullySpecified.name(), "Theorem 12");
+        assert_eq!(CompletenessTheorem::PositiveQuery.to_string(), "Theorem 13");
+    }
+}

@@ -34,11 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod completeness;
 pub mod disagree;
 pub mod engine;
 pub mod ne_store;
 pub mod rewrite;
 
+pub use completeness::{exactness_theorem, CompletenessTheorem};
 pub use engine::{ApproxEngine, ApproxError, Backend};
 pub use ne_store::NeStore;
 pub use rewrite::AlphaMode;

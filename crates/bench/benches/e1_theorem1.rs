@@ -6,19 +6,24 @@
 //! (Theorem 1 verbatim), and the naive model-enumeration oracle (the bare
 //! `T ⊨_f` definition; tiny sizes only). All are exponential; each route
 //! is successively cheaper, and all agree (asserted here).
+//!
+//! Driven through `qld_engine::Engine` with prepared queries: the two
+//! enumeration strategies are two engine configurations, and the mapping
+//! counts come from the evidence report of each execution.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qld_bench::{fmt_duration, print_header, print_row, standard_db, standard_queries, time_once};
-use qld_core::exact::{certain_answers_with, ExactOptions, MappingStrategy};
 use qld_core::mappings::{count_kernel_mappings, count_respecting_mappings};
 use qld_core::oracle::certain_answers_oracle;
+use qld_engine::{Engine, MappingStrategy, Semantics};
 use std::time::Duration;
 
-fn opts(strategy: MappingStrategy) -> ExactOptions {
-    ExactOptions {
-        strategy,
-        corollary2_fast_path: false,
-    }
+fn engine_with(db: &qld_core::CwDatabase, strategy: MappingStrategy) -> Engine {
+    Engine::builder(db.clone())
+        .semantics(Semantics::Exact)
+        .mapping_strategy(strategy)
+        .corollary2_fast_path(false)
+        .build()
 }
 
 fn print_series() {
@@ -35,14 +40,20 @@ fn print_series() {
         let db = standard_db(n, 42);
         let queries = standard_queries(&db);
         let (_, q) = &queries[0];
-        let (a, t_kernel) =
-            time_once(|| certain_answers_with(&db, q, opts(MappingStrategy::Kernels)).unwrap());
-        let (b, t_raw) =
-            time_once(|| certain_answers_with(&db, q, opts(MappingStrategy::RawMappings)).unwrap());
-        assert_eq!(a.0, b.0, "strategies must agree");
+        let kernels = engine_with(&db, MappingStrategy::Kernels);
+        let raw = engine_with(&db, MappingStrategy::RawMappings);
+        let pk = kernels.prepare(q.clone()).unwrap();
+        let pr = raw.prepare(q.clone()).unwrap();
+        let (a, t_kernel) = time_once(|| kernels.execute(&pk).unwrap());
+        let (b, t_raw) = time_once(|| raw.execute(&pr).unwrap());
+        assert_eq!(a.tuples(), b.tuples(), "strategies must agree");
+        assert!(
+            a.is_exact() && b.is_exact(),
+            "Theorem 1 answers are certified exact"
+        );
         let t_oracle = if n <= 3 {
             let (c, t) = time_once(|| certain_answers_oracle(&db, q).unwrap());
-            assert_eq!(a.0, c, "oracle must agree");
+            assert_eq!(*a.tuples(), c, "oracle must agree");
             fmt_duration(t)
         } else {
             "—".to_string()
@@ -55,6 +66,11 @@ fn print_series() {
             fmt_duration(t_raw),
             t_oracle,
         ]);
+        // The evidence reports how much enumeration each strategy did
+        // (early exit on an emptied candidate set can shorten it).
+        assert!(a.evidence().mappings_evaluated <= count_kernel_mappings(&db));
+        assert!(b.evidence().mappings_evaluated <= count_respecting_mappings(&db));
+        assert!(a.evidence().mappings_evaluated > 0);
     }
 }
 
@@ -69,11 +85,15 @@ fn bench(c: &mut Criterion) {
         let db = standard_db(n, 42);
         let queries = standard_queries(&db);
         let (_, q) = &queries[0];
+        let kernels = engine_with(&db, MappingStrategy::Kernels);
+        let raw = engine_with(&db, MappingStrategy::RawMappings);
+        let pk = kernels.prepare(q.clone()).unwrap();
+        let pr = raw.prepare(q.clone()).unwrap();
         group.bench_with_input(BenchmarkId::new("kernels", n), &n, |b, _| {
-            b.iter(|| certain_answers_with(&db, q, opts(MappingStrategy::Kernels)).unwrap())
+            b.iter(|| kernels.execute(&pk).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("raw", n), &n, |b, _| {
-            b.iter(|| certain_answers_with(&db, q, opts(MappingStrategy::RawMappings)).unwrap())
+            b.iter(|| raw.execute(&pr).unwrap())
         });
     }
     group.finish();

@@ -5,11 +5,16 @@
 //! shape: precision ≡ 1 everywhere (soundness, Thm 11); recall ≡ 1 at
 //! density 0 (Thm 12) and for positive queries at any density (Thm 13);
 //! recall < 1 for queries with negation once identities are unknown.
+//!
+//! Driven through one `qld_engine::Engine` per database: each random
+//! query is prepared once and executed under both `Approx` and `Exact`
+//! semantics, and the engine's exactness certificates are audited against
+//! the measured ground truth — whenever the certificate claims exactness,
+//! the answers must be bit-identical.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qld_approx::ApproxEngine;
 use qld_bench::{print_header, print_row};
-use qld_core::certain_answers;
+use qld_engine::{Engine, Semantics};
 use qld_workloads::{random_cw_db, random_query, DbGenConfig, QueryFragment, QueryGenConfig};
 use std::time::Duration;
 
@@ -27,17 +32,18 @@ fn db_at(known_fraction: f64, seed: u64) -> qld_core::CwDatabase {
 }
 
 /// Tuple-weighted recall and precision of the approximation against the
-/// exact certain answers, over a batch of random queries.
+/// exact certain answers, over a batch of random queries; also audits
+/// every exactness certificate the engine issues.
 fn quality(known_fraction: f64, fragment: QueryFragment) -> (f64, f64) {
     let mut exact_total = 0usize;
     let mut approx_total = 0usize;
     let mut correct = 0usize;
     for seed in 0..8u64 {
         let db = db_at(known_fraction, seed);
-        let engine = ApproxEngine::new(&db);
+        let engine = Engine::new(db);
         for qseed in 0..8u64 {
             let q = random_query(
-                db.voc(),
+                engine.db().voc(),
                 &QueryGenConfig {
                     fragment,
                     max_depth: 3,
@@ -45,11 +51,24 @@ fn quality(known_fraction: f64, fragment: QueryFragment) -> (f64, f64) {
                     seed: qseed * 101 + seed,
                 },
             );
-            let exact = certain_answers(&db, &q).unwrap();
-            let approx = engine.eval(&q).unwrap();
+            let prepared = engine.prepare(q).unwrap();
+            let exact = engine.execute_as(&prepared, Semantics::Exact).unwrap();
+            let approx = engine.execute_as(&prepared, Semantics::Approx).unwrap();
+            if approx.is_exact() {
+                assert_eq!(
+                    approx.tuples(),
+                    exact.tuples(),
+                    "certificate {} lied",
+                    approx.evidence().certificate
+                );
+            }
             exact_total += exact.len();
             approx_total += approx.len();
-            correct += approx.iter().filter(|t| exact.contains(t)).count();
+            correct += approx
+                .tuples()
+                .iter()
+                .filter(|t| exact.tuples().contains(t))
+                .count();
         }
     }
     let recall = if exact_total == 0 {
@@ -97,7 +116,8 @@ fn bench(c: &mut Criterion) {
     print_series();
     // Timing side: approximate vs exact evaluation as density varies
     // (approximation time is flat; exact evaluation grows as identities
-    // get less specified and the kernel count explodes).
+    // get less specified and the kernel count explodes). Prepared once,
+    // executed per iteration.
     let mut group = c.benchmark_group("e7_approx_quality");
     group
         .sample_size(10)
@@ -105,9 +125,9 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(900));
     for (known, label) in DENSITIES {
         let db = db_at(known, 1);
-        let engine = ApproxEngine::new(&db);
+        let engine = Engine::new(db);
         let q = random_query(
-            db.voc(),
+            engine.db().voc(),
             &QueryGenConfig {
                 fragment: QueryFragment::FullFo,
                 max_depth: 3,
@@ -115,11 +135,15 @@ fn bench(c: &mut Criterion) {
                 seed: 5,
             },
         );
+        let prepared = engine.prepare(q).unwrap();
         group.bench_function(BenchmarkId::new("approx", label), |b| {
-            b.iter(|| engine.eval(&q).unwrap())
+            b.iter(|| engine.execute_as(&prepared, Semantics::Approx).unwrap())
         });
         group.bench_function(BenchmarkId::new("exact", label), |b| {
-            b.iter(|| certain_answers(&db, &q).unwrap())
+            b.iter(|| engine.execute_as(&prepared, Semantics::Exact).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("auto", label), |b| {
+            b.iter(|| engine.execute_as(&prepared, Semantics::Auto).unwrap())
         });
     }
     group.finish();

@@ -8,43 +8,64 @@
 //! three are polynomial with a bounded constant factor between them;
 //! exact evaluation is absent from this table because it stopped being
 //! runnable two orders of magnitude earlier (see E1/E4).
+//!
+//! Driven through `qld_engine::Engine`: one engine per backend, the query
+//! prepared once (so the per-execution cost excludes rewrite/compile —
+//! exactly the "execute many" half of the prepared-query story). A
+//! fourth column measures one-shot `Engine::eval` to show what
+//! preparation amortizes away.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qld_algebra::ExecOptions;
-use qld_approx::{AlphaMode, ApproxEngine, Backend};
 use qld_bench::{fmt_duration, print_header, print_row, standard_db, standard_queries, time_once};
 use qld_core::ph::ph1;
+use qld_engine::{Backend, Engine, Semantics};
 use qld_physical::eval_query;
 use std::time::Duration;
 
 const SIZES: [usize; 4] = [16, 32, 64, 128];
 
+fn engines(db: &qld_core::CwDatabase) -> (Engine, Engine) {
+    let naive = Engine::builder(db.clone())
+        .semantics(Semantics::Approx)
+        .build();
+    let algebra = Engine::builder(db.clone())
+        .semantics(Semantics::Approx)
+        .backend(Backend::Algebra(ExecOptions::default()))
+        .build();
+    (naive, algebra)
+}
+
 fn print_series() {
     println!("\nE8: approximation vs physical evaluation (query: negation mix)");
-    print_header(&["|C|", "t(physical)", "t(approx naive)", "t(approx algebra)"]);
+    print_header(&[
+        "|C|",
+        "t(physical)",
+        "t(approx naive)",
+        "t(approx algebra)",
+        "t(one-shot)",
+    ]);
     for n in SIZES {
         let db = standard_db(n, 9);
         let physical = ph1(&db);
         let queries = standard_queries(&db);
         let (_, q) = &queries[1];
         let (_, t_phys) = time_once(|| eval_query(&physical, q));
-        let engine = ApproxEngine::new(&db);
-        let (a, t_naive) = time_once(|| engine.eval(q).unwrap());
-        let (b, t_algebra) = time_once(|| {
-            engine
-                .eval_with(
-                    q,
-                    AlphaMode::Materialized,
-                    Backend::Algebra(ExecOptions::default()),
-                )
-                .unwrap()
-        });
-        assert_eq!(a, b);
+        let (naive, algebra) = engines(&db);
+        let pn = naive.prepare(q.clone()).unwrap();
+        let pa = algebra.prepare(q.clone()).unwrap();
+        let (a, t_naive) = time_once(|| naive.execute(&pn).unwrap());
+        let (b, t_algebra) = time_once(|| algebra.execute(&pa).unwrap());
+        assert_eq!(a.tuples(), b.tuples());
+        // One-shot: parse-free but re-prepares (rewrite + compile) every
+        // time — the cost PreparedQuery amortizes.
+        let (_, t_oneshot) = time_once(|| naive.eval(q).unwrap());
         print_row(&[
             n.to_string(),
             fmt_duration(t_phys),
             fmt_duration(t_naive),
             fmt_duration(t_algebra),
+            fmt_duration(t_oneshot),
         ]);
     }
 }
@@ -61,30 +82,30 @@ fn bench(c: &mut Criterion) {
         let physical = ph1(&db);
         let queries = standard_queries(&db);
         let (_, q) = &queries[1];
-        let engine = ApproxEngine::new(&db);
+        let (naive, algebra) = engines(&db);
+        let pn = naive.prepare(q.clone()).unwrap();
+        let pa = algebra.prepare(q.clone()).unwrap();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("physical", n), &n, |b, _| {
             b.iter(|| eval_query(&physical, q))
         });
         group.bench_with_input(BenchmarkId::new("approx_naive", n), &n, |b, _| {
-            b.iter(|| engine.eval(q).unwrap())
+            b.iter(|| naive.execute(&pn).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("approx_algebra", n), &n, |b, _| {
-            b.iter(|| {
-                engine
-                    .eval_with(
-                        q,
-                        AlphaMode::Materialized,
-                        Backend::Algebra(ExecOptions::default()),
-                    )
-                    .unwrap()
-            })
+            b.iter(|| algebra.execute(&pa).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("prepare", n), &n, |b, _| {
+            b.iter(|| naive.prepare(q.clone()).unwrap())
         });
         // Engine construction (α_P materialization + NE) is polynomial
         // set-up cost; measure it separately so query-time parity is
-        // visible.
+        // visible. `approx_engine()` forces the lazy build.
         group.bench_with_input(BenchmarkId::new("engine_build", n), &n, |b, _| {
-            b.iter(|| ApproxEngine::new(&db))
+            b.iter(|| {
+                let e = Engine::new(db.clone());
+                e.approx_engine().extended_db().num_relations()
+            })
         });
     }
     group.finish();

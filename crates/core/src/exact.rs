@@ -116,13 +116,25 @@ pub fn certainly_holds(db: &CwDatabase, query: &Query) -> Result<bool, LogicErro
 /// intersection). Not a notion the paper evaluates queries with, but the
 /// natural dual; used by the examples to show what certainty excludes.
 pub fn possible_answers(db: &CwDatabase, query: &Query) -> Result<Relation, LogicError> {
+    possible_answers_with(db, query).map(|(rel, _)| rel)
+}
+
+/// Like [`possible_answers`], reporting the same [`EvalStats`] that
+/// [`certain_answers_with`] does (mapping count; the fast-path flag stays
+/// `false` — there is no Corollary 2 analogue for possible answers).
+pub fn possible_answers_with(
+    db: &CwDatabase,
+    query: &Query,
+) -> Result<(Relation, EvalStats), LogicError> {
     query.check(db.voc())?;
+    let mut stats = EvalStats::default();
     let arity = query.arity();
     let consts: Vec<Elem> = (0..db.num_consts() as Elem).collect();
     let all: Vec<Vec<Elem>> = TupleSpace::new(&consts, arity).collect();
     let mut possible: Vec<Vec<Elem>> = Vec::new();
     let mut remaining: Vec<Vec<Elem>> = all;
     for_each_kernel_mapping(db, |h| {
+        stats.mappings_evaluated += 1;
         let image = apply_mapping(db, h);
         let answers = eval_query(&image, query);
         let mut still_unknown = Vec::with_capacity(remaining.len());
@@ -137,7 +149,7 @@ pub fn possible_answers(db: &CwDatabase, query: &Query) -> Result<Relation, Logi
         remaining = still_unknown;
         !remaining.is_empty()
     });
-    Ok(Relation::collect(arity, possible))
+    Ok((Relation::collect(arity, possible), stats))
 }
 
 #[cfg(test)]

@@ -38,8 +38,8 @@ pub mod theory;
 pub mod worlds;
 
 pub use exact::{
-    certain_answers, certain_answers_with, certainly_holds, possible_answers, ExactOptions,
-    MappingStrategy,
+    certain_answers, certain_answers_with, certainly_holds, possible_answers,
+    possible_answers_with, ExactOptions, MappingStrategy,
 };
 pub use ph::Ph2;
 pub use theory::{CwDatabase, CwDatabaseBuilder, CwError};

@@ -1,0 +1,101 @@
+//! The single error type every engine entry point returns.
+
+use qld_algebra::CompileError;
+use qld_approx::ApproxError;
+use qld_core::CwError;
+use qld_logic::LogicError;
+use std::fmt;
+
+/// Unified error for the whole evaluation pipeline.
+///
+/// Every layer's error converts into this via `From`, so callers of
+/// [`Engine`](crate::Engine) handle exactly one error type no matter which
+/// semantics or backend ran: parse/validation failures surface as
+/// [`EngineError::Logic`], database-construction failures as
+/// [`EngineError::Cw`], and algebra-compilation failures as
+/// [`EngineError::Compile`]. [`ApproxError`] is *flattened* — it is itself
+/// a union of logic and compile errors, so its `From` impl routes each
+/// case to the matching variant rather than adding a nesting level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Ill-formed query: parse error, arity mismatch, unknown symbol,
+    /// free-variable problems.
+    Logic(LogicError),
+    /// Ill-formed closed-world database (builder/validation failures).
+    Cw(CwError),
+    /// The relational-algebra backend refused the query (e.g. a
+    /// second-order query routed to [`Backend::Algebra`]).
+    ///
+    /// [`Backend::Algebra`]: qld_approx::Backend::Algebra
+    Compile(CompileError),
+    /// A [`PreparedQuery`](crate::PreparedQuery) was executed on an engine
+    /// other than the one that prepared it. Prepared artifacts reference
+    /// the preparing engine's extended vocabulary, so they are not
+    /// portable across engines.
+    PreparedElsewhere,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Logic(e) => write!(f, "{e}"),
+            EngineError::Cw(e) => write!(f, "{e}"),
+            EngineError::Compile(e) => write!(f, "{e}"),
+            EngineError::PreparedElsewhere => write!(
+                f,
+                "prepared query belongs to a different engine; re-prepare it on this one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<LogicError> for EngineError {
+    fn from(e: LogicError) -> Self {
+        EngineError::Logic(e)
+    }
+}
+
+impl From<CwError> for EngineError {
+    fn from(e: CwError) -> Self {
+        EngineError::Cw(e)
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Compile(e)
+    }
+}
+
+impl From<ApproxError> for EngineError {
+    fn from(e: ApproxError) -> Self {
+        match e {
+            ApproxError::Logic(l) => EngineError::Logic(l),
+            ApproxError::Compile(c) => EngineError::Compile(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_error_flattens() {
+        let e = ApproxError::Compile(CompileError::SecondOrder);
+        assert_eq!(
+            EngineError::from(e),
+            EngineError::Compile(CompileError::SecondOrder)
+        );
+        let e = ApproxError::Logic(LogicError::UnknownSymbol("x".into()));
+        assert!(matches!(EngineError::from(e), EngineError::Logic(_)));
+    }
+
+    #[test]
+    fn displays_inner_message() {
+        let e = EngineError::Compile(CompileError::SecondOrder);
+        assert!(e.to_string().contains("second-order"));
+    }
+}

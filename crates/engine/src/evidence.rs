@@ -1,0 +1,285 @@
+//! What the engine ran and what the answer is worth: [`Regime`],
+//! [`Certificate`], [`Evidence`], and the [`Answers`] result they ride on.
+
+use qld_approx::CompletenessTheorem;
+use qld_physical::Relation;
+use std::fmt;
+use std::time::Duration;
+
+/// The answer semantics a caller asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Semantics {
+    /// Exact certain answers: Theorem 1 enumeration, with the Corollary 2
+    /// fast path when the database is fully specified. Exponential in
+    /// general (Theorem 5 says it must be, unless P = NP).
+    Exact,
+    /// The §5 approximation: always polynomial, always sound (Theorem 11),
+    /// complete exactly when Theorem 12 or 13 applies.
+    Approx,
+    /// Tuples true in *some* model of the theory — the dual upper bound.
+    Possible,
+    /// Certified adaptive dispatch: run the cheapest path the paper proves
+    /// exact (Corollary 2 on fully specified databases, the §5
+    /// approximation on positive first-order queries), and escalate to the
+    /// Theorem 1 enumeration only when no completeness theorem applies.
+    /// Every `Auto` answer is exact and says which theorem vouches for it.
+    #[default]
+    Auto,
+}
+
+impl Semantics {
+    /// All semantics, in display order.
+    pub const ALL: [Semantics; 4] = [
+        Semantics::Exact,
+        Semantics::Approx,
+        Semantics::Possible,
+        Semantics::Auto,
+    ];
+
+    /// Canonical lowercase name (also accepted by [`Semantics::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Semantics::Exact => "exact",
+            Semantics::Approx => "approx",
+            Semantics::Possible => "possible",
+            Semantics::Auto => "auto",
+        }
+    }
+
+    /// Parses a semantics name (`exact`, `approx`/`approximate`,
+    /// `possible`, `auto`).
+    pub fn parse(s: &str) -> Option<Semantics> {
+        match s {
+            "exact" => Some(Semantics::Exact),
+            "approx" | "approximate" => Some(Semantics::Approx),
+            "possible" => Some(Semantics::Possible),
+            "auto" => Some(Semantics::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which evaluation machinery actually produced the answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// Theorem 1: intersect `Q(h(Ph₁(LB)))` over every respecting mapping
+    /// `h` (kernel-canonicalized or raw, per configuration).
+    Theorem1,
+    /// Corollary 2: the database is fully specified, so one evaluation
+    /// over `Ph₁(LB)` is the whole job.
+    Corollary2,
+    /// §5: evaluate the rewritten `Q̂` over `Ph₂(LB)` on a relational
+    /// backend.
+    Approximation,
+    /// Union of `Q(h(Ph₁(LB)))` over every respecting mapping — the
+    /// possible-answers dual.
+    PossibleWorlds,
+}
+
+impl Regime {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Regime::Theorem1 => "Theorem 1",
+            Regime::Corollary2 => "Corollary 2",
+            Regime::Approximation => "§5 approx",
+            Regime::PossibleWorlds => "possible worlds",
+        }
+    }
+}
+
+impl fmt::Display for Regime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How the returned tuples relate to the true certain answers `Q(LB)` —
+/// and which theorem of the paper proves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Certificate {
+    /// The tuples *are* `Q(LB)`: the Theorem 1 enumeration ran to
+    /// completion.
+    ExactTheorem1,
+    /// The tuples *are* `Q(LB)`: the database is fully specified, so by
+    /// Corollary 2 `Q(LB) = Q(Ph₁(LB))`.
+    ExactCorollary2,
+    /// The tuples *are* `Q(LB)`: the §5 approximation ran, it is sound by
+    /// Theorem 11, and the named completeness theorem (12 or 13) closes
+    /// the gap.
+    ExactCompleteness(CompletenessTheorem),
+    /// The tuples are a *subset* of `Q(LB)`: the §5 approximation ran and
+    /// only its soundness (Theorem 11) is guaranteed.
+    SoundLowerBound,
+    /// The tuples are a *superset* of `Q(LB)`: possible answers (tuples
+    /// true in at least one model).
+    PossibleUpperBound,
+}
+
+impl Certificate {
+    /// Does this certificate guarantee the tuples equal the certain
+    /// answers `Q(LB)`?
+    pub fn is_exact(self) -> bool {
+        matches!(
+            self,
+            Certificate::ExactTheorem1
+                | Certificate::ExactCorollary2
+                | Certificate::ExactCompleteness(_)
+        )
+    }
+
+    /// The paper result backing the certificate.
+    pub fn theorem(self) -> &'static str {
+        match self {
+            Certificate::ExactTheorem1 => "Theorem 1",
+            Certificate::ExactCorollary2 => "Corollary 2",
+            Certificate::ExactCompleteness(t) => t.name(),
+            Certificate::SoundLowerBound => "Theorem 11",
+            Certificate::PossibleUpperBound => "possible-answer dual of Theorem 1",
+        }
+    }
+}
+
+impl fmt::Display for Certificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Certificate::ExactTheorem1 => write!(f, "exact (Theorem 1)"),
+            Certificate::ExactCorollary2 => write!(f, "exact (Corollary 2)"),
+            Certificate::ExactCompleteness(t) => {
+                write!(f, "exact (Theorem 11 + {t})")
+            }
+            Certificate::SoundLowerBound => write!(f, "sound lower bound (Theorem 11)"),
+            Certificate::PossibleUpperBound => write!(f, "upper bound (possible answers)"),
+        }
+    }
+}
+
+/// A report on how an answer was produced: the machinery that ran, the
+/// guarantee the paper gives for the result, and measured effort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Evidence {
+    /// The semantics the caller requested.
+    pub requested: Semantics,
+    /// The machinery that actually ran (informative under
+    /// [`Semantics::Auto`], where the engine picks).
+    pub regime: Regime,
+    /// The relationship of the tuples to the true certain answers.
+    pub certificate: Certificate,
+    /// Wall-clock execution time (excludes preparation).
+    pub elapsed: Duration,
+    /// Respecting mappings evaluated (`0` for the polynomial regimes —
+    /// Corollary 2 and the §5 approximation never enumerate mappings).
+    pub mappings_evaluated: u64,
+}
+
+impl Evidence {
+    /// One-line human-readable summary, e.g.
+    /// `auto → §5 approx, exact (Theorem 11 + Theorem 13)` or
+    /// `exact → Theorem 1, exact (Theorem 1), 15 mappings`.
+    pub fn summary(&self) -> String {
+        let mut s = format!("{} → {}, {}", self.requested, self.regime, self.certificate);
+        if self.mappings_evaluated > 0 {
+            s.push_str(&format!(", {} mapping(s)", self.mappings_evaluated));
+        }
+        s
+    }
+}
+
+/// The result of executing a query: the answer tuples plus the
+/// [`Evidence`] saying what they mean.
+///
+/// Tuples are over `Ph₁`-style element ids (element `i` is constant
+/// `ConstId(i)`); use [`Engine::answer_names`](crate::Engine::answer_names)
+/// to render them with constant names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Answers {
+    tuples: Relation,
+    evidence: Evidence,
+}
+
+impl Answers {
+    pub(crate) fn new(tuples: Relation, evidence: Evidence) -> Answers {
+        Answers { tuples, evidence }
+    }
+
+    /// The answer tuples.
+    pub fn tuples(&self) -> &Relation {
+        &self.tuples
+    }
+
+    /// Consumes the result, keeping only the tuples.
+    pub fn into_tuples(self) -> Relation {
+        self.tuples
+    }
+
+    /// The evidence report.
+    pub fn evidence(&self) -> &Evidence {
+        &self.evidence
+    }
+
+    /// Number of answer tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True iff there are no answer tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// For a Boolean query: does the sentence hold under the executed
+    /// semantics? (Non-empty answer relation — "certainly" under the exact
+    /// regimes, "provably" under the sound approximation, "possibly" under
+    /// possible-answer semantics.)
+    pub fn holds(&self) -> bool {
+        !self.tuples.is_empty()
+    }
+
+    /// True iff the certificate guarantees these tuples equal `Q(LB)`.
+    pub fn is_exact(&self) -> bool {
+        self.evidence.certificate.is_exact()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_names() {
+        for s in Semantics::ALL {
+            assert_eq!(Semantics::parse(s.name()), Some(s));
+        }
+        assert_eq!(Semantics::parse("approximate"), Some(Semantics::Approx));
+        assert_eq!(Semantics::parse("bogus"), None);
+    }
+
+    #[test]
+    fn exactness_of_certificates() {
+        assert!(Certificate::ExactTheorem1.is_exact());
+        assert!(Certificate::ExactCorollary2.is_exact());
+        assert!(Certificate::ExactCompleteness(CompletenessTheorem::PositiveQuery).is_exact());
+        assert!(!Certificate::SoundLowerBound.is_exact());
+        assert!(!Certificate::PossibleUpperBound.is_exact());
+    }
+
+    #[test]
+    fn summary_mentions_regime_and_mappings() {
+        let ev = Evidence {
+            requested: Semantics::Exact,
+            regime: Regime::Theorem1,
+            certificate: Certificate::ExactTheorem1,
+            elapsed: Duration::from_millis(1),
+            mappings_evaluated: 15,
+        };
+        let s = ev.summary();
+        assert!(s.contains("Theorem 1"), "{s}");
+        assert!(s.contains("15 mapping(s)"), "{s}");
+    }
+}

@@ -1,0 +1,276 @@
+//! One engine to query them all: the unified session API over every
+//! evaluation regime of Vardi's *Querying Logical Databases*.
+//!
+//! The paper's point is that a single logical database admits several
+//! evaluation regimes with different cost/guarantee trade-offs:
+//!
+//! * **Theorem 1** — exact certain answers by enumerating respecting
+//!   mappings (exponential; co-NP-hard data complexity by Theorem 5);
+//! * **Corollary 2** — when the database is fully specified, one
+//!   evaluation over `Ph₁(LB)` is exact;
+//! * **§5 (Theorems 11–14)** — a polynomial approximation on a standard
+//!   relational system: always sound, complete on fully specified
+//!   databases (Thm 12) and positive queries (Thm 13);
+//! * the **possible-answer** dual — tuples true in some model.
+//!
+//! [`Engine`] packages all of them behind one session API:
+//!
+//! * [`Engine::builder`] configures semantics ([`Semantics`]), the §5
+//!   execution backend, `α_P` realization, `NE` storage, and the
+//!   Theorem 1 mapping-enumeration strategy;
+//! * [`Engine::prepare`] turns a query into a [`PreparedQuery`] —
+//!   parse/validate/rewrite/compile once, execute many;
+//! * execution returns [`Answers`]: the tuples plus an [`Evidence`]
+//!   report saying which [`Regime`] ran, how long it took, and — the
+//!   crucial part — a [`Certificate`] stating how the tuples relate to
+//!   the true certain answers and which theorem proves it;
+//! * every failure is a single [`EngineError`].
+//!
+//! Under [`Semantics::Auto`] the engine is a *certifying dispatcher*: it
+//! runs the cheapest path the paper licenses as exact and escalates to
+//! the exponential Theorem 1 enumeration only when no completeness
+//! theorem applies — so callers get polynomial evaluation whenever the
+//! theory permits it, without guessing when the cheap answer is the real
+//! one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod evidence;
+mod prepared;
+mod session;
+
+pub use error::EngineError;
+pub use evidence::{Answers, Certificate, Evidence, Regime, Semantics};
+pub use prepared::PreparedQuery;
+pub use session::{Engine, EngineBuilder, NeStoreMode};
+
+// The configuration vocabulary callers need alongside the builder.
+pub use qld_approx::{AlphaMode, Backend, CompletenessTheorem};
+pub use qld_core::exact::MappingStrategy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_core::{certain_answers, possible_answers, CwDatabase};
+    use qld_logic::Vocabulary;
+
+    /// socrates/plato/aristotle pairwise distinct; `mystery` unknown.
+    fn teaching() -> CwDatabase {
+        let mut voc = Vocabulary::new();
+        let ids = voc
+            .add_consts(["socrates", "plato", "aristotle", "mystery"])
+            .unwrap();
+        let teaches = voc.add_pred("TEACHES", 2).unwrap();
+        CwDatabase::builder(voc)
+            .fact(teaches, &[ids[0], ids[1]])
+            .pairwise_unique(&ids[..3])
+            .build()
+            .unwrap()
+    }
+
+    fn fully_specified() -> CwDatabase {
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b", "c"]).unwrap();
+        let r = voc.add_pred("R", 2).unwrap();
+        CwDatabase::builder(voc)
+            .fact(r, &[ids[0], ids[1]])
+            .fact(r, &[ids[1], ids[2]])
+            .fully_specified()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn auto_routes_positive_queries_through_the_approximation() {
+        let engine = Engine::new(teaching());
+        let ans = engine.query("(x) . TEACHES(socrates, x)").unwrap();
+        assert_eq!(ans.evidence().regime, Regime::Approximation);
+        assert_eq!(
+            ans.evidence().certificate,
+            Certificate::ExactCompleteness(CompletenessTheorem::PositiveQuery)
+        );
+        assert!(ans.is_exact());
+        assert_eq!(engine.answer_names(&ans), vec![vec!["plato"]]);
+    }
+
+    #[test]
+    fn auto_uses_corollary2_on_fully_specified_databases() {
+        let engine = Engine::new(fully_specified());
+        let ans = engine.query("(x) . !R(x, x)").unwrap();
+        assert_eq!(ans.evidence().regime, Regime::Corollary2);
+        assert_eq!(ans.evidence().certificate, Certificate::ExactCorollary2);
+        assert_eq!(
+            ans.into_tuples(),
+            certain_answers(
+                engine.db(),
+                &engine.prepare_text("(x) . !R(x, x)").unwrap().query
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn auto_escalates_to_theorem1_only_without_a_certificate() {
+        let engine = Engine::new(teaching());
+        let ans = engine.query("(x) . !TEACHES(socrates, x)").unwrap();
+        assert_eq!(ans.evidence().regime, Regime::Theorem1);
+        assert_eq!(ans.evidence().certificate, Certificate::ExactTheorem1);
+        assert!(ans.evidence().mappings_evaluated > 0);
+    }
+
+    #[test]
+    fn explicit_semantics_run_their_regime() {
+        let db = teaching();
+        let mut engine = Engine::new(db.clone());
+        let prepared = engine.prepare_text("(x) . TEACHES(socrates, x)").unwrap();
+
+        let exact = engine.execute_as(&prepared, Semantics::Exact).unwrap();
+        assert_eq!(exact.evidence().regime, Regime::Theorem1);
+        assert_eq!(
+            *exact.tuples(),
+            certain_answers(&db, prepared.query()).unwrap()
+        );
+
+        let approx = engine.execute_as(&prepared, Semantics::Approx).unwrap();
+        assert_eq!(approx.evidence().regime, Regime::Approximation);
+
+        let possible = engine.execute_as(&prepared, Semantics::Possible).unwrap();
+        assert_eq!(
+            possible.evidence().certificate,
+            Certificate::PossibleUpperBound
+        );
+        assert_eq!(
+            *possible.tuples(),
+            possible_answers(&db, prepared.query()).unwrap()
+        );
+        assert!(exact.tuples().is_subset_of(possible.tuples()));
+
+        engine.set_semantics(Semantics::Possible);
+        assert_eq!(engine.semantics(), Semantics::Possible);
+        let via_default = engine.execute(&prepared).unwrap();
+        assert_eq!(via_default.tuples(), possible.tuples());
+    }
+
+    #[test]
+    fn approx_semantics_reports_sound_lower_bound_without_certificate() {
+        // The known incompleteness example: P(u) ∨ u ≠ a is certain but
+        // the approximation misses it — the certificate must say "lower
+        // bound", not "exact".
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b", "u"]).unwrap();
+        let p = voc.add_pred("P", 1).unwrap();
+        let db = CwDatabase::builder(voc)
+            .fact(p, &[ids[0]])
+            .unique(ids[0], ids[1])
+            .build()
+            .unwrap();
+        let engine = Engine::builder(db).semantics(Semantics::Approx).build();
+        let ans = engine.query("P(u) | u != a").unwrap();
+        assert_eq!(ans.evidence().certificate, Certificate::SoundLowerBound);
+        assert!(!ans.is_exact());
+        assert!(ans.is_empty(), "the approximation misses the tautology");
+        // Auto on the same query escalates and finds it.
+        let auto = engine
+            .execute_as(
+                &engine.prepare_text("P(u) | u != a").unwrap(),
+                Semantics::Auto,
+            )
+            .unwrap();
+        assert!(auto.is_exact());
+        assert!(auto.holds());
+    }
+
+    #[test]
+    fn algebra_backend_and_virtual_ne_agree_with_defaults() {
+        let db = teaching();
+        let reference = Engine::new(db.clone());
+        let configured = Engine::builder(db)
+            .backend(Backend::Algebra(qld_algebra::ExecOptions::default()))
+            .alpha_mode(AlphaMode::Lemma10)
+            .ne_store(NeStoreMode::Virtual)
+            .semantics(Semantics::Approx)
+            .build();
+        for text in [
+            "(x) . TEACHES(socrates, x)",
+            "(x) . !TEACHES(socrates, x)",
+            "(x) . x != plato",
+            "exists x. TEACHES(x, plato)",
+        ] {
+            let a = reference
+                .execute_as(&reference.prepare_text(text).unwrap(), Semantics::Approx)
+                .unwrap();
+            let b = configured.query(text).unwrap();
+            assert_eq!(a.tuples(), b.tuples(), "config mismatch on {text}");
+        }
+    }
+
+    #[test]
+    fn second_order_query_on_algebra_backend_is_a_compile_error() {
+        let engine = Engine::builder(teaching())
+            .backend(Backend::Algebra(qld_algebra::ExecOptions::default()))
+            .semantics(Semantics::Approx)
+            .build();
+        let prepared = engine
+            .prepare_text("exists2 ?S:1. ?S(plato) & !?S(aristotle)")
+            .unwrap();
+        assert!(prepared.plan().is_none());
+        assert!(matches!(
+            engine.execute(&prepared),
+            Err(EngineError::Compile(_))
+        ));
+        // …but Auto still answers it (escalation runs Theorem 1).
+        assert!(engine.execute_as(&prepared, Semantics::Auto).is_ok());
+    }
+
+    #[test]
+    fn prepared_queries_are_engine_bound() {
+        let a = Engine::new(teaching());
+        let b = Engine::new(teaching());
+        let prepared = a.prepare_text("(x) . TEACHES(socrates, x)").unwrap();
+        assert_eq!(
+            b.execute(&prepared).unwrap_err(),
+            EngineError::PreparedElsewhere
+        );
+    }
+
+    #[test]
+    fn invalid_queries_are_one_error_type() {
+        let engine = Engine::new(teaching());
+        assert!(matches!(engine.query("NOPE("), Err(EngineError::Logic(_))));
+        assert!(matches!(
+            engine.query("(x) . UNKNOWN_PRED(x)"),
+            Err(EngineError::Logic(_))
+        ));
+    }
+
+    #[test]
+    fn mapping_strategy_is_respected() {
+        let db = teaching();
+        let kern = Engine::builder(db.clone())
+            .semantics(Semantics::Exact)
+            .mapping_strategy(MappingStrategy::Kernels)
+            .build();
+        let raw = Engine::builder(db)
+            .semantics(Semantics::Exact)
+            .mapping_strategy(MappingStrategy::RawMappings)
+            .build();
+        let q = "forall x. TEACHES(socrates, x) -> x != aristotle";
+        let a = kern.query(q).unwrap();
+        let b = raw.query(q).unwrap();
+        assert_eq!(a.tuples(), b.tuples());
+        // Raw enumeration visits at least as many mappings as the kernel
+        // canonicalization.
+        assert!(b.evidence().mappings_evaluated >= a.evidence().mappings_evaluated);
+    }
+
+    #[test]
+    fn evidence_summary_is_printable() {
+        let engine = Engine::new(teaching());
+        let ans = engine.query("TEACHES(socrates, plato)").unwrap();
+        let line = ans.evidence().summary();
+        assert!(line.contains("auto"), "{line}");
+        assert!(line.contains("Theorem 13"), "{line}");
+    }
+}

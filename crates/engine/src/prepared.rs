@@ -1,0 +1,64 @@
+//! Prepared queries: parse/validate/rewrite/compile once, execute many.
+
+use qld_algebra::Plan;
+use qld_approx::CompletenessTheorem;
+use qld_logic::{Query, QueryClass};
+
+/// A query prepared against one [`Engine`](crate::Engine): validated,
+/// classified, certified, rewritten to the §5 `Q̂`, and (when `Q̂` is
+/// first-order) compiled to an optimized relational-algebra plan.
+///
+/// All of these are *query-level* artifacts — they depend on the query and
+/// the database schema/statistics, not on which semantics later runs — so
+/// computing them once and executing many times is both safe and the point
+/// of the type: re-running a `PreparedQuery` skips parsing, validation,
+/// NNF, the `Q ↦ Q̂` rewrite, and plan compilation/optimization.
+///
+/// A `PreparedQuery` is tied to the engine (and hence database) that
+/// prepared it: executing it on another engine is rejected.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    pub(crate) engine_id: u64,
+    pub(crate) query: Query,
+    pub(crate) class: QueryClass,
+    pub(crate) completeness: Option<CompletenessTheorem>,
+    pub(crate) rewritten: Query,
+    pub(crate) plan: Option<Plan>,
+}
+
+impl PreparedQuery {
+    /// The validated source query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The query's syntactic class (positive first-order / first-order /
+    /// second-order).
+    pub fn class(&self) -> QueryClass {
+        self.class
+    }
+
+    /// The completeness theorem (12 or 13) under which the §5
+    /// approximation is exact for this query on this engine's database, or
+    /// `None` if only soundness holds. This is what
+    /// [`Semantics::Auto`](crate::Semantics::Auto) dispatches on.
+    pub fn completeness(&self) -> Option<CompletenessTheorem> {
+        self.completeness
+    }
+
+    /// The §5 rewrite `Q̂` over the engine's extended vocabulary
+    /// (`NE`/`α_P` predicates added).
+    pub fn rewritten(&self) -> &Query {
+        &self.rewritten
+    }
+
+    /// The optimized relational-algebra plan for `Q̂`, cached at prepare
+    /// time. `None` when `Q̂` is second-order (the algebra backend is
+    /// first-order only) or when the engine's backend is naive (which
+    /// never executes a plan — use
+    /// [`Engine::plan_for`](crate::Engine::plan_for) to compile one on
+    /// demand, e.g. for display).
+    pub fn plan(&self) -> Option<&Plan> {
+        self.plan.as_ref()
+    }
+}

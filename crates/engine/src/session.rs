@@ -1,0 +1,433 @@
+//! The [`Engine`] session type and its builder.
+
+use crate::error::EngineError;
+use crate::evidence::{Answers, Certificate, Evidence, Regime, Semantics};
+use crate::prepared::PreparedQuery;
+use qld_algebra::{compile_query_ordered, execute, optimize};
+use qld_approx::{exactness_theorem, AlphaMode, ApproxEngine, Backend, CompletenessTheorem};
+use qld_core::exact::{certain_answers_with, possible_answers_with, ExactOptions, MappingStrategy};
+use qld_core::ph::ph1;
+use qld_core::CwDatabase;
+use qld_logic::parser::parse_query;
+use qld_logic::Query;
+use qld_physical::{eval_query, PhysicalDb, Relation};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// How the engine stores the `NE` inequality relation for the §5 path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NeStoreMode {
+    /// Materialize `NE` as an explicit `O(|C|²)` relation (the default).
+    #[default]
+    Explicit,
+    /// The virtual representation §5 closes with: keep only `NE′` and the
+    /// unknown-marker `U`, and expand `NE(x,y)` atoms into
+    /// `NE′(x,y) ∨ (¬U(x) ∧ ¬U(y) ∧ ¬(x = y))` at rewrite time.
+    Virtual,
+}
+
+/// Immutable evaluation configuration, set by [`EngineBuilder`].
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineConfig {
+    backend: Backend,
+    alpha: AlphaMode,
+    ne_store: NeStoreMode,
+    strategy: MappingStrategy,
+    corollary2_fast_path: bool,
+}
+
+/// Configures and constructs an [`Engine`]. Obtained from
+/// [`Engine::builder`]; every knob has a sensible default
+/// ([`Semantics::Auto`], naive backend, materialized `α_P`, explicit `NE`,
+/// kernel mapping enumeration, Corollary 2 fast path on).
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    db: CwDatabase,
+    semantics: Semantics,
+    config: EngineConfig,
+}
+
+impl EngineBuilder {
+    fn new(db: CwDatabase) -> EngineBuilder {
+        EngineBuilder {
+            db,
+            semantics: Semantics::default(),
+            config: EngineConfig {
+                corollary2_fast_path: true,
+                ..EngineConfig::default()
+            },
+        }
+    }
+
+    /// The session's default answer semantics (overridable per call with
+    /// [`Engine::execute_as`]).
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Which machinery evaluates the §5 rewrite `Q̂`: the naive Tarskian
+    /// evaluator or the relational-algebra engine.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
+        self
+    }
+
+    /// How `¬P(x̄)` is realized in `Q̂`: a scan of the materialized `α_P`
+    /// relation, or the literal Lemma 10 formula.
+    pub fn alpha_mode(mut self, alpha: AlphaMode) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Explicit or virtual `NE` storage for the §5 path.
+    pub fn ne_store(mut self, mode: NeStoreMode) -> Self {
+        self.config.ne_store = mode;
+        self
+    }
+
+    /// Mapping enumeration strategy for the Theorem 1 (and possible-world)
+    /// paths: kernel-canonical (default) or raw respecting mappings.
+    pub fn mapping_strategy(mut self, strategy: MappingStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Enables/disables the Corollary 2 fast path under
+    /// [`Semantics::Exact`] (on by default; [`Semantics::Auto`] always
+    /// uses it on fully specified databases — that is its certificate).
+    pub fn corollary2_fast_path(mut self, enabled: bool) -> Self {
+        self.config.corollary2_fast_path = enabled;
+        self
+    }
+
+    /// Finalizes the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
+            db: self.db,
+            semantics: self.semantics,
+            config: self.config,
+            approx: OnceLock::new(),
+            ph1: OnceLock::new(),
+        }
+    }
+}
+
+/// A query-evaluation session over one closed-world logical database.
+///
+/// `Engine` is the single front door to every evaluation regime the paper
+/// describes. Queries are [`prepare`](Engine::prepare)d once (parse,
+/// validate, classify, rewrite to `Q̂`, compile to algebra) and executed
+/// many times under any [`Semantics`]; every answer carries an
+/// [`Evidence`] report with an exactness [`Certificate`].
+///
+/// # Which theorem justifies which certificate
+///
+/// | Certificate | Paper result | When issued |
+/// |---|---|---|
+/// | [`Certificate::ExactTheorem1`] | Theorem 1 | the full mapping enumeration ran (`Exact` semantics off the fast path, or `Auto` escalation) |
+/// | [`Certificate::ExactCorollary2`] | Corollary 2 | the database is fully specified and one evaluation over `Ph₁(LB)` answered the query |
+/// | [`Certificate::ExactCompleteness`]`(`[`CompletenessTheorem::FullySpecified`]`)` | Theorems 11 + 12 | the §5 approximation ran on a fully specified database |
+/// | [`Certificate::ExactCompleteness`]`(`[`CompletenessTheorem::PositiveQuery`]`)` | Theorems 11 + 13 | the §5 approximation ran on a positive first-order query |
+/// | [`Certificate::SoundLowerBound`] | Theorem 11 | the §5 approximation ran and no completeness theorem applies |
+/// | [`Certificate::PossibleUpperBound`] | dual of Theorem 1 | possible-answer semantics ran |
+///
+/// Under [`Semantics::Auto`] the engine never returns an uncertified
+/// answer: it picks Corollary 2 on fully specified databases, the §5
+/// approximation (exact by Theorem 13) on positive first-order queries,
+/// and escalates to the Theorem 1 enumeration only when neither
+/// completeness theorem applies.
+///
+/// # Example
+///
+/// ```
+/// use qld_engine::{Engine, Semantics};
+/// use qld_core::CwDatabase;
+/// use qld_logic::Vocabulary;
+///
+/// let mut voc = Vocabulary::new();
+/// let ids = voc.add_consts(["socrates", "plato", "mystery"]).unwrap();
+/// let teaches = voc.add_pred("TEACHES", 2).unwrap();
+/// let db = CwDatabase::builder(voc)
+///     .fact(teaches, &[ids[0], ids[1]])
+///     .unique(ids[0], ids[1])
+///     .build()
+///     .unwrap();
+///
+/// let engine = Engine::builder(db).semantics(Semantics::Auto).build();
+/// let prepared = engine.prepare_text("(x) . TEACHES(socrates, x)").unwrap();
+/// let answers = engine.execute(&prepared).unwrap();
+/// assert!(answers.is_exact()); // positive query → Theorem 13 certificate
+/// assert_eq!(engine.answer_names(&answers), vec![vec!["plato"]]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    id: u64,
+    db: CwDatabase,
+    semantics: Semantics,
+    config: EngineConfig,
+    /// §5 machinery (`Ph₂(LB)`, `α_P`, `NE`), built on first use.
+    approx: OnceLock<ApproxEngine>,
+    /// `Ph₁(LB)`, cached for the Corollary 2 fast path.
+    ph1: OnceLock<PhysicalDb>,
+}
+
+impl Engine {
+    /// Starts configuring an engine over `db`.
+    pub fn builder(db: CwDatabase) -> EngineBuilder {
+        EngineBuilder::new(db)
+    }
+
+    /// An engine with all defaults ([`Semantics::Auto`], naive backend).
+    pub fn new(db: CwDatabase) -> Engine {
+        EngineBuilder::new(db).build()
+    }
+
+    /// The underlying closed-world database.
+    pub fn db(&self) -> &CwDatabase {
+        &self.db
+    }
+
+    /// The session's current default semantics.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Changes the session's default semantics (prepared queries stay
+    /// valid — their artifacts are semantics-independent).
+    pub fn set_semantics(&mut self, semantics: Semantics) {
+        self.semantics = semantics;
+    }
+
+    /// The §5 approximation machinery, built lazily on first use (it
+    /// materializes `Ph₂(LB)`, the `α_P` relations, and the configured
+    /// `NE` store — all polynomial).
+    pub fn approx_engine(&self) -> &ApproxEngine {
+        self.approx.get_or_init(|| match self.config.ne_store {
+            NeStoreMode::Explicit => ApproxEngine::new(&self.db),
+            NeStoreMode::Virtual => ApproxEngine::with_virtual_ne(&self.db),
+        })
+    }
+
+    fn ph1_db(&self) -> &PhysicalDb {
+        self.ph1.get_or_init(|| ph1(&self.db))
+    }
+
+    /// Parses and [`prepare`](Engine::prepare)s a query in the surface
+    /// syntax.
+    pub fn prepare_text(&self, text: &str) -> Result<PreparedQuery, EngineError> {
+        self.prepare(parse_query(self.db.voc(), text)?)
+    }
+
+    /// Prepares a query: validates it against the vocabulary, classifies
+    /// it, determines the completeness certificate, rewrites it to the §5
+    /// `Q̂`, and — when the configured backend is [`Backend::Algebra`] —
+    /// compiles `Q̂` to an optimized algebra plan (first-order `Q̂` only;
+    /// the naive backend evaluates `Q̂` directly, so compiling for it
+    /// would be wasted work). The result can be executed any number of
+    /// times under any semantics.
+    ///
+    /// Preparation forces the one-time lazy build of the §5 machinery
+    /// ([`Engine::approx_engine`]); the per-query artifacts themselves
+    /// (NNF + rewrite, and the plan where applicable) are polynomial in
+    /// the query and schema.
+    pub fn prepare(&self, query: Query) -> Result<PreparedQuery, EngineError> {
+        query.check(self.db.voc())?;
+        let class = query.class();
+        let completeness = exactness_theorem(&self.db, &query);
+        let approx = self.approx_engine();
+        let rewritten = approx.rewrite(&query, self.config.alpha)?;
+        let plan = match self.config.backend {
+            Backend::Naive => None,
+            Backend::Algebra(_) => self.compile_plan(&rewritten)?,
+        };
+        Ok(PreparedQuery {
+            engine_id: self.id,
+            query,
+            class,
+            completeness,
+            rewritten,
+            plan,
+        })
+    }
+
+    /// Compiles `Q̂` to an optimized algebra plan over the extended
+    /// database, or `None` if `Q̂` is second-order.
+    fn compile_plan(&self, rewritten: &Query) -> Result<Option<qld_algebra::Plan>, EngineError> {
+        if !rewritten.is_first_order() {
+            return Ok(None);
+        }
+        let approx = self.approx_engine();
+        let plan = compile_query_ordered(approx.extended_voc(), approx.extended_db(), rewritten)?;
+        Ok(Some(optimize(approx.extended_voc(), plan)))
+    }
+
+    /// The optimized algebra plan for a prepared query's `Q̂`: the one
+    /// cached at prepare time under [`Backend::Algebra`], or compiled on
+    /// demand otherwise (e.g. for the CLI's `:explain` on a naive-backend
+    /// session). `None` when `Q̂` is second-order.
+    pub fn plan_for(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<Option<qld_algebra::Plan>, EngineError> {
+        if prepared.engine_id != self.id {
+            return Err(EngineError::PreparedElsewhere);
+        }
+        match prepared.plan() {
+            Some(plan) => Ok(Some(plan.clone())),
+            None => self.compile_plan(prepared.rewritten()),
+        }
+    }
+
+    /// Executes a prepared query under the session's default semantics.
+    pub fn execute(&self, prepared: &PreparedQuery) -> Result<Answers, EngineError> {
+        self.execute_as(prepared, self.semantics)
+    }
+
+    /// Executes a prepared query under an explicit semantics, regardless
+    /// of the session default.
+    pub fn execute_as(
+        &self,
+        prepared: &PreparedQuery,
+        semantics: Semantics,
+    ) -> Result<Answers, EngineError> {
+        if prepared.engine_id != self.id {
+            return Err(EngineError::PreparedElsewhere);
+        }
+        let start = Instant::now();
+        let (tuples, regime, certificate, mappings) = match semantics {
+            Semantics::Exact => self.run_exact(prepared)?,
+            Semantics::Approx => self.run_approx(prepared)?,
+            Semantics::Possible => self.run_possible(prepared)?,
+            Semantics::Auto => self.run_auto(prepared)?,
+        };
+        Ok(Answers::new(
+            tuples,
+            Evidence {
+                requested: semantics,
+                regime,
+                certificate,
+                elapsed: start.elapsed(),
+                mappings_evaluated: mappings,
+            },
+        ))
+    }
+
+    /// One-shot convenience: parse, prepare, and execute under the
+    /// session's default semantics.
+    pub fn query(&self, text: &str) -> Result<Answers, EngineError> {
+        let prepared = self.prepare_text(text)?;
+        self.execute(&prepared)
+    }
+
+    /// One-shot convenience for an already-built [`Query`].
+    pub fn eval(&self, query: &Query) -> Result<Answers, EngineError> {
+        let prepared = self.prepare(query.clone())?;
+        self.execute(&prepared)
+    }
+
+    /// Renders answer tuples with the vocabulary's constant names.
+    pub fn answer_names(&self, answers: &Answers) -> Vec<Vec<String>> {
+        qld_core::answer_names(self.db.voc(), answers.tuples())
+    }
+
+    /// The full Theorem 1 enumeration — shared by `Exact` semantics and
+    /// `Auto` escalation so the two can never diverge.
+    fn run_theorem1(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
+        let opts = ExactOptions {
+            strategy: self.config.strategy,
+            corollary2_fast_path: false,
+        };
+        let (rel, stats) = certain_answers_with(&self.db, prepared.query(), opts)?;
+        Ok((
+            rel,
+            Regime::Theorem1,
+            Certificate::ExactTheorem1,
+            stats.mappings_evaluated,
+        ))
+    }
+
+    fn run_exact(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
+        if self.config.corollary2_fast_path && self.db.is_fully_specified() {
+            let rel = eval_query(self.ph1_db(), prepared.query());
+            return Ok((rel, Regime::Corollary2, Certificate::ExactCorollary2, 0));
+        }
+        self.run_theorem1(prepared)
+    }
+
+    fn run_possible(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
+        let (rel, stats) = possible_answers_with(&self.db, prepared.query())?;
+        Ok((
+            rel,
+            Regime::PossibleWorlds,
+            Certificate::PossibleUpperBound,
+            stats.mappings_evaluated,
+        ))
+    }
+
+    fn run_approx(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
+        let rel = self.eval_rewritten(prepared)?;
+        let certificate = match prepared.completeness {
+            Some(theorem) => Certificate::ExactCompleteness(theorem),
+            None => Certificate::SoundLowerBound,
+        };
+        Ok((rel, Regime::Approximation, certificate, 0))
+    }
+
+    fn run_auto(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
+        match prepared.completeness {
+            // Fully specified: one physical evaluation is exact, and is
+            // the cheapest certified path (works for second-order queries
+            // too, unlike the algebra backend).
+            Some(CompletenessTheorem::FullySpecified) => {
+                let rel = eval_query(self.ph1_db(), prepared.query());
+                Ok((rel, Regime::Corollary2, Certificate::ExactCorollary2, 0))
+            }
+            // Positive first-order: the §5 approximation is exact by
+            // Theorems 11 + 13.
+            Some(theorem @ CompletenessTheorem::PositiveQuery) => {
+                let rel = self.eval_rewritten(prepared)?;
+                Ok((
+                    rel,
+                    Regime::Approximation,
+                    Certificate::ExactCompleteness(theorem),
+                    0,
+                ))
+            }
+            // No completeness theorem applies: escalate to Theorem 1.
+            None => self.run_theorem1(prepared),
+        }
+    }
+
+    /// Evaluates the prepared `Q̂` over `Ph₂(LB)` on the configured
+    /// backend.
+    fn eval_rewritten(&self, prepared: &PreparedQuery) -> Result<Relation, EngineError> {
+        let approx = self.approx_engine();
+        match self.config.backend {
+            Backend::Naive => Ok(eval_query(approx.extended_db(), prepared.rewritten())),
+            Backend::Algebra(opts) => match prepared.plan() {
+                Some(plan) => Ok(execute(approx.extended_db(), plan, opts)),
+                None => Err(EngineError::Compile(qld_algebra::CompileError::SecondOrder)),
+            },
+        }
+    }
+}

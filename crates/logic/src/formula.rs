@@ -67,6 +67,10 @@ impl Formula {
     }
 
     /// `¬φ` convenience constructor.
+    // Deliberately named after the connective; it is an associated
+    // constructor (`Formula::not(f)`), not a `&self` method, so it cannot
+    // shadow `std::ops::Not` at call sites.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         Formula::Not(Box::new(f))
     }

@@ -68,7 +68,7 @@ pub fn reduce(qbf: &Qbf) -> QbfSoInstance {
         let signs: Vec<bool> = clause.iter().map(|l| l.positive).collect();
         let levels: Vec<usize> = clause.iter().map(|l| qbf.block_of(l.var) + 1).collect();
         let key = (signs.clone(), levels.clone());
-        if !shape_preds.contains_key(&key) {
+        if let std::collections::hash_map::Entry::Vacant(entry) = shape_preds.entry(key) {
             let name = format!(
                 "R_{}_{}",
                 signs
@@ -82,7 +82,7 @@ pub fn reduce(qbf: &Qbf) -> QbfSoInstance {
                     .join("_")
             );
             let p = voc.add_pred(&name, 3).unwrap();
-            shape_preds.insert(key, p);
+            entry.insert(p);
             shapes.push((signs, levels, p));
         }
     }

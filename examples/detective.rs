@@ -44,22 +44,31 @@ fn main() {
         .build()
         .unwrap();
 
+    // One engine; `Auto` picks the cheapest evaluation path the paper
+    // proves exact and certifies it.
+    let engine = Engine::builder(db).semantics(Semantics::Auto).build();
+
     let ask = |text: &str| {
-        let q = parse_query(db.voc(), text).unwrap();
-        let verdict = certainly_holds(&db, &q).unwrap();
+        let answers = engine.query(text).unwrap();
         println!(
-            "{text:42} {}",
-            if verdict { "CERTAIN" } else { "not certain" }
+            "{text:42} {}   [{}]",
+            if answers.holds() {
+                "CERTAIN"
+            } else {
+                "not certain"
+            },
+            answers.evidence().summary()
         );
-        verdict
+        answers.holds()
     };
 
     println!("-- what the closed-world casebook entails --");
-    // Stored fact.
+    // Stored fact (positive query: §5 runs, exact by Theorem 13).
     assert!(ask("SEEN_AT(ripper, whitechapel)"));
     // Gladstone is cleared, so CWA gives a certain negative: the only
     // Whitechapel sightings are the Ripper and Disraeli, both provably
-    // distinct from him.
+    // distinct from him. (Negation + unknown identities: auto escalates
+    // to Theorem 1.)
     assert!(ask("!SEEN_AT(gladstone, whitechapel)"));
     // Victoria has no alibi — she might BE the Ripper, hence might have
     // been at Whitechapel.
@@ -73,11 +82,15 @@ fn main() {
     assert!(!ask("!SEEN_AT(ripper, westminster)"));
 
     println!("\n-- who was at whitechapel? --");
-    let q = parse_query(db.voc(), "(x) . SEEN_AT(x, whitechapel)").unwrap();
-    let certain = certain_answers(&db, &q).unwrap();
-    let possible = possible_answers(&db, &q).unwrap();
-    let fmt = |rel: &Relation| {
-        answer_names(db.voc(), rel)
+    // Prepare once, execute under three semantics.
+    let q = engine
+        .prepare_text("(x) . SEEN_AT(x, whitechapel)")
+        .unwrap();
+    let certain = engine.execute_as(&q, Semantics::Exact).unwrap();
+    let possible = engine.execute_as(&q, Semantics::Possible).unwrap();
+    let fmt = |answers: &Answers| {
+        engine
+            .answer_names(answers)
             .into_iter()
             .map(|t| t.join(","))
             .collect::<Vec<_>>()
@@ -85,26 +98,45 @@ fn main() {
     };
     println!("certainly: {}", fmt(&certain));
     println!("possibly:  {}", fmt(&possible));
-    assert!(certain.is_subset_of(&possible));
+    assert!(certain.tuples().is_subset_of(possible.tuples()));
 
-    // The §5 approximation is sound — and on this query, complete.
-    let engine = ApproxEngine::new(&db);
-    let approx = engine.eval(&q).unwrap();
-    println!("approx:    {}", fmt(&approx));
-    assert!(approx.is_subset_of(&certain), "Theorem 11: soundness");
+    // The §5 approximation is sound — and on this query, complete
+    // (positive), which its certificate records.
+    let approx = engine.execute_as(&q, Semantics::Approx).unwrap();
+    println!(
+        "approx:    {}   [{}]",
+        fmt(&approx),
+        approx.evidence().summary()
+    );
+    assert!(
+        approx.tuples().is_subset_of(certain.tuples()),
+        "Theorem 11: soundness"
+    );
+    assert!(
+        approx.is_exact(),
+        "Theorem 13: complete on positive queries"
+    );
 
     // But certainty obtained only by case analysis over an unresolved
-    // identity is invisible to it — even the excluded middle:
-    let q = parse_query(db.voc(), "ripper = victoria | ripper != victoria").unwrap();
-    assert!(certainly_holds(&db, &q).unwrap());
-    let tautology = engine.eval(&q).unwrap();
+    // identity is invisible to the approximation — even the excluded
+    // middle. Its certificate honestly degrades to a lower bound, while
+    // `Auto` escalates to Theorem 1 and finds the tautology.
+    let q = engine
+        .prepare_text("ripper = victoria | ripper != victoria")
+        .unwrap();
+    let exact = engine.execute_as(&q, Semantics::Auto).unwrap();
+    assert!(exact.holds() && exact.is_exact());
+    let tautology = engine.execute_as(&q, Semantics::Approx).unwrap();
     println!(
-        "\n'ripper = victoria | ripper != victoria': exact CERTAIN, approximation {}",
-        if tautology.is_empty() {
-            "not certain (sound, incomplete)"
-        } else {
+        "\n'ripper = victoria | ripper != victoria': auto CERTAIN [{}], approximation {} [{}]",
+        exact.evidence().summary(),
+        if tautology.holds() {
             "CERTAIN"
-        }
+        } else {
+            "not certain (sound, incomplete)"
+        },
+        tautology.evidence().summary()
     );
     assert!(tautology.is_empty());
+    assert!(!tautology.is_exact(), "no completeness theorem applies");
 }

@@ -4,7 +4,8 @@
 //! The query `(x1,x2) . ∃y (EMP_DEPT(x1,y) ∧ DEPT_MGR(y,x2))` is the
 //! paper's own example. We additionally leave the manager of one
 //! department as an unknown value and watch how exact certain answers,
-//! the approximation (both backends), and possible answers behave.
+//! the approximation (both backends), and possible answers behave — all
+//! through one `Engine` session and one prepared query per question.
 //!
 //! Paper: §2.1 (the motivating EMP/DEPT example) evaluated under
 //! Theorem 1 (exact) and §5 (approximate, naive and algebra backends).
@@ -42,8 +43,17 @@ fn main() {
         .build()
         .unwrap();
 
-    let show = |label: &str, rel: &Relation| {
-        let names: Vec<String> = answer_names(db.voc(), rel)
+    // Two engines over the same database, differing only in the §5
+    // backend: the naive Tarskian evaluator vs. the relational-algebra
+    // engine ("on top of a standard database management system").
+    let engine = Engine::new(db.clone());
+    let algebra_engine = Engine::builder(db)
+        .backend(Backend::Algebra(ExecOptions::default()))
+        .build();
+
+    let show = |label: &str, answers: &Answers| {
+        let names: Vec<String> = engine
+            .answer_names(answers)
             .into_iter()
             .map(|t| format!("({})", t.join(" ⟶ ")))
             .collect();
@@ -51,53 +61,54 @@ fn main() {
     };
 
     // The paper's example query: employee-manager pairs through their
-    // department. Positive ⇒ the approximation is complete (Theorem 13).
-    let q = parse_query(
-        db.voc(),
-        "(e, m) . exists d. EMP_DEPT(e, d) & DEPT_MGR(d, m)",
-    )
-    .unwrap();
-    let exact = certain_answers(&db, &q).unwrap();
+    // department. Positive ⇒ the approximation is complete (Theorem 13),
+    // and `Auto` therefore never touches the exponential path.
+    let text = "(e, m) . exists d. EMP_DEPT(e, d) & DEPT_MGR(d, m)";
+    let q = engine.prepare_text(text).unwrap();
+    let exact = engine.execute_as(&q, Semantics::Exact).unwrap();
     show("certain employee ⟶ manager:", &exact);
-    let engine = ApproxEngine::new(&db);
-    let approx = engine.eval(&q).unwrap();
-    assert_eq!(approx, exact, "Theorem 13: complete on positive queries");
+    let approx = engine.execute_as(&q, Semantics::Approx).unwrap();
+    assert_eq!(
+        approx.tuples(),
+        exact.tuples(),
+        "Theorem 13: complete on positive queries"
+    );
+    assert!(approx.is_exact(), "…and the certificate says so");
     show("approx  employee ⟶ manager:", &approx);
-    let algebra = engine
-        .eval_with(
-            &q,
-            AlphaMode::Materialized,
-            Backend::Algebra(ExecOptions::default()),
-        )
-        .unwrap();
-    assert_eq!(algebra, exact, "same answers through the relational engine");
+    let algebra = algebra_engine.query(text).unwrap();
+    assert_eq!(
+        algebra.tuples(),
+        exact.tuples(),
+        "same answers through the relational engine"
+    );
+    assert_eq!(algebra.evidence().regime, Regime::Approximation);
 
     // Who is certainly NOT managed by barbara? Negation meets the null:
     // edsger's manager is the unknown new_hire, who *might be* barbara —
     // so edsger is not in the certain answer.
-    let q = parse_query(
-        db.voc(),
-        "(e) . exists d. EMP_DEPT(e, d) & !DEPT_MGR(d, barbara)",
-    )
-    .unwrap();
+    let q = engine
+        .prepare_text("(e) . exists d. EMP_DEPT(e, d) & !DEPT_MGR(d, barbara)")
+        .unwrap();
     show(
         "certainly not managed by barbara:",
-        &certain_answers(&db, &q).unwrap(),
+        &engine.execute_as(&q, Semantics::Exact).unwrap(),
     );
-    show("approx  not managed by barbara:", &engine.eval(&q).unwrap());
+    show(
+        "approx  not managed by barbara:",
+        &engine.execute_as(&q, Semantics::Approx).unwrap(),
+    );
 
-    // Possible managers of edsger: anyone new_hire could be.
-    let q = parse_query(
-        db.voc(),
-        "(m) . exists d. EMP_DEPT(edsger, d) & DEPT_MGR(d, m)",
-    )
-    .unwrap();
+    // Possible managers of edsger: anyone new_hire could be. One prepared
+    // query, the certain lower bound and the possible upper bound.
+    let q = engine
+        .prepare_text("(m) . exists d. EMP_DEPT(edsger, d) & DEPT_MGR(d, m)")
+        .unwrap();
     show(
         "certain manager of edsger:",
-        &certain_answers(&db, &q).unwrap(),
+        &engine.execute_as(&q, Semantics::Exact).unwrap(),
     );
     show(
         "possible manager of edsger:",
-        &possible_answers(&db, &q).unwrap(),
+        &engine.execute_as(&q, Semantics::Possible).unwrap(),
     );
 }

@@ -68,4 +68,19 @@ fn main() {
     let one_world = eval_query(&ph1(&db), &q);
     assert!(bounds.certain.is_subset_of(&one_world));
     assert!(one_world.is_subset_of(&bounds.possible));
+
+    // The Engine session view of the same bounds: Exact semantics is the
+    // intersection over worlds, Possible the union — with certificates.
+    let engine = Engine::new(db);
+    let prepared = engine.prepare_text("(x) . LIKES(alice, x)").unwrap();
+    let certain = engine.execute_as(&prepared, Semantics::Exact).unwrap();
+    let possible = engine.execute_as(&prepared, Semantics::Possible).unwrap();
+    assert_eq!(*certain.tuples(), bounds.certain);
+    assert_eq!(*possible.tuples(), bounds.possible);
+    assert!(certain.is_exact() && !possible.is_exact());
+    println!(
+        "\nengine cross-check: exact [{}], possible [{}]",
+        certain.evidence().summary(),
+        possible.evidence().summary()
+    );
 }

@@ -1,9 +1,11 @@
 //! Quickstart: build a closed-world logical database with an unknown
-//! value, then compare exact certain answers, possible answers, and the
-//! §5 approximation.
+//! value, then query it through the unified `Engine` session API — the
+//! front door to every evaluation regime in the paper.
 //!
-//! Paper: Theorem 1 (exact certain-answer evaluation) versus §5 (the
-//! sound approximate algorithm running on a relational engine).
+//! Paper: Theorem 1 (exact certain-answer evaluation), Corollary 2 (the
+//! fully-specified fast path), and §5 (the sound approximate algorithm
+//! running on a relational engine) — dispatched and *certified* by
+//! `Semantics::Auto`.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -34,47 +36,63 @@ fn main() {
         db.is_fully_specified()
     );
 
-    let show = |label: &str, rel: &Relation| {
-        let names: Vec<String> = answer_names(db.voc(), rel)
+    // THE front door: one engine, four semantics. `Auto` runs the
+    // cheapest path the paper proves exact — §5 for positive queries
+    // (Theorem 13), Corollary 2 for fully specified databases — and
+    // escalates to the exponential Theorem 1 enumeration only when no
+    // completeness theorem applies. Every answer carries a certificate.
+    let engine = Engine::builder(db).semantics(Semantics::Auto).build();
+
+    let show = |label: &str, answers: &Answers| {
+        let names: Vec<String> = engine
+            .answer_names(answers)
             .into_iter()
             .map(|t| t.join(", "))
             .collect();
-        println!("{label}: {{{}}}", names.join(" | "));
+        println!(
+            "{label}: {{{}}}\n{:29}[{}]",
+            names.join(" | "),
+            "",
+            answers.evidence().summary()
+        );
     };
 
     // Who does Socrates certainly teach? Only plato: `mystery` *might* be
-    // plato, but might equally be aristotle.
-    let q = parse_query(db.voc(), "(x) . TEACHES(socrates, x)").unwrap();
-    show(
-        "certain TEACHES(socrates, ·)",
-        &certain_answers(&db, &q).unwrap(),
-    );
-    show(
-        "possible TEACHES(socrates, ·)",
-        &possible_answers(&db, &q).unwrap(),
-    );
+    // plato, but might equally be aristotle. Positive query ⇒ auto runs
+    // the polynomial §5 path, exact by Theorem 13.
+    let who = engine.prepare_text("(x) . TEACHES(socrates, x)").unwrap();
+    let certain = engine.execute(&who).unwrap();
+    assert!(certain.is_exact());
+    show("certain TEACHES(socrates, ·)", &certain);
+
+    // The same prepared query under possible-answer semantics: an upper
+    // bound (mystery may be plato).
+    let possible = engine.execute_as(&who, Semantics::Possible).unwrap();
+    show("possible TEACHES(socrates, ·)", &possible);
+    assert!(certain.tuples().is_subset_of(possible.tuples()));
 
     // Negative query: the closed-world assumption yields negative facts,
-    // but only where identities are known.
-    let q = parse_query(db.voc(), "(x) . !TEACHES(socrates, x)").unwrap();
-    show(
-        "certain ¬TEACHES(socrates, ·)",
-        &certain_answers(&db, &q).unwrap(),
-    );
+    // but only where identities are known. No completeness theorem ⇒ auto
+    // escalates to Theorem 1 (and the evidence line shows the mappings).
+    let not_taught = engine.prepare_text("(x) . !TEACHES(socrates, x)").unwrap();
+    let answers = engine.execute(&not_taught).unwrap();
+    assert!(answers.is_exact());
+    show("certain ¬TEACHES(socrates, ·)", &answers);
+
+    // Forcing `Approx` on the same prepared query shows the §5 trade-off:
+    // still sound (Theorem 11), but only a lower bound here — and the
+    // certificate says exactly that.
+    let approx = engine.execute_as(&not_taught, Semantics::Approx).unwrap();
+    show("approx  ¬TEACHES(socrates, ·)", &approx);
+    assert!(approx.tuples().is_subset_of(answers.tuples()));
+    assert!(!approx.is_exact());
 
     // Boolean query: is it certain that someone teaches plato?
-    let q = parse_query(db.voc(), "exists t. TEACHES(t, plato)").unwrap();
+    let q = engine.prepare_text("exists t. TEACHES(t, plato)").unwrap();
+    let verdict = engine.execute(&q).unwrap();
     println!(
-        "certain ∃t TEACHES(t, plato): {}",
-        certainly_holds(&db, &q).unwrap()
+        "certain ∃t TEACHES(t, plato): {}   [{}]",
+        verdict.holds(),
+        verdict.evidence().summary()
     );
-
-    // The same queries through the polynomial-time §5 approximation:
-    // sound always, complete here because the first query is positive and
-    // the second's negation is resolved by α_P.
-    let engine = ApproxEngine::new(&db);
-    let q = parse_query(db.voc(), "(x) . TEACHES(socrates, x)").unwrap();
-    show("approx  TEACHES(socrates, ·)", &engine.eval(&q).unwrap());
-    let q = parse_query(db.voc(), "(x) . !TEACHES(socrates, x)").unwrap();
-    show("approx ¬TEACHES(socrates, ·)", &engine.eval(&q).unwrap());
 }

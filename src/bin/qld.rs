@@ -1,24 +1,28 @@
 //! `qld` — an interactive shell over closed-world logical databases.
 //!
 //! ```text
-//! qld <database.qld>                         # REPL
+//! qld <database.qld>                         # REPL (auto semantics)
 //! qld <database.qld> -q "(x) . P(x)"         # one-shot query
 //! qld <database.qld> --mode approx -q "..."  # choose semantics
 //! ```
 
-use querying_logical_databases::cli::{Mode, Outcome, Session};
+use querying_logical_databases::cli::{Mode, Outcome, Session, MODE_USAGE};
 use std::io::{self, BufRead, Write};
 use std::process::ExitCode;
 
-fn usage() -> &'static str {
-    "usage: qld <database.qld> [--mode exact|approx|possible] [-q <query>]...\n\
-     With no -q, starts an interactive shell (:help for commands)."
+fn usage() -> String {
+    format!(
+        "usage: qld <database.qld> [--mode {MODE_USAGE}] [-q <query>]...\n\
+         With no -q, starts an interactive shell (:help for commands).\n\
+         The default mode is `auto`: the engine runs the cheapest evaluation\n\
+         path the paper proves exact and reports which theorem certified it."
+    )
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
-    let mut mode = Mode::Exact;
+    let mut mode: Option<Mode> = None;
     let mut one_shots: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,9 +31,9 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--mode" | "-m" => match args.next().as_deref().and_then(Mode::parse) {
-                Some(m) => mode = m,
+                Some(m) => mode = Some(m),
                 None => {
-                    eprintln!("--mode needs exact|approx|possible");
+                    eprintln!("--mode needs {MODE_USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -68,7 +72,9 @@ fn main() -> ExitCode {
     };
 
     let mut session = Session::new(db);
-    session.set_mode(mode);
+    if let Some(mode) = mode {
+        session.set_mode(mode);
+    }
     let stdout = io::stdout();
     let mut out = stdout.lock();
 

@@ -1,48 +1,29 @@
 //! The interactive `qld` shell: load a `.qld` database, ask queries,
-//! switch between exact certain answers, the §5 approximation, and
-//! possible answers.
+//! switch between exact certain answers, the §5 approximation, possible
+//! answers, and the certified `auto` dispatch.
 //!
 //! The command logic lives here (testable, I/O injected); the binary in
-//! `src/bin/qld.rs` is a thin wrapper.
+//! `src/bin/qld.rs` is a thin wrapper. The shell is a front-end over
+//! [`qld_engine::Engine`]: every query is prepared and executed by the
+//! engine, and the evidence line after each answer reports which regime
+//! actually ran and what the answer is certified to mean.
 
-use qld_approx::{ApproxEngine, ApproxError};
-use qld_core::{answer_names, certain_answers, possible_answers, CwDatabase};
+use qld_algebra::display_plan;
+use qld_core::CwDatabase;
+use qld_engine::{Engine, EngineError, Semantics};
+use qld_logic::display::display_query;
 use qld_logic::parser::parse_query;
-use qld_physical::Relation;
 use std::io::{self, Write};
-use std::time::Instant;
 
-/// Which evaluation semantics the shell is using.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Mode {
-    /// Exact certain answers via Theorem 1 (exponential).
-    #[default]
-    Exact,
-    /// The §5 approximation (polynomial; sound, not complete).
-    Approx,
-    /// Tuples true in at least one model.
-    Possible,
-}
+/// The shell's evaluation mode *is* the engine's semantics — one
+/// definition shared by the `:mode` command, the binary's `--mode` flag,
+/// and the library API.
+pub type Mode = Semantics;
 
-impl Mode {
-    fn name(self) -> &'static str {
-        match self {
-            Mode::Exact => "exact",
-            Mode::Approx => "approx",
-            Mode::Possible => "possible",
-        }
-    }
-
-    /// Parses a mode name.
-    pub fn parse(s: &str) -> Option<Mode> {
-        match s {
-            "exact" => Some(Mode::Exact),
-            "approx" | "approximate" => Some(Mode::Approx),
-            "possible" => Some(Mode::Possible),
-            _ => None,
-        }
-    }
-}
+/// The `:mode`/`--mode` argument spelling, shared by the shell help text
+/// and the binary usage string (kept in sync with [`Semantics::ALL`] by a
+/// test below).
+pub const MODE_USAGE: &str = "exact|approx|possible|auto";
 
 /// Whether the session should keep reading input.
 #[derive(Debug, PartialEq, Eq)]
@@ -53,38 +34,32 @@ pub enum Outcome {
     Quit,
 }
 
-/// An interactive session over one database.
+/// An interactive session over one database, driving a
+/// [`qld_engine::Engine`].
 pub struct Session {
-    db: CwDatabase,
-    engine: Option<ApproxEngine>,
-    mode: Mode,
+    engine: Engine,
 }
 
 impl Session {
-    /// Starts a session in [`Mode::Exact`].
+    /// Starts a session in [`Semantics::Auto`] (the engine default).
     pub fn new(db: CwDatabase) -> Session {
         Session {
-            db,
-            engine: None,
-            mode: Mode::Exact,
+            engine: Engine::new(db),
         }
     }
 
     /// The current evaluation mode.
     pub fn mode(&self) -> Mode {
-        self.mode
+        self.engine.semantics()
     }
 
     /// Sets the evaluation mode.
     pub fn set_mode(&mut self, mode: Mode) {
-        self.mode = mode;
+        self.engine.set_semantics(mode);
     }
 
-    fn engine(&mut self) -> Result<&ApproxEngine, ApproxError> {
-        if self.engine.is_none() {
-            self.engine = Some(ApproxEngine::new(&self.db));
-        }
-        Ok(self.engine.as_ref().expect("just initialized"))
+    fn db(&self) -> &CwDatabase {
+        self.engine.db()
     }
 
     /// Executes one input line (a `:command` or a query).
@@ -109,7 +84,9 @@ impl Session {
                 writeln!(out, "    (x) . TEACHES(socrates, x)")?;
                 writeln!(out, "    forall y. M(y) -> exists z. R(z, z)")?;
                 writeln!(out, "commands:")?;
-                writeln!(out, "    :mode exact|approx|possible   switch semantics")?;
+                writeln!(out, "    :mode {MODE_USAGE}   switch semantics")?;
+                writeln!(out, "        auto runs the cheapest path the paper proves")?;
+                writeln!(out, "        exact and reports which theorem certified it")?;
                 writeln!(out, "    :stats                        database statistics")?;
                 writeln!(
                     out,
@@ -124,28 +101,28 @@ impl Session {
             }
             Some("mode") => match words.next().and_then(Mode::parse) {
                 Some(mode) => {
-                    self.mode = mode;
+                    self.set_mode(mode);
                     writeln!(out, "mode: {}", mode.name())?;
                 }
-                None => writeln!(out, "usage: :mode exact|approx|possible")?,
+                None => writeln!(out, "usage: :mode {MODE_USAGE}")?,
             },
             Some("stats") => {
                 writeln!(
                     out,
                     "{} constants, {} predicates, {} facts, {} uniqueness axioms, fully specified: {}",
-                    self.db.num_consts(),
-                    self.db.voc().num_preds(),
-                    self.db.num_facts(),
-                    self.db.num_ne(),
-                    self.db.is_fully_specified()
+                    self.db().num_consts(),
+                    self.db().voc().num_preds(),
+                    self.db().num_facts(),
+                    self.db().num_ne(),
+                    self.db().is_fully_specified()
                 )?;
-                writeln!(out, "mode: {}", self.mode.name())?;
+                writeln!(out, "mode: {}", self.mode().name())?;
             }
             Some("dump") => {
-                write!(out, "{}", qld_core::textio::to_text(&self.db))?;
+                write!(out, "{}", qld_core::textio::to_text(self.db()))?;
             }
             Some("worlds") => {
-                let n = qld_core::worlds::count_worlds(&self.db);
+                let n = qld_core::worlds::count_worlds(self.db());
                 writeln!(
                     out,
                     "{n} possible world(s) up to isomorphism{}",
@@ -166,81 +143,66 @@ impl Session {
         Ok(Outcome::Continue)
     }
 
-    /// Shows the §5 pipeline for a query: the rewritten `Q̂` over the
-    /// extended vocabulary and the optimized relational-algebra plan.
+    /// Shows the §5 pipeline for a query, straight off the prepared
+    /// artifacts: the rewritten `Q̂` over the extended vocabulary and the
+    /// optimized relational-algebra plan.
     fn explain(&mut self, text: &str, out: &mut dyn Write) -> io::Result<()> {
-        let query = match parse_query(self.db.voc(), text) {
+        let query = match parse_query(self.db().voc(), text) {
             Ok(q) => q,
             Err(e) => return writeln!(out, "parse error: {e}"),
         };
-        let engine = match self.engine() {
-            Ok(e) => e,
+        let prepared = match self.engine.prepare(query) {
+            Ok(p) => p,
             Err(e) => return writeln!(out, "error: {e}"),
         };
-        let rewritten = match engine.rewrite(&query, qld_approx::AlphaMode::Materialized) {
-            Ok(q) => q,
-            Err(e) => return writeln!(out, "error: {e}"),
-        };
-        writeln!(
-            out,
-            "Q̂: {}",
-            qld_logic::display::display_query(engine.extended_voc(), &rewritten)
-        )?;
-        match qld_algebra::compile_query_ordered(
-            engine.extended_voc(),
-            engine.extended_db(),
-            &rewritten,
-        ) {
-            Ok(plan) => {
-                let plan = qld_algebra::optimize(engine.extended_voc(), plan);
-                write!(
-                    out,
-                    "plan:\n{}",
-                    qld_algebra::display_plan(engine.extended_voc(), &plan)
-                )
-            }
+        let voc = self.engine.approx_engine().extended_voc();
+        writeln!(out, "Q̂: {}", display_query(voc, prepared.rewritten()))?;
+        if let Some(theorem) = prepared.completeness() {
+            writeln!(out, "complete by {theorem} (auto would not escalate)")?;
+        } else {
+            writeln!(
+                out,
+                "no completeness theorem applies (auto escalates to Theorem 1)"
+            )?;
+        }
+        match self.engine.plan_for(&prepared) {
+            Ok(Some(plan)) => write!(out, "plan:\n{}", display_plan(voc, &plan)),
+            Ok(None) => writeln!(out, "(no algebra plan: second-order query)"),
             Err(e) => writeln!(out, "(no algebra plan: {e})"),
         }
     }
 
     fn query(&mut self, text: &str, out: &mut dyn Write) -> io::Result<()> {
-        let query = match parse_query(self.db.voc(), text) {
+        let query = match parse_query(self.db().voc(), text) {
             Ok(q) => q,
             Err(e) => return writeln!(out, "parse error: {e}"),
         };
-        let start = Instant::now();
-        let result: Result<Relation, String> = match self.mode {
-            Mode::Exact => certain_answers(&self.db, &query).map_err(|e| e.to_string()),
-            Mode::Possible => possible_answers(&self.db, &query).map_err(|e| e.to_string()),
-            Mode::Approx => match self.engine() {
-                Ok(engine) => engine.eval(&query).map_err(|e| e.to_string()),
-                Err(e) => Err(e.to_string()),
-            },
+        let prepared = match self.engine.prepare(query) {
+            Ok(p) => p,
+            Err(e) => return writeln!(out, "error: {e}"),
         };
-        let elapsed = start.elapsed();
-        match result {
-            Err(e) => writeln!(out, "error: {e}"),
-            Ok(answers) if query.is_boolean() => {
-                let verdict = match (self.mode, answers.is_empty()) {
-                    (Mode::Possible, false) => "POSSIBLE",
-                    (Mode::Possible, true) => "impossible",
-                    (_, false) => "CERTAIN",
-                    (_, true) => "not certain",
-                };
-                writeln!(out, "{verdict}   [{} in {:.2?}]", self.mode.name(), elapsed)
+        let answers = match self.engine.execute(&prepared) {
+            Ok(a) => a,
+            Err(e @ EngineError::Compile(_)) => {
+                return writeln!(out, "error: {e} (try :mode auto or :mode exact)")
             }
-            Ok(answers) => {
-                for tuple in answer_names(self.db.voc(), &answers) {
-                    writeln!(out, "({})", tuple.join(", "))?;
-                }
-                writeln!(
-                    out,
-                    "{} tuple(s)   [{} in {:.2?}]",
-                    answers.len(),
-                    self.mode.name(),
-                    elapsed
-                )
+            Err(e) => return writeln!(out, "error: {e}"),
+        };
+        let evidence = answers.evidence();
+        let tag = format!("{} in {:.2?}", evidence.summary(), evidence.elapsed);
+        if prepared.query().is_boolean() {
+            let verdict = match (self.mode(), answers.holds()) {
+                (Mode::Possible, true) => "POSSIBLE",
+                (Mode::Possible, false) => "impossible",
+                (_, true) => "CERTAIN",
+                (_, false) => "not certain",
+            };
+            writeln!(out, "{verdict}   [{tag}]")
+        } else {
+            for tuple in self.engine.answer_names(&answers) {
+                writeln!(out, "({})", tuple.join(", "))?;
             }
+            writeln!(out, "{} tuple(s)   [{tag}]", answers.len())
         }
     }
 }
@@ -268,10 +230,34 @@ distinct socrates plato aristotle
     }
 
     #[test]
+    fn mode_usage_matches_semantics() {
+        let joined: Vec<&str> = Mode::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(MODE_USAGE, joined.join("|"));
+    }
+
+    #[test]
     fn open_query_lists_answers() {
         let (out, _) = run(&["(x) . TEACHES(socrates, x)"]);
         assert!(out.contains("(plato)"), "{out}");
         assert!(out.contains("1 tuple(s)"), "{out}");
+    }
+
+    #[test]
+    fn default_mode_is_auto_and_reports_the_regime() {
+        let (out, _) = run(&[":stats", "(x) . TEACHES(socrates, x)"]);
+        assert!(out.contains("mode: auto"), "{out}");
+        // Positive query: §5 ran, certified by Theorem 13.
+        assert!(out.contains("§5 approx"), "{out}");
+        assert!(out.contains("Theorem 13"), "{out}");
+    }
+
+    #[test]
+    fn auto_escalation_is_visible() {
+        let (out, _) = run(&["(x) . !TEACHES(socrates, x)"]);
+        // Negation + unknown identities: no completeness theorem, so auto
+        // escalates and says so.
+        assert!(out.contains("Theorem 1,"), "{out}");
+        assert!(out.contains("mapping(s)"), "{out}");
     }
 
     #[test]
@@ -289,9 +275,21 @@ distinct socrates plato aristotle
             "TEACHES(socrates, mystery)",
             ":mode approx",
             "(x) . TEACHES(socrates, x)",
+            ":mode exact",
+            "(x) . TEACHES(socrates, x)",
         ]);
         assert!(out.contains("POSSIBLE"), "{out}");
         assert!(out.contains("(plato)"), "{out}");
+        assert!(out.contains("upper bound"), "{out}");
+    }
+
+    #[test]
+    fn unknown_mode_prints_usage() {
+        let (out, _) = run(&[":mode frobnicate"]);
+        assert!(
+            out.contains("usage: :mode exact|approx|possible|auto"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -313,8 +311,11 @@ distinct socrates plato aristotle
     fn explain_command() {
         let (out, _) = run(&[":explain (x) . !TEACHES(socrates, x)"]);
         assert!(out.contains("ALPHA_TEACHES"), "{out}");
+        assert!(out.contains("no completeness theorem applies"), "{out}");
         assert!(out.contains("plan:"), "{out}");
         assert!(out.contains("Scan(ALPHA_TEACHES)"), "{out}");
+        let (out, _) = run(&[":explain (x) . TEACHES(socrates, x)"]);
+        assert!(out.contains("complete by Theorem 13"), "{out}");
         let (out, _) = run(&[":explain"]);
         assert!(out.contains("usage"), "{out}");
         let (out, _) = run(&[":explain NOPE("]);

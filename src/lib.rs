@@ -14,7 +14,8 @@
 //! | [`physical`] | physical databases (interpretations) and Tarskian evaluation (§2.1) |
 //! | [`algebra`] | relational-algebra engine + FO→algebra compiler (the "standard relational system" of §5) |
 //! | [`core`] | CW logical databases, Theorem 1 exact evaluation, Corollary 2 fast path, the model-enumeration oracle, the Theorem 3 precise simulation |
-//! | [`approx`] | the §5 approximation: `Q ↦ Q̂`, `α_P`, virtual `NE`, algebra backend |
+//! | [`approx`] | the §5 approximation: `Q ↦ Q̂`, `α_P`, virtual `NE`, algebra backend, completeness predicates |
+//! | [`engine`] | **the front door**: the unified [`Engine`](prelude::Engine) session API — prepared queries, four semantics, exactness certificates |
 //! | [`reductions`] | §4 lower-bound constructions (3-colorability, QBF) + oracles |
 //! | [`workloads`] | seeded generators for databases, graphs, QBFs, queries |
 //!
@@ -35,14 +36,23 @@
 //!     .build()
 //!     .unwrap();
 //!
-//! // Certain answers (exact, Theorem 1).
-//! let q = parse_query(db.voc(), "(x) . TEACHES(socrates, x)").unwrap();
-//! let exact = certain_answers(&db, &q).unwrap();
-//! assert_eq!(answer_names(db.voc(), &exact), vec![vec!["plato"]]);
+//! // One engine, every evaluation regime. `Auto` runs the cheapest path
+//! // the paper proves exact and certifies it.
+//! let engine = Engine::builder(db).semantics(Semantics::Auto).build();
 //!
-//! // Approximate answers (§5): sound, and complete here (positive query).
-//! let approx = approximate_answers(&db, &q).unwrap();
-//! assert_eq!(approx, exact);
+//! // Prepare once (parse/validate/rewrite/compile), execute many.
+//! let q = engine.prepare_text("(x) . TEACHES(socrates, x)").unwrap();
+//! let answers = engine.execute(&q).unwrap();
+//!
+//! // A positive query: the §5 approximation ran and is exact (Thm 13).
+//! assert!(answers.is_exact());
+//! assert_eq!(answers.evidence().regime, Regime::Approximation);
+//! assert_eq!(engine.answer_names(&answers), vec![vec!["plato"]]);
+//!
+//! // The same prepared query under other semantics: the possible-answer
+//! // upper bound includes `mystery` (it might be plato).
+//! let possible = engine.execute_as(&q, Semantics::Possible).unwrap();
+//! assert_eq!(possible.len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,20 +62,82 @@ pub mod cli;
 pub use qld_algebra as algebra;
 pub use qld_approx as approx;
 pub use qld_core as core;
+pub use qld_engine as engine;
 pub use qld_logic as logic;
 pub use qld_physical as physical;
 pub use qld_reductions as reductions;
 pub use qld_workloads as workloads;
 
-/// The most common imports in one place.
+/// The most common imports in one place, centred on the [`engine::Engine`]
+/// session API.
 pub mod prelude {
-    pub use qld_approx::{approximate_answers, AlphaMode, ApproxEngine, Backend, NeStore};
+    pub use qld_approx::{AlphaMode, ApproxEngine, Backend, CompletenessTheorem, NeStore};
     pub use qld_core::textio::{from_text, to_text};
     pub use qld_core::worlds::{answer_bounds, count_worlds, for_each_world, AnswerBounds};
-    pub use qld_core::{
-        answer_names, certain_answers, certainly_holds, possible_answers, CwDatabase,
+    pub use qld_core::{answer_names, CwDatabase};
+    pub use qld_engine::{
+        Answers, Certificate, Engine, EngineBuilder, EngineError, Evidence, MappingStrategy,
+        NeStoreMode, PreparedQuery, Regime, Semantics,
     };
     pub use qld_logic::parser::{parse_query, parse_sentence};
     pub use qld_logic::{Formula, Query, Term, Var, Vocabulary};
     pub use qld_physical::{eval_query, PhysicalDb, Relation};
+
+    #[allow(deprecated)]
+    pub use crate::{approximate_answers, certain_answers, certainly_holds, possible_answers};
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shims: the pre-`Engine` free-function entry points. They keep
+// external callers compiling; new code should go through the `Engine`
+// session API, which returns the same tuples plus an exactness certificate.
+// ---------------------------------------------------------------------------
+
+/// Exact certain answers `Q(LB)` (Theorem 1 with the Corollary 2 fast
+/// path).
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine` with `Semantics::Exact` (or `Auto`) — it returns the same tuples plus an exactness certificate"
+)]
+pub fn certain_answers(
+    db: &qld_core::CwDatabase,
+    query: &qld_logic::Query,
+) -> Result<qld_physical::Relation, qld_logic::LogicError> {
+    qld_core::certain_answers(db, query)
+}
+
+/// Does the theory finitely imply the sentence?
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine` with `Semantics::Exact` (or `Auto`) and `Answers::holds`"
+)]
+pub fn certainly_holds(
+    db: &qld_core::CwDatabase,
+    query: &qld_logic::Query,
+) -> Result<bool, qld_logic::LogicError> {
+    qld_core::certainly_holds(db, query)
+}
+
+/// Tuples true in at least one model of the theory.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine` with `Semantics::Possible` — it returns the same tuples plus an upper-bound certificate"
+)]
+pub fn possible_answers(
+    db: &qld_core::CwDatabase,
+    query: &qld_logic::Query,
+) -> Result<qld_physical::Relation, qld_logic::LogicError> {
+    qld_core::possible_answers(db, query)
+}
+
+/// The §5 approximation with the default pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine` with `Semantics::Approx` (or `Auto`) — it reports whether Theorem 12/13 makes the answer exact"
+)]
+pub fn approximate_answers(
+    db: &qld_core::CwDatabase,
+    query: &qld_logic::Query,
+) -> Result<qld_physical::Relation, qld_approx::ApproxError> {
+    qld_approx::approximate_answers(db, query)
 }

@@ -46,6 +46,34 @@ fn boolean_verdicts_per_mode() {
 }
 
 #[test]
+fn auto_mode_prints_the_regime_that_ran() {
+    // Positive query: §5 runs and the evidence line names Theorem 13.
+    let (stdout, _, ok) = run(&[DB, "--mode", "auto", "-q", "(x) . TEACHES(socrates, x)"]);
+    assert!(ok);
+    assert!(stdout.contains("(plato)"), "{stdout}");
+    assert!(stdout.contains("§5 approx"), "{stdout}");
+    assert!(stdout.contains("Theorem 13"), "{stdout}");
+
+    // Negation over unknown identities: auto escalates to Theorem 1 and
+    // says so.
+    let (stdout, _, ok) = run(&[DB, "--mode", "auto", "-q", "(x) . !TEACHES(socrates, x)"]);
+    assert!(ok);
+    assert!(stdout.contains("Theorem 1,"), "{stdout}");
+
+    // The default mode is auto — no flag needed.
+    let (stdout, _, ok) = run(&[DB, "-q", ":stats"]);
+    assert!(ok);
+    assert!(stdout.contains("mode: auto"), "{stdout}");
+}
+
+#[test]
+fn bad_mode_mentions_auto_in_usage() {
+    let (_, stderr, ok) = run(&[DB, "--mode", "frobnicate", "-q", "true"]);
+    assert!(!ok);
+    assert!(stderr.contains("exact|approx|possible|auto"), "{stderr}");
+}
+
+#[test]
 fn multiple_queries_and_commands() {
     let (stdout, _, ok) = run(&[DB, "-q", ":stats", "-q", "(x) . WISE(x)"]);
     assert!(ok);
