@@ -33,6 +33,7 @@ fn kernels() -> ExactOptions {
     ExactOptions {
         strategy: MappingStrategy::Kernels,
         corollary2_fast_path: false,
+        ..ExactOptions::new()
     }
 }
 
@@ -40,6 +41,7 @@ fn raw() -> ExactOptions {
     ExactOptions {
         strategy: MappingStrategy::RawMappings,
         corollary2_fast_path: false,
+        ..ExactOptions::new()
     }
 }
 

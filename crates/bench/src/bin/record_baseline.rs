@@ -1,0 +1,214 @@
+//! `record_baseline` — runs the headline workloads (E1 exact enumeration,
+//! E7 approximation, E8 polynomial parity, E10 parallel scaling) once each
+//! and writes the measurements to a JSON file, so the repository carries a
+//! recorded perf trajectory instead of folklore.
+//!
+//! ```text
+//! record_baseline [--out BENCH_baseline.json] [--smoke]
+//! ```
+//!
+//! `--smoke` shrinks every workload (CI uses it to prove the recorder
+//! itself works without paying the full enumeration). The committed
+//! `BENCH_baseline.json` at the workspace root is produced by a plain run;
+//! future perf PRs re-run it and diff.
+
+use qld_bench::{high_null_db, scaling_query, standard_db, standard_queries, time_once};
+use qld_engine::{Backend, Engine, MappingStrategy, Semantics};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// One measured workload.
+struct Entry {
+    workload: &'static str,
+    threads: usize,
+    wall: Duration,
+    /// Mappings enumerated (0 for the polynomial regimes).
+    mappings: u64,
+}
+
+impl Entry {
+    fn mappings_per_sec(&self) -> f64 {
+        if self.mappings == 0 {
+            0.0
+        } else {
+            self.mappings as f64 / self.wall.as_secs_f64()
+        }
+    }
+}
+
+fn exact_engine(db: &qld_core::CwDatabase, strategy: MappingStrategy, threads: usize) -> Engine {
+    Engine::builder(db.clone())
+        .semantics(Semantics::Exact)
+        .mapping_strategy(strategy)
+        .corollary2_fast_path(false)
+        .parallelism(threads)
+        .build()
+}
+
+fn run_workloads(smoke: bool) -> Vec<Entry> {
+    let mut entries = Vec::new();
+
+    // E1: exact certain answers, kernel vs raw enumeration (join query).
+    let n = if smoke { 5 } else { 6 };
+    let db = standard_db(n, 42);
+    let queries = standard_queries(&db);
+    let (_, join) = &queries[0];
+    for (workload, strategy) in [
+        ("e1_theorem1_kernels", MappingStrategy::Kernels),
+        ("e1_theorem1_raw", MappingStrategy::RawMappings),
+    ] {
+        let engine = exact_engine(&db, strategy, 1);
+        let prepared = engine.prepare(join.clone()).unwrap();
+        let (ans, wall) = time_once(|| engine.execute(&prepared).unwrap());
+        entries.push(Entry {
+            workload,
+            threads: 1,
+            wall,
+            mappings: ans.evidence().mappings_evaluated,
+        });
+    }
+
+    // E7: the §5 approximation on the same database (negation query —
+    // the class where approximation is the only polynomial option).
+    let (_, negation) = &queries[1];
+    let approx = Engine::builder(db.clone())
+        .semantics(Semantics::Approx)
+        .build();
+    let prepared = approx.prepare(negation.clone()).unwrap();
+    let (_, wall) = time_once(|| approx.execute(&prepared).unwrap());
+    entries.push(Entry {
+        workload: "e7_approx_negation",
+        threads: 1,
+        wall,
+        mappings: 0,
+    });
+
+    // E8: polynomial parity at a size exact evaluation cannot touch.
+    let big = standard_db(if smoke { 32 } else { 64 }, 9);
+    let big_queries = standard_queries(&big);
+    let (_, big_negation) = &big_queries[1];
+    for (workload, backend) in [
+        ("e8_parity_naive", Backend::Naive),
+        (
+            "e8_parity_algebra",
+            Backend::Algebra(qld_algebra::ExecOptions::default()),
+        ),
+    ] {
+        let engine = Engine::builder(big.clone())
+            .semantics(Semantics::Approx)
+            .backend(backend)
+            .build();
+        let prepared = engine.prepare(big_negation.clone()).unwrap();
+        let (_, wall) = time_once(|| engine.execute(&prepared).unwrap());
+        entries.push(Entry {
+            workload,
+            threads: 1,
+            wall,
+            mappings: 0,
+        });
+    }
+
+    // E10: parallel kernel enumeration at high null density — the thread
+    // sweep this PR's speedup claims are measured against.
+    let dense = high_null_db(if smoke { 7 } else { 8 }, 42);
+    let q = scaling_query(&dense);
+    let sweep: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut reference: Option<qld_physical::Relation> = None;
+    for &threads in sweep {
+        let engine = exact_engine(&dense, MappingStrategy::Kernels, threads);
+        let prepared = engine.prepare(q.clone()).unwrap();
+        let (ans, wall) = time_once(|| engine.execute(&prepared).unwrap());
+        match &reference {
+            None => reference = Some(ans.tuples().clone()),
+            Some(rel) => assert_eq!(
+                ans.tuples(),
+                rel,
+                "parallel run diverged at {threads} threads"
+            ),
+        }
+        entries.push(Entry {
+            workload: "e10_parallel_scaling",
+            threads,
+            wall,
+            mappings: ans.evidence().mappings_evaluated,
+        });
+    }
+
+    entries
+}
+
+fn to_json(entries: &[Entry]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let recorded_at = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"recorded_at_unix\": {recorded_at},");
+    let _ = writeln!(out, "  \"host_cores\": {cores},");
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \
+             \"mappings\": {}, \"mappings_per_sec\": {:.0}}}",
+            e.workload,
+            e.threads,
+            e.wall.as_secs_f64() * 1e3,
+            e.mappings,
+            e.mappings_per_sec(),
+        );
+        out.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_baseline.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" | "-o" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--smoke" => smoke = true,
+            "-h" | "--help" => {
+                println!("usage: record_baseline [--out BENCH_baseline.json] [--smoke]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unexpected argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let entries = run_workloads(smoke);
+    println!(
+        "{:<24} {:>7} {:>12} {:>10} {:>14}",
+        "workload", "threads", "wall_ms", "mappings", "mappings/s"
+    );
+    for e in &entries {
+        println!(
+            "{:<24} {:>7} {:>12.3} {:>10} {:>14.0}",
+            e.workload,
+            e.threads,
+            e.wall.as_secs_f64() * 1e3,
+            e.mappings,
+            e.mappings_per_sec()
+        );
+    }
+    let json = to_json(&entries);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nbaseline written to {out_path}");
+    ExitCode::SUCCESS
+}

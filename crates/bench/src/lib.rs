@@ -27,6 +27,32 @@ pub fn standard_db(num_consts: usize, seed: u64) -> CwDatabase {
     })
 }
 
+/// The high-unknown-density variant of [`standard_db`] used by the E10
+/// parallel-scaling experiment and the recorded baseline: only 20% of
+/// constant pairs carry uniqueness axioms, so the kernel count approaches
+/// Bell(|C|) — the worst case Theorem 5 promises, and the regime where
+/// parallel enumeration pays.
+pub fn high_null_db(num_consts: usize, seed: u64) -> CwDatabase {
+    random_cw_db(&DbGenConfig {
+        num_consts,
+        pred_arities: vec![2, 1],
+        facts_per_pred: (2 * num_consts).max(4),
+        known_fraction: 0.2,
+        extra_ne_pairs: 0,
+        seed,
+    })
+}
+
+/// The E10 scaling query: the standard join wrapped in `∨ z = z`, which
+/// makes every tuple certain — the candidate set never empties, early
+/// exit never fires, and every thread count enumerates exactly the same
+/// full kernel set (so wall-clock differences measure the enumeration,
+/// not a lucky refutation order).
+pub fn scaling_query(db: &CwDatabase) -> Query {
+    parse_query(db.voc(), "(x, z) . (exists y. P0(x, y) & P0(y, z)) | z = z")
+        .expect("scaling query parses")
+}
+
 /// The standard query mix used across experiments: a join, a negation,
 /// and a universally quantified implication.
 pub fn standard_queries(db: &CwDatabase) -> Vec<(&'static str, Query)> {

@@ -7,12 +7,33 @@
 //! sentence). Data complexity is co-NP-complete (Theorem 5), so the
 //! enumeration is inherently exponential — the approximation in
 //! `qld-approx` is the paper's answer to that.
+//!
+//! # The hot path
+//!
+//! The per-mapping inner loop is engineered to be allocation-free in
+//! steady state:
+//!
+//! * the database image `h(Ph₁(LB))` is written into a reusable buffer
+//!   ([`apply_mapping_into`]) instead of building a fresh [`PhysicalDb`]
+//!   per mapping;
+//! * candidate tuples live in one flat `CandidateSet` buffer, their
+//!   `h`-images are computed into a reusable scratch tuple, and pruning is
+//!   an index-based in-place retain — no per-tuple `Vec`s;
+//! * under [`ParallelConfig`] with more than one thread, the mapping
+//!   search tree is split across a worker pool (see
+//!   [`crate::mappings`]): each worker prunes a private candidate set
+//!   against its share of the mappings, a shared stop flag propagates
+//!   early exit, and the final answer is the intersection of the worker
+//!   sets (union for possible answers) — bit-identical to the sequential
+//!   result regardless of thread count.
 
-use crate::mappings::{for_each_kernel_mapping, for_each_respecting_mapping};
-use crate::ph::{apply_mapping, ph1};
+use crate::mappings::{
+    for_each_kernel_mapping_parallel, for_each_respecting_mapping_parallel, ParallelConfig,
+};
+use crate::ph::{apply_mapping_into, ph1};
 use crate::theory::CwDatabase;
 use qld_logic::{LogicError, Query};
-use qld_physical::{eval_query, Elem, Relation, TupleSpace};
+use qld_physical::{eval_query, Elem, PhysicalDb, Relation, TupleSpace};
 
 /// Which family of mappings to enumerate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -27,34 +48,250 @@ pub enum MappingStrategy {
 }
 
 /// Evaluation options.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExactOptions {
     /// Mapping enumeration strategy.
     pub strategy: MappingStrategy,
     /// Use the Corollary 2 fast path (`Q(LB) = Q(Ph₁(LB))`) when the
-    /// database is fully specified. On by default via
-    /// [`ExactOptions::default`]… except that `bool::default()` is
-    /// `false`; use [`ExactOptions::new`] for the recommended settings.
+    /// database is fully specified. On by default.
     pub corollary2_fast_path: bool,
+    /// Worker threads for the mapping enumeration (defaults to the
+    /// `QLD_THREADS` environment variable, else sequential; `0` = one
+    /// worker per CPU). The answer is bit-identical at any thread count.
+    pub parallel: ParallelConfig,
+    /// Stop enumerating the moment the outcome is decided (certain
+    /// answers: candidate set empty; possible answers: every candidate
+    /// proven possible). On by default; differential tests disable it so
+    /// `mappings_evaluated` totals are comparable across configurations.
+    pub early_exit: bool,
 }
 
 impl ExactOptions {
-    /// Recommended settings: kernel enumeration + Corollary 2 fast path.
+    /// Recommended settings: kernel enumeration, Corollary 2 fast path,
+    /// early exit, thread count from the environment.
     pub fn new() -> Self {
         ExactOptions {
             strategy: MappingStrategy::Kernels,
             corollary2_fast_path: true,
+            parallel: ParallelConfig::default(),
+            early_exit: true,
         }
+    }
+
+    /// [`ExactOptions::new`] pinned to single-threaded enumeration.
+    pub fn sequential() -> Self {
+        ExactOptions {
+            parallel: ParallelConfig::sequential(),
+            ..ExactOptions::new()
+        }
+    }
+
+    /// [`ExactOptions::new`] with an explicit worker-thread count
+    /// (`0` = one worker per CPU).
+    pub fn with_threads(threads: usize) -> Self {
+        ExactOptions {
+            parallel: ParallelConfig::new(threads),
+            ..ExactOptions::new()
+        }
+    }
+}
+
+impl Default for ExactOptions {
+    /// Same as [`ExactOptions::new`] — the recommended settings.
+    fn default() -> Self {
+        ExactOptions::new()
     }
 }
 
 /// Counters reported alongside an exact evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
-    /// Number of mappings actually evaluated (early exit shortens this).
+    /// Number of mappings actually evaluated, summed across workers
+    /// (early exit shortens this).
     pub mappings_evaluated: u64,
     /// Whether the Corollary 2 fast path answered the query.
     pub fast_path: bool,
+    /// Worker threads that participated in the enumeration (`1` for the
+    /// sequential path, `0` when the fast path answered without
+    /// enumerating any mapping).
+    pub workers_used: u32,
+}
+
+/// A flat candidate-tuple store: `count` tuples of `arity` elements in one
+/// contiguous buffer, plus a reusable scratch tuple for mapped images.
+/// Pruning is an index-based in-place retain, so the Theorem 1 inner loop
+/// allocates nothing per mapping and nothing per candidate.
+#[derive(Debug, Clone)]
+struct CandidateSet {
+    arity: usize,
+    count: usize,
+    data: Vec<Elem>,
+    scratch: Vec<Elem>,
+}
+
+impl CandidateSet {
+    fn empty(arity: usize) -> CandidateSet {
+        CandidateSet {
+            arity,
+            count: 0,
+            data: Vec::new(),
+            scratch: vec![0; arity],
+        }
+    }
+
+    /// The full space `C^arity` in lexicographic order (`C = 0..num_consts`),
+    /// flattened from [`TupleSpace`] into the contiguous buffer.
+    fn full(num_consts: usize, arity: usize) -> CandidateSet {
+        let mut set = CandidateSet::empty(arity);
+        let consts: Vec<Elem> = (0..num_consts as Elem).collect();
+        for tuple in TupleSpace::new(&consts, arity) {
+            set.data.extend_from_slice(&tuple);
+            set.count += 1;
+        }
+        set
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    fn tuple(&self, i: usize) -> &[Elem] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &[Elem]> + '_ {
+        (0..self.count).map(move |i| self.tuple(i))
+    }
+
+    /// Keeps exactly the candidates whose image under `h` is in `answers`
+    /// (in place, preserving order).
+    fn retain_mapped_in(&mut self, h: &[Elem], answers: &Relation) {
+        let arity = self.arity;
+        let mut write = 0usize;
+        for read in 0..self.count {
+            let start = read * arity;
+            for k in 0..arity {
+                self.scratch[k] = h[self.data[start + k] as usize];
+            }
+            if answers.contains(&self.scratch) {
+                if write != read {
+                    self.data.copy_within(start..start + arity, write * arity);
+                }
+                write += 1;
+            }
+        }
+        self.count = write;
+        self.data.truncate(write * arity);
+    }
+
+    /// Moves the candidates whose image under `h` is in `answers` to the
+    /// end of `out`, keeping the rest (order preserved on both sides).
+    fn split_mapped_in(&mut self, h: &[Elem], answers: &Relation, out: &mut CandidateSet) {
+        debug_assert_eq!(self.arity, out.arity);
+        let arity = self.arity;
+        let mut write = 0usize;
+        for read in 0..self.count {
+            let start = read * arity;
+            for k in 0..arity {
+                self.scratch[k] = h[self.data[start + k] as usize];
+            }
+            if answers.contains(&self.scratch) {
+                out.data.extend_from_slice(&self.data[start..start + arity]);
+                out.count += 1;
+            } else {
+                if write != read {
+                    self.data.copy_within(start..start + arity, write * arity);
+                }
+                write += 1;
+            }
+        }
+        self.count = write;
+        self.data.truncate(write * arity);
+    }
+
+    /// Intersects with `other` in place. Both sets must hold tuples in
+    /// lexicographic order (as the pruned worker sets do — pruning
+    /// preserves the [`CandidateSet::full`] order), so this is one merge
+    /// walk.
+    fn intersect_sorted(&mut self, other: &CandidateSet) {
+        debug_assert_eq!(self.arity, other.arity);
+        if self.arity == 0 {
+            self.count = self.count.min(other.count);
+            return;
+        }
+        let arity = self.arity;
+        let mut write = 0usize;
+        let mut j = 0usize;
+        for read in 0..self.count {
+            let start = read * arity;
+            let matched = {
+                while j < other.count && other.tuple(j) < &self.data[start..start + arity] {
+                    j += 1;
+                }
+                j < other.count && other.tuple(j) == &self.data[start..start + arity]
+            };
+            if matched {
+                if write != read {
+                    self.data.copy_within(start..start + arity, write * arity);
+                }
+                write += 1;
+                j += 1;
+            }
+        }
+        self.count = write;
+        self.data.truncate(write * arity);
+    }
+
+    fn to_relation(&self) -> Relation {
+        Relation::collect(self.arity, self.iter().map(<[Elem]>::to_vec))
+    }
+}
+
+/// The per-worker Theorem 1 evaluation step shared by the certain- and
+/// possible-answer evaluators (sequential and parallel): rebuild the
+/// reusable image `h(Ph₁(LB))` and evaluate the query over it, counting
+/// mappings as we go. One instance per worker; the image buffer of
+/// mapping N+1 recycles the allocations of mapping N.
+struct MappingEvaluator<'a> {
+    base: &'a PhysicalDb,
+    query: &'a Query,
+    image: PhysicalDb,
+    evaluated: u64,
+}
+
+impl<'a> MappingEvaluator<'a> {
+    fn new(base: &'a PhysicalDb, query: &'a Query) -> MappingEvaluator<'a> {
+        MappingEvaluator {
+            base,
+            query,
+            image: base.clone(),
+            evaluated: 0,
+        }
+    }
+
+    fn answers(&mut self, h: &[Elem]) -> Relation {
+        self.evaluated += 1;
+        apply_mapping_into(self.base, h, &mut self.image);
+        eval_query(&self.image, self.query)
+    }
+}
+
+/// Runs the configured mapping enumeration with per-worker state.
+fn run_mappings<S: Send>(
+    db: &CwDatabase,
+    opts: ExactOptions,
+    init: impl Fn(usize) -> S + Sync,
+    visit: impl Fn(&mut S, &[Elem]) -> bool + Sync,
+) -> Vec<S> {
+    let (states, _completed) = match opts.strategy {
+        MappingStrategy::Kernels => {
+            for_each_kernel_mapping_parallel(db, opts.parallel, init, visit)
+        }
+        MappingStrategy::RawMappings => {
+            for_each_respecting_mapping_parallel(db, opts.parallel, init, visit)
+        }
+    };
+    states
 }
 
 /// Computes the certain answers `Q(LB)` with default options.
@@ -69,34 +306,54 @@ pub fn certain_answers_with(
     opts: ExactOptions,
 ) -> Result<(Relation, EvalStats), LogicError> {
     query.check(db.voc())?;
-    let mut stats = EvalStats::default();
 
     if opts.corollary2_fast_path && db.is_fully_specified() {
-        stats.fast_path = true;
+        let stats = EvalStats {
+            fast_path: true,
+            ..EvalStats::default()
+        };
         return Ok((eval_query(&ph1(db), query), stats));
     }
 
     let arity = query.arity();
-    let consts: Vec<Elem> = (0..db.num_consts() as Elem).collect();
-    // Candidates = C^k until the first mapping prunes them.
-    let mut candidates: Vec<Vec<Elem>> = TupleSpace::new(&consts, arity).collect();
+    let n = db.num_consts();
+    let base = ph1(db);
 
-    let visit = |h: &[Elem]| -> bool {
-        stats.mappings_evaluated += 1;
-        let image = apply_mapping(db, h);
-        let answers = eval_query(&image, query);
-        candidates.retain(|c| {
-            let mapped: Vec<Elem> = c.iter().map(|&e| h[e as usize]).collect();
-            answers.contains(&mapped)
-        });
-        !candidates.is_empty()
-    };
-    match opts.strategy {
-        MappingStrategy::Kernels => for_each_kernel_mapping(db, visit),
-        MappingStrategy::RawMappings => for_each_respecting_mapping(db, visit),
-    };
+    struct Worker<'a> {
+        eval: MappingEvaluator<'a>,
+        cands: CandidateSet,
+    }
+    let states = run_mappings(
+        db,
+        opts,
+        |_| Worker {
+            eval: MappingEvaluator::new(&base, query),
+            cands: CandidateSet::full(n, arity),
+        },
+        |w, h| {
+            let answers = w.eval.answers(h);
+            w.cands.retain_mapped_in(h, &answers);
+            // Shared early exit: an empty worker set empties the global
+            // intersection, so returning `false` here raises the pool's
+            // stop flag and halts every other worker.
+            !opts.early_exit || !w.cands.is_empty()
+        },
+    );
 
-    Ok((Relation::collect(arity, candidates), stats))
+    let stats = EvalStats {
+        mappings_evaluated: states.iter().map(|w| w.eval.evaluated).sum(),
+        fast_path: false,
+        workers_used: states.len() as u32,
+    };
+    let mut states = states.into_iter();
+    let mut acc = states.next().expect("at least one worker").cands;
+    for w in states {
+        acc.intersect_sorted(&w.cands);
+        if acc.is_empty() {
+            break;
+        }
+    }
+    Ok((acc.to_relation(), stats))
 }
 
 /// Does the theory finitely imply the sentence? (`T ⊨_f σ`.)
@@ -116,40 +373,59 @@ pub fn certainly_holds(db: &CwDatabase, query: &Query) -> Result<bool, LogicErro
 /// intersection). Not a notion the paper evaluates queries with, but the
 /// natural dual; used by the examples to show what certainty excludes.
 pub fn possible_answers(db: &CwDatabase, query: &Query) -> Result<Relation, LogicError> {
-    possible_answers_with(db, query).map(|(rel, _)| rel)
+    possible_answers_with(db, query, ExactOptions::new()).map(|(rel, _)| rel)
 }
 
-/// Like [`possible_answers`], reporting the same [`EvalStats`] that
-/// [`certain_answers_with`] does (mapping count; the fast-path flag stays
-/// `false` — there is no Corollary 2 analogue for possible answers).
+/// Like [`possible_answers`], with explicit options, reporting the same
+/// [`EvalStats`] that [`certain_answers_with`] does (the fast-path flag
+/// stays `false` — there is no Corollary 2 analogue for possible answers).
+/// Honors `opts.strategy` and `opts.parallel`; the per-worker candidate
+/// sets merge by union.
 pub fn possible_answers_with(
     db: &CwDatabase,
     query: &Query,
+    opts: ExactOptions,
 ) -> Result<(Relation, EvalStats), LogicError> {
     query.check(db.voc())?;
-    let mut stats = EvalStats::default();
     let arity = query.arity();
-    let consts: Vec<Elem> = (0..db.num_consts() as Elem).collect();
-    let all: Vec<Vec<Elem>> = TupleSpace::new(&consts, arity).collect();
-    let mut possible: Vec<Vec<Elem>> = Vec::new();
-    let mut remaining: Vec<Vec<Elem>> = all;
-    for_each_kernel_mapping(db, |h| {
-        stats.mappings_evaluated += 1;
-        let image = apply_mapping(db, h);
-        let answers = eval_query(&image, query);
-        let mut still_unknown = Vec::with_capacity(remaining.len());
-        for c in remaining.drain(..) {
-            let mapped: Vec<Elem> = c.iter().map(|&e| h[e as usize]).collect();
-            if answers.contains(&mapped) {
-                possible.push(c);
-            } else {
-                still_unknown.push(c);
-            }
-        }
-        remaining = still_unknown;
-        !remaining.is_empty()
-    });
-    Ok((Relation::collect(arity, possible), stats))
+    let n = db.num_consts();
+    let base = ph1(db);
+
+    struct Worker<'a> {
+        eval: MappingEvaluator<'a>,
+        remaining: CandidateSet,
+        possible: CandidateSet,
+    }
+    let states = run_mappings(
+        db,
+        opts,
+        |_| Worker {
+            eval: MappingEvaluator::new(&base, query),
+            remaining: CandidateSet::full(n, arity),
+            possible: CandidateSet::empty(arity),
+        },
+        |w, h| {
+            let answers = w.eval.answers(h);
+            w.remaining.split_mapped_in(h, &answers, &mut w.possible);
+            // A worker with nothing left has proven *every* candidate
+            // possible, so the global union is already the full space —
+            // stop the pool.
+            !opts.early_exit || !w.remaining.is_empty()
+        },
+    );
+
+    let stats = EvalStats {
+        mappings_evaluated: states.iter().map(|w| w.eval.evaluated).sum(),
+        fast_path: false,
+        workers_used: states.len() as u32,
+    };
+    let rel = Relation::collect(
+        arity,
+        states
+            .iter()
+            .flat_map(|w| w.possible.iter().map(<[Elem]>::to_vec)),
+    );
+    Ok((rel, stats))
 }
 
 #[cfg(test)]
@@ -259,6 +535,7 @@ mod tests {
                 ExactOptions {
                     strategy: MappingStrategy::Kernels,
                     corollary2_fast_path: false,
+                    ..ExactOptions::new()
                 },
             )
             .unwrap()
@@ -269,6 +546,7 @@ mod tests {
                 ExactOptions {
                     strategy: MappingStrategy::RawMappings,
                     corollary2_fast_path: false,
+                    ..ExactOptions::new()
                 },
             )
             .unwrap()
@@ -298,16 +576,19 @@ mod tests {
             let q = parse_query(db.voc(), input).unwrap();
             let (fast, s1) = certain_answers_with(&db, &q, ExactOptions::new()).unwrap();
             assert!(s1.fast_path);
+            assert_eq!(s1.workers_used, 0);
             let (slow, s2) = certain_answers_with(
                 &db,
                 &q,
                 ExactOptions {
                     strategy: MappingStrategy::Kernels,
                     corollary2_fast_path: false,
+                    ..ExactOptions::new()
                 },
             )
             .unwrap();
             assert!(!s2.fast_path);
+            assert!(s2.workers_used >= 1);
             assert_eq!(fast, slow, "fast path mismatch on {input}");
         }
     }
@@ -341,8 +622,9 @@ mod tests {
     #[test]
     fn stats_report_early_exit() {
         let db = teaching();
-        // A sentence falsified by the identity mapping exits after few
-        // mappings.
+        // A sentence falsified by the very first kernel mapping (the
+        // maximal merge h=[0,1,2,0] — kernel enumeration reuses block 0
+        // before opening new blocks) exits immediately.
         let q = parse_query(db.voc(), "TEACHES(plato, socrates)").unwrap();
         let (ans, stats) = certain_answers_with(
             &db,
@@ -350,11 +632,71 @@ mod tests {
             ExactOptions {
                 strategy: MappingStrategy::Kernels,
                 corollary2_fast_path: false,
+                ..ExactOptions::sequential()
             },
         )
         .unwrap();
         assert!(ans.is_empty());
         assert_eq!(stats.mappings_evaluated, 1);
+        assert_eq!(stats.workers_used, 1);
+    }
+
+    #[test]
+    fn early_exit_disabled_counts_every_mapping() {
+        use crate::mappings::count_kernel_mappings;
+        let db = teaching();
+        let q = parse_query(db.voc(), "TEACHES(plato, socrates)").unwrap();
+        let opts = ExactOptions {
+            corollary2_fast_path: false,
+            early_exit: false,
+            ..ExactOptions::sequential()
+        };
+        let (ans, stats) = certain_answers_with(&db, &q, opts).unwrap();
+        assert!(ans.is_empty());
+        assert_eq!(stats.mappings_evaluated, count_kernel_mappings(&db));
+        let (_, pstats) = possible_answers_with(&db, &q, opts).unwrap();
+        assert_eq!(pstats.mappings_evaluated, count_kernel_mappings(&db));
+    }
+
+    #[test]
+    fn parallel_certain_and_possible_match_sequential() {
+        let db = teaching();
+        for input in [
+            "(x) . TEACHES(socrates, x)",
+            "(x) . !TEACHES(socrates, x)",
+            "(x, y) . TEACHES(x, y)",
+            "TEACHES(plato, socrates)",
+            "exists x. TEACHES(x, mystery)",
+        ] {
+            let q = parse_query(db.voc(), input).unwrap();
+            let seq = ExactOptions {
+                corollary2_fast_path: false,
+                ..ExactOptions::sequential()
+            };
+            let (cs, _) = certain_answers_with(&db, &q, seq).unwrap();
+            let (ps, _) = possible_answers_with(&db, &q, seq).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par = ExactOptions {
+                    corollary2_fast_path: false,
+                    ..ExactOptions::with_threads(threads)
+                };
+                let (cp, cstats) = certain_answers_with(&db, &q, par).unwrap();
+                let (pp, _) = possible_answers_with(&db, &q, par).unwrap();
+                assert_eq!(cs, cp, "certain mismatch on {input} at {threads} threads");
+                assert_eq!(ps, pp, "possible mismatch on {input} at {threads} threads");
+                assert!(cstats.workers_used >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn default_options_are_the_recommended_settings() {
+        // The old `#[derive(Default)]` footgun (`corollary2_fast_path:
+        // false`) is gone: `default()` *is* `new()`.
+        let d = ExactOptions::default();
+        assert!(d.corollary2_fast_path);
+        assert!(d.early_exit);
+        assert_eq!(d.strategy, MappingStrategy::Kernels);
     }
 
     #[test]

@@ -39,8 +39,9 @@ pub mod worlds;
 
 pub use exact::{
     certain_answers, certain_answers_with, certainly_holds, possible_answers,
-    possible_answers_with, ExactOptions, MappingStrategy,
+    possible_answers_with, EvalStats, ExactOptions, MappingStrategy,
 };
+pub use mappings::ParallelConfig;
 pub use ph::Ph2;
 pub use theory::{CwDatabase, CwDatabaseBuilder, CwError};
 

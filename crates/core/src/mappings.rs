@@ -21,9 +21,82 @@
 //!
 //! Both use callbacks (`visit` returns `false` to stop early) because the
 //! exact evaluator wants early exit on an emptied candidate set.
+//!
+//! # Parallel enumeration
+//!
+//! Both search trees are embarrassingly parallel over subtrees:
+//! [`for_each_kernel_mapping_parallel`] and
+//! [`for_each_respecting_mapping_parallel`] partition the tree by the
+//! branch choices of the first few levels into independent *prefix jobs*,
+//! and a scoped pool of `std::thread` workers drains the job list through
+//! an atomic counter. Each worker owns private per-worker state (created
+//! by `init`), visits every mapping of its subtrees, and a shared atomic
+//! stop flag propagates early exit across workers: the first `visit`
+//! returning `false` halts the whole enumeration. Every mapping is visited
+//! by exactly one worker, so order-independent merges of the worker states
+//! (intersection, union, sums) are bit-identical to the sequential
+//! enumerators regardless of thread count.
 
 use crate::theory::CwDatabase;
 use qld_physical::Elem;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// How many prefix jobs to aim for per worker thread. More jobs than
+/// workers lets the atomic job counter balance skewed subtree sizes
+/// (subtrees of the kernel tree vary by orders of magnitude).
+const JOBS_PER_WORKER: usize = 8;
+
+/// Thread-count configuration for the parallel enumerators (and for
+/// everything layered on them: the exact evaluator, possible answers,
+/// possible-world enumeration, the `Engine` parallelism knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Number of worker threads. `1` runs the sequential enumerator on the
+    /// calling thread (no spawn); `0` means one worker per available CPU.
+    pub threads: usize,
+}
+
+impl ParallelConfig {
+    /// An explicit thread count (`0` = one worker per available CPU).
+    pub fn new(threads: usize) -> ParallelConfig {
+        ParallelConfig { threads }
+    }
+
+    /// Single-threaded enumeration on the calling thread.
+    pub fn sequential() -> ParallelConfig {
+        ParallelConfig { threads: 1 }
+    }
+
+    /// Reads the `QLD_THREADS` environment variable (`0` = auto-detect),
+    /// falling back to sequential when unset or unparsable. This is the
+    /// [`Default`], so the whole stack — including the test suite — can be
+    /// switched to parallel enumeration from the environment (CI runs the
+    /// suite under both `QLD_THREADS=1` and `QLD_THREADS=4`).
+    pub fn from_env() -> ParallelConfig {
+        match std::env::var("QLD_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            Some(threads) => ParallelConfig { threads },
+            None => ParallelConfig::sequential(),
+        }
+    }
+
+    /// The actual worker count: `threads`, with `0` resolved to the number
+    /// of available CPUs.
+    pub fn resolved_threads(self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        }
+    }
+}
+
+impl Default for ParallelConfig {
+    fn default() -> ParallelConfig {
+        ParallelConfig::from_env()
+    }
+}
 
 /// Smaller-indexed NE neighbours of each constant, for forward checking.
 fn smaller_neighbors(db: &CwDatabase) -> Vec<Vec<u32>> {
@@ -36,6 +109,77 @@ fn smaller_neighbors(db: &CwDatabase) -> Vec<Vec<u32>> {
     nbrs
 }
 
+/// The NE forward check shared by the sequential recursions and the
+/// prefix builders: may the next position take `value` (a block id or a
+/// mapped element), given the values already `assigned` to earlier
+/// positions and the position's smaller-indexed NE neighbours?
+fn ne_separated(assigned: &[u32], nbrs: &[u32], value: u32) -> bool {
+    nbrs.iter().all(|&j| assigned[j as usize] != value)
+}
+
+/// The raw-mapping backtracking recursion from position `pos`: all earlier
+/// positions of `h` are already assigned. Returns `false` iff `visit`
+/// stopped the enumeration.
+fn raw_rec(
+    pos: usize,
+    n: usize,
+    h: &mut [Elem],
+    nbrs: &[Vec<u32>],
+    visit: &mut dyn FnMut(&[Elem]) -> bool,
+) -> bool {
+    if pos == n {
+        return visit(h);
+    }
+    for v in 0..n as Elem {
+        if !ne_separated(h, &nbrs[pos], v) {
+            continue;
+        }
+        h[pos] = v;
+        if !raw_rec(pos + 1, n, h, nbrs, visit) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The kernel-partition recursion from position `pos`: `block[..pos]` is a
+/// valid restricted-growth prefix, `rep` holds the canonical representative
+/// of each block placed so far, and `h[..pos]` is the induced mapping
+/// prefix. Returns `false` iff `visit` stopped the enumeration.
+fn kernel_rec(
+    pos: usize,
+    n: usize,
+    block: &mut [u32],
+    rep: &mut Vec<Elem>,
+    h: &mut [Elem],
+    nbrs: &[Vec<u32>],
+    visit: &mut dyn FnMut(&[Elem]) -> bool,
+) -> bool {
+    if pos == n {
+        return visit(h);
+    }
+    let num_blocks = rep.len() as u32;
+    for b in 0..=num_blocks {
+        if !ne_separated(block, &nbrs[pos], b) {
+            continue;
+        }
+        block[pos] = b;
+        let new_block = b == num_blocks;
+        if new_block {
+            rep.push(pos as Elem);
+        }
+        h[pos] = rep[b as usize];
+        let keep_going = kernel_rec(pos + 1, n, block, rep, h, nbrs, visit);
+        if new_block {
+            rep.pop();
+        }
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
 /// Enumerates every mapping `h : C → C` respecting the uniqueness axioms,
 /// invoking `visit(h)` on each (as a slice `h[i] = h(ConstId(i))`).
 /// Returns `false` iff `visit` stopped the enumeration early.
@@ -46,30 +190,7 @@ pub fn for_each_respecting_mapping(
     let n = db.num_consts();
     let nbrs = smaller_neighbors(db);
     let mut h: Vec<Elem> = vec![0; n];
-    fn rec(
-        pos: usize,
-        n: usize,
-        h: &mut Vec<Elem>,
-        nbrs: &[Vec<u32>],
-        visit: &mut dyn FnMut(&[Elem]) -> bool,
-    ) -> bool {
-        if pos == n {
-            return visit(h);
-        }
-        'values: for v in 0..n as Elem {
-            for &j in &nbrs[pos] {
-                if h[j as usize] == v {
-                    continue 'values;
-                }
-            }
-            h[pos] = v;
-            if !rec(pos + 1, n, h, nbrs, visit) {
-                return false;
-            }
-        }
-        true
-    }
-    rec(0, n, &mut h, &nbrs, &mut visit)
+    raw_rec(0, n, &mut h, &nbrs, &mut visit)
 }
 
 /// Enumerates one canonical respecting mapping per kernel partition (see
@@ -85,42 +206,211 @@ pub fn for_each_kernel_mapping(db: &CwDatabase, mut visit: impl FnMut(&[Elem]) -
     let mut block: Vec<u32> = vec![0; n];
     let mut rep: Vec<Elem> = Vec::with_capacity(n);
     let mut h: Vec<Elem> = vec![0; n];
-    fn rec(
-        pos: usize,
-        n: usize,
-        block: &mut Vec<u32>,
-        rep: &mut Vec<Elem>,
-        h: &mut Vec<Elem>,
-        nbrs: &[Vec<u32>],
-        visit: &mut dyn FnMut(&[Elem]) -> bool,
-    ) -> bool {
-        if pos == n {
-            return visit(h);
-        }
-        let num_blocks = rep.len() as u32;
-        'blocks: for b in 0..=num_blocks {
-            for &j in &nbrs[pos] {
-                if block[j as usize] == b {
-                    continue 'blocks;
+    kernel_rec(0, n, &mut block, &mut rep, &mut h, &nbrs, &mut visit)
+}
+
+/// All valid restricted-growth prefixes of the kernel tree, extended level
+/// by level until there are at least `target` of them (or the tree is
+/// exhausted). Returns the prefix depth alongside the prefixes.
+fn kernel_prefixes(nbrs: &[Vec<u32>], n: usize, target: usize) -> (usize, Vec<Vec<u32>>) {
+    let mut depth = 0;
+    let mut prefixes: Vec<Vec<u32>> = vec![Vec::new()];
+    while depth < n && prefixes.len() < target {
+        let mut next = Vec::with_capacity(prefixes.len() * 2);
+        for p in &prefixes {
+            let num_blocks = p.iter().copied().max().map_or(0, |m| m + 1);
+            for b in 0..=num_blocks {
+                if !ne_separated(p, &nbrs[depth], b) {
+                    continue;
                 }
-            }
-            block[pos] = b;
-            let new_block = b == num_blocks;
-            if new_block {
-                rep.push(pos as Elem);
-            }
-            h[pos] = rep[b as usize];
-            let keep_going = rec(pos + 1, n, block, rep, h, nbrs, visit);
-            if new_block {
-                rep.pop();
-            }
-            if !keep_going {
-                return false;
+                let mut q = Vec::with_capacity(depth + 1);
+                q.extend_from_slice(p);
+                q.push(b);
+                next.push(q);
             }
         }
-        true
+        prefixes = next;
+        depth += 1;
     }
-    rec(0, n, &mut block, &mut rep, &mut h, &nbrs, &mut visit)
+    (depth, prefixes)
+}
+
+/// All valid raw-mapping prefixes (`h[..depth]` values), extended level by
+/// level until there are at least `target` of them.
+fn raw_prefixes(nbrs: &[Vec<u32>], n: usize, target: usize) -> (usize, Vec<Vec<Elem>>) {
+    let mut depth = 0;
+    let mut prefixes: Vec<Vec<Elem>> = vec![Vec::new()];
+    while depth < n && prefixes.len() < target {
+        let mut next = Vec::with_capacity(prefixes.len() * n);
+        for p in &prefixes {
+            for v in 0..n as Elem {
+                if !ne_separated(p, &nbrs[depth], v) {
+                    continue;
+                }
+                let mut q = Vec::with_capacity(depth + 1);
+                q.extend_from_slice(p);
+                q.push(v);
+                next.push(q);
+            }
+        }
+        prefixes = next;
+        depth += 1;
+    }
+    (depth, prefixes)
+}
+
+/// The scoped worker pool shared by the two parallel enumerators: workers
+/// claim jobs through an atomic counter (dynamic load balancing for skewed
+/// subtrees) and observe a shared stop flag. `work` returns `false` to
+/// stop the whole pool. Returns every worker's final state (in worker
+/// order) and whether the enumeration ran to completion.
+fn worker_pool<S: Send, J: Sync>(
+    threads: usize,
+    jobs: &[J],
+    init: impl Fn(usize) -> S + Sync,
+    work: impl Fn(&mut S, &J, &AtomicBool) -> bool + Sync,
+) -> (Vec<S>, bool) {
+    let workers = threads.min(jobs.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let states = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (init, work, next, stop) = (&init, &work, &next, &stop);
+                scope.spawn(move || {
+                    let mut state = init(w);
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs.len() {
+                            break;
+                        }
+                        if !work(&mut state, &jobs[j], stop) {
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    state
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("enumeration worker panicked"))
+            .collect::<Vec<S>>()
+    });
+    let completed = !stop.load(Ordering::Relaxed);
+    (states, completed)
+}
+
+/// Parallel [`for_each_kernel_mapping`]: visits exactly the same mappings,
+/// split across a worker pool (see the module docs for the scheme). `init`
+/// creates one private state per worker; `visit` returning `false` stops
+/// every worker. Returns the worker states (merge them order-independently)
+/// and `false` in the second slot iff the enumeration was stopped early.
+///
+/// With `config.threads == 1` this runs the sequential enumerator on the
+/// calling thread — no threads are spawned, and the single returned state
+/// saw every mapping in sequential order.
+pub fn for_each_kernel_mapping_parallel<S: Send>(
+    db: &CwDatabase,
+    config: ParallelConfig,
+    init: impl Fn(usize) -> S + Sync,
+    visit: impl Fn(&mut S, &[Elem]) -> bool + Sync,
+) -> (Vec<S>, bool) {
+    let threads = config.resolved_threads();
+    if threads <= 1 {
+        let mut state = init(0);
+        let completed = for_each_kernel_mapping(db, |h| visit(&mut state, h));
+        return (vec![state], completed);
+    }
+    let n = db.num_consts();
+    let nbrs = smaller_neighbors(db);
+    let (depth, prefixes) = kernel_prefixes(&nbrs, n, threads * JOBS_PER_WORKER);
+    struct Scratch<S> {
+        state: S,
+        block: Vec<u32>,
+        rep: Vec<Elem>,
+        h: Vec<Elem>,
+    }
+    let (scratches, completed) = worker_pool(
+        threads,
+        &prefixes,
+        |w| Scratch {
+            state: init(w),
+            block: vec![0; n],
+            rep: Vec::with_capacity(n),
+            h: vec![0; n],
+        },
+        |sc, prefix: &Vec<u32>, stop| {
+            sc.rep.clear();
+            for (i, &b) in prefix.iter().enumerate() {
+                sc.block[i] = b;
+                if b as usize == sc.rep.len() {
+                    sc.rep.push(i as Elem);
+                }
+                sc.h[i] = sc.rep[b as usize];
+            }
+            let state = &mut sc.state;
+            kernel_rec(
+                depth,
+                n,
+                &mut sc.block,
+                &mut sc.rep,
+                &mut sc.h,
+                &nbrs,
+                &mut |h| !stop.load(Ordering::Relaxed) && visit(state, h),
+            )
+        },
+    );
+    (
+        scratches.into_iter().map(|sc| sc.state).collect(),
+        completed,
+    )
+}
+
+/// Parallel [`for_each_respecting_mapping`], with the same contract as
+/// [`for_each_kernel_mapping_parallel`].
+pub fn for_each_respecting_mapping_parallel<S: Send>(
+    db: &CwDatabase,
+    config: ParallelConfig,
+    init: impl Fn(usize) -> S + Sync,
+    visit: impl Fn(&mut S, &[Elem]) -> bool + Sync,
+) -> (Vec<S>, bool) {
+    let threads = config.resolved_threads();
+    if threads <= 1 {
+        let mut state = init(0);
+        let completed = for_each_respecting_mapping(db, |h| visit(&mut state, h));
+        return (vec![state], completed);
+    }
+    let n = db.num_consts();
+    let nbrs = smaller_neighbors(db);
+    let (depth, prefixes) = raw_prefixes(&nbrs, n, threads * JOBS_PER_WORKER);
+    struct Scratch<S> {
+        state: S,
+        h: Vec<Elem>,
+    }
+    let (scratches, completed) = worker_pool(
+        threads,
+        &prefixes,
+        |w| Scratch {
+            state: init(w),
+            h: vec![0; n],
+        },
+        |sc, prefix: &Vec<Elem>, stop| {
+            sc.h[..depth].copy_from_slice(prefix);
+            let state = &mut sc.state;
+            raw_rec(depth, n, &mut sc.h, &nbrs, &mut |h| {
+                !stop.load(Ordering::Relaxed) && visit(state, h)
+            })
+        },
+    );
+    (
+        scratches.into_iter().map(|sc| sc.state).collect(),
+        completed,
+    )
 }
 
 /// Counts the respecting mappings (`|C|^|C|` when there are no uniqueness
@@ -287,5 +577,127 @@ mod tests {
             true
         });
         assert_eq!(raw_kernels, canon_kernels);
+    }
+
+    /// Collects the mapping set seen by a parallel enumeration (union over
+    /// the per-worker sets, asserting no worker saw a mapping twice).
+    fn parallel_mapping_set(
+        db: &CwDatabase,
+        threads: usize,
+        kernels: bool,
+    ) -> std::collections::HashSet<Vec<Elem>> {
+        let config = ParallelConfig::new(threads);
+        let init = |_w: usize| std::collections::HashSet::new();
+        let visit = |set: &mut std::collections::HashSet<Vec<Elem>>, h: &[Elem]| {
+            assert!(set.insert(h.to_vec()), "worker revisited {h:?}");
+            true
+        };
+        let (states, completed) = if kernels {
+            for_each_kernel_mapping_parallel(db, config, init, visit)
+        } else {
+            for_each_respecting_mapping_parallel(db, config, init, visit)
+        };
+        assert!(completed);
+        let mut union = std::collections::HashSet::new();
+        for s in states {
+            for h in s {
+                assert!(union.insert(h.clone()), "two workers visited {h:?}");
+            }
+        }
+        union
+    }
+
+    #[test]
+    fn parallel_visits_exactly_the_sequential_mappings() {
+        for (n, ne) in [
+            (1usize, vec![]),
+            (4, vec![]),
+            (4, vec![(0u32, 1u32), (2, 3)]),
+            (5, vec![(0, 1), (0, 2), (1, 2)]),
+            (5, vec![(1, 4)]),
+        ] {
+            let db = db_with(n, &ne);
+            let mut seq_kernels = std::collections::HashSet::new();
+            for_each_kernel_mapping(&db, |h| {
+                seq_kernels.insert(h.to_vec());
+                true
+            });
+            let mut seq_raw = std::collections::HashSet::new();
+            for_each_respecting_mapping(&db, |h| {
+                seq_raw.insert(h.to_vec());
+                true
+            });
+            for threads in [1usize, 2, 3, 4, 8] {
+                assert_eq!(
+                    parallel_mapping_set(&db, threads, true),
+                    seq_kernels,
+                    "kernels, n={n}, ne={ne:?}, threads={threads}"
+                );
+                assert_eq!(
+                    parallel_mapping_set(&db, threads, false),
+                    seq_raw,
+                    "raw, n={n}, ne={ne:?}, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_early_exit_stops_all_workers() {
+        let db = db_with(6, &[]);
+        for threads in [2usize, 4] {
+            let (states, completed) = for_each_kernel_mapping_parallel(
+                &db,
+                ParallelConfig::new(threads),
+                |_| 0u64,
+                |count, _h| {
+                    *count += 1;
+                    false // stop immediately
+                },
+            );
+            assert!(!completed);
+            let total: u64 = states.iter().sum();
+            // At most one visit per worker slipped in before the stop flag
+            // propagated.
+            assert!(total >= 1 && total <= threads as u64, "total={total}");
+        }
+    }
+
+    #[test]
+    fn parallel_config_resolution() {
+        assert_eq!(ParallelConfig::sequential().resolved_threads(), 1);
+        assert_eq!(ParallelConfig::new(3).resolved_threads(), 3);
+        assert!(ParallelConfig::new(0).resolved_threads() >= 1);
+    }
+
+    #[test]
+    fn prefix_generation_respects_constraints() {
+        let db = db_with(4, &[(0, 1), (1, 2)]);
+        let nbrs = smaller_neighbors(&db);
+        let (depth, prefixes) = kernel_prefixes(&nbrs, 4, 6);
+        assert!(depth <= 4);
+        assert!(!prefixes.is_empty());
+        for p in &prefixes {
+            assert_eq!(p.len(), depth);
+            // Restricted growth + NE separation.
+            let mut max_seen = 0u32;
+            for (i, &b) in p.iter().enumerate() {
+                assert!(b <= max_seen + 1 || (b == 0 && i == 0));
+                max_seen = max_seen.max(b);
+                for &j in &nbrs[i] {
+                    assert_ne!(p[j as usize], b, "prefix {p:?} merges NE pair");
+                }
+            }
+        }
+        let (rdepth, rprefixes) = raw_prefixes(&nbrs, 4, 6);
+        assert!(rdepth <= 4);
+        for p in &rprefixes {
+            assert_eq!(p.len(), rdepth);
+            for (i, &v) in p.iter().enumerate() {
+                for &j in &nbrs[i] {
+                    assert_ne!(p[j as usize], v, "prefix {p:?} violates NE");
+                }
+            }
+        }
     }
 }

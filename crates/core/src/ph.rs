@@ -38,6 +38,15 @@ pub fn apply_mapping(db: &CwDatabase, h: &[Elem]) -> PhysicalDb {
         .expect("image of Ph1 under a total mapping is a valid interpretation")
 }
 
+/// In-place variant of [`apply_mapping`] for the Theorem 1 hot loop:
+/// overwrites `image` with `h(Ph₁(LB))`, reusing its allocations. `base`
+/// must be `ph1(db)` (computed once per evaluation) and `image` a clone of
+/// it (one per worker); successive calls recycle the same buffers instead
+/// of building a fresh database per mapping.
+pub fn apply_mapping_into(base: &PhysicalDb, h: &[Elem], image: &mut PhysicalDb) {
+    image.assign_mapped_image(base, h);
+}
+
 /// The extended physical database `Ph₂(LB) = (L′, I)` of §3.2 and §5:
 /// `L′ = L + NE`, with `I(NE) = { (cᵢ,cⱼ) : ¬(cᵢ=cⱼ) ∈ T }` and everything
 /// else as in `Ph₁`.
@@ -132,6 +141,17 @@ mod tests {
         assert!(pdb.relation(r).contains(&[0, 1]));
         assert!(pdb.relation(r).contains(&[1, 1]));
         assert_eq!(pdb.relation(r).len(), 2);
+    }
+
+    #[test]
+    fn apply_mapping_into_matches_apply_mapping() {
+        let db = sample();
+        let base = ph1(&db);
+        let mut image = base.clone();
+        for h in [[0u32, 1, 2], [0, 1, 1], [0, 1, 0], [2, 0, 0]] {
+            apply_mapping_into(&base, &h, &mut image);
+            assert_eq!(image, apply_mapping(&db, &h), "mapping {h:?}");
+        }
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! and possible tuples.
 
 use crate::exact::{certain_answers, possible_answers};
-use crate::mappings::{count_kernel_mappings, for_each_kernel_mapping};
-use crate::ph::apply_mapping;
+use crate::mappings::{
+    count_kernel_mappings, for_each_kernel_mapping, for_each_kernel_mapping_parallel,
+    ParallelConfig,
+};
+use crate::ph::{apply_mapping_into, ph1};
 use crate::theory::CwDatabase;
 use qld_logic::{LogicError, Query};
 use qld_physical::{PhysicalDb, Relation};
@@ -20,8 +23,44 @@ use qld_physical::{PhysicalDb, Relation};
 /// Theorem 1's proof shows every model of `T` is such an image, and every
 /// image is a model; one representative per kernel covers each model up
 /// to isomorphism exactly once.
+///
+/// Every world is presented in one reusable image buffer (overwritten
+/// between invocations of `visit` — clone it to keep a world).
 pub fn for_each_world(db: &CwDatabase, mut visit: impl FnMut(&PhysicalDb) -> bool) -> bool {
-    for_each_kernel_mapping(db, |h| visit(&apply_mapping(db, h)))
+    let base = ph1(db);
+    let mut image = base.clone();
+    for_each_kernel_mapping(db, |h| {
+        apply_mapping_into(&base, h, &mut image);
+        visit(&image)
+    })
+}
+
+/// Parallel [`for_each_world`]: one private state per worker (from
+/// `init`), every world visited by exactly one worker in its reusable
+/// per-worker image buffer, shared early exit when any `visit` returns
+/// `false`. Returns the worker states and whether the enumeration ran to
+/// completion. Merge the states order-independently and the result is
+/// deterministic regardless of thread count.
+pub fn for_each_world_parallel<S: Send>(
+    db: &CwDatabase,
+    config: ParallelConfig,
+    init: impl Fn(usize) -> S + Sync,
+    visit: impl Fn(&mut S, &PhysicalDb) -> bool + Sync,
+) -> (Vec<S>, bool) {
+    let base = ph1(db);
+    let (states, completed) = for_each_kernel_mapping_parallel(
+        db,
+        config,
+        |w| (init(w), base.clone()),
+        |(state, image), h| {
+            apply_mapping_into(&base, h, image);
+            visit(state, image)
+        },
+    );
+    (
+        states.into_iter().map(|(state, _)| state).collect(),
+        completed,
+    )
 }
 
 /// Number of possible worlds up to isomorphism (Bell(|C|)-bounded;
@@ -147,6 +186,32 @@ mod tests {
         let bounds = answer_bounds(&db, &q).unwrap();
         assert!(bounds.is_determined());
         assert!(bounds.uncertain().is_empty());
+    }
+
+    #[test]
+    fn parallel_worlds_match_sequential() {
+        let db = teaching();
+        let theory = db.theory_sentences();
+        let mut seq = std::collections::HashSet::new();
+        for_each_world(&db, |w| {
+            seq.insert(format!("{w:?}"));
+            true
+        });
+        for threads in [1usize, 2, 4] {
+            let (states, completed) = for_each_world_parallel(
+                &db,
+                crate::mappings::ParallelConfig::new(threads),
+                |_| Vec::new(),
+                |worlds: &mut Vec<String>, w| {
+                    assert!(satisfies_all(w, &theory));
+                    worlds.push(format!("{w:?}"));
+                    true
+                },
+            );
+            assert!(completed);
+            let par: std::collections::HashSet<String> = states.into_iter().flatten().collect();
+            assert_eq!(par, seq, "threads={threads}");
+        }
     }
 
     #[test]

@@ -173,19 +173,28 @@ pub struct Evidence {
     pub certificate: Certificate,
     /// Wall-clock execution time (excludes preparation).
     pub elapsed: Duration,
-    /// Respecting mappings evaluated (`0` for the polynomial regimes —
-    /// Corollary 2 and the §5 approximation never enumerate mappings).
+    /// Respecting mappings evaluated, summed across enumeration workers
+    /// (`0` for the polynomial regimes — Corollary 2 and the §5
+    /// approximation never enumerate mappings).
     pub mappings_evaluated: u64,
+    /// Worker threads that participated in the mapping enumeration: `1`
+    /// for the sequential path, more under
+    /// [`EngineBuilder::parallelism`](crate::EngineBuilder::parallelism),
+    /// `0` for the regimes that never enumerate mappings.
+    pub workers_used: u32,
 }
 
 impl Evidence {
     /// One-line human-readable summary, e.g.
     /// `auto → §5 approx, exact (Theorem 11 + Theorem 13)` or
-    /// `exact → Theorem 1, exact (Theorem 1), 15 mappings`.
+    /// `exact → Theorem 1, exact (Theorem 1), 15 mapping(s), 4 worker(s)`.
     pub fn summary(&self) -> String {
         let mut s = format!("{} → {}, {}", self.requested, self.regime, self.certificate);
         if self.mappings_evaluated > 0 {
             s.push_str(&format!(", {} mapping(s)", self.mappings_evaluated));
+        }
+        if self.workers_used > 1 {
+            s.push_str(&format!(", {} worker(s)", self.workers_used));
         }
         s
     }
@@ -270,16 +279,22 @@ mod tests {
     }
 
     #[test]
-    fn summary_mentions_regime_and_mappings() {
-        let ev = Evidence {
+    fn summary_mentions_regime_mappings_and_workers() {
+        let mut ev = Evidence {
             requested: Semantics::Exact,
             regime: Regime::Theorem1,
             certificate: Certificate::ExactTheorem1,
             elapsed: Duration::from_millis(1),
             mappings_evaluated: 15,
+            workers_used: 1,
         };
         let s = ev.summary();
         assert!(s.contains("Theorem 1"), "{s}");
         assert!(s.contains("15 mapping(s)"), "{s}");
+        // Single-worker runs don't advertise the pool…
+        assert!(!s.contains("worker"), "{s}");
+        // …multi-worker runs do.
+        ev.workers_used = 4;
+        assert!(ev.summary().contains("4 worker(s)"), "{}", ev.summary());
     }
 }

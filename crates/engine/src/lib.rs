@@ -49,6 +49,7 @@ pub use session::{Engine, EngineBuilder, NeStoreMode};
 // The configuration vocabulary callers need alongside the builder.
 pub use qld_approx::{AlphaMode, Backend, CompletenessTheorem};
 pub use qld_core::exact::MappingStrategy;
+pub use qld_core::mappings::ParallelConfig;
 
 #[cfg(test)]
 mod tests {
@@ -263,6 +264,47 @@ mod tests {
         // Raw enumeration visits at least as many mappings as the kernel
         // canonicalization.
         assert!(b.evidence().mappings_evaluated >= a.evidence().mappings_evaluated);
+    }
+
+    #[test]
+    fn parallelism_is_bit_identical_and_reports_workers() {
+        let db = teaching();
+        let sequential = Engine::builder(db.clone())
+            .semantics(Semantics::Exact)
+            .parallelism(1)
+            .build();
+        for threads in [2usize, 4, 8] {
+            let parallel = Engine::builder(db.clone())
+                .semantics(Semantics::Exact)
+                .parallelism(threads)
+                .build();
+            assert_eq!(parallel.parallelism(), threads);
+            for text in [
+                "(x) . !TEACHES(socrates, x)",
+                "(x, y) . TEACHES(x, y)",
+                "forall x. TEACHES(socrates, x) -> x != aristotle",
+            ] {
+                let a = sequential.query(text).unwrap();
+                let b = parallel.query(text).unwrap();
+                assert_eq!(a.tuples(), b.tuples(), "{text} at {threads} threads");
+                assert_eq!(a.evidence().workers_used, 1);
+                assert!(b.evidence().workers_used >= 1);
+                // Possible answers run through the same worker pool.
+                let pa = sequential
+                    .execute_as(&sequential.prepare_text(text).unwrap(), Semantics::Possible)
+                    .unwrap();
+                let pb = parallel
+                    .execute_as(&parallel.prepare_text(text).unwrap(), Semantics::Possible)
+                    .unwrap();
+                assert_eq!(pa.tuples(), pb.tuples(), "possible {text}");
+            }
+        }
+        // The knob is also mutable on a live session.
+        let mut engine = Engine::new(teaching());
+        engine.set_parallelism(2);
+        assert_eq!(engine.parallelism(), 2);
+        let ans = engine.query("(x) . !TEACHES(socrates, x)").unwrap();
+        assert!(ans.evidence().workers_used >= 1);
     }
 
     #[test]

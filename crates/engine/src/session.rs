@@ -5,7 +5,10 @@ use crate::evidence::{Answers, Certificate, Evidence, Regime, Semantics};
 use crate::prepared::PreparedQuery;
 use qld_algebra::{compile_query_ordered, execute, optimize};
 use qld_approx::{exactness_theorem, AlphaMode, ApproxEngine, Backend, CompletenessTheorem};
-use qld_core::exact::{certain_answers_with, possible_answers_with, ExactOptions, MappingStrategy};
+use qld_core::exact::{
+    certain_answers_with, possible_answers_with, EvalStats, ExactOptions, MappingStrategy,
+};
+use qld_core::mappings::ParallelConfig;
 use qld_core::ph::ph1;
 use qld_core::CwDatabase;
 use qld_logic::parser::parse_query;
@@ -37,6 +40,7 @@ struct EngineConfig {
     ne_store: NeStoreMode,
     strategy: MappingStrategy,
     corollary2_fast_path: bool,
+    parallel: ParallelConfig,
 }
 
 /// Configures and constructs an [`Engine`]. Obtained from
@@ -93,6 +97,17 @@ impl EngineBuilder {
     /// paths: kernel-canonical (default) or raw respecting mappings.
     pub fn mapping_strategy(mut self, strategy: MappingStrategy) -> Self {
         self.config.strategy = strategy;
+        self
+    }
+
+    /// Worker threads for the Theorem 1 / possible-answer mapping
+    /// enumeration: `1` is sequential, `0` means one worker per available
+    /// CPU. Defaults to the `QLD_THREADS` environment variable (else
+    /// sequential). Answers are bit-identical at any thread count;
+    /// [`Evidence`](crate::Evidence) reports `workers_used` and the
+    /// mapping total summed across workers.
+    pub fn parallelism(mut self, threads: usize) -> Self {
+        self.config.parallel = ParallelConfig::new(threads);
         self
     }
 
@@ -203,6 +218,19 @@ impl Engine {
         self.semantics = semantics;
     }
 
+    /// The configured enumeration worker-thread count (`0` = one per CPU;
+    /// see [`EngineBuilder::parallelism`]).
+    pub fn parallelism(&self) -> usize {
+        self.config.parallel.threads
+    }
+
+    /// Changes the enumeration worker-thread count (prepared queries stay
+    /// valid — the thread count never changes an answer, only how fast the
+    /// Theorem 1 and possible-answer enumerations run).
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.config.parallel = ParallelConfig::new(threads);
+    }
+
     /// The §5 approximation machinery, built lazily on first use (it
     /// materializes `Ph₂(LB)`, the `α_P` relations, and the configured
     /// `NE` store — all polynomial).
@@ -299,7 +327,7 @@ impl Engine {
             return Err(EngineError::PreparedElsewhere);
         }
         let start = Instant::now();
-        let (tuples, regime, certificate, mappings) = match semantics {
+        let (tuples, regime, certificate, stats) = match semantics {
             Semantics::Exact => self.run_exact(prepared)?,
             Semantics::Approx => self.run_approx(prepared)?,
             Semantics::Possible => self.run_possible(prepared)?,
@@ -312,7 +340,8 @@ impl Engine {
                 regime,
                 certificate,
                 elapsed: start.elapsed(),
-                mappings_evaluated: mappings,
+                mappings_evaluated: stats.mappings_evaluated,
+                workers_used: stats.workers_used,
             },
         ))
     }
@@ -335,32 +364,38 @@ impl Engine {
         qld_core::answer_names(self.db.voc(), answers.tuples())
     }
 
+    /// The exact-enumeration options induced by the engine configuration.
+    fn exact_options(&self) -> ExactOptions {
+        ExactOptions {
+            strategy: self.config.strategy,
+            corollary2_fast_path: false,
+            parallel: self.config.parallel,
+            ..ExactOptions::new()
+        }
+    }
+
     /// The full Theorem 1 enumeration — shared by `Exact` semantics and
     /// `Auto` escalation so the two can never diverge.
     fn run_theorem1(
         &self,
         prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
-        let opts = ExactOptions {
-            strategy: self.config.strategy,
-            corollary2_fast_path: false,
-        };
-        let (rel, stats) = certain_answers_with(&self.db, prepared.query(), opts)?;
-        Ok((
-            rel,
-            Regime::Theorem1,
-            Certificate::ExactTheorem1,
-            stats.mappings_evaluated,
-        ))
+    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
+        let (rel, stats) = certain_answers_with(&self.db, prepared.query(), self.exact_options())?;
+        Ok((rel, Regime::Theorem1, Certificate::ExactTheorem1, stats))
     }
 
     fn run_exact(
         &self,
         prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
+    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
         if self.config.corollary2_fast_path && self.db.is_fully_specified() {
             let rel = eval_query(self.ph1_db(), prepared.query());
-            return Ok((rel, Regime::Corollary2, Certificate::ExactCorollary2, 0));
+            return Ok((
+                rel,
+                Regime::Corollary2,
+                Certificate::ExactCorollary2,
+                EvalStats::default(),
+            ));
         }
         self.run_theorem1(prepared)
     }
@@ -368,39 +403,49 @@ impl Engine {
     fn run_possible(
         &self,
         prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
-        let (rel, stats) = possible_answers_with(&self.db, prepared.query())?;
+    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
+        let (rel, stats) = possible_answers_with(&self.db, prepared.query(), self.exact_options())?;
         Ok((
             rel,
             Regime::PossibleWorlds,
             Certificate::PossibleUpperBound,
-            stats.mappings_evaluated,
+            stats,
         ))
     }
 
     fn run_approx(
         &self,
         prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
+    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
         let rel = self.eval_rewritten(prepared)?;
         let certificate = match prepared.completeness {
             Some(theorem) => Certificate::ExactCompleteness(theorem),
             None => Certificate::SoundLowerBound,
         };
-        Ok((rel, Regime::Approximation, certificate, 0))
+        Ok((
+            rel,
+            Regime::Approximation,
+            certificate,
+            EvalStats::default(),
+        ))
     }
 
     fn run_auto(
         &self,
         prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, u64), EngineError> {
+    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
         match prepared.completeness {
             // Fully specified: one physical evaluation is exact, and is
             // the cheapest certified path (works for second-order queries
             // too, unlike the algebra backend).
             Some(CompletenessTheorem::FullySpecified) => {
                 let rel = eval_query(self.ph1_db(), prepared.query());
-                Ok((rel, Regime::Corollary2, Certificate::ExactCorollary2, 0))
+                Ok((
+                    rel,
+                    Regime::Corollary2,
+                    Certificate::ExactCorollary2,
+                    EvalStats::default(),
+                ))
             }
             // Positive first-order: the §5 approximation is exact by
             // Theorems 11 + 13.
@@ -410,7 +455,7 @@ impl Engine {
                     rel,
                     Regime::Approximation,
                     Certificate::ExactCompleteness(theorem),
-                    0,
+                    EvalStats::default(),
                 ))
             }
             // No completeness theorem applies: escalate to Theorem 1.

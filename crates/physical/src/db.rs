@@ -58,8 +58,12 @@ impl std::error::Error for PhysicalError {}
 
 /// A physical database: a finite interpretation `I` of a vocabulary `L`.
 ///
-/// Immutable once built. Constructed via [`PhysicalDbBuilder`], which
-/// validates the §2.1 well-formedness conditions.
+/// Constructed via [`PhysicalDbBuilder`], which validates the §2.1
+/// well-formedness conditions, and immutable thereafter — with one
+/// audited exception: [`PhysicalDb::assign_mapped_image`] overwrites a
+/// clone of a validated database with the image of its source under a
+/// total element mapping (which preserves well-formedness), so the
+/// Theorem 1 hot loop can reuse one buffer instead of rebuilding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysicalDb {
     domain: Vec<Elem>,
@@ -106,6 +110,45 @@ impl PhysicalDb {
     #[inline]
     pub fn in_domain(&self, e: Elem) -> bool {
         self.domain.binary_search(&e).is_ok()
+    }
+
+    /// Rewrites `self` in place to be the image of `base` under the element
+    /// mapping `h` (`h[e]` is the image of element `e`): the domain becomes
+    /// `h(D)`, every constant value and relation tuple is remapped. The
+    /// result equals rebuilding from mapped parts with
+    /// [`PhysicalDbBuilder`], but reuses `self`'s allocations — the
+    /// Theorem 1 hot loop clones `Ph₁(LB)` once and overwrites that buffer
+    /// for each mapping instead of constructing a fresh database image.
+    ///
+    /// `self` must interpret the same vocabulary shape as `base` (clone
+    /// `base` to create the buffer), and `h` must be defined on every
+    /// element of `base`'s domain.
+    ///
+    /// # Panics
+    /// Panics if `self`'s constant or relation count differs from
+    /// `base`'s, or (via index bounds) if `h` does not cover an element.
+    pub fn assign_mapped_image(&mut self, base: &PhysicalDb, h: &[Elem]) {
+        assert_eq!(
+            self.const_val.len(),
+            base.const_val.len(),
+            "image buffer was not cloned from a database of base's shape"
+        );
+        assert_eq!(
+            self.rels.len(),
+            base.rels.len(),
+            "image buffer was not cloned from a database of base's shape"
+        );
+        self.domain.clear();
+        self.domain
+            .extend(base.domain.iter().map(|&e| h[e as usize]));
+        self.domain.sort_unstable();
+        self.domain.dedup();
+        for (dst, &src) in self.const_val.iter_mut().zip(&base.const_val) {
+            *dst = h[src as usize];
+        }
+        for (dst, src) in self.rels.iter_mut().zip(&base.rels) {
+            dst.assign_mapped(src, |e| h[e as usize]);
+        }
     }
 
     /// Replaces one relation, returning a new database (used by the
@@ -334,6 +377,31 @@ mod tests {
             .build()
             .unwrap();
         assert!(db.relation(r).is_empty());
+    }
+
+    #[test]
+    fn assign_mapped_image_matches_builder() {
+        let (voc, a, r) = voc();
+        let b = voc.const_id("b").unwrap();
+        let base = PhysicalDb::builder(&voc)
+            .domain([0, 1, 2])
+            .constant(a, 0)
+            .constant(b, 1)
+            .relation_from_tuples(r, vec![vec![0, 1], vec![1, 2], vec![2, 2]])
+            .build()
+            .unwrap();
+        let mut image = base.clone();
+        for h in [[0u32, 1, 2], [0, 1, 1], [2, 2, 2], [1, 0, 0]] {
+            image.assign_mapped_image(&base, &h);
+            let expected = PhysicalDb::builder(&voc)
+                .domain(h.iter().copied())
+                .constant(a, h[0])
+                .constant(b, h[1])
+                .relation(r, base.relation(r).map_elems(|e| h[e as usize]))
+                .build()
+                .unwrap();
+            assert_eq!(image, expected, "mapping {h:?}");
+        }
     }
 
     #[test]

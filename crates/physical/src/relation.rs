@@ -91,6 +91,33 @@ impl Relation {
         )
     }
 
+    /// In-place variant of [`Relation::map_elems`] for hot loops: rewrites
+    /// `self` to be `{ f(t) : t ∈ src }`, reusing this relation's existing
+    /// tuple allocations instead of building fresh boxed slices per call.
+    /// Repeatedly overwriting the same target relation with the images of
+    /// one source (as the Theorem 1 enumeration does, one mapping after
+    /// another) allocates only when a previous image was *smaller* than the
+    /// source (deduplication dropped tuples).
+    pub fn assign_mapped(&mut self, src: &Relation, mut f: impl FnMut(Elem) -> Elem) {
+        self.arity = src.arity;
+        self.tuples.truncate(src.tuples.len());
+        let reused = self.tuples.len();
+        for (dst, s) in self.tuples.iter_mut().zip(&src.tuples) {
+            if dst.len() == src.arity {
+                for (d, &e) in dst.iter_mut().zip(s.iter()) {
+                    *d = f(e);
+                }
+            } else {
+                *dst = s.iter().map(|&e| f(e)).collect();
+            }
+        }
+        for s in &src.tuples[reused..] {
+            self.tuples.push(s.iter().map(|&e| f(e)).collect());
+        }
+        self.tuples.sort_unstable();
+        self.tuples.dedup();
+    }
+
     /// True iff `self ⊆ other` (both must have equal arity).
     pub fn is_subset_of(&self, other: &Relation) -> bool {
         debug_assert_eq!(self.arity, other.arity);
@@ -183,6 +210,25 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert!(m.contains(&[0, 0]));
         assert!(m.contains(&[0, 2]));
+    }
+
+    #[test]
+    fn assign_mapped_matches_map_elems() {
+        let src = rel(&[&[0, 1], &[1, 2], &[2, 0]]);
+        let mut buf = Relation::empty(2);
+        for target in 0..3u32 {
+            let f = |e: Elem| if e > target { target } else { e };
+            buf.assign_mapped(&src, f);
+            assert_eq!(buf, src.map_elems(f), "collapse above {target}");
+        }
+        // Growing back after a dedup-shrunken image also works.
+        buf.assign_mapped(&src, |e| e);
+        assert_eq!(buf, src);
+        // Arity change is tracked from the source.
+        let unary = rel(&[&[4]]);
+        buf.assign_mapped(&unary, |e| e + 1);
+        assert_eq!(buf.arity(), 1);
+        assert!(buf.contains(&[5]));
     }
 
     #[test]

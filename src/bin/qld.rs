@@ -12,10 +12,12 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     format!(
-        "usage: qld <database.qld> [--mode {MODE_USAGE}] [-q <query>]...\n\
+        "usage: qld <database.qld> [--mode {MODE_USAGE}] [--threads <N>] [-q <query>]...\n\
          With no -q, starts an interactive shell (:help for commands).\n\
          The default mode is `auto`: the engine runs the cheapest evaluation\n\
-         path the paper proves exact and reports which theorem certified it."
+         path the paper proves exact and reports which theorem certified it.\n\
+         --threads sets the enumeration worker count (0 = all CPUs; default\n\
+         from QLD_THREADS, else 1). Answers are identical at any count."
     )
 }
 
@@ -23,6 +25,7 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut path: Option<String> = None;
     let mut mode: Option<Mode> = None;
+    let mut threads: Option<usize> = None;
     let mut one_shots: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -34,6 +37,13 @@ fn main() -> ExitCode {
                 Some(m) => mode = Some(m),
                 None => {
                     eprintln!("--mode needs {MODE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" | "-t" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => threads = Some(n),
+                None => {
+                    eprintln!("--threads needs a worker count (0 = all CPUs)");
                     return ExitCode::from(2);
                 }
             },
@@ -74,6 +84,9 @@ fn main() -> ExitCode {
     let mut session = Session::new(db);
     if let Some(mode) = mode {
         session.set_mode(mode);
+    }
+    if let Some(threads) = threads {
+        session.set_threads(threads);
     }
     let stdout = io::stdout();
     let mut out = stdout.lock();

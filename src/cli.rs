@@ -25,6 +25,15 @@ pub type Mode = Semantics;
 /// test below).
 pub const MODE_USAGE: &str = "exact|approx|possible|auto";
 
+/// Renders a thread-count setting (`0` means one worker per CPU).
+fn describe_threads(threads: usize) -> String {
+    if threads == 0 {
+        "auto (all CPUs)".to_string()
+    } else {
+        threads.to_string()
+    }
+}
+
 /// Whether the session should keep reading input.
 #[derive(Debug, PartialEq, Eq)]
 pub enum Outcome {
@@ -58,6 +67,18 @@ impl Session {
         self.engine.set_semantics(mode);
     }
 
+    /// The enumeration worker-thread count (`0` = one per CPU).
+    pub fn threads(&self) -> usize {
+        self.engine.parallelism()
+    }
+
+    /// Sets the enumeration worker-thread count (`0` = one per CPU).
+    /// Answers are identical at any thread count; only the Theorem 1 and
+    /// possible-answer enumerations speed up.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.engine.set_parallelism(threads);
+    }
+
     fn db(&self) -> &CwDatabase {
         self.engine.db()
     }
@@ -87,6 +108,10 @@ impl Session {
                 writeln!(out, "    :mode {MODE_USAGE}   switch semantics")?;
                 writeln!(out, "        auto runs the cheapest path the paper proves")?;
                 writeln!(out, "        exact and reports which theorem certified it")?;
+                writeln!(
+                    out,
+                    "    :set threads <N>              enumeration worker threads (0 = all CPUs)"
+                )?;
                 writeln!(out, "    :stats                        database statistics")?;
                 writeln!(
                     out,
@@ -106,6 +131,16 @@ impl Session {
                 }
                 None => writeln!(out, "usage: :mode {MODE_USAGE}")?,
             },
+            Some("set") => match (words.next(), words.next()) {
+                (Some("threads"), Some(n)) => match n.parse::<usize>() {
+                    Ok(threads) => {
+                        self.set_threads(threads);
+                        writeln!(out, "threads: {}", describe_threads(threads))?;
+                    }
+                    Err(_) => writeln!(out, "usage: :set threads <N>  (0 = all CPUs)")?,
+                },
+                _ => writeln!(out, "usage: :set threads <N>  (0 = all CPUs)")?,
+            },
             Some("stats") => {
                 writeln!(
                     out,
@@ -116,7 +151,12 @@ impl Session {
                     self.db().num_ne(),
                     self.db().is_fully_specified()
                 )?;
-                writeln!(out, "mode: {}", self.mode().name())?;
+                writeln!(
+                    out,
+                    "mode: {}, threads: {}",
+                    self.mode().name(),
+                    describe_threads(self.threads())
+                )?;
             }
             Some("dump") => {
                 write!(out, "{}", qld_core::textio::to_text(self.db()))?;
@@ -281,6 +321,24 @@ distinct socrates plato aristotle
         assert!(out.contains("POSSIBLE"), "{out}");
         assert!(out.contains("(plato)"), "{out}");
         assert!(out.contains("upper bound"), "{out}");
+    }
+
+    #[test]
+    fn set_threads_command() {
+        let (out, _) = run(&[
+            ":set threads 4",
+            ":stats",
+            "(x) . !TEACHES(socrates, x)",
+            ":set threads 0",
+            ":set threads",
+            ":set threads nope",
+            ":set frobs 3",
+        ]);
+        assert!(out.contains("threads: 4"), "{out}");
+        // The Theorem 1 escalation still answers identically in parallel.
+        assert!(out.contains("Theorem 1,"), "{out}");
+        assert!(out.contains("threads: auto (all CPUs)"), "{out}");
+        assert_eq!(out.matches("usage: :set threads").count(), 3, "{out}");
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub mod prelude {
     pub use qld_core::{answer_names, CwDatabase};
     pub use qld_engine::{
         Answers, Certificate, Engine, EngineBuilder, EngineError, Evidence, MappingStrategy,
-        NeStoreMode, PreparedQuery, Regime, Semantics,
+        NeStoreMode, ParallelConfig, PreparedQuery, Regime, Semantics,
     };
     pub use qld_logic::parser::{parse_query, parse_sentence};
     pub use qld_logic::{Formula, Query, Term, Var, Vocabulary};

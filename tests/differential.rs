@@ -15,6 +15,7 @@ fn kernels() -> ExactOptions {
     ExactOptions {
         strategy: MappingStrategy::Kernels,
         corollary2_fast_path: false,
+        ..ExactOptions::new()
     }
 }
 
@@ -22,6 +23,7 @@ fn raw() -> ExactOptions {
     ExactOptions {
         strategy: MappingStrategy::RawMappings,
         corollary2_fast_path: false,
+        ..ExactOptions::new()
     }
 }
 
