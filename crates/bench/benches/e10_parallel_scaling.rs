@@ -27,6 +27,8 @@ fn engine_with(db: &qld_core::CwDatabase, threads: usize) -> Engine {
         .semantics(Semantics::Exact)
         .corollary2_fast_path(false)
         .parallelism(threads)
+        // Measure the enumeration, not answer-cache hits.
+        .answer_cache(false)
         .build()
 }
 

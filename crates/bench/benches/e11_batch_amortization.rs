@@ -1,0 +1,129 @@
+//! E11 — batched multi-query execution: amortizing one Theorem 1 mapping
+//! enumeration across a workload of N queries.
+//!
+//! Series: wall-clock for executing N Theorem-1-bound queries (N = 1, 4,
+//! 16) as N sequential `Engine::execute` calls vs one
+//! `Engine::execute_batch`, on the high-null-density workload (the regime
+//! where the enumeration dominates everything else). The queries never
+//! stabilize, so every run — batched or not — walks exactly the full
+//! kernel set: the batch's win is structural (one enumeration, one image
+//! build per mapping, N cheap evaluations) rather than a lucky early
+//! exit, and `mappings_evaluated` accounting can be asserted exactly:
+//! the batch total equals the single-query total, not N× it.
+//!
+//! Also asserted here, not just measured: batched answers are
+//! bit-identical to sequential re-execution, member evidence reports the
+//! shared enumeration, and the answer cache serves a repeated batch with
+//! zero new mappings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qld_bench::{batch_queries, fmt_duration, high_null_db, print_header, print_row, time_once};
+use qld_engine::{Engine, PreparedQuery, Semantics};
+use std::time::Duration;
+
+const BATCH_SIZES: [usize; 3] = [1, 4, 16];
+
+fn engine_for(db: &qld_core::CwDatabase) -> Engine {
+    Engine::builder(db.clone())
+        .semantics(Semantics::Exact)
+        .corollary2_fast_path(false)
+        .answer_cache(false)
+        .parallelism(1)
+        .build()
+}
+
+fn sequential(engine: &Engine, prepared: &[PreparedQuery]) -> Vec<qld_engine::Answers> {
+    prepared
+        .iter()
+        .map(|p| engine.execute(p).unwrap())
+        .collect()
+}
+
+fn print_series() {
+    println!("\nE11: batched multi-query execution, high null density (|C| = 8)");
+    print_header(&[
+        "batch",
+        "mappings",
+        "sequential",
+        "batched",
+        "speedup",
+        "cached",
+    ]);
+    let db = high_null_db(8, 42);
+    for size in BATCH_SIZES {
+        let engine = engine_for(&db);
+        let queries = batch_queries(&db, size);
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|q| engine.prepare(q.clone()).unwrap())
+            .collect();
+        // One warm-up pass per path so the one-shot series measures the
+        // steady state, not first-call allocation noise (criterion below
+        // does the statistically careful version).
+        sequential(&engine, &prepared);
+        engine.execute_batch(&prepared).unwrap();
+        let (seq_answers, seq_wall) = time_once(|| sequential(&engine, &prepared));
+        let (batch_answers, batch_wall) = time_once(|| engine.execute_batch(&prepared).unwrap());
+        // Bit-identical answers, and one shared enumeration: the batch
+        // total equals the single-query total, not size× it.
+        let solo_mappings = seq_answers[0].evidence().mappings_evaluated;
+        for (s, b) in seq_answers.iter().zip(batch_answers.iter()) {
+            assert_eq!(s.tuples(), b.tuples(), "batch diverged from sequential");
+            assert_eq!(s.evidence().mappings_evaluated, solo_mappings);
+            assert_eq!(b.evidence().mappings_evaluated, solo_mappings);
+        }
+        // A repeated batch on a cache-enabled engine enumerates nothing.
+        let cached_engine = Engine::builder(db.clone())
+            .semantics(Semantics::Exact)
+            .corollary2_fast_path(false)
+            .parallelism(1)
+            .build();
+        let cached_prepared: Vec<_> = queries
+            .iter()
+            .map(|q| cached_engine.prepare(q.clone()).unwrap())
+            .collect();
+        cached_engine.execute_batch(&cached_prepared).unwrap();
+        let (hits, cached_wall) =
+            time_once(|| cached_engine.execute_batch(&cached_prepared).unwrap());
+        for (h, b) in hits.iter().zip(batch_answers.iter()) {
+            assert!(h.evidence().cache_hit);
+            assert_eq!(h.evidence().mappings_evaluated, 0);
+            assert_eq!(h.tuples(), b.tuples());
+        }
+        print_row(&[
+            size.to_string(),
+            solo_mappings.to_string(),
+            fmt_duration(seq_wall),
+            fmt_duration(batch_wall),
+            format!("{:.2}x", seq_wall.as_secs_f64() / batch_wall.as_secs_f64()),
+            fmt_duration(cached_wall),
+        ]);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let db = high_null_db(8, 42);
+    let mut group = c.benchmark_group("e11_batch_amortization");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
+    for size in BATCH_SIZES {
+        let engine = engine_for(&db);
+        let prepared: Vec<_> = batch_queries(&db, size)
+            .iter()
+            .map(|q| engine.prepare(q.clone()).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sequential", size), &size, |b, _| {
+            b.iter(|| sequential(&engine, &prepared))
+        });
+        group.bench_with_input(BenchmarkId::new("batched", size), &size, |b, _| {
+            b.iter(|| engine.execute_batch(&prepared).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -23,6 +23,8 @@ fn engine_with(db: &qld_core::CwDatabase, strategy: MappingStrategy) -> Engine {
         .semantics(Semantics::Exact)
         .mapping_strategy(strategy)
         .corollary2_fast_path(false)
+        // Measure the enumeration, not answer-cache hits.
+        .answer_cache(false)
         .build()
 }
 

@@ -125,7 +125,8 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(900));
     for (known, label) in DENSITIES {
         let db = db_at(known, 1);
-        let engine = Engine::new(db);
+        // Measure the regimes, not answer-cache hits.
+        let engine = Engine::builder(db).answer_cache(false).build();
         let q = random_query(
             engine.db().voc(),
             &QueryGenConfig {

@@ -28,10 +28,13 @@ const SIZES: [usize; 4] = [16, 32, 64, 128];
 fn engines(db: &qld_core::CwDatabase) -> (Engine, Engine) {
     let naive = Engine::builder(db.clone())
         .semantics(Semantics::Approx)
+        // Measure the evaluation, not answer-cache hits.
+        .answer_cache(false)
         .build();
     let algebra = Engine::builder(db.clone())
         .semantics(Semantics::Approx)
         .backend(Backend::Algebra(ExecOptions::default()))
+        .answer_cache(false)
         .build();
     (naive, algebra)
 }

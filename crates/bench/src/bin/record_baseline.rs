@@ -1,7 +1,7 @@
 //! `record_baseline` — runs the headline workloads (E1 exact enumeration,
-//! E7 approximation, E8 polynomial parity, E10 parallel scaling) once each
-//! and writes the measurements to a JSON file, so the repository carries a
-//! recorded perf trajectory instead of folklore.
+//! E7 approximation, E8 polynomial parity, E10 parallel scaling, E11 batch
+//! amortization) once each and writes the measurements to a JSON file, so
+//! the repository carries a recorded perf trajectory instead of folklore.
 //!
 //! ```text
 //! record_baseline [--out BENCH_baseline.json] [--smoke]
@@ -12,7 +12,9 @@
 //! `BENCH_baseline.json` at the workspace root is produced by a plain run;
 //! future perf PRs re-run it and diff.
 
-use qld_bench::{high_null_db, scaling_query, standard_db, standard_queries, time_once};
+use qld_bench::{
+    batch_queries, high_null_db, scaling_query, standard_db, standard_queries, time_once,
+};
 use qld_engine::{Backend, Engine, MappingStrategy, Semantics};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -132,6 +134,66 @@ fn run_workloads(smoke: bool) -> Vec<Entry> {
             threads,
             wall,
             mappings: ans.evidence().mappings_evaluated,
+        });
+    }
+
+    // E11: batch amortization — N Theorem-1-bound queries as N sequential
+    // executes vs one execute_batch sharing a single enumeration. The
+    // workload names encode the batch size; the amortization factor at
+    // each size is sequential wall / batched wall.
+    let dense = high_null_db(if smoke { 7 } else { 8 }, 42);
+    let sizes: &[(usize, &'static str, &'static str)] = if smoke {
+        &[
+            (1, "e11_batch_sequential_x1", "e11_batch_batched_x1"),
+            (4, "e11_batch_sequential_x4", "e11_batch_batched_x4"),
+        ]
+    } else {
+        &[
+            (1, "e11_batch_sequential_x1", "e11_batch_batched_x1"),
+            (4, "e11_batch_sequential_x4", "e11_batch_batched_x4"),
+            (16, "e11_batch_sequential_x16", "e11_batch_batched_x16"),
+        ]
+    };
+    for &(size, seq_name, batch_name) in sizes {
+        let engine = Engine::builder(dense.clone())
+            .semantics(Semantics::Exact)
+            .corollary2_fast_path(false)
+            .answer_cache(false)
+            .parallelism(1)
+            .build();
+        let prepared: Vec<_> = batch_queries(&dense, size)
+            .iter()
+            .map(|q| engine.prepare(q.clone()).unwrap())
+            .collect();
+        let run_sequential = || -> Vec<qld_engine::Answers> {
+            prepared
+                .iter()
+                .map(|p| engine.execute(p).unwrap())
+                .collect()
+        };
+        // Warm up both paths: the baseline records steady-state walls.
+        run_sequential();
+        engine.execute_batch(&prepared).unwrap();
+        let (seq_answers, seq_wall) = time_once(run_sequential);
+        let (batch_answers, batch_wall) = time_once(|| engine.execute_batch(&prepared).unwrap());
+        for (s, b) in seq_answers.iter().zip(batch_answers.iter()) {
+            assert_eq!(s.tuples(), b.tuples(), "batch diverged at size {size}");
+        }
+        // Sequential re-execution pays the enumeration per query; the
+        // batch pays it once.
+        let per_query = seq_answers[0].evidence().mappings_evaluated;
+        entries.push(Entry {
+            workload: seq_name,
+            threads: 1,
+            wall: seq_wall,
+            mappings: per_query * size as u64,
+        });
+        assert_eq!(batch_answers[0].evidence().mappings_evaluated, per_query);
+        entries.push(Entry {
+            workload: batch_name,
+            threads: 1,
+            wall: batch_wall,
+            mappings: per_query,
         });
     }
 

@@ -53,6 +53,45 @@ pub fn scaling_query(db: &CwDatabase) -> Query {
         .expect("scaling query parses")
 }
 
+/// The E11 batch workload: `n` distinct Boolean integrity constraints
+/// that all route through the Theorem 1 enumeration and never stabilize
+/// (each sentence is certainly true, so no mapping refutes it and no
+/// early exit fires) — every query, batched or not, walks exactly the
+/// full kernel set, making the amortization measurement deterministic and
+/// composition-uniform across batch sizes.
+///
+/// This models the workload batching is built for: certifying many cheap
+/// questions ("does constraint C hold in every model?") against one
+/// co-NP-hard scan of the same uncertain database.
+pub fn batch_queries(db: &CwDatabase, n: usize) -> Vec<Query> {
+    let templates = [
+        "exists x, y. P0(x, y)",
+        "exists x. P1(x) | exists y. P0(y, y)",
+        "forall x. x = x",
+        "exists x, y. P0(x, y) | P0(y, x)",
+        "exists x. (exists y. P0(x, y)) | P1(x)",
+        "forall x. P1(x) -> P1(x)",
+        "exists x, y. P0(x, y) & x = x",
+        "exists x. exists y. P0(x, y) | P1(y)",
+    ];
+    (0..n)
+        .map(|i| {
+            let base = templates[i % templates.len()];
+            let text = if i < templates.len() {
+                base.to_string()
+            } else {
+                // Same shape, distinct syntax: conjoin a trivially true
+                // equality on the (i mod |C|)-th constant.
+                let name = db
+                    .voc()
+                    .const_name(qld_logic::ConstId((i % db.num_consts()) as u32));
+                format!("({base}) & {name} = {name}")
+            };
+            parse_query(db.voc(), &text).expect("batch query parses")
+        })
+        .collect()
+}
+
 /// The standard query mix used across experiments: a join, a negation,
 /// and a universally quantified implication.
 pub fn standard_queries(db: &CwDatabase) -> Vec<(&'static str, Query)> {

@@ -270,9 +270,17 @@ impl<'a> MappingEvaluator<'a> {
     }
 
     fn answers(&mut self, h: &[Elem]) -> Relation {
+        let query = self.query;
+        eval_query(self.image_for(h), query)
+    }
+
+    /// Counts the mapping and rebuilds the reusable image `h(Ph₁(LB))` —
+    /// the shared half of a visit, split out so the batched evaluators can
+    /// build the image once and evaluate many queries over it.
+    fn image_for(&mut self, h: &[Elem]) -> &PhysicalDb {
         self.evaluated += 1;
         apply_mapping_into(self.base, h, &mut self.image);
-        eval_query(&self.image, self.query)
+        &self.image
     }
 }
 
@@ -354,6 +362,199 @@ pub fn certain_answers_with(
         }
     }
     Ok((acc.to_relation(), stats))
+}
+
+/// The shared per-worker state of a *batched* Theorem 1 evaluation (and
+/// of its possible-answer dual): one [`CandidateSet`] per query, all
+/// processed inside each visited mapping, so a workload of N queries pays
+/// for **one** mapping enumeration (and one image build per mapping)
+/// instead of N.
+///
+/// The two duals differ only in what happens to a candidate whose mapped
+/// image satisfies the query: certain answers *keep* exactly those
+/// (`retain_mapped_in` — a single failing mapping kills a candidate),
+/// possible answers *move* them to the per-query `collected` set
+/// (`split_mapped_in` — a single succeeding mapping proves a candidate).
+/// Either way the per-mapping loop deactivates a query the moment its
+/// remaining set empties (certain: the answer can only stay empty;
+/// possible: every candidate is already proven), and the enumeration
+/// early exits once *every* query has stabilized. A query whose set is
+/// still shrinking sees every remaining mapping, exactly as an
+/// independent run would, so the batched answers are bit-identical to N
+/// independent calls.
+struct MultiQueryEvaluator<'a> {
+    eval: MappingEvaluator<'a>,
+    queries: &'a [Query],
+    /// Per-query undecided candidates.
+    cands: Vec<CandidateSet>,
+    /// Per-query proven-possible candidates (possible mode; stays empty
+    /// in certain mode).
+    collected: Vec<CandidateSet>,
+    /// `false`: certain mode (retain). `true`: possible mode (split into
+    /// `collected`).
+    collect: bool,
+    /// Queries whose undecided set is still non-empty.
+    live: usize,
+}
+
+impl<'a> MultiQueryEvaluator<'a> {
+    fn new(
+        base: &'a PhysicalDb,
+        queries: &'a [Query],
+        num_consts: usize,
+        collect: bool,
+    ) -> MultiQueryEvaluator<'a> {
+        let cands: Vec<CandidateSet> = queries
+            .iter()
+            .map(|q| CandidateSet::full(num_consts, q.arity()))
+            .collect();
+        let collected = queries
+            .iter()
+            .map(|q| CandidateSet::empty(q.arity()))
+            .collect();
+        let live = cands.iter().filter(|c| !c.is_empty()).count();
+        MultiQueryEvaluator {
+            // The shared image buffer needs *a* query for the single-query
+            // evaluator shape; the batch loop evaluates each query itself.
+            eval: MappingEvaluator::new(base, &queries[0]),
+            queries,
+            cands,
+            collected,
+            collect,
+            live,
+        }
+    }
+
+    /// Visits one mapping for the whole batch: rebuild the image once,
+    /// evaluate every still-live query over it, prune (or split) its
+    /// candidates. Returns the number of queries still live.
+    fn visit(&mut self, h: &[Elem]) -> usize {
+        let image = self.eval.image_for(h);
+        for (i, query) in self.queries.iter().enumerate() {
+            if self.cands[i].is_empty() {
+                continue;
+            }
+            let answers = eval_query(image, query);
+            if self.collect {
+                self.cands[i].split_mapped_in(h, &answers, &mut self.collected[i]);
+            } else {
+                self.cands[i].retain_mapped_in(h, &answers);
+            }
+            if self.cands[i].is_empty() {
+                self.live -= 1;
+            }
+        }
+        self.live
+    }
+}
+
+/// Batched [`certain_answers_with`]: evaluates every query in `queries`
+/// against **one** mapping enumeration. The answers (and the per-query
+/// relation order) are bit-identical to N independent calls; the returned
+/// [`EvalStats`] counts each visited mapping once for the whole batch, so
+/// `mappings_evaluated` is the shared enumeration total, not an N× sum.
+///
+/// An empty batch returns no relations and default stats without touching
+/// the database.
+pub fn certain_answers_batch_with(
+    db: &CwDatabase,
+    queries: &[Query],
+    opts: ExactOptions,
+) -> Result<(Vec<Relation>, EvalStats), LogicError> {
+    for query in queries {
+        query.check(db.voc())?;
+    }
+    if queries.is_empty() {
+        return Ok((Vec::new(), EvalStats::default()));
+    }
+
+    if opts.corollary2_fast_path && db.is_fully_specified() {
+        let base = ph1(db);
+        let stats = EvalStats {
+            fast_path: true,
+            ..EvalStats::default()
+        };
+        let answers = queries.iter().map(|q| eval_query(&base, q)).collect();
+        return Ok((answers, stats));
+    }
+
+    let n = db.num_consts();
+    let base = ph1(db);
+    let states = run_mappings(
+        db,
+        opts,
+        |_| MultiQueryEvaluator::new(&base, queries, n, false),
+        |w, h| {
+            let live = w.visit(h);
+            // Early exit only once *every* query in the batch has
+            // stabilized (all candidate sets empty): emptying one worker's
+            // sets empties the global per-query intersections.
+            !opts.early_exit || live > 0
+        },
+    );
+
+    let stats = EvalStats {
+        mappings_evaluated: states.iter().map(|w| w.eval.evaluated).sum(),
+        fast_path: false,
+        workers_used: (states.len() as u32).max(1),
+    };
+    let mut states = states.into_iter();
+    let first = states.next().expect("at least one worker");
+    let mut acc = first.cands;
+    for w in states {
+        for (mine, theirs) in acc.iter_mut().zip(w.cands.iter()) {
+            mine.intersect_sorted(theirs);
+        }
+    }
+    Ok((acc.iter().map(CandidateSet::to_relation).collect(), stats))
+}
+
+/// Batched [`possible_answers_with`]: the union dual of
+/// [`certain_answers_batch_with`], with the same one-enumeration contract.
+/// Early exit fires once every query has proven its whole candidate space
+/// possible.
+pub fn possible_answers_batch_with(
+    db: &CwDatabase,
+    queries: &[Query],
+    opts: ExactOptions,
+) -> Result<(Vec<Relation>, EvalStats), LogicError> {
+    for query in queries {
+        query.check(db.voc())?;
+    }
+    if queries.is_empty() {
+        return Ok((Vec::new(), EvalStats::default()));
+    }
+    let n = db.num_consts();
+    let base = ph1(db);
+    let states = run_mappings(
+        db,
+        opts,
+        |_| MultiQueryEvaluator::new(&base, queries, n, true),
+        |w, h| {
+            let live = w.visit(h);
+            // A worker with every remaining set empty has proven every
+            // candidate of every query possible — the global unions are
+            // already the full spaces, stop the pool.
+            !opts.early_exit || live > 0
+        },
+    );
+
+    let stats = EvalStats {
+        mappings_evaluated: states.iter().map(|w| w.eval.evaluated).sum(),
+        fast_path: false,
+        workers_used: (states.len() as u32).max(1),
+    };
+    let answers = (0..queries.len())
+        .map(|i| {
+            Relation::collect(
+                queries[i].arity(),
+                states
+                    .iter()
+                    .flat_map(|w| w.collected[i].iter().map(<[Elem]>::to_vec)),
+            )
+        })
+        .collect();
+    Ok((answers, stats))
 }
 
 /// Does the theory finitely imply the sentence? (`T ⊨_f σ`.)
@@ -697,6 +898,94 @@ mod tests {
         assert!(d.corollary2_fast_path);
         assert!(d.early_exit);
         assert_eq!(d.strategy, MappingStrategy::Kernels);
+    }
+
+    #[test]
+    fn batch_matches_independent_calls() {
+        let db = teaching();
+        let queries: Vec<Query> = [
+            "(x) . TEACHES(socrates, x)",
+            "(x) . !TEACHES(socrates, x)",
+            "(x, y) . TEACHES(x, y)",
+            "TEACHES(socrates, plato)",
+            "exists x. TEACHES(x, mystery)",
+        ]
+        .iter()
+        .map(|s| parse_query(db.voc(), s).unwrap())
+        .collect();
+        for threads in [1usize, 4] {
+            let opts = ExactOptions {
+                corollary2_fast_path: false,
+                ..ExactOptions::with_threads(threads)
+            };
+            let (certain, cstats) = certain_answers_batch_with(&db, &queries, opts).unwrap();
+            let (possible, pstats) = possible_answers_batch_with(&db, &queries, opts).unwrap();
+            assert_eq!(certain.len(), queries.len());
+            assert!(cstats.workers_used >= 1);
+            assert!(pstats.workers_used >= 1);
+            for (i, q) in queries.iter().enumerate() {
+                let (solo_c, _) = certain_answers_with(&db, q, opts).unwrap();
+                let (solo_p, _) = possible_answers_with(&db, q, opts).unwrap();
+                assert_eq!(certain[i], solo_c, "certain batch diverged on query {i}");
+                assert_eq!(possible[i], solo_p, "possible batch diverged on query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_shares_one_enumeration() {
+        use crate::mappings::count_kernel_mappings;
+        let db = teaching();
+        // Queries whose candidate sets never fully stabilize: the batch
+        // must walk the entire kernel set exactly once.
+        let queries: Vec<Query> = [
+            "(x) . TEACHES(socrates, x) | x = x",
+            "(x, y) . TEACHES(x, y) | y = y",
+            "(x) . !TEACHES(x, x) | x = x",
+        ]
+        .iter()
+        .map(|s| parse_query(db.voc(), s).unwrap())
+        .collect();
+        let opts = ExactOptions {
+            corollary2_fast_path: false,
+            ..ExactOptions::sequential()
+        };
+        let (_, stats) = certain_answers_batch_with(&db, &queries, opts).unwrap();
+        // One shared enumeration: the batch total equals the kernel count,
+        // not 3× it.
+        assert_eq!(stats.mappings_evaluated, count_kernel_mappings(&db));
+        let (_, solo) = certain_answers_with(&db, &queries[0], opts).unwrap();
+        assert_eq!(stats.mappings_evaluated, solo.mappings_evaluated);
+    }
+
+    #[test]
+    fn batch_empty_and_fast_path() {
+        let db = teaching();
+        let (answers, stats) =
+            certain_answers_batch_with(&db, &[], ExactOptions::sequential()).unwrap();
+        assert!(answers.is_empty());
+        assert_eq!(stats.mappings_evaluated, 0);
+
+        // Fully specified database: the batch takes the Corollary 2 fast
+        // path, one physical evaluation per query, no enumeration.
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b"]).unwrap();
+        let r = voc.add_pred("R", 2).unwrap();
+        let fdb = CwDatabase::builder(voc)
+            .fact(r, &[ids[0], ids[1]])
+            .fully_specified()
+            .build()
+            .unwrap();
+        let queries: Vec<Query> = ["(x) . exists y. R(x, y)", "(x) . !R(x, x)"]
+            .iter()
+            .map(|s| parse_query(fdb.voc(), s).unwrap())
+            .collect();
+        let (answers, stats) =
+            certain_answers_batch_with(&fdb, &queries, ExactOptions::sequential()).unwrap();
+        assert!(stats.fast_path);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(answers[i], certain_answers(&fdb, q).unwrap());
+        }
     }
 
     #[test]

@@ -38,8 +38,9 @@ pub mod theory;
 pub mod worlds;
 
 pub use exact::{
-    certain_answers, certain_answers_with, certainly_holds, possible_answers,
-    possible_answers_with, EvalStats, ExactOptions, MappingStrategy,
+    certain_answers, certain_answers_batch_with, certain_answers_with, certainly_holds,
+    possible_answers, possible_answers_batch_with, possible_answers_with, EvalStats, ExactOptions,
+    MappingStrategy,
 };
 pub use mappings::ParallelConfig;
 pub use ph::Ph2;

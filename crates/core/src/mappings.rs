@@ -427,10 +427,22 @@ pub fn count_respecting_mappings(db: &CwDatabase) -> u64 {
 /// Counts the NE-separating kernel partitions (Bell(|C|) when there are no
 /// uniqueness axioms).
 pub fn count_kernel_mappings(db: &CwDatabase) -> u64 {
+    count_kernel_mappings_up_to(db, u64::MAX)
+}
+
+/// Like [`count_kernel_mappings`], but abandons the count the moment it
+/// reaches `limit` (returning `limit`). This is the cost-model probe the
+/// engine's `Auto` budget uses: "is the Theorem 1 enumeration within
+/// budget?" must itself cost at most `budget + 1` tree steps, not a full
+/// Bell-number walk.
+pub fn count_kernel_mappings_up_to(db: &CwDatabase, limit: u64) -> u64 {
+    if limit == 0 {
+        return 0;
+    }
     let mut count = 0u64;
     for_each_kernel_mapping(db, |_| {
         count += 1;
-        true
+        count < limit
     });
     count
 }
@@ -523,6 +535,18 @@ mod tests {
         // Bell(4)=15 minus partitions merging 1 and 2. Partitions of a
         // 4-set where two fixed elements share a block = Bell(3) = 5.
         assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn bounded_count_stops_at_limit() {
+        let db = db_with(4, &[]);
+        assert_eq!(count_kernel_mappings(&db), 15);
+        assert_eq!(count_kernel_mappings_up_to(&db, 0), 0);
+        assert_eq!(count_kernel_mappings_up_to(&db, 1), 1);
+        assert_eq!(count_kernel_mappings_up_to(&db, 5), 5);
+        assert_eq!(count_kernel_mappings_up_to(&db, 15), 15);
+        // A limit above the true count returns the true count.
+        assert_eq!(count_kernel_mappings_up_to(&db, 1000), 15);
     }
 
     #[test]

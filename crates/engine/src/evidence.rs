@@ -120,6 +120,15 @@ pub enum Certificate {
     /// The tuples are a *superset* of `Q(LB)`: possible answers (tuples
     /// true in at least one model).
     PossibleUpperBound,
+    /// The engine *refused* a Theorem 1 enumeration that exceeded the
+    /// configured mapping budget and returned certified bounds instead:
+    /// the tuples are the §5 lower bound (sound by Theorem 11), and
+    /// [`Answers::upper_bound`](crate::Answers::upper_bound) carries a
+    /// certified superset of `Q(LB)` (the complement of the §5
+    /// approximation of `¬Q`, sound by Theorem 11 applied to the negated
+    /// query). Equal bounds pin the answer exactly; a gap is the price of
+    /// staying polynomial.
+    BoundedPair,
 }
 
 impl Certificate {
@@ -142,6 +151,7 @@ impl Certificate {
             Certificate::ExactCompleteness(t) => t.name(),
             Certificate::SoundLowerBound => "Theorem 11",
             Certificate::PossibleUpperBound => "possible-answer dual of Theorem 1",
+            Certificate::BoundedPair => "Theorem 11 (on Q and ¬Q)",
         }
     }
 }
@@ -156,6 +166,9 @@ impl fmt::Display for Certificate {
             }
             Certificate::SoundLowerBound => write!(f, "sound lower bound (Theorem 11)"),
             Certificate::PossibleUpperBound => write!(f, "upper bound (possible answers)"),
+            Certificate::BoundedPair => {
+                write!(f, "certified bounds (Theorem 11 on Q and ¬Q; over budget)")
+            }
         }
     }
 }
@@ -178,23 +191,44 @@ pub struct Evidence {
     /// approximation never enumerate mappings).
     pub mappings_evaluated: u64,
     /// Worker threads that participated in the mapping enumeration: `1`
-    /// for the sequential path, more under
+    /// for the sequential path (the sequential fallback really does use one
+    /// worker — the calling thread), more under
     /// [`EngineBuilder::parallelism`](crate::EngineBuilder::parallelism),
-    /// `0` for the regimes that never enumerate mappings.
+    /// `0` only for the regimes that never enumerate mappings.
     pub workers_used: u32,
+    /// The answer was served from the engine's answer cache: no regime ran
+    /// and no mappings were enumerated for this call (`mappings_evaluated`
+    /// is 0); the regime/certificate fields describe the original
+    /// computation the cached answer came from.
+    pub cache_hit: bool,
+    /// `Some(n)`: this answer came out of an [`Engine::execute_batch`]
+    /// group of `n` queries sharing **one** mapping enumeration —
+    /// `mappings_evaluated` is that shared total (each mapping counted
+    /// once for the whole group), not a per-query cost.
+    ///
+    /// [`Engine::execute_batch`]: crate::Engine::execute_batch
+    pub shared_batch: Option<usize>,
 }
 
 impl Evidence {
     /// One-line human-readable summary, e.g.
     /// `auto → §5 approx, exact (Theorem 11 + Theorem 13)` or
-    /// `exact → Theorem 1, exact (Theorem 1), 15 mapping(s), 4 worker(s)`.
+    /// `exact → Theorem 1, exact (Theorem 1), 15 mapping(s), 4 worker(s)`,
+    /// with `(cached)` appended on cache hits and the shared-enumeration
+    /// batch size when the mappings were amortized across a batch.
     pub fn summary(&self) -> String {
         let mut s = format!("{} → {}, {}", self.requested, self.regime, self.certificate);
         if self.mappings_evaluated > 0 {
             s.push_str(&format!(", {} mapping(s)", self.mappings_evaluated));
+            if let Some(n) = self.shared_batch {
+                s.push_str(&format!(" shared across batch of {n}"));
+            }
         }
         if self.workers_used > 1 {
             s.push_str(&format!(", {} worker(s)", self.workers_used));
+        }
+        if self.cache_hit {
+            s.push_str(" (cached)");
         }
         s
     }
@@ -210,11 +244,34 @@ impl Evidence {
 pub struct Answers {
     tuples: Relation,
     evidence: Evidence,
+    upper_bound: Option<Relation>,
 }
 
 impl Answers {
     pub(crate) fn new(tuples: Relation, evidence: Evidence) -> Answers {
-        Answers { tuples, evidence }
+        Answers {
+            tuples,
+            evidence,
+            upper_bound: None,
+        }
+    }
+
+    pub(crate) fn with_upper_bound(mut self, upper: Relation) -> Answers {
+        self.upper_bound = Some(upper);
+        self
+    }
+
+    /// The answer as served from the engine's cache: identical tuples
+    /// (and upper bound), original regime and certificate, but stamped
+    /// `cache_hit` with zero new mappings — this call enumerated nothing.
+    pub(crate) fn as_cache_hit(&self, elapsed: Duration) -> Answers {
+        let mut hit = self.clone();
+        hit.evidence.cache_hit = true;
+        hit.evidence.mappings_evaluated = 0;
+        hit.evidence.workers_used = 0;
+        hit.evidence.shared_batch = None;
+        hit.evidence.elapsed = elapsed;
+        hit
     }
 
     /// The answer tuples.
@@ -254,6 +311,16 @@ impl Answers {
     pub fn is_exact(&self) -> bool {
         self.evidence.certificate.is_exact()
     }
+
+    /// Under [`Certificate::BoundedPair`]: the certified *superset* of
+    /// `Q(LB)` accompanying the lower-bound tuples (the engine refused an
+    /// over-budget Theorem 1 enumeration and bracketed the answer instead).
+    /// `None` for every other certificate. When the upper bound equals
+    /// [`Answers::tuples`], the bracket is tight and the tuples *are*
+    /// `Q(LB)` even though the enumeration never ran.
+    pub fn upper_bound(&self) -> Option<&Relation> {
+        self.upper_bound.as_ref()
+    }
 }
 
 #[cfg(test)]
@@ -276,6 +343,7 @@ mod tests {
         assert!(Certificate::ExactCompleteness(CompletenessTheorem::PositiveQuery).is_exact());
         assert!(!Certificate::SoundLowerBound.is_exact());
         assert!(!Certificate::PossibleUpperBound.is_exact());
+        assert!(!Certificate::BoundedPair.is_exact());
     }
 
     #[test]
@@ -287,14 +355,28 @@ mod tests {
             elapsed: Duration::from_millis(1),
             mappings_evaluated: 15,
             workers_used: 1,
+            cache_hit: false,
+            shared_batch: None,
         };
         let s = ev.summary();
         assert!(s.contains("Theorem 1"), "{s}");
         assert!(s.contains("15 mapping(s)"), "{s}");
         // Single-worker runs don't advertise the pool…
         assert!(!s.contains("worker"), "{s}");
+        assert!(!s.contains("cached"), "{s}");
+        assert!(!s.contains("batch"), "{s}");
         // …multi-worker runs do.
         ev.workers_used = 4;
         assert!(ev.summary().contains("4 worker(s)"), "{}", ev.summary());
+        // Batch-shared enumerations and cache hits are both visible.
+        ev.shared_batch = Some(3);
+        assert!(
+            ev.summary()
+                .contains("15 mapping(s) shared across batch of 3"),
+            "{}",
+            ev.summary()
+        );
+        ev.cache_hit = true;
+        assert!(ev.summary().ends_with("(cached)"), "{}", ev.summary());
     }
 }

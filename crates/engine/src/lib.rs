@@ -269,14 +269,19 @@ mod tests {
     #[test]
     fn parallelism_is_bit_identical_and_reports_workers() {
         let db = teaching();
+        // Cache off: this test re-executes the same queries and asserts
+        // fresh per-run evidence (worker counts), which a cache hit would
+        // — correctly — short-circuit.
         let sequential = Engine::builder(db.clone())
             .semantics(Semantics::Exact)
             .parallelism(1)
+            .answer_cache(false)
             .build();
         for threads in [2usize, 4, 8] {
             let parallel = Engine::builder(db.clone())
                 .semantics(Semantics::Exact)
                 .parallelism(threads)
+                .answer_cache(false)
                 .build();
             assert_eq!(parallel.parallelism(), threads);
             for text in [
@@ -305,6 +310,160 @@ mod tests {
         assert_eq!(engine.parallelism(), 2);
         let ans = engine.query("(x) . !TEACHES(socrates, x)").unwrap();
         assert!(ans.evidence().workers_used >= 1);
+    }
+
+    #[test]
+    fn execute_batch_matches_individual_execution() {
+        let db = teaching();
+        let engine = Engine::builder(db.clone())
+            .semantics(Semantics::Exact)
+            .answer_cache(false)
+            .build();
+        let reference = Engine::builder(db).answer_cache(false).build();
+        let texts = [
+            "(x) . !TEACHES(socrates, x)",
+            "(x, y) . TEACHES(x, y)",
+            "TEACHES(socrates, mystery)",
+        ];
+        let prepared: Vec<_> = texts
+            .iter()
+            .map(|t| engine.prepare_text(t).unwrap())
+            .collect();
+        for semantics in Semantics::ALL {
+            let batch = engine.execute_batch_as(&prepared, semantics).unwrap();
+            assert_eq!(batch.len(), prepared.len());
+            for (i, t) in texts.iter().enumerate() {
+                let solo = reference
+                    .execute_as(&reference.prepare_text(t).unwrap(), semantics)
+                    .unwrap();
+                assert_eq!(batch[i].tuples(), solo.tuples(), "{semantics:?} on {t}");
+            }
+        }
+        // Theorem-1-bound queries under Exact share one enumeration: all
+        // three report the same shared total and the batch size.
+        let batch = engine
+            .execute_batch_as(&prepared, Semantics::Exact)
+            .unwrap();
+        let shared = batch[0].evidence().mappings_evaluated;
+        assert!(shared > 0);
+        for a in &batch {
+            assert_eq!(a.evidence().mappings_evaluated, shared);
+            assert_eq!(a.evidence().shared_batch, Some(3));
+            assert!(a.evidence().workers_used >= 1);
+        }
+    }
+
+    #[test]
+    fn execute_batch_deduplicates_and_serves_cache() {
+        let engine = Engine::builder(teaching())
+            .semantics(Semantics::Exact)
+            .build();
+        let p1 = engine.prepare_text("(x) . !TEACHES(socrates, x)").unwrap();
+        let p2 = engine.prepare_text("(x) . !TEACHES(socrates, x)").unwrap();
+        let p3 = engine.prepare_text("(x, y) . TEACHES(x, y)").unwrap();
+        // p1 and p2 are structurally identical: the shared group holds two
+        // distinct queries, not three.
+        let batch = engine.execute_batch(&[p1.clone(), p2.clone(), p3]).unwrap();
+        assert_eq!(batch[0].tuples(), batch[1].tuples());
+        assert_eq!(batch[0].evidence().shared_batch, Some(2));
+        assert!(!batch[0].evidence().cache_hit);
+        // A second batch over cached queries enumerates nothing.
+        let again = engine.execute_batch(&[p1, p2]).unwrap();
+        for a in &again {
+            assert!(a.evidence().cache_hit);
+            assert_eq!(a.evidence().mappings_evaluated, 0);
+        }
+        assert_eq!(again[0].tuples(), batch[0].tuples());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = Engine::new(teaching());
+        assert!(engine.execute_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_rejects_foreign_prepared_queries() {
+        let a = Engine::new(teaching());
+        let b = Engine::new(teaching());
+        let p = a.prepare_text("TEACHES(socrates, plato)").unwrap();
+        assert_eq!(
+            b.execute_batch(&[p]).unwrap_err(),
+            EngineError::PreparedElsewhere
+        );
+    }
+
+    #[test]
+    fn cache_serves_repeated_executions() {
+        let engine = Engine::builder(teaching())
+            .semantics(Semantics::Exact)
+            .build();
+        assert!(engine.cache_enabled());
+        let prepared = engine.prepare_text("(x) . !TEACHES(socrates, x)").unwrap();
+        let first = engine.execute(&prepared).unwrap();
+        assert!(!first.evidence().cache_hit);
+        assert!(first.evidence().mappings_evaluated > 0);
+        assert_eq!(engine.cache_len(), 1);
+
+        let second = engine.execute(&prepared).unwrap();
+        assert!(second.evidence().cache_hit);
+        assert_eq!(second.evidence().mappings_evaluated, 0);
+        assert_eq!(second.evidence().workers_used, 0);
+        assert_eq!(second.tuples(), first.tuples());
+        assert_eq!(second.evidence().certificate, first.evidence().certificate);
+        assert_eq!(second.evidence().regime, first.evidence().regime);
+
+        // Different semantics: separate cache slot, fresh run.
+        let possible = engine.execute_as(&prepared, Semantics::Possible).unwrap();
+        assert!(!possible.evidence().cache_hit);
+        assert_eq!(engine.cache_len(), 2);
+
+        // Invalidation empties the cache; the next run is fresh again.
+        engine.invalidate_cache();
+        assert_eq!(engine.cache_len(), 0);
+        let third = engine.execute(&prepared).unwrap();
+        assert!(!third.evidence().cache_hit);
+        assert_eq!(third.tuples(), first.tuples());
+
+        // Toggling the cache off stops lookups and inserts.
+        engine.set_cache_enabled(false);
+        let fourth = engine.execute(&prepared).unwrap();
+        assert!(!fourth.evidence().cache_hit);
+    }
+
+    #[test]
+    fn mapping_budget_refuses_hopeless_escalations_with_certified_bounds() {
+        let db = teaching(); // kernel count > 1 (mystery is unconstrained)
+        let budgeted = Engine::builder(db.clone()).mapping_budget(1).build();
+        let unbudgeted = Engine::new(db);
+        // A query with no completeness certificate: Auto would escalate.
+        let text = "(x) . !TEACHES(socrates, x)";
+        let bounded = budgeted.query(text).unwrap();
+        assert_eq!(bounded.evidence().certificate, Certificate::BoundedPair);
+        assert_eq!(bounded.evidence().mappings_evaluated, 0);
+        assert!(!bounded.is_exact());
+        let upper = bounded.upper_bound().expect("bounded pair carries bounds");
+        let truth = unbudgeted.query(text).unwrap();
+        assert!(
+            bounded.tuples().is_subset_of(truth.tuples()),
+            "lower bound unsound"
+        );
+        assert!(
+            truth.tuples().is_subset_of(upper),
+            "upper bound not a superset"
+        );
+        // Within budget, Auto still escalates normally.
+        let generous = Engine::builder(budgeted.db().clone())
+            .mapping_budget(1_000_000)
+            .build();
+        let exact = generous.query(text).unwrap();
+        assert_eq!(exact.evidence().certificate, Certificate::ExactTheorem1);
+        assert_eq!(exact.tuples(), truth.tuples());
+        // Certified paths are untouched by the budget.
+        let positive = budgeted.query("(x) . TEACHES(socrates, x)").unwrap();
+        assert!(positive.is_exact());
+        // Non-bounded answers carry no upper bound.
+        assert!(positive.upper_bound().is_none());
     }
 
     #[test]

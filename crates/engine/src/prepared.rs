@@ -24,12 +24,22 @@ pub struct PreparedQuery {
     pub(crate) completeness: Option<CompletenessTheorem>,
     pub(crate) rewritten: Query,
     pub(crate) plan: Option<Plan>,
+    pub(crate) fingerprint: u64,
 }
 
 impl PreparedQuery {
     /// The validated source query.
     pub fn query(&self) -> &Query {
         &self.query
+    }
+
+    /// A structural hash of the source query, computed once at prepare
+    /// time. Within one engine it identifies the query up to structural
+    /// equality, so `(fingerprint, semantics)` keys the engine's answer
+    /// cache: every other cache-relevant input (database, backend, alpha
+    /// mode, NE store, mapping strategy) is fixed at engine construction.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The query's syntactic class (positive first-order / first-order /

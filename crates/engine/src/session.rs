@@ -6,19 +6,163 @@ use crate::prepared::PreparedQuery;
 use qld_algebra::{compile_query_ordered, execute, optimize};
 use qld_approx::{exactness_theorem, AlphaMode, ApproxEngine, Backend, CompletenessTheorem};
 use qld_core::exact::{
-    certain_answers_with, possible_answers_with, EvalStats, ExactOptions, MappingStrategy,
+    certain_answers_batch_with, certain_answers_with, possible_answers_batch_with,
+    possible_answers_with, EvalStats, ExactOptions, MappingStrategy,
 };
-use qld_core::mappings::ParallelConfig;
+use qld_core::mappings::{count_kernel_mappings_up_to, ParallelConfig};
 use qld_core::ph::ph1;
 use qld_core::CwDatabase;
 use qld_logic::parser::parse_query;
-use qld_logic::Query;
-use qld_physical::{eval_query, PhysicalDb, Relation};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use qld_logic::{Formula, Query};
+use qld_physical::{eval_query, Elem, PhysicalDb, Relation, TupleSpace};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Hard cap on cached answers per engine. When full, an arbitrary entry
+/// is evicted per insert — crude but bounded; an LRU policy is a roadmap
+/// item. At the default the cache stays useful for any realistic
+/// prepared-query working set while a many-distinct-query adversary
+/// cannot grow it without bound.
+const ANSWER_CACHE_CAPACITY: usize = 4096;
+
+/// The engine's interior-mutability answer cache: finished [`Answers`]
+/// keyed by `(prepared-query fingerprint, semantics)`, with the source
+/// [`Query`] stored alongside each entry and compared on lookup — a
+/// fingerprint collision between structurally different queries is a
+/// cache *miss*, never a wrong answer. Every other input that could
+/// change an answer — the database, backend, alpha mode, NE store,
+/// mapping strategy, Corollary 2 toggle, mapping budget — is fixed at
+/// engine construction, so it needs no spot in the key; the
+/// answer-irrelevant knobs (parallelism, default semantics) are deliberately
+/// excluded. The cache must be explicitly invalidated by anything that
+/// mutates the database (see [`Engine::invalidate_cache`]).
+#[derive(Debug)]
+struct AnswerCache {
+    enabled: AtomicBool,
+    map: Mutex<HashMap<(u64, Semantics), (Query, Answers)>>,
+}
+
+impl AnswerCache {
+    fn new(enabled: bool) -> AnswerCache {
+        AnswerCache {
+            enabled: AtomicBool::new(enabled),
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// A hit returns the stored answer re-stamped as cached (`cache_hit`
+    /// true, zero mappings, the lookup's elapsed time).
+    fn lookup(&self, prepared: &PreparedQuery, semantics: Semantics) -> Option<Answers> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let start = Instant::now();
+        let map = self.map.lock().expect("answer cache poisoned");
+        map.get(&(prepared.fingerprint, semantics))
+            .filter(|(query, _)| *query == prepared.query)
+            .map(|(_, answers)| answers.as_cache_hit(start.elapsed()))
+    }
+
+    fn insert(&self, prepared: &PreparedQuery, semantics: Semantics, answers: &Answers) {
+        self.insert_with_capacity(prepared, semantics, answers, ANSWER_CACHE_CAPACITY);
+    }
+
+    fn insert_with_capacity(
+        &self,
+        prepared: &PreparedQuery,
+        semantics: Semantics,
+        answers: &Answers,
+        capacity: usize,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut map = self.map.lock().expect("answer cache poisoned");
+        let key = (prepared.fingerprint, semantics);
+        if map.len() >= capacity && !map.contains_key(&key) {
+            if let Some(evict) = map.keys().next().copied() {
+                map.remove(&evict);
+            }
+        }
+        map.insert(key, (prepared.query.clone(), answers.clone()));
+    }
+
+    fn clear(&self) {
+        self.map.lock().expect("answer cache poisoned").clear();
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().expect("answer cache poisoned").len()
+    }
+}
+
+/// What one evaluation run produced, before packaging into [`Answers`].
+struct RunOutcome {
+    tuples: Relation,
+    regime: Regime,
+    certificate: Certificate,
+    stats: EvalStats,
+    /// Certified upper bound, set only by the over-budget bounded pair.
+    upper: Option<Relation>,
+}
+
+impl RunOutcome {
+    /// An outcome from a polynomial regime: no mappings enumerated, no
+    /// workers, no upper bound.
+    fn polynomial(tuples: Relation, regime: Regime, certificate: Certificate) -> RunOutcome {
+        RunOutcome {
+            tuples,
+            regime,
+            certificate,
+            stats: EvalStats::default(),
+            upper: None,
+        }
+    }
+}
+
+/// Which shared enumeration a batched execution joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EnumerationKind {
+    /// The Theorem 1 intersection (certain answers).
+    Certain,
+    /// The possible-answer union dual.
+    Possible,
+}
+
+/// Packages a run's outcome as [`Answers`] with full [`Evidence`].
+fn package(
+    outcome: RunOutcome,
+    semantics: Semantics,
+    shared_batch: Option<usize>,
+    start: Instant,
+) -> Answers {
+    let answers = Answers::new(
+        outcome.tuples,
+        Evidence {
+            requested: semantics,
+            regime: outcome.regime,
+            certificate: outcome.certificate,
+            elapsed: start.elapsed(),
+            mappings_evaluated: outcome.stats.mappings_evaluated,
+            workers_used: outcome.stats.workers_used,
+            cache_hit: false,
+            shared_batch,
+        },
+    );
+    match outcome.upper {
+        Some(upper) => answers.with_upper_bound(upper),
+        None => answers,
+    }
+}
 
 /// How the engine stores the `NE` inequality relation for the §5 path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,6 +185,12 @@ struct EngineConfig {
     strategy: MappingStrategy,
     corollary2_fast_path: bool,
     parallel: ParallelConfig,
+    /// `Some(b)`: under [`Semantics::Auto`], refuse Theorem 1 escalations
+    /// whose kernel-mapping count exceeds `b` and return certified bounds
+    /// instead. `None` (the default) escalates unconditionally.
+    mapping_budget: Option<u64>,
+    /// Whether the answer cache starts enabled.
+    answer_cache: bool,
 }
 
 /// Configures and constructs an [`Engine`]. Obtained from
@@ -61,6 +211,7 @@ impl EngineBuilder {
             semantics: Semantics::default(),
             config: EngineConfig {
                 corollary2_fast_path: true,
+                answer_cache: true,
                 ..EngineConfig::default()
             },
         }
@@ -119,15 +270,40 @@ impl EngineBuilder {
         self
     }
 
+    /// Caps how many kernel mappings an [`Semantics::Auto`] escalation may
+    /// enumerate. When the database's kernel count exceeds the budget, the
+    /// engine refuses the hopeless Theorem 1 run and returns the certified
+    /// bracket instead: the §5 lower bound as the tuples, plus a certified
+    /// upper bound (see [`Certificate::BoundedPair`] and
+    /// [`Answers::upper_bound`]) — both polynomial. The budget probe
+    /// itself is cheap: the kernel tree is counted with early abort at
+    /// `budget + 1`, once per engine. Unset by default (always escalate).
+    pub fn mapping_budget(mut self, budget: u64) -> Self {
+        self.config.mapping_budget = Some(budget);
+        self
+    }
+
+    /// Enables/disables the answer cache (on by default): finished answers
+    /// are stored per `(prepared query, semantics)` and repeated executions
+    /// are served back without re-running any regime, marked with
+    /// [`Evidence::cache_hit`]. Can also be toggled on a live engine with
+    /// [`Engine::set_cache_enabled`].
+    pub fn answer_cache(mut self, enabled: bool) -> Self {
+        self.config.answer_cache = enabled;
+        self
+    }
+
     /// Finalizes the engine.
     pub fn build(self) -> Engine {
         Engine {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             db: self.db,
             semantics: self.semantics,
+            cache: AnswerCache::new(self.config.answer_cache),
             config: self.config,
             approx: OnceLock::new(),
             ph1: OnceLock::new(),
+            kernel_count: OnceLock::new(),
         }
     }
 }
@@ -179,7 +355,7 @@ impl EngineBuilder {
 /// assert!(answers.is_exact()); // positive query → Theorem 13 certificate
 /// assert_eq!(engine.answer_names(&answers), vec![vec!["plato"]]);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Engine {
     id: u64,
     db: CwDatabase,
@@ -189,6 +365,31 @@ pub struct Engine {
     approx: OnceLock<ApproxEngine>,
     /// `Ph₁(LB)`, cached for the Corollary 2 fast path.
     ph1: OnceLock<PhysicalDb>,
+    /// Kernel-mapping count probed against `config.mapping_budget`,
+    /// computed once with early abort at `budget + 1`.
+    kernel_count: OnceLock<u64>,
+    /// The answer cache (see [`AnswerCache`]).
+    cache: AnswerCache,
+}
+
+impl Clone for Engine {
+    /// Clones the session configuration and database. The clone keeps the
+    /// engine id — prepared queries remain executable on it — but starts
+    /// with an **empty** answer cache (cached answers are cheap to
+    /// re-derive and a `Mutex`-held map is not meaningfully shareable by
+    /// value).
+    fn clone(&self) -> Engine {
+        Engine {
+            id: self.id,
+            db: self.db.clone(),
+            semantics: self.semantics,
+            config: self.config,
+            approx: self.approx.clone(),
+            ph1: self.ph1.clone(),
+            kernel_count: self.kernel_count.clone(),
+            cache: AnswerCache::new(self.cache.is_enabled()),
+        }
+    }
 }
 
 impl Engine {
@@ -273,6 +474,11 @@ impl Engine {
             Backend::Naive => None,
             Backend::Algebra(_) => self.compile_plan(&rewritten)?,
         };
+        let fingerprint = {
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            query.hash(&mut hasher);
+            hasher.finish()
+        };
         Ok(PreparedQuery {
             engine_id: self.id,
             query,
@@ -280,7 +486,35 @@ impl Engine {
             completeness,
             rewritten,
             plan,
+            fingerprint,
         })
+    }
+
+    /// Whether the answer cache is currently enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_enabled()
+    }
+
+    /// Turns the answer cache on or off. Disabling stops both lookups and
+    /// inserts but keeps existing entries (the database is immutable, so
+    /// they stay valid and re-enabling reuses them); use
+    /// [`Engine::invalidate_cache`] to drop them.
+    pub fn set_cache_enabled(&self, enabled: bool) {
+        self.cache.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Number of answers currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drops every cached answer. This is the invalidation contract for
+    /// database mutation: any future hook that changes the engine's
+    /// database (incremental fact/axiom deltas, per the roadmap) MUST call
+    /// this before serving another query — cached answers certify
+    /// statements about the database as it was when they were computed.
+    pub fn invalidate_cache(&self) {
+        self.cache.clear();
     }
 
     /// Compiles `Q̂` to an optimized algebra plan over the extended
@@ -317,7 +551,10 @@ impl Engine {
     }
 
     /// Executes a prepared query under an explicit semantics, regardless
-    /// of the session default.
+    /// of the session default. When the answer cache holds this
+    /// `(query, semantics)` pair the stored answer is returned immediately
+    /// with [`Evidence::cache_hit`] set and zero new mappings; otherwise
+    /// the regime runs and the result is cached for next time.
     pub fn execute_as(
         &self,
         prepared: &PreparedQuery,
@@ -326,24 +563,176 @@ impl Engine {
         if prepared.engine_id != self.id {
             return Err(EngineError::PreparedElsewhere);
         }
+        if let Some(hit) = self.cache.lookup(prepared, semantics) {
+            return Ok(hit);
+        }
         let start = Instant::now();
-        let (tuples, regime, certificate, stats) = match semantics {
+        let outcome = match semantics {
             Semantics::Exact => self.run_exact(prepared)?,
             Semantics::Approx => self.run_approx(prepared)?,
             Semantics::Possible => self.run_possible(prepared)?,
             Semantics::Auto => self.run_auto(prepared)?,
         };
-        Ok(Answers::new(
-            tuples,
-            Evidence {
-                requested: semantics,
+        let answers = package(outcome, semantics, None, start);
+        self.cache.insert(prepared, semantics, &answers);
+        Ok(answers)
+    }
+
+    /// Executes a whole batch of prepared queries under the session's
+    /// default semantics, amortizing the mapping enumeration: every query
+    /// the configured semantics would send through the Theorem 1
+    /// enumeration (or its possible-answer dual) shares **one** pass over
+    /// the respecting mappings, instead of re-walking the search tree per
+    /// query. See [`Engine::execute_batch_as`].
+    pub fn execute_batch(&self, prepared: &[PreparedQuery]) -> Result<Vec<Answers>, EngineError> {
+        self.execute_batch_as(prepared, self.semantics)
+    }
+
+    /// [`Engine::execute_batch`] under an explicit semantics.
+    ///
+    /// The batch is partitioned by evaluation route:
+    ///
+    /// * answers already in the cache are served from it (`cache_hit`);
+    /// * queries bound for a certified polynomial path (Corollary 2, the
+    ///   §5 approximation, the over-budget bounded pair) run individually
+    ///   — they are cheap and share nothing;
+    /// * every remaining query joins a shared enumeration group: one call
+    ///   into the batched Theorem 1 evaluator (or its possible-answer
+    ///   dual), with structurally identical queries deduplicated. Each
+    ///   group member's [`Evidence`] reports the group's shared
+    ///   `mappings_evaluated` total and [`Evidence::shared_batch`].
+    ///
+    /// Answers are bit-identical to executing each query separately; the
+    /// `i`-th answer corresponds to `prepared[i]`. Timing attribution:
+    /// individually-routed members and cache hits time themselves, while
+    /// every member of a shared enumeration group reports the *group's*
+    /// wall-clock as its `elapsed` — the enumeration ran once for all of
+    /// them, so per-member elapsed values must not be summed.
+    pub fn execute_batch_as(
+        &self,
+        prepared: &[PreparedQuery],
+        semantics: Semantics,
+    ) -> Result<Vec<Answers>, EngineError> {
+        for p in prepared {
+            if p.engine_id != self.id {
+                return Err(EngineError::PreparedElsewhere);
+            }
+        }
+        let mut results: Vec<Option<Answers>> = vec![None; prepared.len()];
+        let mut certain_group: Vec<usize> = Vec::new();
+        let mut possible_group: Vec<usize> = Vec::new();
+        for (i, p) in prepared.iter().enumerate() {
+            if let Some(hit) = self.cache.lookup(p, semantics) {
+                results[i] = Some(hit);
+            } else {
+                match self.enumeration_route(p, semantics) {
+                    Some(EnumerationKind::Certain) => certain_group.push(i),
+                    Some(EnumerationKind::Possible) => possible_group.push(i),
+                    None => results[i] = Some(self.execute_as(p, semantics)?),
+                }
+            }
+        }
+        self.run_shared_group(
+            prepared,
+            &certain_group,
+            EnumerationKind::Certain,
+            semantics,
+            &mut results,
+        )?;
+        self.run_shared_group(
+            prepared,
+            &possible_group,
+            EnumerationKind::Possible,
+            semantics,
+            &mut results,
+        )?;
+        Ok(results
+            .into_iter()
+            .map(|a| a.expect("every batch slot answered"))
+            .collect())
+    }
+
+    /// Would this `(query, semantics)` pair run a full mapping enumeration
+    /// (and which one)? These are exactly the executions worth batching.
+    ///
+    /// This is the **single** classification both the individual `run_*`
+    /// paths and the batch partitioner dispatch on — `run_exact` and
+    /// `run_auto` consult it rather than re-testing the fast-path /
+    /// completeness / budget conditions, so the batched and per-query
+    /// routes cannot drift apart.
+    fn enumeration_route(
+        &self,
+        prepared: &PreparedQuery,
+        semantics: Semantics,
+    ) -> Option<EnumerationKind> {
+        match semantics {
+            Semantics::Exact
+                if !(self.config.corollary2_fast_path && self.db.is_fully_specified()) =>
+            {
+                Some(EnumerationKind::Certain)
+            }
+            Semantics::Auto if prepared.completeness.is_none() && !self.over_mapping_budget() => {
+                Some(EnumerationKind::Certain)
+            }
+            Semantics::Possible => Some(EnumerationKind::Possible),
+            _ => None,
+        }
+    }
+
+    /// Runs one shared enumeration group of a batch: deduplicates
+    /// structurally identical queries (by full structural equality, so a
+    /// fingerprint collision cannot merge distinct queries), makes a
+    /// single call into the batched evaluator, and distributes answers
+    /// (and the shared stats and wall-clock) to every member slot.
+    fn run_shared_group(
+        &self,
+        prepared: &[PreparedQuery],
+        group: &[usize],
+        kind: EnumerationKind,
+        semantics: Semantics,
+        results: &mut [Option<Answers>],
+    ) -> Result<(), EngineError> {
+        if group.is_empty() {
+            return Ok(());
+        }
+        let start = Instant::now();
+        let mut slot_of: HashMap<&Query, usize> = HashMap::new();
+        let mut queries: Vec<Query> = Vec::new();
+        let mut slots: Vec<usize> = Vec::with_capacity(group.len());
+        for &i in group {
+            let slot = *slot_of.entry(&prepared[i].query).or_insert_with(|| {
+                queries.push(prepared[i].query.clone());
+                queries.len() - 1
+            });
+            slots.push(slot);
+        }
+        let opts = self.exact_options();
+        let ((rels, stats), regime, certificate) = match kind {
+            EnumerationKind::Certain => (
+                certain_answers_batch_with(&self.db, &queries, opts)?,
+                Regime::Theorem1,
+                Certificate::ExactTheorem1,
+            ),
+            EnumerationKind::Possible => (
+                possible_answers_batch_with(&self.db, &queries, opts)?,
+                Regime::PossibleWorlds,
+                Certificate::PossibleUpperBound,
+            ),
+        };
+        let shared = (queries.len() > 1).then_some(queries.len());
+        for (&i, &slot) in group.iter().zip(slots.iter()) {
+            let outcome = RunOutcome {
+                tuples: rels[slot].clone(),
                 regime,
                 certificate,
-                elapsed: start.elapsed(),
-                mappings_evaluated: stats.mappings_evaluated,
-                workers_used: stats.workers_used,
-            },
-        ))
+                stats,
+                upper: None,
+            };
+            let answers = package(outcome, semantics, shared, start);
+            self.cache.insert(&prepared[i], semantics, &answers);
+            results[i] = Some(answers);
+        }
+        Ok(())
     }
 
     /// One-shot convenience: parse, prepare, and execute under the
@@ -376,91 +765,126 @@ impl Engine {
 
     /// The full Theorem 1 enumeration — shared by `Exact` semantics and
     /// `Auto` escalation so the two can never diverge.
-    fn run_theorem1(
-        &self,
-        prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
+    fn run_theorem1(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
         let (rel, stats) = certain_answers_with(&self.db, prepared.query(), self.exact_options())?;
-        Ok((rel, Regime::Theorem1, Certificate::ExactTheorem1, stats))
-    }
-
-    fn run_exact(
-        &self,
-        prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
-        if self.config.corollary2_fast_path && self.db.is_fully_specified() {
-            let rel = eval_query(self.ph1_db(), prepared.query());
-            return Ok((
-                rel,
-                Regime::Corollary2,
-                Certificate::ExactCorollary2,
-                EvalStats::default(),
-            ));
-        }
-        self.run_theorem1(prepared)
-    }
-
-    fn run_possible(
-        &self,
-        prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
-        let (rel, stats) = possible_answers_with(&self.db, prepared.query(), self.exact_options())?;
-        Ok((
-            rel,
-            Regime::PossibleWorlds,
-            Certificate::PossibleUpperBound,
+        Ok(RunOutcome {
+            tuples: rel,
+            regime: Regime::Theorem1,
+            certificate: Certificate::ExactTheorem1,
             stats,
+            upper: None,
+        })
+    }
+
+    fn run_exact(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
+        if self.enumeration_route(prepared, Semantics::Exact).is_some() {
+            return self.run_theorem1(prepared);
+        }
+        Ok(RunOutcome::polynomial(
+            eval_query(self.ph1_db(), prepared.query()),
+            Regime::Corollary2,
+            Certificate::ExactCorollary2,
         ))
     }
 
-    fn run_approx(
-        &self,
-        prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
+    fn run_possible(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
+        let (rel, stats) = possible_answers_with(&self.db, prepared.query(), self.exact_options())?;
+        Ok(RunOutcome {
+            tuples: rel,
+            regime: Regime::PossibleWorlds,
+            certificate: Certificate::PossibleUpperBound,
+            stats,
+            upper: None,
+        })
+    }
+
+    fn run_approx(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
         let rel = self.eval_rewritten(prepared)?;
         let certificate = match prepared.completeness {
             Some(theorem) => Certificate::ExactCompleteness(theorem),
             None => Certificate::SoundLowerBound,
         };
-        Ok((
+        Ok(RunOutcome::polynomial(
             rel,
             Regime::Approximation,
             certificate,
-            EvalStats::default(),
         ))
     }
 
-    fn run_auto(
-        &self,
-        prepared: &PreparedQuery,
-    ) -> Result<(Relation, Regime, Certificate, EvalStats), EngineError> {
+    fn run_auto(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
+        // No completeness theorem and within budget: escalate to Theorem 1
+        // (the route predicate is shared with the batch partitioner).
+        if self.enumeration_route(prepared, Semantics::Auto).is_some() {
+            return self.run_theorem1(prepared);
+        }
         match prepared.completeness {
             // Fully specified: one physical evaluation is exact, and is
             // the cheapest certified path (works for second-order queries
             // too, unlike the algebra backend).
-            Some(CompletenessTheorem::FullySpecified) => {
-                let rel = eval_query(self.ph1_db(), prepared.query());
-                Ok((
-                    rel,
-                    Regime::Corollary2,
-                    Certificate::ExactCorollary2,
-                    EvalStats::default(),
-                ))
-            }
+            Some(CompletenessTheorem::FullySpecified) => Ok(RunOutcome::polynomial(
+                eval_query(self.ph1_db(), prepared.query()),
+                Regime::Corollary2,
+                Certificate::ExactCorollary2,
+            )),
             // Positive first-order: the §5 approximation is exact by
             // Theorems 11 + 13.
             Some(theorem @ CompletenessTheorem::PositiveQuery) => {
                 let rel = self.eval_rewritten(prepared)?;
-                Ok((
+                Ok(RunOutcome::polynomial(
                     rel,
                     Regime::Approximation,
                     Certificate::ExactCompleteness(theorem),
-                    EvalStats::default(),
                 ))
             }
-            // No completeness theorem applies: escalate to Theorem 1.
-            None => self.run_theorem1(prepared),
+            // No completeness theorem applies and the cost model says the
+            // enumeration is hopeless: certified bracket instead.
+            None => self.run_bounded_pair(prepared),
         }
+    }
+
+    /// Is the configured mapping budget exceeded? Probes the kernel count
+    /// once per engine, aborting the count at `budget + 1` so the probe
+    /// itself stays within budget.
+    fn over_mapping_budget(&self) -> bool {
+        match self.config.mapping_budget {
+            None => false,
+            Some(budget) => {
+                let count = self.kernel_count.get_or_init(|| {
+                    count_kernel_mappings_up_to(&self.db, budget.saturating_add(1))
+                });
+                *count > budget
+            }
+        }
+    }
+
+    /// The over-budget refusal: instead of a hopeless Theorem 1 run,
+    /// bracket `Q(LB)` with two polynomial evaluations — the §5
+    /// approximation of `Q` below (sound by Theorem 11) and the complement
+    /// of the §5 approximation of `¬Q` above (`t` certainly *not* an
+    /// answer means `t` is an answer in no model, so approx(¬Q) ⊆
+    /// certain(¬Q) excludes only non-answers). Both run on the naive
+    /// evaluator regardless of backend: this path must also serve the
+    /// second-order rewrites the algebra backend refuses.
+    fn run_bounded_pair(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
+        let approx = self.approx_engine();
+        let lower = eval_query(approx.extended_db(), prepared.rewritten());
+        let (head, body) = prepared.query.clone().into_parts();
+        let negated = Query::new(head, Formula::not(body))?;
+        let neg_rewritten = approx.rewrite(&negated, self.config.alpha)?;
+        let certainly_not = eval_query(approx.extended_db(), &neg_rewritten);
+        let arity = prepared.query.arity();
+        let consts: Vec<Elem> = (0..self.db.num_consts() as Elem).collect();
+        let upper = Relation::collect(
+            arity,
+            TupleSpace::new(&consts, arity).filter(|t| !certainly_not.contains(t)),
+        );
+        Ok(RunOutcome {
+            tuples: lower,
+            regime: Regime::Approximation,
+            certificate: Certificate::BoundedPair,
+            stats: EvalStats::default(),
+            upper: Some(upper),
+        })
     }
 
     /// Evaluates the prepared `Q̂` over `Ph₂(LB)` on the configured
@@ -474,5 +898,70 @@ impl Engine {
                 None => Err(EngineError::Compile(qld_algebra::CompileError::SecondOrder)),
             },
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_logic::Vocabulary;
+
+    fn tiny_engine() -> Engine {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b"]).unwrap();
+        voc.add_pred("P", 1).unwrap();
+        let db = CwDatabase::builder(voc).build().unwrap();
+        Engine::new(db)
+    }
+
+    #[test]
+    fn answer_cache_evicts_at_capacity() {
+        let engine = tiny_engine();
+        let queries = ["P(a)", "P(b)", "!P(a)", "!P(b)", "P(a) | P(b)"];
+        let prepared: Vec<_> = queries
+            .iter()
+            .map(|t| engine.prepare_text(t).unwrap())
+            .collect();
+        let answers = engine.execute(&prepared[0]).unwrap();
+        engine.invalidate_cache();
+        // Hammer a 2-entry cache with 5 distinct keys: it stays bounded
+        // and keeps serving correct hits for whatever it retains.
+        for p in &prepared {
+            engine
+                .cache
+                .insert_with_capacity(p, Semantics::Auto, &answers, 2);
+            assert!(engine.cache.len() <= 2);
+        }
+        assert_eq!(engine.cache.len(), 2);
+        // Re-inserting a retained key does not evict (no growth, no churn
+        // needed).
+        let retained: Vec<_> = prepared
+            .iter()
+            .filter(|p| engine.cache.lookup(p, Semantics::Auto).is_some())
+            .collect();
+        assert_eq!(retained.len(), 2);
+        engine
+            .cache
+            .insert_with_capacity(retained[0], Semantics::Auto, &answers, 2);
+        assert_eq!(engine.cache.len(), 2);
+        assert!(engine.cache.lookup(retained[1], Semantics::Auto).is_some());
+    }
+
+    #[test]
+    fn cache_lookup_rejects_fingerprint_collisions() {
+        let engine = tiny_engine();
+        let p1 = engine.prepare_text("P(a)").unwrap();
+        let p2 = engine.prepare_text("P(b)").unwrap();
+        let answers = engine.execute(&p1).unwrap();
+        engine.invalidate_cache();
+        engine.cache.insert(&p1, Semantics::Auto, &answers);
+        // Simulate a 64-bit fingerprint collision: a *different* query
+        // carrying p1's fingerprint must miss, not be served p1's answer.
+        let forged = PreparedQuery {
+            fingerprint: p1.fingerprint,
+            ..p2.clone()
+        };
+        assert!(engine.cache.lookup(&forged, Semantics::Auto).is_none());
+        assert!(engine.cache.lookup(&p1, Semantics::Auto).is_some());
     }
 }

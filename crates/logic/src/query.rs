@@ -10,7 +10,7 @@ use crate::{LogicError, Result};
 ///
 /// A query with an empty head is a *Boolean* query (a sentence); its answer
 /// is either `{()}` ("yes") or `{}` ("no").
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Query {
     head: Vec<Var>,
     body: Formula,

@@ -12,13 +12,24 @@ use std::process::ExitCode;
 
 fn usage() -> String {
     format!(
-        "usage: qld <database.qld> [--mode {MODE_USAGE}] [--threads <N>] [-q <query>]...\n\
-         With no -q, starts an interactive shell (:help for commands).\n\
+        "usage: qld <database.qld> [--mode {MODE_USAGE}] [--threads <N>]\n\
+         \x20          [--no-cache] [--batch <file>] [-q <query>]...\n\
+         With no -q/--batch, starts an interactive shell (:help for commands).\n\
          The default mode is `auto`: the engine runs the cheapest evaluation\n\
          path the paper proves exact and reports which theorem certified it.\n\
          --threads sets the enumeration worker count (0 = all CPUs; default\n\
-         from QLD_THREADS, else 1). Answers are identical at any count."
+         from QLD_THREADS, else 1). Answers are identical at any count.\n\
+         --batch runs a query file (one query per line, # comments) as one\n\
+         batch: all Theorem-1-bound queries share a single mapping\n\
+         enumeration. --no-cache disables the answer cache."
     )
+}
+
+/// A scripted action, kept in command-line order (`-q ':mode exact'
+/// --batch f.q` must run the mode switch before the batch).
+enum Action {
+    Query(String),
+    Batch(String),
 }
 
 fn main() -> ExitCode {
@@ -26,7 +37,8 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut mode: Option<Mode> = None;
     let mut threads: Option<usize> = None;
-    let mut one_shots: Vec<String> = Vec::new();
+    let mut no_cache = false;
+    let mut actions: Vec<Action> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "-h" | "--help" => {
@@ -48,12 +60,20 @@ fn main() -> ExitCode {
                 }
             },
             "-q" | "--query" => match args.next() {
-                Some(q) => one_shots.push(q),
+                Some(q) => actions.push(Action::Query(q)),
                 None => {
                     eprintln!("-q needs a query argument");
                     return ExitCode::from(2);
                 }
             },
+            "--batch" | "-b" => match args.next() {
+                Some(f) => actions.push(Action::Batch(f)),
+                None => {
+                    eprintln!("--batch needs a query-file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => no_cache = true,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`\n{}", usage());
@@ -88,13 +108,26 @@ fn main() -> ExitCode {
     if let Some(threads) = threads {
         session.set_threads(threads);
     }
+    if no_cache {
+        session.set_cache_enabled(false);
+    }
     let stdout = io::stdout();
     let mut out = stdout.lock();
 
-    if !one_shots.is_empty() {
-        for q in &one_shots {
-            if session.execute(q, &mut out).is_err() {
-                return ExitCode::FAILURE;
+    if !actions.is_empty() {
+        for action in &actions {
+            match action {
+                Action::Query(q) => {
+                    if session.execute(q, &mut out).is_err() {
+                        return ExitCode::FAILURE;
+                    }
+                }
+                // Scripting mode: an unreadable file or bad query line
+                // aborts with a failing exit code so callers can detect it.
+                Action::Batch(f) => match session.batch_file(f, &mut out) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => return ExitCode::FAILURE,
+                },
             }
         }
         return ExitCode::SUCCESS;

@@ -79,6 +79,16 @@ impl Session {
         self.engine.set_parallelism(threads);
     }
 
+    /// Whether the engine's answer cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.engine.cache_enabled()
+    }
+
+    /// Enables/disables the engine's answer cache.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.engine.set_cache_enabled(enabled);
+    }
+
     fn db(&self) -> &CwDatabase {
         self.engine.db()
     }
@@ -112,6 +122,18 @@ impl Session {
                     out,
                     "    :set threads <N>              enumeration worker threads (0 = all CPUs)"
                 )?;
+                writeln!(
+                    out,
+                    "    :cache on|off                 answer cache (repeat queries are free)"
+                )?;
+                writeln!(
+                    out,
+                    "    :batch <file>                 run a query file as one batch"
+                )?;
+                writeln!(
+                    out,
+                    "        all Theorem-1-bound queries share a single mapping enumeration"
+                )?;
                 writeln!(out, "    :stats                        database statistics")?;
                 writeln!(
                     out,
@@ -141,6 +163,27 @@ impl Session {
                 },
                 _ => writeln!(out, "usage: :set threads <N>  (0 = all CPUs)")?,
             },
+            Some("cache") => match words.next() {
+                Some("on") => {
+                    self.set_cache_enabled(true);
+                    writeln!(out, "cache: on")?;
+                }
+                Some("off") => {
+                    self.set_cache_enabled(false);
+                    writeln!(out, "cache: off")?;
+                }
+                _ => writeln!(out, "usage: :cache on|off")?,
+            },
+            Some("batch") => {
+                let rest = cmd["batch".len()..].trim();
+                if rest.is_empty() {
+                    writeln!(out, "usage: :batch <file>")?;
+                } else {
+                    // Interactive shell: a failed batch printed its error
+                    // and the session continues.
+                    let _ran = self.batch_file(rest, out)?;
+                }
+            }
             Some("stats") => {
                 writeln!(
                     out,
@@ -153,9 +196,11 @@ impl Session {
                 )?;
                 writeln!(
                     out,
-                    "mode: {}, threads: {}",
+                    "mode: {}, threads: {}, cache: {} ({} answer(s) cached)",
                     self.mode().name(),
-                    describe_threads(self.threads())
+                    describe_threads(self.threads()),
+                    if self.cache_enabled() { "on" } else { "off" },
+                    self.engine.cache_len()
                 )?;
             }
             Some("dump") => {
@@ -228,9 +273,20 @@ impl Session {
             }
             Err(e) => return writeln!(out, "error: {e}"),
         };
+        self.print_answers(prepared.query().is_boolean(), &answers, out)
+    }
+
+    /// Renders one answer set with its evidence tag (shared by single
+    /// queries and batch members).
+    fn print_answers(
+        &self,
+        is_boolean: bool,
+        answers: &qld_engine::Answers,
+        out: &mut dyn Write,
+    ) -> io::Result<()> {
         let evidence = answers.evidence();
         let tag = format!("{} in {:.2?}", evidence.summary(), evidence.elapsed);
-        if prepared.query().is_boolean() {
+        if is_boolean {
             let verdict = match (self.mode(), answers.holds()) {
                 (Mode::Possible, true) => "POSSIBLE",
                 (Mode::Possible, false) => "impossible",
@@ -239,11 +295,88 @@ impl Session {
             };
             writeln!(out, "{verdict}   [{tag}]")
         } else {
-            for tuple in self.engine.answer_names(&answers) {
+            for tuple in self.engine.answer_names(answers) {
                 writeln!(out, "({})", tuple.join(", "))?;
             }
             writeln!(out, "{} tuple(s)   [{tag}]", answers.len())
         }
+    }
+
+    /// The `:batch` script mode: reads a query file (one query per line;
+    /// blank lines and `#` comments ignored), prepares every query, and
+    /// executes the whole set through [`Engine::execute_batch`] — all
+    /// Theorem-1-bound queries share a single mapping enumeration.
+    ///
+    /// Returns whether the batch actually executed (`false` on an
+    /// unreadable file or a bad query line — the error is printed and the
+    /// whole batch is aborted, so scripted callers like `--batch` can
+    /// fail loudly while the interactive shell just shows the message).
+    ///
+    /// [`Engine::execute_batch`]: qld_engine::Engine::execute_batch
+    pub fn batch_file(&mut self, path: &str, out: &mut dyn Write) -> io::Result<bool> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                writeln!(out, "cannot read {path}: {e}")?;
+                return Ok(false);
+            }
+        };
+        self.batch_text(&text, out)
+    }
+
+    /// Runs batch-script text (see [`Session::batch_file`]).
+    pub fn batch_text(&mut self, text: &str, out: &mut dyn Write) -> io::Result<bool> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+            .collect();
+        let mut prepared = Vec::with_capacity(lines.len());
+        for &(lineno, line) in &lines {
+            let query = match parse_query(self.db().voc(), line) {
+                Ok(q) => q,
+                Err(e) => {
+                    writeln!(out, "line {lineno}: parse error: {e}")?;
+                    return Ok(false);
+                }
+            };
+            match self.engine.prepare(query) {
+                Ok(p) => prepared.push(p),
+                Err(e) => {
+                    writeln!(out, "line {lineno}: error: {e}")?;
+                    return Ok(false);
+                }
+            }
+        }
+        let answers = match self.engine.execute_batch(&prepared) {
+            Ok(a) => a,
+            Err(e @ EngineError::Compile(_)) => {
+                writeln!(out, "error: {e} (try :mode auto or :mode exact)")?;
+                return Ok(false);
+            }
+            Err(e) => {
+                writeln!(out, "error: {e}")?;
+                return Ok(false);
+            }
+        };
+        let mut shared_mappings = 0u64;
+        for (((_, line), p), a) in lines.iter().zip(prepared.iter()).zip(answers.iter()) {
+            writeln!(out, "> {line}")?;
+            self.print_answers(p.query().is_boolean(), a, out)?;
+            if a.evidence().shared_batch.is_some() {
+                shared_mappings = shared_mappings.max(a.evidence().mappings_evaluated);
+            }
+        }
+        write!(out, "batch: {} query(s)", answers.len())?;
+        if shared_mappings > 0 {
+            write!(
+                out,
+                ", {shared_mappings} mapping(s) in one shared enumeration"
+            )?;
+        }
+        writeln!(out)?;
+        Ok(true)
     }
 }
 
@@ -339,6 +472,73 @@ distinct socrates plato aristotle
         assert!(out.contains("Theorem 1,"), "{out}");
         assert!(out.contains("threads: auto (all CPUs)"), "{out}");
         assert_eq!(out.matches("usage: :set threads").count(), 3, "{out}");
+    }
+
+    #[test]
+    fn cache_command_toggles_and_reports() {
+        let (out, _) = run(&[
+            ":cache off",
+            ":stats",
+            ":cache on",
+            ":stats",
+            ":cache",
+            ":cache sideways",
+        ]);
+        assert!(out.contains("cache: off"), "{out}");
+        assert!(out.contains("cache: on"), "{out}");
+        assert_eq!(out.matches("usage: :cache on|off").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn repeated_query_is_a_cache_hit() {
+        let (out, _) = run(&["(x) . !TEACHES(socrates, x)", "(x) . !TEACHES(socrates, x)"]);
+        assert_eq!(out.matches("(cached)").count(), 1, "{out}");
+        // Both executions print the same answer tuples.
+        assert_eq!(out.matches("(aristotle)").count(), 2, "{out}");
+    }
+
+    #[test]
+    fn batch_text_shares_one_enumeration() {
+        let mut session = Session::new(from_text(SAMPLE).unwrap());
+        let mut out = Vec::new();
+        let ran = session
+            .batch_text(
+                "# comment\n\
+                 (x) . TEACHES(socrates, x)\n\
+                 (x) . !TEACHES(socrates, x)\n\
+                 (x, y) . !TEACHES(x, y)\n",
+                &mut out,
+            )
+            .unwrap();
+        assert!(ran);
+        let out = String::from_utf8(out).unwrap();
+        // The positive query runs the certified §5 path…
+        assert!(out.contains("Theorem 13"), "{out}");
+        // …the two escalating queries share one enumeration.
+        assert!(out.contains("shared across batch of 2"), "{out}");
+        assert!(out.contains("batch: 3 query(s)"), "{out}");
+        assert!(out.contains("in one shared enumeration"), "{out}");
+        assert!(out.contains("> (x) . TEACHES(socrates, x)"), "{out}");
+    }
+
+    #[test]
+    fn batch_command_handles_missing_file_and_usage() {
+        let (out, _) = run(&[":batch", ":batch /nonexistent/queries.batch"]);
+        assert!(out.contains("usage: :batch <file>"), "{out}");
+        assert!(out.contains("cannot read"), "{out}");
+    }
+
+    #[test]
+    fn batch_text_reports_bad_lines_and_does_not_run() {
+        let mut session = Session::new(from_text(SAMPLE).unwrap());
+        let mut out = Vec::new();
+        let ran = session
+            .batch_text("TEACHES(socrates, plato)\nNOPE(\n", &mut out)
+            .unwrap();
+        assert!(!ran);
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("line 2: parse error"), "{out}");
+        assert!(!out.contains("CERTAIN"), "{out}");
     }
 
     #[test]

@@ -82,6 +82,59 @@ fn multiple_queries_and_commands() {
 }
 
 #[test]
+fn batch_flag_runs_a_query_file() {
+    let dir = std::env::temp_dir().join("qld_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("queries.batch");
+    std::fs::write(
+        &path,
+        "# a batch script: one certified-polynomial query, two escalations\n\
+         (x) . TEACHES(socrates, x)\n\
+         \n\
+         (x) . !TEACHES(socrates, x)\n\
+         (x) . !WISE(x)\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) = run(&[DB, "--batch", path.to_str().unwrap()]);
+    assert!(ok);
+    // Every query is echoed with its answers…
+    assert!(stdout.contains("> (x) . TEACHES(socrates, x)"), "{stdout}");
+    assert!(stdout.contains("(plato)"), "{stdout}");
+    // …and the Theorem-1-bound queries report the shared enumeration.
+    assert!(stdout.contains("shared across batch of 2"), "{stdout}");
+    assert!(stdout.contains("batch: 3 query(s)"), "{stdout}");
+    assert!(stdout.contains("in one shared enumeration"), "{stdout}");
+}
+
+#[test]
+fn batch_flag_fails_loudly_on_bad_input() {
+    // Scripting mode: a bad query line aborts the batch (nothing ran)
+    // with a failing exit code and the offending line number.
+    let dir = std::env::temp_dir().join("qld_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.batch");
+    std::fs::write(&path, "TEACHES(socrates, plato)\nNOPE(\n").unwrap();
+    let (stdout, _, ok) = run(&[DB, "--batch", path.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stdout.contains("line 2: parse error"), "{stdout}");
+    assert!(!stdout.contains("CERTAIN"), "no query should run: {stdout}");
+
+    let (stdout, _, ok) = run(&[DB, "--batch", "/nonexistent/queries.batch"]);
+    assert!(!ok);
+    assert!(stdout.contains("cannot read"), "{stdout}");
+}
+
+#[test]
+fn no_cache_flag_disables_the_cache() {
+    let (stdout, _, ok) = run(&[DB, "--no-cache", "-q", ":stats"]);
+    assert!(ok);
+    assert!(stdout.contains("cache: off"), "{stdout}");
+    let (stdout, _, ok) = run(&[DB, "-q", ":stats"]);
+    assert!(ok);
+    assert!(stdout.contains("cache: on"), "{stdout}");
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let (_, stderr, ok) = run(&["/nonexistent/db.qld", "-q", "true"]);
     assert!(!ok);
