@@ -19,7 +19,7 @@ use qld_logic::{ConstId, PredId};
 use qld_physical::{Elem, Relation, TupleSpace};
 
 /// A small union-find over dense keys with path halving.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parent: Vec<u32>,
 }
@@ -30,6 +30,15 @@ impl UnionFind {
         UnionFind {
             parent: (0..n as u32).collect(),
         }
+    }
+
+    /// Resets to `n` singleton sets, reusing the existing allocation — the
+    /// incremental-insertion path: hot loops (the `α_P` maintenance scans)
+    /// keep one union-find and re-seed it per tuple pair instead of
+    /// allocating a fresh one.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
     }
 
     /// Finds the representative of `x`, halving paths as it walks.
@@ -56,30 +65,58 @@ impl UnionFind {
     }
 }
 
-/// Do the constant tuples `c` and `d` disagree with respect to the
-/// database's uniqueness axioms? (Elements are `ConstId` indices.)
-pub fn disagrees(db: &CwDatabase, c: &[Elem], d: &[Elem]) -> bool {
-    debug_assert_eq!(c.len(), d.len());
-    // Collect the vertices of G_{c,d}: the constants mentioned by either
-    // tuple, locally renumbered for the union-find.
-    let mut verts: Vec<Elem> = c.iter().chain(d.iter()).copied().collect();
-    verts.sort_unstable();
-    verts.dedup();
-    let local = |e: Elem| verts.binary_search(&e).expect("collected above") as u32;
-    let mut uf = UnionFind::new(verts.len());
-    for (a, b) in c.iter().zip(d.iter()) {
-        uf.union(local(*a), local(*b));
+/// Reusable buffers for repeated disagreement tests: the vertex list of
+/// `G_{c,d}` and the union-find over it. The maintenance scans (building
+/// `α_P`, filtering it after a fact insertion, extending it after a new
+/// uniqueness axiom) call [`DisagreeScratch::disagrees`] thousands of
+/// times; re-seeding one scratch per pair keeps the inner loop
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct DisagreeScratch {
+    verts: Vec<Elem>,
+    uf: UnionFind,
+}
+
+impl DisagreeScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> DisagreeScratch {
+        DisagreeScratch::default()
     }
-    // Unsatisfiable iff some NE pair lies within one equivalence class.
-    // Only pairs whose both endpoints are vertices can collide.
-    for (i, &a) in verts.iter().enumerate() {
-        for &b in &verts[i + 1..] {
-            if db.is_ne(ConstId(a), ConstId(b)) && uf.same(local(a), local(b)) {
-                return true;
+
+    /// Do the constant tuples `c` and `d` disagree with respect to the
+    /// database's uniqueness axioms? (Elements are `ConstId` indices.)
+    pub fn disagrees(&mut self, db: &CwDatabase, c: &[Elem], d: &[Elem]) -> bool {
+        debug_assert_eq!(c.len(), d.len());
+        // Collect the vertices of G_{c,d}: the constants mentioned by
+        // either tuple, locally renumbered for the union-find.
+        self.verts.clear();
+        self.verts.extend(c.iter().chain(d.iter()).copied());
+        self.verts.sort_unstable();
+        self.verts.dedup();
+        let verts = &self.verts;
+        let local = |e: Elem| verts.binary_search(&e).expect("collected above") as u32;
+        self.uf.reset(verts.len());
+        for (a, b) in c.iter().zip(d.iter()) {
+            self.uf.union(local(*a), local(*b));
+        }
+        // Unsatisfiable iff some NE pair lies within one equivalence
+        // class. Only pairs whose both endpoints are vertices can collide.
+        for (i, &a) in verts.iter().enumerate() {
+            for &b in &verts[i + 1..] {
+                if db.is_ne(ConstId(a), ConstId(b)) && self.uf.same(local(a), local(b)) {
+                    return true;
+                }
             }
         }
+        false
     }
-    false
+}
+
+/// Do the constant tuples `c` and `d` disagree with respect to the
+/// database's uniqueness axioms? (Elements are `ConstId` indices.)
+/// One-shot convenience over [`DisagreeScratch::disagrees`].
+pub fn disagrees(db: &CwDatabase, c: &[Elem], d: &[Elem]) -> bool {
+    DisagreeScratch::new().disagrees(db, c, d)
 }
 
 /// Materializes the `α_P` relation: every tuple over `C^k` that disagrees
@@ -90,11 +127,34 @@ pub fn alpha_relation(db: &CwDatabase, p: PredId) -> Relation {
     let arity = db.voc().pred_arity(p);
     let consts: Vec<Elem> = (0..db.num_consts() as Elem).collect();
     let facts = db.facts(p);
+    let mut scratch = DisagreeScratch::new();
     let tuples = TupleSpace::new(&consts, arity)
-        .filter(|c| facts.iter().all(|d| disagrees(db, c, d)))
+        .filter(|c| facts.iter().all(|d| scratch.disagrees(db, c, d)))
         .map(Vec::into_boxed_slice)
         .collect();
     Relation::from_tuples(arity, tuples)
+}
+
+/// The tuples that newly *enter* `α_P` after uniqueness axioms were added
+/// to `db` (which must already carry the additions).
+///
+/// Incremental by monotonicity: more axioms can only create more
+/// disagreement, so every tuple already in `α_P` stays in it and only the
+/// complement needs rechecking — the scan skips `|α_P|` of the `|C|^k`
+/// candidate tuples and re-tests just the rest against the facts.
+pub fn alpha_additions_for_ne(
+    db: &CwDatabase,
+    p: PredId,
+    current: &Relation,
+    scratch: &mut DisagreeScratch,
+) -> Vec<Vec<Elem>> {
+    let arity = db.voc().pred_arity(p);
+    let consts: Vec<Elem> = (0..db.num_consts() as Elem).collect();
+    let facts = db.facts(p);
+    TupleSpace::new(&consts, arity)
+        .filter(|c| !current.contains(c))
+        .filter(|c| facts.iter().all(|d| scratch.disagrees(db, c, d)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -185,6 +245,66 @@ mod tests {
         assert!(alpha.contains(&[1, 2]));
         // (u,v): could be (a,b). Not in α.
         assert!(!alpha.contains(&[3, 4]));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_one_shot() {
+        let db = db();
+        let mut scratch = DisagreeScratch::new();
+        let tuples: &[&[Elem]] = &[&[0, 3], &[1, 3], &[3, 3], &[0, 1], &[2, 4]];
+        for c in tuples {
+            for d in tuples {
+                assert_eq!(
+                    scratch.disagrees(&db, c, d),
+                    disagrees(&db, c, d),
+                    "scratch diverged on {c:?} vs {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_alpha_after_fact_insert_matches_rebuild() {
+        let mut db = db();
+        let p = db.voc().pred_id("P").unwrap();
+        let mut alpha = alpha_relation(&db, p);
+        // Insert a fact: α_P can only shrink, by exactly the tuples that
+        // fail to disagree with the new fact.
+        let new_fact: Vec<Elem> = vec![2, 3]; // P(c, u)
+        db.insert_fact(
+            p,
+            &[
+                qld_logic::ConstId(new_fact[0]),
+                qld_logic::ConstId(new_fact[1]),
+            ],
+        )
+        .unwrap();
+        let mut scratch = DisagreeScratch::new();
+        alpha.retain(|t| scratch.disagrees(&db, t, &new_fact));
+        assert_eq!(alpha, alpha_relation(&db, p), "retain ≠ rebuild");
+    }
+
+    #[test]
+    fn incremental_alpha_after_ne_insert_matches_rebuild() {
+        let mut db = db();
+        let p = db.voc().pred_id("P").unwrap();
+        let alpha_old = alpha_relation(&db, p);
+        // New axiom u ≠ a: disagreement (and hence α_P) can only grow.
+        db.insert_ne(qld_logic::ConstId(3), qld_logic::ConstId(0))
+            .unwrap();
+        let mut scratch = DisagreeScratch::new();
+        let additions = alpha_additions_for_ne(&db, p, &alpha_old, &mut scratch);
+        let merged = Relation::collect(
+            alpha_old.arity(),
+            alpha_old
+                .iter()
+                .map(<[Elem]>::to_vec)
+                .chain(additions.iter().cloned()),
+        );
+        let rebuilt = alpha_relation(&db, p);
+        assert!(!additions.is_empty(), "the new axiom must grow α_P");
+        assert!(alpha_old.is_subset_of(&rebuilt), "monotonicity");
+        assert_eq!(merged, rebuilt, "complement recheck ≠ rebuild");
     }
 
     #[test]

@@ -92,6 +92,39 @@ pub fn batch_queries(db: &CwDatabase, n: usize) -> Vec<Query> {
         .collect()
 }
 
+/// The E12 update stream: `count` *fresh* facts for the binary predicate
+/// `P0` of a generated database — pairs that are not already facts,
+/// enumerated deterministically from `seed` so every run (and both the
+/// rebuild and delta paths) sees the same stream.
+///
+/// # Panics
+/// Panics if the database has fewer than `count` non-fact pairs left.
+pub fn fresh_facts(
+    db: &CwDatabase,
+    count: usize,
+    seed: u64,
+) -> Vec<(qld_logic::PredId, Vec<qld_logic::ConstId>)> {
+    let p0 = db.voc().pred_id("P0").expect("workload predicate P0");
+    let n = db.num_consts() as u64;
+    let facts = db.facts(p0);
+    let mut out = Vec::with_capacity(count);
+    // The rotation `offset ↦ (offset + seed·31) mod n²` visits every pair
+    // exactly once, so emitted tuples cannot repeat.
+    for offset in 0..n * n {
+        if out.len() == count {
+            break;
+        }
+        let pair = (offset.wrapping_add(seed.wrapping_mul(31))) % (n * n);
+        let (a, b) = ((pair / n) as u32, (pair % n) as u32);
+        if facts.contains(&[a, b]) {
+            continue;
+        }
+        out.push((p0, vec![qld_logic::ConstId(a), qld_logic::ConstId(b)]));
+    }
+    assert_eq!(out.len(), count, "database too dense for the update stream");
+    out
+}
+
 /// The standard query mix used across experiments: a join, a negation,
 /// and a universally quantified implication.
 pub fn standard_queries(db: &CwDatabase) -> Vec<(&'static str, Query)> {

@@ -23,6 +23,10 @@ pub enum CwError {
     /// The vocabulary has no constants: §2.1 requires a nonempty domain,
     /// and the domain-closure axiom needs at least one constant.
     NoConstants,
+    /// A delta mentioned a predicate id outside the vocabulary.
+    UnknownPredicate(u32),
+    /// A delta mentioned a constant id outside the vocabulary.
+    UnknownConstant(u32),
 }
 
 impl fmt::Display for CwError {
@@ -41,6 +45,12 @@ impl fmt::Display for CwError {
             }
             CwError::NoConstants => {
                 write!(f, "a CW database needs at least one constant symbol")
+            }
+            CwError::UnknownPredicate(p) => {
+                write!(f, "predicate id {p} is not in the vocabulary")
+            }
+            CwError::UnknownConstant(c) => {
+                write!(f, "constant id {c} is not in the vocabulary")
             }
         }
     }
@@ -135,6 +145,72 @@ impl CwDatabase {
             deg[b as usize] += 1;
         }
         deg
+    }
+
+    /// Validates a fact delta without applying it: the predicate and every
+    /// constant must exist and the arity must match. Used by
+    /// [`CwDatabase::insert_fact`] and by callers that need all-or-nothing
+    /// delta application (validate everything, then mutate).
+    pub fn check_fact(&self, p: PredId, args: &[ConstId]) -> Result<(), CwError> {
+        if p.index() >= self.voc.num_preds() {
+            return Err(CwError::UnknownPredicate(p.0));
+        }
+        let expected = self.voc.pred_arity(p);
+        if args.len() != expected {
+            return Err(CwError::FactArity {
+                predicate: self.voc.pred_name(p).to_owned(),
+                expected,
+                found: args.len(),
+            });
+        }
+        for c in args {
+            if c.index() >= self.voc.num_consts() {
+                return Err(CwError::UnknownConstant(c.0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates a uniqueness-axiom delta without applying it.
+    pub fn check_ne(&self, a: ConstId, b: ConstId) -> Result<(), CwError> {
+        for c in [a, b] {
+            if c.index() >= self.voc.num_consts() {
+                return Err(CwError::UnknownConstant(c.0));
+            }
+        }
+        if a == b {
+            return Err(CwError::ReflexiveUniqueness(
+                self.voc.const_name(a).to_owned(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Adds one atomic fact axiom in place, returning `true` iff the fact
+    /// was new. The incremental counterpart of
+    /// [`CwDatabaseBuilder::fact`]: the resulting database is equal to one
+    /// rebuilt from scratch with the fact included (property-tested in the
+    /// delta differential suite).
+    pub fn insert_fact(&mut self, p: PredId, args: &[ConstId]) -> Result<bool, CwError> {
+        self.check_fact(p, args)?;
+        let tuple: Vec<u32> = args.iter().map(|c| c.0).collect();
+        Ok(self.facts[p.index()].insert(&tuple))
+    }
+
+    /// Adds one uniqueness axiom `¬(a = b)` in place, returning `true` iff
+    /// the axiom was new. The incremental counterpart of
+    /// [`CwDatabaseBuilder::unique`] (same normalization: unordered pairs,
+    /// deduplicated, kept sorted).
+    pub fn insert_ne(&mut self, a: ConstId, b: ConstId) -> Result<bool, CwError> {
+        self.check_ne(a, b)?;
+        let key = (a.0.min(b.0), a.0.max(b.0));
+        match self.ne_pairs.binary_search(&key) {
+            Ok(_) => Ok(false),
+            Err(pos) => {
+                self.ne_pairs.insert(pos, key);
+                Ok(true)
+            }
+        }
     }
 
     /// Materializes the full theory `T` as explicit sentences: atomic fact
@@ -373,6 +449,77 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(db.ne_degrees(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn incremental_inserts_match_rebuild() {
+        let voc = teaching_voc();
+        let s = voc.const_id("socrates").unwrap();
+        let p = voc.const_id("plato").unwrap();
+        let a = voc.const_id("aristotle").unwrap();
+        let teaches = voc.pred_id("TEACHES").unwrap();
+        let mut db = CwDatabase::builder(voc.clone())
+            .fact(teaches, &[s, p])
+            .unique(s, p)
+            .build()
+            .unwrap();
+        assert_eq!(db.insert_fact(teaches, &[p, a]), Ok(true));
+        assert_eq!(db.insert_fact(teaches, &[s, p]), Ok(false), "duplicate");
+        assert_eq!(db.insert_ne(a, s), Ok(true));
+        assert_eq!(db.insert_ne(s, a), Ok(false), "normalized duplicate");
+        let rebuilt = CwDatabase::builder(voc)
+            .fact(teaches, &[s, p])
+            .fact(teaches, &[p, a])
+            .unique(s, p)
+            .unique(s, a)
+            .build()
+            .unwrap();
+        assert_eq!(db, rebuilt);
+        assert!(db.is_ne(a, s));
+    }
+
+    #[test]
+    fn incremental_inserts_validate() {
+        let voc = teaching_voc();
+        let s = voc.const_id("socrates").unwrap();
+        let teaches = voc.pred_id("TEACHES").unwrap();
+        let mut db = CwDatabase::builder(voc).build().unwrap();
+        assert!(matches!(
+            db.insert_fact(teaches, &[s]),
+            Err(CwError::FactArity { .. })
+        ));
+        assert_eq!(
+            db.insert_fact(PredId(9), &[s, s]),
+            Err(CwError::UnknownPredicate(9))
+        );
+        assert_eq!(
+            db.insert_fact(teaches, &[s, ConstId(77)]),
+            Err(CwError::UnknownConstant(77))
+        );
+        assert_eq!(
+            db.insert_ne(s, s),
+            Err(CwError::ReflexiveUniqueness("socrates".into()))
+        );
+        assert_eq!(
+            db.insert_ne(s, ConstId(5)),
+            Err(CwError::UnknownConstant(5))
+        );
+        assert_eq!(db.num_facts(), 0);
+        assert_eq!(db.num_ne(), 0);
+    }
+
+    #[test]
+    fn inserting_all_pairs_reaches_fully_specified() {
+        let voc = teaching_voc();
+        let ids: Vec<ConstId> = voc.consts().collect();
+        let mut db = CwDatabase::builder(voc).build().unwrap();
+        assert!(!db.is_fully_specified());
+        for (i, &a) in ids.iter().enumerate() {
+            for &b in &ids[i + 1..] {
+                db.insert_ne(a, b).unwrap();
+            }
+        }
+        assert!(db.is_fully_specified());
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Delta updates: mutate the engine's database **without** rebuilding
+//! `Ph₁`, `Ph₂`, the `α_P` relations, or the `NE` store.
+//!
+//! Vardi's constructions derive everything from the closed-world database,
+//! so the naive way to change a fact is to throw the engine away and
+//! re-derive from scratch — a full rebuild plus a cold answer cache per
+//! update. [`Delta`] + [`Engine::apply`](crate::Engine::apply) replace
+//! that with incremental maintenance:
+//!
+//! * fact insertions extend the base relations of `Ph₁`/`Ph₂` in place
+//!   (sorted insert) and *shrink* the affected `α_P` by one retain pass;
+//! * uniqueness-axiom insertions extend the `NE` store in place and
+//!   *grow* the `α_P` relations by rechecking only their complements
+//!   (both directions are monotone, which is what makes the incremental
+//!   refresh provably equal to a rebuild — see
+//!   [`qld_approx::ApproxEngine::apply_delta`]);
+//! * the answer cache is invalidated *selectively*: each cached entry
+//!   carries its query's [`QueryFootprint`], and a delta evicts only the
+//!   entries it can actually affect ([`DeltaReport`] says how many);
+//! * prepared queries are re-certified lazily — a delta can change which
+//!   completeness theorem applies (e.g. new axioms can make the database
+//!   fully specified), and the engine re-runs the classification for
+//!   stale prepared queries instead of trusting a pre-delta certificate.
+
+use crate::evidence::Semantics;
+use qld_logic::{ConstId, PredId, Query, QueryClass};
+use std::fmt;
+
+/// A batch of database mutations: atomic fact axioms to add and
+/// uniqueness axioms `¬(a = b)` to assert. Applied atomically by
+/// [`Engine::apply`](crate::Engine::apply) — validation happens up front,
+/// so either every entry is applied or none is.
+///
+/// Deltas are *insert-only*, matching the theory: a CW database is a set
+/// of axioms, and the constructions this engine maintains are monotone in
+/// both axiom kinds (which is exactly what makes the incremental refresh
+/// cheap).
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    pub(crate) facts: Vec<(PredId, Box<[ConstId]>)>,
+    pub(crate) ne_pairs: Vec<(ConstId, ConstId)>,
+}
+
+impl Delta {
+    /// An empty delta.
+    pub fn new() -> Delta {
+        Delta::default()
+    }
+
+    /// Adds an atomic fact axiom `P(c₁,…,cₖ)` to the delta.
+    pub fn insert_fact(mut self, p: PredId, args: &[ConstId]) -> Delta {
+        self.facts.push((p, args.into()));
+        self
+    }
+
+    /// Adds a uniqueness axiom `¬(a = b)` to the delta.
+    pub fn assert_ne(mut self, a: ConstId, b: ConstId) -> Delta {
+        self.ne_pairs.push((a, b));
+        self
+    }
+
+    /// True iff the delta carries no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty() && self.ne_pairs.is_empty()
+    }
+
+    /// Number of fact insertions carried.
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Number of uniqueness-axiom assertions carried.
+    pub fn num_ne(&self) -> usize {
+        self.ne_pairs.len()
+    }
+}
+
+/// What one [`Engine::apply`](crate::Engine::apply) call did: how much of
+/// the delta was new (duplicates of existing axioms are no-ops), and what
+/// the selective cache invalidation decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaReport {
+    /// Facts actually added (not already in the database).
+    pub facts_inserted: usize,
+    /// Facts that were already present (no-ops).
+    pub facts_duplicate: usize,
+    /// Uniqueness axioms actually added.
+    pub ne_inserted: usize,
+    /// Uniqueness axioms that were already present (no-ops).
+    pub ne_duplicate: usize,
+    /// Cached answers evicted because the delta's predicate footprint (or
+    /// axiom sensitivity) overlapped theirs.
+    pub cache_evicted: usize,
+    /// Cached answers that provably survive the delta and were kept.
+    pub cache_retained: usize,
+    /// The engine's database epoch after this delta (unchanged when the
+    /// whole delta was duplicates).
+    pub epoch: u64,
+}
+
+impl DeltaReport {
+    /// Did the delta change the database at all?
+    pub fn changed(&self) -> bool {
+        self.facts_inserted + self.ne_inserted > 0
+    }
+}
+
+impl fmt::Display for DeltaReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} fact(s) inserted ({} duplicate), {} axiom(s) inserted ({} duplicate), \
+             cache: {} evicted / {} retained",
+            self.facts_inserted,
+            self.facts_duplicate,
+            self.ne_inserted,
+            self.ne_duplicate,
+            self.cache_evicted,
+            self.cache_retained
+        )
+    }
+}
+
+/// Cumulative per-engine delta counters, readable with
+/// [`Engine::delta_stats`](crate::Engine::delta_stats) (the CLI surfaces
+/// them in `:stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaStats {
+    /// [`Engine::apply`](crate::Engine::apply) calls that completed.
+    pub deltas_applied: u64,
+    /// Total new facts inserted across all deltas.
+    pub facts_inserted: u64,
+    /// Total new uniqueness axioms inserted across all deltas.
+    pub ne_inserted: u64,
+    /// Total cache entries evicted by footprint invalidation.
+    pub cache_evicted: u64,
+    /// Prepared-query re-certifications that changed a completeness
+    /// verdict: explicit [`Engine::recertify`](crate::Engine::recertify)
+    /// calls plus automatic re-classifications of stale prepared queries
+    /// at execution time.
+    pub queries_recertified: u64,
+}
+
+/// The predicate footprint of a query: which parts of the database its
+/// answer can depend on. This is the invalidation key of the answer
+/// cache — a delta touching predicate `P` evicts only entries whose
+/// footprint mentions `P`, and an axiom delta evicts only the entries
+/// whose answers can depend on the uniqueness axioms at all.
+///
+/// The axiom-sensitivity rule is theorem-backed: a positive first-order
+/// query's NNF is negation-free, so its §5 rewrite `Q̂ = Q` mentions
+/// neither `NE` nor any `α_P`, and by Theorem 13 its *certain* answers
+/// equal `Q̂(Ph₂(LB))` — a value that reads only the base relations and
+/// the (delta-stable) constant domain. Everything else — negation,
+/// `x != y`, second-order quantification, and *any* query under
+/// possible-answer semantics (the mapping set itself shrinks when axioms
+/// arrive) — is treated as axiom-sensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryFootprint {
+    /// Sorted, deduplicated vocabulary predicates the query mentions.
+    preds: Vec<PredId>,
+    /// True iff the query's non-possible answers provably cannot depend
+    /// on the uniqueness axioms (positive first-order class).
+    axiom_insensitive: bool,
+}
+
+impl QueryFootprint {
+    /// Computes the footprint of a query.
+    pub fn of(query: &Query) -> QueryFootprint {
+        QueryFootprint {
+            preds: query.body().preds(),
+            axiom_insensitive: query.class() == QueryClass::PositiveFirstOrder,
+        }
+    }
+
+    /// The predicates mentioned, sorted.
+    pub fn preds(&self) -> &[PredId] {
+        &self.preds
+    }
+
+    /// Does the footprint mention `p`?
+    pub fn mentions(&self, p: PredId) -> bool {
+        self.preds.binary_search(&p).is_ok()
+    }
+
+    /// Does the footprint mention any of `ps` (each sorted lookup)?
+    pub fn mentions_any(&self, ps: &[PredId]) -> bool {
+        ps.iter().any(|&p| self.mentions(p))
+    }
+
+    /// Can an answer computed under `semantics` change when uniqueness
+    /// axioms are added? Possible-answer semantics always can (the
+    /// mapping set shrinks); otherwise only axiom-sensitive queries can.
+    pub fn ne_sensitive(&self, semantics: Semantics) -> bool {
+        matches!(semantics, Semantics::Possible) || !self.axiom_insensitive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_logic::parser::parse_query;
+    use qld_logic::Vocabulary;
+
+    fn voc() -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b"]).unwrap();
+        voc.add_pred("P", 1).unwrap();
+        voc.add_pred("R", 2).unwrap();
+        voc
+    }
+
+    #[test]
+    fn delta_builder_accumulates() {
+        let voc = voc();
+        let p = voc.pred_id("P").unwrap();
+        let a = voc.const_id("a").unwrap();
+        let b = voc.const_id("b").unwrap();
+        let delta = Delta::new().insert_fact(p, &[a]).assert_ne(a, b);
+        assert!(!delta.is_empty());
+        assert_eq!(delta.num_facts(), 1);
+        assert_eq!(delta.num_ne(), 1);
+        assert!(Delta::new().is_empty());
+    }
+
+    #[test]
+    fn footprint_collects_preds() {
+        let voc = voc();
+        let q = parse_query(&voc, "(x) . P(x) & !R(x, x)").unwrap();
+        let fp = QueryFootprint::of(&q);
+        assert_eq!(fp.preds().len(), 2);
+        assert!(fp.mentions(voc.pred_id("P").unwrap()));
+        assert!(fp.mentions(voc.pred_id("R").unwrap()));
+        let q = parse_query(&voc, "(x) . P(x)").unwrap();
+        let fp = QueryFootprint::of(&q);
+        assert!(!fp.mentions(voc.pred_id("R").unwrap()));
+        assert!(!fp.mentions_any(&[voc.pred_id("R").unwrap()]));
+        assert!(fp.mentions_any(&[voc.pred_id("P").unwrap()]));
+    }
+
+    #[test]
+    fn axiom_sensitivity_follows_the_positive_fragment() {
+        let voc = voc();
+        // Positive first-order: certain answers are axiom-independent
+        // (Theorem 13), but possible answers never are.
+        let positive = QueryFootprint::of(&parse_query(&voc, "(x) . P(x)").unwrap());
+        assert!(!positive.ne_sensitive(Semantics::Exact));
+        assert!(!positive.ne_sensitive(Semantics::Auto));
+        assert!(!positive.ne_sensitive(Semantics::Approx));
+        assert!(positive.ne_sensitive(Semantics::Possible));
+        // Negation routes through α_P / NE: sensitive.
+        let negated = QueryFootprint::of(&parse_query(&voc, "(x) . !P(x)").unwrap());
+        assert!(negated.ne_sensitive(Semantics::Exact));
+        // So does an inequality…
+        let neq = QueryFootprint::of(&parse_query(&voc, "(x) . x != a").unwrap());
+        assert!(neq.ne_sensitive(Semantics::Auto));
+        // …and second-order quantification.
+        let so =
+            QueryFootprint::of(&parse_query(&voc, "exists2 ?S:1. exists x. ?S(x) & P(x)").unwrap());
+        assert!(so.ne_sensitive(Semantics::Exact));
+    }
+
+    #[test]
+    fn report_display_and_change_flag() {
+        let mut report = DeltaReport::default();
+        assert!(!report.changed());
+        report.facts_inserted = 2;
+        report.cache_evicted = 1;
+        assert!(report.changed());
+        let line = report.to_string();
+        assert!(line.contains("2 fact(s) inserted"), "{line}");
+        assert!(line.contains("1 evicted"), "{line}");
+    }
+}

@@ -24,7 +24,11 @@
 //!   report saying which [`Regime`] ran, how long it took, and — the
 //!   crucial part — a [`Certificate`] stating how the tuples relate to
 //!   the true certain answers and which theorem proves it;
-//! * every failure is a single [`EngineError`].
+//! * every failure is a single [`EngineError`];
+//! * [`Engine::apply`] mutates the database through [`Delta`]s with
+//!   incremental maintenance of every derived structure (`Ph₁`, `Ph₂`,
+//!   `α_P`, the `NE` store) and *selective* answer-cache invalidation
+//!   keyed on each entry's [`QueryFootprint`].
 //!
 //! Under [`Semantics::Auto`] the engine is a *certifying dispatcher*: it
 //! runs the cheapest path the paper licenses as exact and escalates to
@@ -36,11 +40,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod error;
 mod evidence;
 mod prepared;
 mod session;
 
+pub use delta::{Delta, DeltaReport, DeltaStats, QueryFootprint};
 pub use error::EngineError;
 pub use evidence::{Answers, Certificate, Evidence, Regime, Semantics};
 pub use prepared::PreparedQuery;

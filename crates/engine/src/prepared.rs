@@ -1,5 +1,6 @@
 //! Prepared queries: parse/validate/rewrite/compile once, execute many.
 
+use crate::delta::QueryFootprint;
 use qld_algebra::Plan;
 use qld_approx::CompletenessTheorem;
 use qld_logic::{Query, QueryClass};
@@ -14,17 +15,26 @@ use qld_logic::{Query, QueryClass};
 /// of the type: re-running a `PreparedQuery` skips parsing, validation,
 /// NNF, the `Q ↦ Q̂` rewrite, and plan compilation/optimization.
 ///
-/// A `PreparedQuery` is tied to the engine (and hence database) that
-/// prepared it: executing it on another engine is rejected.
+/// A `PreparedQuery` is tied to the engine that prepared it: executing it
+/// on another engine is rejected. It stays valid across
+/// [`Engine::apply`](crate::Engine::apply) deltas — the rewrite and plan
+/// reference predicate *ids*, which deltas never change — but its
+/// completeness certificate is epoch-stamped: when the database has moved
+/// on, execution re-certifies it against the current database instead of
+/// trusting the stale verdict (see
+/// [`Engine::recertify`](crate::Engine::recertify)).
 #[derive(Debug, Clone)]
 pub struct PreparedQuery {
     pub(crate) engine_id: u64,
+    /// The engine epoch this query's certificate was computed at.
+    pub(crate) epoch: u64,
     pub(crate) query: Query,
     pub(crate) class: QueryClass,
     pub(crate) completeness: Option<CompletenessTheorem>,
     pub(crate) rewritten: Query,
     pub(crate) plan: Option<Plan>,
     pub(crate) fingerprint: u64,
+    pub(crate) footprint: QueryFootprint,
 }
 
 impl PreparedQuery {
@@ -52,8 +62,24 @@ impl PreparedQuery {
     /// approximation is exact for this query on this engine's database, or
     /// `None` if only soundness holds. This is what
     /// [`Semantics::Auto`](crate::Semantics::Auto) dispatches on.
+    ///
+    /// The verdict is as of [`PreparedQuery::epoch`]; after a delta the
+    /// engine re-certifies automatically at execution time, or eagerly
+    /// via [`Engine::recertify`](crate::Engine::recertify).
     pub fn completeness(&self) -> Option<CompletenessTheorem> {
         self.completeness
+    }
+
+    /// The engine epoch this query's certificate was computed at (see
+    /// [`Engine::epoch`](crate::Engine::epoch)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The query's predicate footprint — the selective cache-invalidation
+    /// key (see [`QueryFootprint`]).
+    pub fn footprint(&self) -> &QueryFootprint {
+        &self.footprint
     }
 
     /// The §5 rewrite `Q̂` over the engine's extended vocabulary

@@ -1,5 +1,6 @@
 //! The [`Engine`] session type and its builder.
 
+use crate::delta::{Delta, DeltaReport, DeltaStats, QueryFootprint};
 use crate::error::EngineError;
 use crate::evidence::{Answers, Certificate, Evidence, Regime, Semantics};
 use crate::prepared::PreparedQuery;
@@ -13,9 +14,9 @@ use qld_core::mappings::{count_kernel_mappings_up_to, ParallelConfig};
 use qld_core::ph::ph1;
 use qld_core::CwDatabase;
 use qld_logic::parser::parse_query;
-use qld_logic::{Formula, Query};
+use qld_logic::{Formula, PredId, Query};
 use qld_physical::{eval_query, Elem, PhysicalDb, Relation, TupleSpace};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -23,35 +24,79 @@ use std::time::Instant;
 
 static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
 
-/// Hard cap on cached answers per engine. When full, an arbitrary entry
-/// is evicted per insert — crude but bounded; an LRU policy is a roadmap
-/// item. At the default the cache stays useful for any realistic
-/// prepared-query working set while a many-distinct-query adversary
-/// cannot grow it without bound.
-const ANSWER_CACHE_CAPACITY: usize = 4096;
+/// Default cap on cached answers per engine (overridable with
+/// [`EngineBuilder::cache_capacity`]). At the default the cache stays
+/// useful for any realistic prepared-query working set while a
+/// many-distinct-query adversary cannot grow it without bound.
+const DEFAULT_ANSWER_CACHE_CAPACITY: usize = 4096;
+
+/// One cached answer: the source [`Query`] (compared on lookup — a
+/// fingerprint collision between structurally different queries is a
+/// cache *miss*, never a wrong answer), its predicate footprint (the
+/// selective-invalidation key deltas evict on), the finished [`Answers`],
+/// and an LRU recency stamp.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    query: Query,
+    footprint: QueryFootprint,
+    answers: Answers,
+    tick: u64,
+}
+
+/// The map plus the LRU order index, updated together under one lock.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<(u64, Semantics), CacheEntry>,
+    /// `tick → key`; one entry per cached answer, first = least recently
+    /// used. Ticks are unique (monotonic counter), so this is a total
+    /// recency order.
+    lru: BTreeMap<u64, (u64, Semantics)>,
+    next_tick: u64,
+}
+
+impl CacheInner {
+    /// Moves `key` to the most-recently-used position.
+    fn touch(&mut self, key: (u64, Semantics)) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let entry = self.map.get_mut(&key).expect("touched key present");
+        self.lru.remove(&entry.tick);
+        entry.tick = tick;
+        self.lru.insert(tick, key);
+    }
+
+    /// Removes the least-recently-used entry.
+    fn evict_lru(&mut self) {
+        if let Some((&tick, &key)) = self.lru.iter().next() {
+            self.lru.remove(&tick);
+            self.map.remove(&key);
+        }
+    }
+}
 
 /// The engine's interior-mutability answer cache: finished [`Answers`]
-/// keyed by `(prepared-query fingerprint, semantics)`, with the source
-/// [`Query`] stored alongside each entry and compared on lookup — a
-/// fingerprint collision between structurally different queries is a
-/// cache *miss*, never a wrong answer. Every other input that could
-/// change an answer — the database, backend, alpha mode, NE store,
-/// mapping strategy, Corollary 2 toggle, mapping budget — is fixed at
-/// engine construction, so it needs no spot in the key; the
-/// answer-irrelevant knobs (parallelism, default semantics) are deliberately
-/// excluded. The cache must be explicitly invalidated by anything that
-/// mutates the database (see [`Engine::invalidate_cache`]).
+/// keyed by `(prepared-query fingerprint, semantics)`, with true LRU
+/// eviction at capacity (lookups refresh recency). Every other input that
+/// could change an answer — backend, alpha mode, NE store, mapping
+/// strategy, Corollary 2 toggle, mapping budget — is fixed at engine
+/// construction, so it needs no spot in the key; the answer-irrelevant
+/// knobs (parallelism, default semantics) are deliberately excluded. The
+/// *database* is engine state but mutable through [`Engine::apply`],
+/// which invalidates selectively on each entry's [`QueryFootprint`];
+/// [`Engine::invalidate_cache`] remains as the blanket hook.
 #[derive(Debug)]
 struct AnswerCache {
     enabled: AtomicBool,
-    map: Mutex<HashMap<(u64, Semantics), (Query, Answers)>>,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
 }
 
 impl AnswerCache {
-    fn new(enabled: bool) -> AnswerCache {
+    fn new(enabled: bool, capacity: usize) -> AnswerCache {
         AnswerCache {
             enabled: AtomicBool::new(enabled),
-            map: Mutex::new(HashMap::new()),
+            capacity,
+            inner: Mutex::new(CacheInner::default()),
         }
     }
 
@@ -60,48 +105,106 @@ impl AnswerCache {
     }
 
     /// A hit returns the stored answer re-stamped as cached (`cache_hit`
-    /// true, zero mappings, the lookup's elapsed time).
+    /// true, zero mappings, the lookup's elapsed time) and marks the
+    /// entry most recently used.
     fn lookup(&self, prepared: &PreparedQuery, semantics: Semantics) -> Option<Answers> {
         if !self.is_enabled() {
             return None;
         }
         let start = Instant::now();
-        let map = self.map.lock().expect("answer cache poisoned");
-        map.get(&(prepared.fingerprint, semantics))
-            .filter(|(query, _)| *query == prepared.query)
-            .map(|(_, answers)| answers.as_cache_hit(start.elapsed()))
+        let mut inner = self.inner.lock().expect("answer cache poisoned");
+        let key = (prepared.fingerprint, semantics);
+        let hit = match inner.map.get(&key) {
+            Some(entry) if entry.query == prepared.query => {
+                Some(entry.answers.as_cache_hit(start.elapsed()))
+            }
+            _ => None,
+        };
+        if hit.is_some() {
+            inner.touch(key);
+        }
+        hit
     }
 
     fn insert(&self, prepared: &PreparedQuery, semantics: Semantics, answers: &Answers) {
-        self.insert_with_capacity(prepared, semantics, answers, ANSWER_CACHE_CAPACITY);
-    }
-
-    fn insert_with_capacity(
-        &self,
-        prepared: &PreparedQuery,
-        semantics: Semantics,
-        answers: &Answers,
-        capacity: usize,
-    ) {
-        if !self.is_enabled() {
+        if !self.is_enabled() || self.capacity == 0 {
             return;
         }
-        let mut map = self.map.lock().expect("answer cache poisoned");
+        let mut inner = self.inner.lock().expect("answer cache poisoned");
         let key = (prepared.fingerprint, semantics);
-        if map.len() >= capacity && !map.contains_key(&key) {
-            if let Some(evict) = map.keys().next().copied() {
-                map.remove(&evict);
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            inner.evict_lru();
+        }
+        let tick = inner.next_tick;
+        inner.next_tick += 1;
+        let entry = CacheEntry {
+            query: prepared.query.clone(),
+            footprint: prepared.footprint.clone(),
+            answers: answers.clone(),
+            tick,
+        };
+        if let Some(old) = inner.map.insert(key, entry) {
+            inner.lru.remove(&old.tick);
+        }
+        inner.lru.insert(tick, key);
+    }
+
+    /// Drops every entry for which `affected` returns true; returns
+    /// `(evicted, retained)` counts. This is the selective-invalidation
+    /// path [`Engine::apply`] uses.
+    fn evict_where(
+        &self,
+        mut affected: impl FnMut(&QueryFootprint, Semantics) -> bool,
+    ) -> (usize, usize) {
+        let mut inner = self.inner.lock().expect("answer cache poisoned");
+        let victims: Vec<(u64, Semantics)> = inner
+            .map
+            .iter()
+            .filter(|(&(_, semantics), entry)| affected(&entry.footprint, semantics))
+            .map(|(&key, _)| key)
+            .collect();
+        for key in &victims {
+            if let Some(entry) = inner.map.remove(key) {
+                inner.lru.remove(&entry.tick);
             }
         }
-        map.insert(key, (prepared.query.clone(), answers.clone()));
+        let retained = inner.map.len();
+        (victims.len(), retained)
     }
 
     fn clear(&self) {
-        self.map.lock().expect("answer cache poisoned").clear();
+        let mut inner = self.inner.lock().expect("answer cache poisoned");
+        inner.map.clear();
+        inner.lru.clear();
     }
 
     fn len(&self) -> usize {
-        self.map.lock().expect("answer cache poisoned").len()
+        self.inner.lock().expect("answer cache poisoned").map.len()
+    }
+}
+
+/// Cumulative delta bookkeeping (see [`DeltaStats`]). The re-certification
+/// counter is atomic because certificates are revalidated on the `&self`
+/// execution path; everything else is only written by `&mut self`
+/// [`Engine::apply`].
+#[derive(Debug, Default)]
+struct DeltaCounters {
+    deltas_applied: u64,
+    facts_inserted: u64,
+    ne_inserted: u64,
+    cache_evicted: u64,
+    recertified: AtomicU64,
+}
+
+impl Clone for DeltaCounters {
+    fn clone(&self) -> DeltaCounters {
+        DeltaCounters {
+            deltas_applied: self.deltas_applied,
+            facts_inserted: self.facts_inserted,
+            ne_inserted: self.ne_inserted,
+            cache_evicted: self.cache_evicted,
+            recertified: AtomicU64::new(self.recertified.load(Ordering::Relaxed)),
+        }
     }
 }
 
@@ -191,6 +294,8 @@ struct EngineConfig {
     mapping_budget: Option<u64>,
     /// Whether the answer cache starts enabled.
     answer_cache: bool,
+    /// Maximum cached answers (LRU eviction at capacity).
+    cache_capacity: usize,
 }
 
 /// Configures and constructs an [`Engine`]. Obtained from
@@ -212,6 +317,7 @@ impl EngineBuilder {
             config: EngineConfig {
                 corollary2_fast_path: true,
                 answer_cache: true,
+                cache_capacity: DEFAULT_ANSWER_CACHE_CAPACITY,
                 ..EngineConfig::default()
             },
         }
@@ -293,17 +399,28 @@ impl EngineBuilder {
         self
     }
 
+    /// Caps the answer cache at `capacity` entries (default 4096), with
+    /// true LRU eviction at capacity: lookups refresh recency, and the
+    /// least-recently-used answer is dropped to make room. `0` disables
+    /// caching entirely (every insert is skipped).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
     /// Finalizes the engine.
     pub fn build(self) -> Engine {
         Engine {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             db: self.db,
             semantics: self.semantics,
-            cache: AnswerCache::new(self.config.answer_cache),
+            cache: AnswerCache::new(self.config.answer_cache, self.config.cache_capacity),
             config: self.config,
             approx: OnceLock::new(),
             ph1: OnceLock::new(),
             kernel_count: OnceLock::new(),
+            epoch: 0,
+            counters: DeltaCounters::default(),
         }
     }
 }
@@ -366,10 +483,19 @@ pub struct Engine {
     /// `Ph₁(LB)`, cached for the Corollary 2 fast path.
     ph1: OnceLock<PhysicalDb>,
     /// Kernel-mapping count probed against `config.mapping_budget`,
-    /// computed once with early abort at `budget + 1`.
+    /// computed once per axiom epoch with early abort at `budget + 1`
+    /// (reset by [`Engine::apply`] when a delta adds uniqueness axioms —
+    /// the count depends only on the axiom set, never on the facts).
     kernel_count: OnceLock<u64>,
     /// The answer cache (see [`AnswerCache`]).
     cache: AnswerCache,
+    /// Database epoch: bumped by every [`Engine::apply`] that changed
+    /// anything. Prepared queries record the epoch they were certified
+    /// at; a mismatch means the completeness certificate must be
+    /// recomputed before it is trusted (see [`Engine::recertify`]).
+    epoch: u64,
+    /// Cumulative delta bookkeeping (see [`Engine::delta_stats`]).
+    counters: DeltaCounters,
 }
 
 impl Clone for Engine {
@@ -387,7 +513,9 @@ impl Clone for Engine {
             approx: self.approx.clone(),
             ph1: self.ph1.clone(),
             kernel_count: self.kernel_count.clone(),
-            cache: AnswerCache::new(self.cache.is_enabled()),
+            cache: AnswerCache::new(self.cache.is_enabled(), self.config.cache_capacity),
+            epoch: self.epoch,
+            counters: self.counters.clone(),
         }
     }
 }
@@ -479,14 +607,17 @@ impl Engine {
             query.hash(&mut hasher);
             hasher.finish()
         };
+        let footprint = QueryFootprint::of(&query);
         Ok(PreparedQuery {
             engine_id: self.id,
+            epoch: self.epoch,
             query,
             class,
             completeness,
             rewritten,
             plan,
             fingerprint,
+            footprint,
         })
     }
 
@@ -508,13 +639,208 @@ impl Engine {
         self.cache.len()
     }
 
-    /// Drops every cached answer. This is the invalidation contract for
-    /// database mutation: any future hook that changes the engine's
-    /// database (incremental fact/axiom deltas, per the roadmap) MUST call
-    /// this before serving another query — cached answers certify
-    /// statements about the database as it was when they were computed.
+    /// Maximum number of answers the cache holds before LRU eviction
+    /// (see [`EngineBuilder::cache_capacity`]).
+    pub fn cache_capacity(&self) -> usize {
+        self.config.cache_capacity
+    }
+
+    /// Drops every cached answer unconditionally.
+    ///
+    /// This blanket hook is *superseded* by the selective invalidation
+    /// [`Engine::apply`] performs: deltas evict only the entries whose
+    /// predicate footprint they touch, so callers mutating the database
+    /// through `apply` never need to call this. It remains for callers
+    /// who want a cold cache for other reasons (e.g. benchmarking).
     pub fn invalidate_cache(&self) {
         self.cache.clear();
+    }
+
+    /// The current database epoch: `0` at construction, bumped by every
+    /// [`Engine::apply`] call that changed the database. Prepared queries
+    /// carry the epoch they were certified at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cumulative delta counters for this engine (deltas applied, facts
+    /// and axioms inserted, cache entries evicted by footprint
+    /// invalidation, certificates re-classified).
+    pub fn delta_stats(&self) -> DeltaStats {
+        DeltaStats {
+            deltas_applied: self.counters.deltas_applied,
+            facts_inserted: self.counters.facts_inserted,
+            ne_inserted: self.counters.ne_inserted,
+            cache_evicted: self.counters.cache_evicted,
+            queries_recertified: self.counters.recertified.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Applies a [`Delta`] — fact insertions and uniqueness-axiom
+    /// additions — by **incremental maintenance**, not re-derivation:
+    ///
+    /// * the [`CwDatabase`] is refreshed in place (sorted inserts);
+    /// * `Ph₁(LB)`, if already built, grows by the same sorted inserts
+    ///   ([`PhysicalDb::insert_tuple`]);
+    /// * the §5 machinery (`Ph₂(LB)`, the `α_P` relations, the `NE`
+    ///   store), if already built, is refreshed by
+    ///   [`ApproxEngine::apply_delta`] — fact insertions shrink the
+    ///   affected `α_P` by a retain pass, axiom insertions extend the
+    ///   `NE` store in place and grow the `α_P` relations by rechecking
+    ///   only their complements;
+    /// * the kernel-count probe for the mapping budget is reset only when
+    ///   axioms were added (it never depends on facts);
+    /// * the answer cache is invalidated **selectively**: a delta
+    ///   touching predicate `P` evicts only the entries whose
+    ///   [`QueryFootprint`] mentions `P`, and an axiom delta additionally
+    ///   evicts the axiom-sensitive entries (anything that is not a
+    ///   positive first-order query under a non-possible semantics).
+    ///
+    /// Validation is all-or-nothing: every fact and axiom is checked
+    /// against the vocabulary first, and an invalid delta changes
+    /// nothing. Duplicates of already-present axioms are counted as
+    /// no-ops in the returned [`DeltaReport`]; a delta of pure duplicates
+    /// leaves the epoch (and cache) untouched.
+    ///
+    /// Prepared queries stay executable across deltas — their rewrite and
+    /// plan reference predicate *ids*, which are stable — but their
+    /// completeness certificate may be stale (new axioms can make the
+    /// database fully specified, changing how `Auto` routes). The engine
+    /// re-certifies stale prepared queries automatically at execution
+    /// time; call [`Engine::recertify`] to refresh one eagerly.
+    ///
+    /// The result is answer-for-answer identical to rebuilding an engine
+    /// from the mutated database (property-tested in
+    /// `tests/delta_differential.rs`); the cost is proportional to what
+    /// changed, not to the database.
+    pub fn apply(&mut self, delta: &Delta) -> Result<DeltaReport, EngineError> {
+        // All-or-nothing: validate the whole delta before mutating.
+        for (p, args) in &delta.facts {
+            self.db.check_fact(*p, args)?;
+        }
+        for &(a, b) in &delta.ne_pairs {
+            self.db.check_ne(a, b)?;
+        }
+        let mut report = DeltaReport::default();
+        let mut new_facts: Vec<(PredId, Box<[Elem]>)> = Vec::new();
+        for (p, args) in &delta.facts {
+            if self.db.insert_fact(*p, args).expect("fact was validated") {
+                new_facts.push((*p, args.iter().map(|c| c.0).collect()));
+                report.facts_inserted += 1;
+            } else {
+                report.facts_duplicate += 1;
+            }
+        }
+        let was_fully_specified = self.db.is_fully_specified();
+        let mut new_ne: Vec<(Elem, Elem)> = Vec::new();
+        for &(a, b) in &delta.ne_pairs {
+            if self.db.insert_ne(a, b).expect("axiom was validated") {
+                new_ne.push((a.0.min(b.0), a.0.max(b.0)));
+                report.ne_inserted += 1;
+            } else {
+                report.ne_duplicate += 1;
+            }
+        }
+        self.counters.deltas_applied += 1;
+        if new_facts.is_empty() && new_ne.is_empty() {
+            // Pure duplicates: the database (and every derived structure,
+            // cached answer, and certificate) is unchanged.
+            report.epoch = self.epoch;
+            report.cache_retained = self.cache.len();
+            return Ok(report);
+        }
+        if let Some(ph1_db) = self.ph1.get_mut() {
+            for (p, tuple) in &new_facts {
+                ph1_db
+                    .insert_tuple(*p, tuple)
+                    .expect("fact constants are Ph₁ domain elements");
+            }
+        }
+        if let Some(approx) = self.approx.get_mut() {
+            approx.apply_delta(&self.db, &new_facts, &new_ne);
+        }
+        if !new_ne.is_empty() {
+            // The respecting-mapping count depends only on the axiom set.
+            self.kernel_count = OnceLock::new();
+        }
+        let mut touched: Vec<PredId> = new_facts.iter().map(|(p, _)| *p).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        let ne_added = !new_ne.is_empty();
+        // When this delta makes the database fully specified, every
+        // cached *certificate* goes stale — even the axiom-insensitive
+        // positive entries, whose tuples would survive but which a fresh
+        // engine now vouches for with Corollary 2 / Theorem 12 instead of
+        // Theorem 13 (or Theorem 1 under `Exact`). Cached answers must be
+        // bit-identical to a fresh run, evidence included, so the flip
+        // (which can happen at most once per engine) evicts everything.
+        let flipped = !was_fully_specified && self.db.is_fully_specified();
+        let (evicted, retained) = self.cache.evict_where(|footprint, semantics| {
+            flipped
+                || footprint.mentions_any(&touched)
+                || (ne_added && footprint.ne_sensitive(semantics))
+        });
+        report.cache_evicted = evicted;
+        report.cache_retained = retained;
+        self.epoch += 1;
+        report.epoch = self.epoch;
+        self.counters.facts_inserted += report.facts_inserted as u64;
+        self.counters.ne_inserted += report.ne_inserted as u64;
+        self.counters.cache_evicted += evicted as u64;
+        Ok(report)
+    }
+
+    /// Re-runs the completeness classification for a prepared query
+    /// against the *current* database and stamps it with the current
+    /// epoch. Returns whether the certificate changed (e.g. a delta made
+    /// the database fully specified, upgrading `None` to Theorem 12 —
+    /// `Auto` then stops escalating to Theorem 1 for it).
+    ///
+    /// Calling this is optional: execution re-certifies stale prepared
+    /// queries automatically. An explicit call makes the refresh visible
+    /// (and counted once) instead of recomputed per execution.
+    pub fn recertify(&self, prepared: &mut PreparedQuery) -> Result<bool, EngineError> {
+        if prepared.engine_id != self.id {
+            return Err(EngineError::PreparedElsewhere);
+        }
+        let fresh = exactness_theorem(&self.db, &prepared.query);
+        let changed = fresh != prepared.completeness;
+        if changed {
+            self.counters.recertified.fetch_add(1, Ordering::Relaxed);
+        }
+        prepared.completeness = fresh;
+        prepared.epoch = self.epoch;
+        Ok(changed)
+    }
+
+    /// The completeness theorem currently in force for a prepared query:
+    /// the one certified at prepare time when the epochs match, or a
+    /// fresh classification when the database has moved on since. Pure —
+    /// no counter side effects (the batch partitioner calls it per
+    /// member).
+    fn effective_completeness(&self, prepared: &PreparedQuery) -> Option<CompletenessTheorem> {
+        if prepared.epoch == self.epoch {
+            prepared.completeness
+        } else {
+            exactness_theorem(&self.db, &prepared.query)
+        }
+    }
+
+    /// [`Engine::effective_completeness`] plus the automatic arm of the
+    /// re-certification counter: a stale prepared query whose verdict
+    /// actually moved is counted. Called once per cache-missing
+    /// execution — cache hits never re-classify (selective invalidation
+    /// guarantees retained entries are certificate-fresh), and once the
+    /// fresh answer is cached, later executions hit and stop counting.
+    fn refreshed_completeness(&self, prepared: &PreparedQuery) -> Option<CompletenessTheorem> {
+        if prepared.epoch == self.epoch {
+            return prepared.completeness;
+        }
+        let fresh = exactness_theorem(&self.db, &prepared.query);
+        if fresh != prepared.completeness {
+            self.counters.recertified.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
     }
 
     /// Compiles `Q̂` to an optimized algebra plan over the extended
@@ -566,12 +892,16 @@ impl Engine {
         if let Some(hit) = self.cache.lookup(prepared, semantics) {
             return Ok(hit);
         }
+        // Classified once per execution (and only on cache misses): the
+        // run paths below all dispatch on this value, so a stale prepared
+        // query is re-certified exactly once here.
+        let completeness = self.refreshed_completeness(prepared);
         let start = Instant::now();
         let outcome = match semantics {
-            Semantics::Exact => self.run_exact(prepared)?,
-            Semantics::Approx => self.run_approx(prepared)?,
+            Semantics::Exact => self.run_exact(prepared, completeness)?,
+            Semantics::Approx => self.run_approx(prepared, completeness)?,
             Semantics::Possible => self.run_possible(prepared)?,
-            Semantics::Auto => self.run_auto(prepared)?,
+            Semantics::Auto => self.run_auto(prepared, completeness)?,
         };
         let answers = package(outcome, semantics, None, start);
         self.cache.insert(prepared, semantics, &answers);
@@ -625,7 +955,7 @@ impl Engine {
             if let Some(hit) = self.cache.lookup(p, semantics) {
                 results[i] = Some(hit);
             } else {
-                match self.enumeration_route(p, semantics) {
+                match self.enumeration_route(self.effective_completeness(p), semantics) {
                     Some(EnumerationKind::Certain) => certain_group.push(i),
                     Some(EnumerationKind::Possible) => possible_group.push(i),
                     None => results[i] = Some(self.execute_as(p, semantics)?),
@@ -652,17 +982,21 @@ impl Engine {
             .collect())
     }
 
-    /// Would this `(query, semantics)` pair run a full mapping enumeration
-    /// (and which one)? These are exactly the executions worth batching.
+    /// Would a query with this (effective) completeness verdict run a
+    /// full mapping enumeration under `semantics` (and which one)? These
+    /// are exactly the executions worth batching.
     ///
     /// This is the **single** classification both the individual `run_*`
     /// paths and the batch partitioner dispatch on — `run_exact` and
     /// `run_auto` consult it rather than re-testing the fast-path /
     /// completeness / budget conditions, so the batched and per-query
-    /// routes cannot drift apart.
+    /// routes cannot drift apart. Callers pass the *effective* verdict
+    /// ([`Engine::effective_completeness`] /
+    /// [`Engine::refreshed_completeness`]), never a possibly-stale stored
+    /// one.
     fn enumeration_route(
         &self,
-        prepared: &PreparedQuery,
+        completeness: Option<CompletenessTheorem>,
         semantics: Semantics,
     ) -> Option<EnumerationKind> {
         match semantics {
@@ -671,7 +1005,7 @@ impl Engine {
             {
                 Some(EnumerationKind::Certain)
             }
-            Semantics::Auto if prepared.completeness.is_none() && !self.over_mapping_budget() => {
+            Semantics::Auto if completeness.is_none() && !self.over_mapping_budget() => {
                 Some(EnumerationKind::Certain)
             }
             Semantics::Possible => Some(EnumerationKind::Possible),
@@ -776,8 +1110,15 @@ impl Engine {
         })
     }
 
-    fn run_exact(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
-        if self.enumeration_route(prepared, Semantics::Exact).is_some() {
+    fn run_exact(
+        &self,
+        prepared: &PreparedQuery,
+        completeness: Option<CompletenessTheorem>,
+    ) -> Result<RunOutcome, EngineError> {
+        if self
+            .enumeration_route(completeness, Semantics::Exact)
+            .is_some()
+        {
             return self.run_theorem1(prepared);
         }
         Ok(RunOutcome::polynomial(
@@ -798,9 +1139,16 @@ impl Engine {
         })
     }
 
-    fn run_approx(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
+    /// `completeness` is the *effective* verdict computed by the caller —
+    /// a delta may have upgraded (or a stale stored verdict would
+    /// misstate) which completeness theorem applies.
+    fn run_approx(
+        &self,
+        prepared: &PreparedQuery,
+        completeness: Option<CompletenessTheorem>,
+    ) -> Result<RunOutcome, EngineError> {
         let rel = self.eval_rewritten(prepared)?;
-        let certificate = match prepared.completeness {
+        let certificate = match completeness {
             Some(theorem) => Certificate::ExactCompleteness(theorem),
             None => Certificate::SoundLowerBound,
         };
@@ -811,13 +1159,23 @@ impl Engine {
         ))
     }
 
-    fn run_auto(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
+    /// `completeness` is the *effective* verdict computed by the caller
+    /// (stale prepared queries are re-classified against the current
+    /// database rather than trusted).
+    fn run_auto(
+        &self,
+        prepared: &PreparedQuery,
+        completeness: Option<CompletenessTheorem>,
+    ) -> Result<RunOutcome, EngineError> {
         // No completeness theorem and within budget: escalate to Theorem 1
         // (the route predicate is shared with the batch partitioner).
-        if self.enumeration_route(prepared, Semantics::Auto).is_some() {
+        if self
+            .enumeration_route(completeness, Semantics::Auto)
+            .is_some()
+        {
             return self.run_theorem1(prepared);
         }
-        match prepared.completeness {
+        match completeness {
             // Fully specified: one physical evaluation is exact, and is
             // the cheapest certified path (works for second-order queries
             // too, unlike the algebra backend).
@@ -914,37 +1272,281 @@ mod tests {
         Engine::new(db)
     }
 
+    fn tiny_engine_with_capacity(capacity: usize) -> Engine {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b"]).unwrap();
+        voc.add_pred("P", 1).unwrap();
+        let db = CwDatabase::builder(voc).build().unwrap();
+        Engine::builder(db).cache_capacity(capacity).build()
+    }
+
     #[test]
-    fn answer_cache_evicts_at_capacity() {
-        let engine = tiny_engine();
-        let queries = ["P(a)", "P(b)", "!P(a)", "!P(b)", "P(a) | P(b)"];
+    fn answer_cache_evicts_least_recently_used() {
+        let engine = tiny_engine_with_capacity(2);
+        assert_eq!(engine.cache_capacity(), 2);
+        let queries = ["P(a)", "P(b)", "!P(a)"];
         let prepared: Vec<_> = queries
             .iter()
             .map(|t| engine.prepare_text(t).unwrap())
             .collect();
         let answers = engine.execute(&prepared[0]).unwrap();
         engine.invalidate_cache();
-        // Hammer a 2-entry cache with 5 distinct keys: it stays bounded
-        // and keeps serving correct hits for whatever it retains.
-        for p in &prepared {
-            engine
-                .cache
-                .insert_with_capacity(p, Semantics::Auto, &answers, 2);
-            assert!(engine.cache.len() <= 2);
+        // Fill the 2-entry cache with P(a), P(b); touch P(a); insert a
+        // third key: the least recently used entry — P(b) — must go.
+        engine.cache.insert(&prepared[0], Semantics::Auto, &answers);
+        engine.cache.insert(&prepared[1], Semantics::Auto, &answers);
+        assert!(engine.cache.lookup(&prepared[0], Semantics::Auto).is_some());
+        engine.cache.insert(&prepared[2], Semantics::Auto, &answers);
+        assert_eq!(engine.cache.len(), 2);
+        assert!(
+            engine.cache.lookup(&prepared[0], Semantics::Auto).is_some(),
+            "recently-used entry survived"
+        );
+        assert!(
+            engine.cache.lookup(&prepared[1], Semantics::Auto).is_none(),
+            "LRU entry evicted"
+        );
+        assert!(engine.cache.lookup(&prepared[2], Semantics::Auto).is_some());
+        // Re-inserting a present key refreshes in place (no eviction).
+        engine.cache.insert(&prepared[0], Semantics::Auto, &answers);
+        assert_eq!(engine.cache.len(), 2);
+        assert!(engine.cache.lookup(&prepared[2], Semantics::Auto).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let engine = tiny_engine_with_capacity(0);
+        let prepared = engine.prepare_text("P(a)").unwrap();
+        engine.execute(&prepared).unwrap();
+        assert_eq!(engine.cache_len(), 0);
+    }
+
+    /// Two predicates and a null: the playground for footprint tests.
+    fn two_pred_engine() -> Engine {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b", "u"]).unwrap();
+        voc.add_pred("P", 1).unwrap();
+        voc.add_pred("R", 2).unwrap();
+        let db = CwDatabase::builder(voc).build().unwrap();
+        Engine::new(db)
+    }
+
+    fn ids(engine: &Engine) -> (qld_logic::ConstId, qld_logic::ConstId, qld_logic::ConstId) {
+        let voc = engine.db().voc();
+        (
+            voc.const_id("a").unwrap(),
+            voc.const_id("b").unwrap(),
+            voc.const_id("u").unwrap(),
+        )
+    }
+
+    #[test]
+    fn apply_is_all_or_nothing() {
+        let mut engine = two_pred_engine();
+        let (a, _, _) = ids(&engine);
+        let p = engine.db().voc().pred_id("P").unwrap();
+        // Second entry has the wrong arity: the whole delta is rejected
+        // and nothing changes.
+        let bad = Delta::new().insert_fact(p, &[a]).insert_fact(p, &[a, a]);
+        assert!(matches!(engine.apply(&bad), Err(EngineError::Cw(_))));
+        assert_eq!(engine.db().num_facts(), 0);
+        assert_eq!(engine.epoch(), 0);
+        assert_eq!(engine.delta_stats().deltas_applied, 0);
+    }
+
+    #[test]
+    fn apply_reports_inserts_and_duplicates() {
+        let mut engine = two_pred_engine();
+        let (a, b, _) = ids(&engine);
+        let p = engine.db().voc().pred_id("P").unwrap();
+        let delta = Delta::new()
+            .insert_fact(p, &[a])
+            .insert_fact(p, &[a])
+            .assert_ne(a, b)
+            .assert_ne(b, a);
+        let report = engine.apply(&delta).unwrap();
+        assert_eq!(report.facts_inserted, 1);
+        assert_eq!(report.facts_duplicate, 1);
+        assert_eq!(report.ne_inserted, 1);
+        assert_eq!(report.ne_duplicate, 1, "normalized duplicate");
+        assert!(report.changed());
+        assert_eq!(report.epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        assert_eq!(engine.db().num_facts(), 1);
+        assert!(engine.db().is_ne(a, b));
+        // A pure-duplicate delta leaves the epoch alone.
+        let report = engine.apply(&Delta::new().insert_fact(p, &[a])).unwrap();
+        assert!(!report.changed());
+        assert_eq!(report.epoch, 1);
+        assert_eq!(engine.epoch(), 1);
+        let stats = engine.delta_stats();
+        assert_eq!(stats.deltas_applied, 2);
+        assert_eq!(stats.facts_inserted, 1);
+        assert_eq!(stats.ne_inserted, 1);
+    }
+
+    #[test]
+    fn cache_invalidation_is_selective_by_footprint() {
+        let mut engine = two_pred_engine();
+        let (a, b, _) = ids(&engine);
+        let p = engine.db().voc().pred_id("P").unwrap();
+        // Three cached answers: positive on P, positive on R, negation
+        // on R (axiom-sensitive).
+        let on_p = engine.prepare_text("(x) . P(x)").unwrap();
+        let on_r = engine.prepare_text("(x, y) . R(x, y)").unwrap();
+        let neg_r = engine.prepare_text("(x) . !R(x, x)").unwrap();
+        engine.execute(&on_p).unwrap();
+        engine.execute(&on_r).unwrap();
+        engine.execute(&neg_r).unwrap();
+        assert_eq!(engine.cache_len(), 3);
+        // A fact delta on P touches only the P entry.
+        let report = engine.apply(&Delta::new().insert_fact(p, &[a])).unwrap();
+        assert_eq!(report.cache_evicted, 1);
+        assert_eq!(report.cache_retained, 2);
+        assert!(engine.execute(&on_r).unwrap().evidence().cache_hit);
+        assert!(!engine.execute(&on_p).unwrap().evidence().cache_hit);
+        // An axiom delta evicts the axiom-sensitive entry but keeps the
+        // positive ones (Theorem 13 makes them axiom-independent).
+        engine.execute(&neg_r).unwrap(); // re-cache
+        let report = engine.apply(&Delta::new().assert_ne(a, b)).unwrap();
+        assert_eq!(report.cache_evicted, 1);
+        assert!(engine.execute(&on_r).unwrap().evidence().cache_hit);
+        assert!(!engine.execute(&neg_r).unwrap().evidence().cache_hit);
+        // The retained answers are still byte-identical to fresh runs.
+        let fresh = Engine::new(engine.db().clone());
+        for text in ["(x) . P(x)", "(x, y) . R(x, y)", "(x) . !R(x, x)"] {
+            let cached = engine.execute(&engine.prepare_text(text).unwrap()).unwrap();
+            let truth = fresh.execute(&fresh.prepare_text(text).unwrap()).unwrap();
+            assert_eq!(cached.tuples(), truth.tuples(), "{text}");
         }
-        assert_eq!(engine.cache.len(), 2);
-        // Re-inserting a retained key does not evict (no growth, no churn
-        // needed).
-        let retained: Vec<_> = prepared
-            .iter()
-            .filter(|p| engine.cache.lookup(p, Semantics::Auto).is_some())
-            .collect();
-        assert_eq!(retained.len(), 2);
+    }
+
+    #[test]
+    fn apply_matches_rebuilt_engine_with_built_structures() {
+        let mut engine = two_pred_engine();
+        let (a, b, u) = ids(&engine);
+        let p = engine.db().voc().pred_id("P").unwrap();
+        let r = engine.db().voc().pred_id("R").unwrap();
+        let texts = [
+            "(x) . P(x)",
+            "(x) . !P(x)",
+            "(x, y) . R(x, y) & x != y",
+            "exists x. R(x, x) | P(x)",
+        ];
+        // Force Ph₁ and the §5 machinery to exist *before* the deltas, so
+        // the incremental refresh (not a lazy rebuild) is what's tested.
+        for text in texts {
+            let prepared = engine.prepare_text(text).unwrap();
+            engine.execute_as(&prepared, Semantics::Exact).unwrap();
+        }
+        let script = [
+            Delta::new().insert_fact(p, &[a]).insert_fact(r, &[a, u]),
+            Delta::new().assert_ne(a, b).assert_ne(u, a),
+            Delta::new().insert_fact(r, &[u, b]),
+        ];
+        for delta in &script {
+            engine.apply(delta).unwrap();
+            let rebuilt = Engine::new(engine.db().clone());
+            for text in texts {
+                let inc = engine.prepare_text(text).unwrap();
+                let fresh = rebuilt.prepare_text(text).unwrap();
+                for semantics in Semantics::ALL {
+                    assert_eq!(
+                        engine.execute_as(&inc, semantics).unwrap().tuples(),
+                        rebuilt.execute_as(&fresh, semantics).unwrap().tuples(),
+                        "{text} under {semantics:?} diverged from rebuild"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_recertify_prepared_queries() {
+        let mut engine = two_pred_engine();
+        let (a, b, u) = ids(&engine);
+        // Negation on a partial database: no completeness theorem.
+        let mut prepared = engine.prepare_text("(x) . !P(x)").unwrap();
+        assert_eq!(prepared.completeness(), None);
+        let auto = engine.execute(&prepared).unwrap();
+        assert_eq!(auto.evidence().regime, Regime::Theorem1);
+        // Pin every identity down: the database becomes fully specified.
         engine
-            .cache
-            .insert_with_capacity(retained[0], Semantics::Auto, &answers, 2);
-        assert_eq!(engine.cache.len(), 2);
-        assert!(engine.cache.lookup(retained[1], Semantics::Auto).is_some());
+            .apply(&Delta::new().assert_ne(a, b).assert_ne(a, u).assert_ne(b, u))
+            .unwrap();
+        assert!(engine.db().is_fully_specified());
+        // The *stale* prepared query already routes through the upgraded
+        // certificate (no Theorem 1 escalation)…
+        assert_eq!(prepared.epoch(), 0);
+        let upgraded = engine.execute(&prepared).unwrap();
+        assert_eq!(upgraded.evidence().regime, Regime::Corollary2);
+        assert!(upgraded.is_exact());
+        // …and an explicit recertify makes the upgrade visible.
+        assert!(engine.recertify(&mut prepared).unwrap());
+        assert_eq!(
+            prepared.completeness(),
+            Some(CompletenessTheorem::FullySpecified)
+        );
+        assert_eq!(prepared.epoch(), engine.epoch());
+        assert!(!engine.recertify(&mut prepared).unwrap(), "now stable");
+        assert!(engine.delta_stats().queries_recertified >= 1);
+    }
+
+    #[test]
+    fn fully_specifying_delta_evicts_certificate_stale_positive_entries() {
+        // A positive query's *tuples* survive any axiom delta (Theorem
+        // 13), but once the database becomes fully specified a fresh
+        // engine certifies them differently (Corollary 2 / Theorem 12) —
+        // so the flip must evict even axiom-insensitive entries, keeping
+        // cached answers bit-identical to a rebuild, evidence included.
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b"]).unwrap();
+        let p = voc.add_pred("P", 1).unwrap();
+        let db = CwDatabase::builder(voc).fact(p, &[ids[0]]).build().unwrap();
+        let mut engine = Engine::new(db);
+        let prepared = engine.prepare_text("(x) . P(x)").unwrap();
+        for semantics in [Semantics::Exact, Semantics::Auto, Semantics::Approx] {
+            engine.execute_as(&prepared, semantics).unwrap();
+        }
+        let report = engine
+            .apply(&Delta::new().assert_ne(ids[0], ids[1]))
+            .unwrap();
+        assert!(engine.db().is_fully_specified());
+        assert_eq!(report.cache_evicted, 3, "the flip evicts everything");
+        let rebuilt = Engine::new(engine.db().clone());
+        let fresh = rebuilt.prepare_text("(x) . P(x)").unwrap();
+        for semantics in [Semantics::Exact, Semantics::Auto, Semantics::Approx] {
+            let inc = engine.execute_as(&prepared, semantics).unwrap();
+            let truth = rebuilt.execute_as(&fresh, semantics).unwrap();
+            assert_eq!(inc.tuples(), truth.tuples(), "{semantics:?}");
+            assert_eq!(
+                inc.evidence().certificate,
+                truth.evidence().certificate,
+                "{semantics:?} certificate must match a rebuilt engine"
+            );
+        }
+    }
+
+    #[test]
+    fn mapping_budget_probe_resets_on_axiom_deltas() {
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b", "u"]).unwrap();
+        voc.add_pred("P", 1).unwrap();
+        let db = CwDatabase::builder(voc).build().unwrap();
+        // No axioms: 5 kernel mappings (the partitions of 3 constants) —
+        // over a budget of 3, so Auto refuses the escalation.
+        let mut engine = Engine::builder(db).mapping_budget(3).build();
+        let text = "(x) . !P(x)";
+        let bounded = engine.query(text).unwrap();
+        assert_eq!(bounded.evidence().certificate, Certificate::BoundedPair);
+        // One axiom cuts the kernel count to 3 (partitions separating a
+        // and b): the probe must be re-run, and Auto now escalates.
+        engine
+            .apply(&Delta::new().assert_ne(ids[0], ids[1]))
+            .unwrap();
+        let exact = engine.query(text).unwrap();
+        assert_eq!(exact.evidence().certificate, Certificate::ExactTheorem1);
+        assert!(exact.evidence().mappings_evaluated > 0);
     }
 
     #[test]

@@ -246,6 +246,38 @@ impl Formula {
         }
     }
 
+    /// The vocabulary predicates mentioned anywhere in the formula,
+    /// sorted and deduplicated — the *predicate footprint* delta-aware
+    /// caches key their invalidation on.
+    pub fn preds(&self) -> Vec<PredId> {
+        let mut out = Vec::new();
+        self.visit_preds(&mut |p| out.push(p));
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn visit_preds(&self, f: &mut impl FnMut(PredId)) {
+        match self {
+            Formula::True | Formula::False | Formula::Eq(..) | Formula::SoAtom(..) => {}
+            Formula::Atom(p, _) => f(*p),
+            Formula::Not(g)
+            | Formula::Exists(_, g)
+            | Formula::Forall(_, g)
+            | Formula::SoExists(_, _, g)
+            | Formula::SoForall(_, _, g) => g.visit_preds(f),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for g in fs {
+                    g.visit_preds(f);
+                }
+            }
+            Formula::Implies(p, q) | Formula::Iff(p, q) => {
+                p.visit_preds(f);
+                q.visit_preds(f);
+            }
+        }
+    }
+
     /// True iff the formula is first-order (no second-order atoms or
     /// quantifiers).
     pub fn is_first_order(&self) -> bool {

@@ -59,11 +59,19 @@ impl std::error::Error for PhysicalError {}
 /// A physical database: a finite interpretation `I` of a vocabulary `L`.
 ///
 /// Constructed via [`PhysicalDbBuilder`], which validates the §2.1
-/// well-formedness conditions, and immutable thereafter — with one
-/// audited exception: [`PhysicalDb::assign_mapped_image`] overwrites a
-/// clone of a validated database with the image of its source under a
-/// total element mapping (which preserves well-formedness), so the
-/// Theorem 1 hot loop can reuse one buffer instead of rebuilding.
+/// well-formedness conditions, and immutable thereafter — with a few
+/// audited exceptions that provably preserve well-formedness:
+///
+/// * [`PhysicalDb::assign_mapped_image`] overwrites a clone of a
+///   validated database with the image of its source under a total
+///   element mapping, so the Theorem 1 hot loop can reuse one buffer
+///   instead of rebuilding;
+/// * the incremental-maintenance append path —
+///   [`PhysicalDb::insert_tuple`] (validated against domain and arity),
+///   [`PhysicalDb::retain_tuples`] (a subset of a valid relation is
+///   valid), and [`PhysicalDb::set_relation`] (validated like the
+///   builder) — lets delta updates extend the physical relations in
+///   place instead of rebuilding the database per mutation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PhysicalDb {
     domain: Vec<Elem>,
@@ -149,6 +157,58 @@ impl PhysicalDb {
         for (dst, src) in self.rels.iter_mut().zip(&base.rels) {
             dst.assign_mapped(src, |e| h[e as usize]);
         }
+    }
+
+    /// Appends one tuple to a relation in place, validating it exactly as
+    /// the builder would (arity and domain membership). Returns `true` iff
+    /// the tuple was new. This is the incremental append path delta
+    /// updates use instead of rebuilding the database.
+    pub fn insert_tuple(&mut self, p: PredId, tuple: &[Elem]) -> Result<bool, PhysicalError> {
+        let rel = &self.rels[p.index()];
+        if tuple.len() != rel.arity() {
+            return Err(PhysicalError::RelationArity {
+                predicate: format!("predicate #{}", p.index()),
+                expected: rel.arity(),
+                found: tuple.len(),
+            });
+        }
+        if tuple.iter().any(|&e| !self.in_domain(e)) {
+            return Err(PhysicalError::TupleOutsideDomain(
+                format!("predicate #{}", p.index()),
+                tuple.to_vec(),
+            ));
+        }
+        Ok(self.rels[p.index()].insert(tuple))
+    }
+
+    /// Drops the tuples of one relation for which `keep` returns false, in
+    /// place (a subset of a valid relation is always valid). Returns how
+    /// many tuples were dropped.
+    pub fn retain_tuples(&mut self, p: PredId, keep: impl FnMut(&[Elem]) -> bool) -> usize {
+        self.rels[p.index()].retain(keep)
+    }
+
+    /// Replaces one relation in place, validating the replacement exactly
+    /// as the builder would (arity and domain membership). The clone-free
+    /// counterpart of [`PhysicalDb::with_relation`], used by delta updates
+    /// to refresh derived relations (e.g. the virtual-`NE` store).
+    pub fn set_relation(&mut self, p: PredId, rel: Relation) -> Result<(), PhysicalError> {
+        let current = &self.rels[p.index()];
+        if rel.arity() != current.arity() {
+            return Err(PhysicalError::RelationArity {
+                predicate: format!("predicate #{}", p.index()),
+                expected: current.arity(),
+                found: rel.arity(),
+            });
+        }
+        if let Some(bad) = rel.iter().find(|t| t.iter().any(|&e| !self.in_domain(e))) {
+            return Err(PhysicalError::TupleOutsideDomain(
+                format!("predicate #{}", p.index()),
+                bad.to_vec(),
+            ));
+        }
+        self.rels[p.index()] = rel;
+        Ok(())
     }
 
     /// Replaces one relation, returning a new database (used by the
@@ -402,6 +462,69 @@ mod tests {
                 .unwrap();
             assert_eq!(image, expected, "mapping {h:?}");
         }
+    }
+
+    #[test]
+    fn insert_tuple_appends_and_validates() {
+        let (voc, a, r) = voc();
+        let b = voc.const_id("b").unwrap();
+        let mut db = PhysicalDb::builder(&voc)
+            .domain([0, 1])
+            .constant(a, 0)
+            .constant(b, 1)
+            .relation_from_tuples(r, vec![vec![0, 1]])
+            .build()
+            .unwrap();
+        assert_eq!(db.insert_tuple(r, &[1, 0]), Ok(true));
+        assert_eq!(db.insert_tuple(r, &[1, 0]), Ok(false), "duplicate");
+        assert!(db.relation(r).contains(&[1, 0]));
+        assert_eq!(db.total_tuples(), 2);
+        // The incremental result equals the built-from-scratch database.
+        let rebuilt = PhysicalDb::builder(&voc)
+            .domain([0, 1])
+            .constant(a, 0)
+            .constant(b, 1)
+            .relation_from_tuples(r, vec![vec![0, 1], vec![1, 0]])
+            .build()
+            .unwrap();
+        assert_eq!(db, rebuilt);
+        // Validation matches the builder's.
+        assert!(matches!(
+            db.insert_tuple(r, &[0]),
+            Err(PhysicalError::RelationArity { .. })
+        ));
+        assert!(matches!(
+            db.insert_tuple(r, &[0, 9]),
+            Err(PhysicalError::TupleOutsideDomain(..))
+        ));
+        assert_eq!(db.total_tuples(), 2, "failed inserts change nothing");
+    }
+
+    #[test]
+    fn retain_and_set_relation() {
+        let (voc, a, r) = voc();
+        let b = voc.const_id("b").unwrap();
+        let mut db = PhysicalDb::builder(&voc)
+            .domain([0, 1])
+            .constant(a, 0)
+            .constant(b, 1)
+            .relation_from_tuples(r, vec![vec![0, 1], vec![1, 0], vec![1, 1]])
+            .build()
+            .unwrap();
+        assert_eq!(db.retain_tuples(r, |t| t[0] == 1), 1);
+        assert_eq!(db.relation(r).len(), 2);
+        db.set_relation(r, Relation::collect(2, vec![vec![0, 0]]))
+            .unwrap();
+        assert!(db.relation(r).contains(&[0, 0]));
+        assert_eq!(db.relation(r).len(), 1);
+        assert!(matches!(
+            db.set_relation(r, Relation::empty(3)),
+            Err(PhysicalError::RelationArity { .. })
+        ));
+        assert!(matches!(
+            db.set_relation(r, Relation::collect(2, vec![vec![0, 9]])),
+            Err(PhysicalError::TupleOutsideDomain(..))
+        ));
     }
 
     #[test]

@@ -118,6 +118,36 @@ impl Relation {
         self.tuples.dedup();
     }
 
+    /// Inserts one tuple, keeping the sorted duplicate-free invariant.
+    /// Returns `true` iff the tuple was new — the incremental-maintenance
+    /// append path (a sorted insert is `O(n)` memmove, not a rebuild).
+    ///
+    /// # Panics
+    /// Panics if the tuple's length differs from the relation's arity.
+    pub fn insert(&mut self, tuple: &[Elem]) -> bool {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        match self
+            .tuples
+            .binary_search_by(|probe| probe.as_ref().cmp(tuple))
+        {
+            Ok(_) => false,
+            Err(pos) => {
+                self.tuples.insert(pos, tuple.into());
+                true
+            }
+        }
+    }
+
+    /// Keeps only the tuples for which `keep` returns true (in place;
+    /// order and uniqueness are preserved automatically). Returns how many
+    /// tuples were dropped. Used by incremental `α_P` maintenance, where a
+    /// new fact can only *shrink* the disagreement relation.
+    pub fn retain(&mut self, mut keep: impl FnMut(&[Elem]) -> bool) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| keep(t));
+        before - self.tuples.len()
+    }
+
     /// True iff `self ⊆ other` (both must have equal arity).
     pub fn is_subset_of(&self, other: &Relation) -> bool {
         debug_assert_eq!(self.arity, other.arity);
@@ -229,6 +259,38 @@ mod tests {
         buf.assign_mapped(&unary, |e| e + 1);
         assert_eq!(buf.arity(), 1);
         assert!(buf.contains(&[5]));
+    }
+
+    #[test]
+    fn insert_keeps_invariants() {
+        let mut r = rel(&[&[1, 2], &[3, 4]]);
+        assert!(r.insert(&[2, 2]));
+        assert!(!r.insert(&[1, 2]), "duplicate insert is a no-op");
+        assert!(r.insert(&[0, 0]));
+        let collected: Vec<&[Elem]> = r.iter().collect();
+        assert_eq!(
+            collected,
+            vec![&[0, 0][..], &[1, 2][..], &[2, 2][..], &[3, 4][..]]
+        );
+        assert!(r.contains(&[2, 2]));
+        // Equivalent to rebuilding from the union.
+        let rebuilt = rel(&[&[1, 2], &[3, 4], &[2, 2], &[0, 0]]);
+        assert_eq!(r, rebuilt);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn insert_checks_arity() {
+        rel(&[&[1, 2]]).insert(&[1]);
+    }
+
+    #[test]
+    fn retain_filters_in_place() {
+        let mut r = rel(&[&[0, 1], &[1, 1], &[2, 1]]);
+        let dropped = r.retain(|t| t[0] != 1);
+        assert_eq!(dropped, 1);
+        assert_eq!(r, rel(&[&[0, 1], &[2, 1]]));
+        assert_eq!(r.retain(|_| true), 0);
     }
 
     #[test]

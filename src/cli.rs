@@ -10,9 +10,10 @@
 
 use qld_algebra::display_plan;
 use qld_core::CwDatabase;
-use qld_engine::{Engine, EngineError, Semantics};
+use qld_engine::{Delta, Engine, EngineError, Semantics};
 use qld_logic::display::display_query;
 use qld_logic::parser::parse_query;
+use qld_logic::{Formula, Term};
 use std::io::{self, Write};
 
 /// The shell's evaluation mode *is* the engine's semantics — one
@@ -134,6 +135,22 @@ impl Session {
                     out,
                     "        all Theorem-1-bound queries share a single mapping enumeration"
                 )?;
+                writeln!(
+                    out,
+                    "    :insert P(c1, ..., ck)        add a fact (incremental, no rebuild)"
+                )?;
+                writeln!(
+                    out,
+                    "    :assert-ne <a> <b>            add a uniqueness axiom a != b"
+                )?;
+                writeln!(
+                    out,
+                    "        deltas refresh Ph1/Ph2/alpha in place and evict only the"
+                )?;
+                writeln!(
+                    out,
+                    "        cached answers whose predicate footprint they touch"
+                )?;
                 writeln!(out, "    :stats                        database statistics")?;
                 writeln!(
                     out,
@@ -184,6 +201,18 @@ impl Session {
                     let _ran = self.batch_file(rest, out)?;
                 }
             }
+            Some("insert") => {
+                let rest = cmd["insert".len()..].trim();
+                if rest.is_empty() {
+                    writeln!(out, "usage: :insert P(c1, ..., ck)")?;
+                } else {
+                    self.insert_fact(rest, out)?;
+                }
+            }
+            Some("assert-ne") => match (words.next(), words.next()) {
+                (Some(a), Some(b)) => self.assert_ne(a, b, out)?,
+                _ => writeln!(out, "usage: :assert-ne <a> <b>")?,
+            },
             Some("stats") => {
                 writeln!(
                     out,
@@ -196,11 +225,23 @@ impl Session {
                 )?;
                 writeln!(
                     out,
-                    "mode: {}, threads: {}, cache: {} ({} answer(s) cached)",
+                    "mode: {}, threads: {}, cache: {} ({}/{} answer(s) cached)",
                     self.mode().name(),
                     describe_threads(self.threads()),
                     if self.cache_enabled() { "on" } else { "off" },
-                    self.engine.cache_len()
+                    self.engine.cache_len(),
+                    self.engine.cache_capacity()
+                )?;
+                let deltas = self.engine.delta_stats();
+                writeln!(
+                    out,
+                    "deltas: {} applied ({} fact(s), {} axiom(s) inserted), \
+                     {} cache eviction(s), {} re-certification(s)",
+                    deltas.deltas_applied,
+                    deltas.facts_inserted,
+                    deltas.ne_inserted,
+                    deltas.cache_evicted,
+                    deltas.queries_recertified
                 )?;
             }
             Some("dump") => {
@@ -226,6 +267,51 @@ impl Session {
             None => writeln!(out, "empty command (try :help)")?,
         }
         Ok(Outcome::Continue)
+    }
+
+    /// The `:insert` command: parses a ground atom in the query syntax
+    /// (e.g. `TEACHES(socrates, plato)`) and applies it as a fact delta —
+    /// the engine refreshes `Ph₁`/`Ph₂`/`α_P` in place and evicts only the
+    /// cached answers that mention the predicate.
+    fn insert_fact(&mut self, text: &str, out: &mut dyn Write) -> io::Result<()> {
+        const USAGE: &str = "a fact is a ground atom: :insert P(c1, ..., ck)";
+        let query = match parse_query(self.db().voc(), text) {
+            Ok(q) => q,
+            Err(e) => return writeln!(out, "parse error: {e}"),
+        };
+        let (head, body) = query.into_parts();
+        let Formula::Atom(p, terms) = body else {
+            return writeln!(out, "{USAGE}");
+        };
+        if !head.is_empty() {
+            return writeln!(out, "{USAGE}");
+        }
+        let mut args = Vec::with_capacity(terms.len());
+        for term in terms.iter() {
+            match term {
+                Term::Const(c) => args.push(*c),
+                Term::Var(_) => return writeln!(out, "{USAGE}"),
+            }
+        }
+        match self.engine.apply(&Delta::new().insert_fact(p, &args)) {
+            Ok(report) => writeln!(out, "{report}"),
+            Err(e) => writeln!(out, "error: {e}"),
+        }
+    }
+
+    /// The `:assert-ne` command: adds the uniqueness axiom `¬(a = b)` as a
+    /// delta (incremental `NE`-store insertion plus complement-only `α_P`
+    /// recheck; axiom-sensitive cached answers are evicted).
+    fn assert_ne(&mut self, a: &str, b: &str, out: &mut dyn Write) -> io::Result<()> {
+        let voc = self.db().voc();
+        let (Some(ca), Some(cb)) = (voc.const_id(a), voc.const_id(b)) else {
+            let unknown = if voc.const_id(a).is_none() { a } else { b };
+            return writeln!(out, "unknown constant `{unknown}`");
+        };
+        match self.engine.apply(&Delta::new().assert_ne(ca, cb)) {
+            Ok(report) => writeln!(out, "{report}"),
+            Err(e) => writeln!(out, "error: {e}"),
+        }
     }
 
     /// Shows the §5 pipeline for a query, straight off the prepared
@@ -539,6 +625,80 @@ distinct socrates plato aristotle
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("line 2: parse error"), "{out}");
         assert!(!out.contains("CERTAIN"), "{out}");
+    }
+
+    #[test]
+    fn insert_fact_command_updates_answers_incrementally() {
+        let (out, _) = run(&[
+            "(x) . TEACHES(socrates, x)",
+            ":insert TEACHES(socrates, aristotle)",
+            "(x) . TEACHES(socrates, x)",
+            ":stats",
+        ]);
+        assert!(out.contains("1 fact(s) inserted (0 duplicate)"), "{out}");
+        assert!(out.contains("(aristotle)"), "{out}");
+        assert!(out.contains("2 tuple(s)"), "{out}");
+        assert!(
+            out.contains("deltas: 1 applied (1 fact(s), 0 axiom(s) inserted)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn insert_fact_command_rejects_non_facts() {
+        let (out, _) = run(&[
+            ":insert",
+            ":insert NOPE(",
+            ":insert TEACHES(socrates, x)",
+            ":insert TEACHES(socrates, plato) | TEACHES(plato, socrates)",
+            ":insert WISEGUY(socrates)",
+        ]);
+        assert!(out.contains("usage: :insert"), "{out}");
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("parse error")).count(),
+            3,
+            "{out}"
+        );
+        assert!(out.contains("ground atom"), "{out}");
+    }
+
+    #[test]
+    fn assert_ne_command_and_errors() {
+        let (out, _) = run(&[
+            ":assert-ne mystery socrates",
+            ":assert-ne mystery socrates",
+            ":assert-ne mystery",
+            ":assert-ne nope socrates",
+            ":assert-ne socrates socrates",
+            ":stats",
+        ]);
+        assert!(out.contains("1 axiom(s) inserted (0 duplicate)"), "{out}");
+        assert!(out.contains("0 axiom(s) inserted (1 duplicate)"), "{out}");
+        assert!(out.contains("usage: :assert-ne <a> <b>"), "{out}");
+        assert!(out.contains("unknown constant `nope`"), "{out}");
+        assert!(out.contains("unsatisfiable"), "{out}");
+        assert!(out.contains("4 uniqueness axioms"), "{out}");
+    }
+
+    #[test]
+    fn footprint_invalidation_keeps_positive_answers_across_axiom_deltas() {
+        let (out, _) = run(&[
+            "(x) . TEACHES(socrates, x)",
+            ":assert-ne mystery socrates",
+            "(x) . TEACHES(socrates, x)",
+            "(x) . !TEACHES(socrates, x)",
+        ]);
+        // The positive query's cached answer survives the axiom delta
+        // (Theorem 13 makes it axiom-independent); the negation runs
+        // fresh against the updated α/NE.
+        assert_eq!(out.matches("(cached)").count(), 1, "{out}");
+    }
+
+    #[test]
+    fn stats_reports_cache_capacity() {
+        let (out, _) = run(&[":stats"]);
+        assert!(out.contains("0/4096 answer(s) cached"), "{out}");
+        assert!(out.contains("0 re-certification(s)"), "{out}");
     }
 
     #[test]

@@ -76,8 +76,9 @@ pub mod prelude {
     pub use qld_core::worlds::{answer_bounds, count_worlds, for_each_world, AnswerBounds};
     pub use qld_core::{answer_names, CwDatabase};
     pub use qld_engine::{
-        Answers, Certificate, Engine, EngineBuilder, EngineError, Evidence, MappingStrategy,
-        NeStoreMode, ParallelConfig, PreparedQuery, Regime, Semantics,
+        Answers, Certificate, Delta, DeltaReport, DeltaStats, Engine, EngineBuilder, EngineError,
+        Evidence, MappingStrategy, NeStoreMode, ParallelConfig, PreparedQuery, QueryFootprint,
+        Regime, Semantics,
     };
     pub use qld_logic::parser::{parse_query, parse_sentence};
     pub use qld_logic::{Formula, Query, Term, Var, Vocabulary};
