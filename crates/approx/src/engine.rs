@@ -71,6 +71,13 @@ pub struct ApproxEngine {
     virtual_ne: bool,
 }
 
+// The §5 engine is embedded in snapshots served across threads by the
+// concurrent layer; enforce shareability at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ApproxEngine>();
+};
+
 impl ApproxEngine {
     /// Builds the engine with the explicit `NE` relation (the default).
     pub fn new(cw: &CwDatabase) -> ApproxEngine {

@@ -13,8 +13,8 @@
 //! future perf PRs re-run it and diff.
 
 use qld_bench::{
-    batch_queries, fresh_facts, high_null_db, scaling_query, standard_db, standard_queries,
-    time_once,
+    batch_queries, concurrent_load, fresh_facts, high_null_db, scaling_query, standard_db,
+    standard_queries, time_once,
 };
 use qld_engine::{Backend, Delta, Engine, MappingStrategy, Semantics};
 use std::fmt::Write as _;
@@ -274,6 +274,44 @@ fn run_workloads(smoke: bool) -> Vec<Entry> {
         });
     }
 
+    // E13: concurrent serving — N reader sessions against one
+    // delta-publishing writer on a `SharedEngine` (the serving
+    // configuration: `Auto` semantics, shared epoch-keyed cache on).
+    // Three entries per session count: read p50, read p99 (`wall_ms` is
+    // the latency, `threads` the session count), and the writer's wall
+    // for the whole delta stream (`mappings` holds the delta count, so
+    // `mappings_per_sec` is the writer throughput in deltas/s).
+    let serve_db = standard_db(if smoke { 8 } else { 16 }, 42);
+    let (reads, delta_count) = if smoke { (40, 8) } else { (200, 64) };
+    let session_sweep: &[usize] = if smoke { &[2] } else { &[4, 8] };
+    for &sessions in session_sweep {
+        let report = concurrent_load(&serve_db, sessions, reads, delta_count, 7);
+        let (p50_name, p99_name, writer_name): (&'static str, &'static str, &'static str) =
+            match sessions {
+                2 => ("e13_read_p50_s2", "e13_read_p99_s2", "e13_writer_s2"),
+                4 => ("e13_read_p50_s4", "e13_read_p99_s4", "e13_writer_s4"),
+                _ => ("e13_read_p50_s8", "e13_read_p99_s8", "e13_writer_s8"),
+            };
+        entries.push(Entry {
+            workload: p50_name,
+            threads: sessions,
+            wall: report.read_p50,
+            mappings: 0,
+        });
+        entries.push(Entry {
+            workload: p99_name,
+            threads: sessions,
+            wall: report.read_p99,
+            mappings: 0,
+        });
+        entries.push(Entry {
+            workload: writer_name,
+            threads: sessions,
+            wall: report.writer_wall,
+            mappings: report.deltas as u64,
+        });
+    }
+
     entries
 }
 
@@ -289,7 +327,7 @@ fn to_json(entries: &[Entry]) -> String {
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"workload\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"wall_ms\": {:.6}, \
              \"mappings\": {}, \"mappings_per_sec\": {:.0}}}",
             e.workload,
             e.threads,

@@ -173,3 +173,127 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, std::time::Duration) {
     let out = f();
     (out, start.elapsed())
 }
+
+/// The `p`-th percentile (0.0–100.0) of a latency sample, by the
+/// nearest-rank method. Sorts the slice in place.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn percentile(samples: &mut [std::time::Duration], p: f64) -> std::time::Duration {
+    assert!(!samples.is_empty(), "percentile of an empty sample");
+    samples.sort_unstable();
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
+}
+
+/// What the E13 multi-client load generator measured: per-read latency
+/// percentiles across all reader sessions, and the writer's sustained
+/// delta throughput over the same window.
+pub struct ConcurrentLoadReport {
+    /// Reader sessions that ran.
+    pub sessions: usize,
+    /// Total reads across all sessions.
+    pub reads: usize,
+    /// Median read latency.
+    pub read_p50: std::time::Duration,
+    /// 99th-percentile read latency.
+    pub read_p99: std::time::Duration,
+    /// Deltas the writer published.
+    pub deltas: usize,
+    /// Wall-clock the writer spent applying (and publishing) them.
+    pub writer_wall: std::time::Duration,
+}
+
+impl ConcurrentLoadReport {
+    /// Deltas published per second.
+    pub fn writer_throughput(&self) -> f64 {
+        self.deltas as f64 / self.writer_wall.as_secs_f64()
+    }
+}
+
+/// The E13 multi-client load generator: `sessions` reader threads each
+/// execute `reads_per_session` queries (the [`standard_queries`] mix,
+/// `Auto` semantics, shared epoch-keyed cache on — the serving
+/// configuration) against a `SharedEngine`, while one writer thread
+/// applies `deltas` fresh `P0` facts from [`fresh_facts`], yielding
+/// between publications so readers genuinely interleave with the epoch
+/// stream. Returns read-latency percentiles and writer throughput.
+pub fn concurrent_load(
+    db: &CwDatabase,
+    sessions: usize,
+    reads_per_session: usize,
+    deltas: usize,
+    seed: u64,
+) -> ConcurrentLoadReport {
+    use qld_engine::{Delta, Engine, SharedEngine};
+    use std::sync::Barrier;
+    use std::time::Instant;
+
+    let shared = SharedEngine::new(Engine::new(db.clone()));
+    let prepared: Vec<qld_engine::PreparedQuery> = {
+        let snap = shared.snapshot();
+        standard_queries(db)
+            .into_iter()
+            .map(|(_, q)| snap.engine().prepare(q).expect("load query prepares"))
+            .collect()
+    };
+    let stream = fresh_facts(db, deltas, seed);
+    // Everyone starts together: latency percentiles measured while the
+    // writer is live, not after it drained.
+    let barrier = Barrier::new(sessions + 1);
+
+    let (writer_wall, latencies) = std::thread::scope(|scope| {
+        let writer = {
+            let shared = shared.clone();
+            let barrier = &barrier;
+            let stream = &stream;
+            scope.spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                for (p, args) in stream {
+                    shared
+                        .apply(&Delta::new().insert_fact(*p, args))
+                        .expect("load delta applies");
+                    std::thread::yield_now();
+                }
+                start.elapsed()
+            })
+        };
+        let readers: Vec<_> = (0..sessions)
+            .map(|i| {
+                let shared = shared.clone();
+                let barrier = &barrier;
+                let prepared = &prepared;
+                scope.spawn(move || {
+                    let mut session = shared.session();
+                    let mut samples = Vec::with_capacity(reads_per_session);
+                    barrier.wait();
+                    for r in 0..reads_per_session {
+                        let p = &prepared[(i + r) % prepared.len()];
+                        let start = Instant::now();
+                        session.execute(p).expect("load query executes");
+                        samples.push(start.elapsed());
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let wall = writer.join().expect("writer thread");
+        let latencies: Vec<std::time::Duration> = readers
+            .into_iter()
+            .flat_map(|r| r.join().expect("reader thread"))
+            .collect();
+        (wall, latencies)
+    });
+
+    let mut latencies = latencies;
+    let reads = latencies.len();
+    ConcurrentLoadReport {
+        sessions,
+        reads,
+        read_p50: percentile(&mut latencies, 50.0),
+        read_p99: percentile(&mut latencies, 99.0),
+        deltas,
+        writer_wall,
+    }
+}

@@ -81,6 +81,14 @@ pub struct CwDatabase {
     ne_pairs: Vec<(u32, u32)>,
 }
 
+// The concurrent serving layer (`qld_engine::SharedEngine`) shares
+// databases across threads; keep that property compiler-enforced so a
+// non-`Sync` field can never sneak in silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CwDatabase>();
+};
+
 impl CwDatabase {
     /// Starts building a database over the given vocabulary (which the
     /// database takes ownership of — the vocabulary *is* the `L` of

@@ -1,0 +1,894 @@
+//! Concurrent multi-session serving: one shared, `Send + Sync` engine
+//! behind many reader sessions and a single delta-applying writer.
+//!
+//! The single-owner [`Engine`] is a session: reads take `&self`, but
+//! [`Engine::apply`] takes `&mut self`, so one database cannot serve
+//! concurrent clients while it evolves. [`SharedEngine`] closes that gap
+//! with the classic snapshot-publish architecture:
+//!
+//! * the current database state lives in an immutable, epoch-stamped
+//!   [`EngineSnapshot`] behind an `Arc`-swapped pointer;
+//! * **readers** ([`SharedSession`]) grab the published `Arc` (a
+//!   sub-microsecond pointer clone) and execute entirely against that
+//!   snapshot — they never lock anything the writer holds during
+//!   maintenance, never observe a half-applied delta, and the epoch
+//!   stamped into every answer's [`Evidence`](crate::Evidence) names the
+//!   exact database state that produced the tuples;
+//! * the **writer** ([`SharedEngine::apply`]) serializes behind one
+//!   mutex, applies each [`Delta`] to the master engine with the existing
+//!   incremental maintenance, and publishes a fresh snapshot atomically —
+//!   in-flight readers keep their old snapshot alive through their `Arc`
+//!   and finish consistently at the old epoch;
+//! * answers are cached in a **sharded concurrent cache** keyed
+//!   `(query fingerprint, semantics, epoch)` — the epoch in the key makes
+//!   stale hits *structurally* impossible (an entry computed at epoch `k`
+//!   can only ever be served to a reader executing at epoch `k`), so the
+//!   write path needs no cross-thread invalidation at all; superseded
+//!   epochs simply age out of the per-shard LRU.
+//!
+//! Epoch observation is monotone per session: the published epoch only
+//! moves forward, and [`SharedSession`] asserts it never sees time run
+//! backwards. The whole protocol is differential-tested in
+//! `tests/concurrent_differential.rs`: every concurrent reader's answer
+//! must be byte-identical (certificates included) to a solo engine
+//! rebuilt from the database as it stood at the reader's observed epoch.
+
+use crate::delta::{Delta, DeltaReport, DeltaStats};
+use crate::error::EngineError;
+use crate::evidence::{Answers, Semantics};
+use crate::prepared::PreparedQuery;
+use crate::session::Engine;
+use qld_logic::Query;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Number of independent shards in the [`SharedAnswerCache`]. Sixteen
+/// mutexes keep lock contention negligible for any realistic session
+/// count while the per-shard LRU stays simple.
+const SHARD_COUNT: usize = 16;
+
+/// A shared-cache key: `(query fingerprint, semantics, epoch)`. The
+/// epoch component is the whole concurrency story — entries from
+/// different database states can coexist (readers on an old snapshot
+/// keep hitting their epoch's entries) and can never be served across
+/// epochs.
+type SharedKey = (u64, Semantics, u64);
+
+/// One cached answer: the source query (compared on lookup, so a 64-bit
+/// fingerprint collision is a miss, never a wrong answer), the finished
+/// [`Answers`], and an LRU recency stamp.
+#[derive(Debug, Clone)]
+struct SharedEntry {
+    query: Query,
+    answers: Answers,
+    tick: u64,
+}
+
+/// One shard: a map plus its LRU order index, updated together under the
+/// shard mutex. Ticks are unique per shard (monotonic counter), so the
+/// `BTreeMap` is a total recency order.
+#[derive(Debug, Default)]
+struct ShardInner {
+    map: HashMap<SharedKey, SharedEntry>,
+    lru: BTreeMap<u64, SharedKey>,
+    next_tick: u64,
+}
+
+impl ShardInner {
+    fn touch(&mut self, key: SharedKey) {
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        let entry = self.map.get_mut(&key).expect("touched key present");
+        self.lru.remove(&entry.tick);
+        entry.tick = tick;
+        self.lru.insert(tick, key);
+    }
+
+    fn evict_lru(&mut self) {
+        if let Some((&tick, &key)) = self.lru.iter().next() {
+            self.lru.remove(&tick);
+            self.map.remove(&key);
+        }
+    }
+}
+
+/// The sharded concurrent answer cache behind a [`SharedEngine`]: one
+/// LRU map per shard, each behind its own mutex, keyed
+/// `(fingerprint, semantics, epoch)`.
+///
+/// Unlike the single-owner engine's cache there is **no invalidation
+/// path**: the epoch in the key proves freshness, so a delta never has to
+/// reach into the cache at all. Capacity is enforced per shard
+/// (`total / SHARD_COUNT`, min 1), which bounds the whole cache at the
+/// configured capacity even under insert races — eviction happens under
+/// the same shard lock as the insert.
+#[derive(Debug)]
+struct SharedAnswerCache {
+    shards: Vec<Mutex<ShardInner>>,
+    /// Maximum entries per shard; `0` disables caching entirely.
+    shard_capacity: usize,
+}
+
+impl SharedAnswerCache {
+    /// A cache bounded at roughly `capacity` entries total (`0` disables
+    /// caching).
+    fn new(capacity: usize) -> SharedAnswerCache {
+        let shard_capacity = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARD_COUNT).max(1)
+        };
+        SharedAnswerCache {
+            shards: (0..SHARD_COUNT).map(|_| Mutex::default()).collect(),
+            shard_capacity,
+        }
+    }
+
+    fn shard_of(&self, key: &SharedKey) -> &Mutex<ShardInner> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// A hit returns the stored answer re-stamped as cached and marks the
+    /// entry most recently used. Only entries computed at exactly `epoch`
+    /// are eligible — the key makes cross-epoch serving impossible.
+    fn lookup(
+        &self,
+        prepared: &PreparedQuery,
+        semantics: Semantics,
+        epoch: u64,
+    ) -> Option<Answers> {
+        if self.shard_capacity == 0 {
+            return None;
+        }
+        let start = Instant::now();
+        let key = (prepared.fingerprint, semantics, epoch);
+        let mut shard = self.shard_of(&key).lock().expect("shared cache poisoned");
+        let hit = match shard.map.get(&key) {
+            Some(entry) if entry.query == prepared.query => {
+                Some(entry.answers.as_cache_hit(start.elapsed()))
+            }
+            _ => None,
+        };
+        if hit.is_some() {
+            shard.touch(key);
+        }
+        hit
+    }
+
+    fn insert(
+        &self,
+        prepared: &PreparedQuery,
+        semantics: Semantics,
+        epoch: u64,
+        answers: &Answers,
+    ) {
+        if self.shard_capacity == 0 {
+            return;
+        }
+        debug_assert_eq!(
+            answers.evidence().epoch,
+            epoch,
+            "shared cache entry stamped with a foreign epoch"
+        );
+        let key = (prepared.fingerprint, semantics, epoch);
+        let mut shard = self.shard_of(&key).lock().expect("shared cache poisoned");
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_capacity {
+            shard.evict_lru();
+        }
+        let tick = shard.next_tick;
+        shard.next_tick += 1;
+        let entry = SharedEntry {
+            query: prepared.query.clone(),
+            answers: answers.clone(),
+            tick,
+        };
+        if let Some(old) = shard.map.insert(key, entry) {
+            shard.lru.remove(&old.tick);
+        }
+        shard.lru.insert(tick, key);
+    }
+
+    /// Drops every entry (the blanket hook; deltas never need it).
+    fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shared cache poisoned");
+            shard.map.clear();
+            shard.lru.clear();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shared cache poisoned").map.len())
+            .sum()
+    }
+}
+
+/// An immutable, epoch-stamped view of the database and all its derived
+/// structures (`Ph₁`, `Ph₂`, `α_P`, `NE`), published atomically by the
+/// writer and executed against by readers.
+///
+/// A snapshot is a full [`Engine`] frozen at one epoch: readers prepare
+/// and execute queries on it with the complete single-owner feature set
+/// (all four semantics, certificates, batching, budgets). Because nothing
+/// ever mutates a published snapshot, readers need no locks during
+/// evaluation — the `Arc` they hold keeps the snapshot alive even after
+/// the writer publishes successors.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    engine: Engine,
+    epoch: u64,
+}
+
+impl EngineSnapshot {
+    /// The database epoch this snapshot was frozen at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The frozen engine. Its internal per-engine answer cache is
+    /// disabled — the [`SharedEngine`]'s epoch-keyed cache sits in front
+    /// of every snapshot instead.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+}
+
+/// Aggregate statistics of a [`SharedEngine`] (surfaced by the CLI's
+/// concurrent mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedStats {
+    /// The currently published epoch.
+    pub epoch: u64,
+    /// Reader sessions handed out so far.
+    pub sessions_started: u64,
+    /// Entries currently in the shared answer cache (across all epochs).
+    pub cache_len: usize,
+    /// Total shared-cache capacity.
+    pub cache_capacity: usize,
+    /// Cumulative delta counters of the master engine.
+    pub deltas: DeltaStats,
+}
+
+#[derive(Debug)]
+struct SharedInner {
+    /// The published snapshot. Readers hold the read lock only long
+    /// enough to clone the `Arc`; the writer holds the write lock only
+    /// long enough to store a new pointer — query evaluation itself never
+    /// runs under either.
+    published: RwLock<Arc<EngineSnapshot>>,
+    /// The master engine the single writer maintains incrementally.
+    /// Serializing `apply` calls behind this mutex *is* the single-writer
+    /// discipline.
+    writer: Mutex<Engine>,
+    cache: SharedAnswerCache,
+    cache_capacity: usize,
+    sessions: AtomicU64,
+}
+
+/// A shareable, concurrently correct engine over one evolving database:
+/// wait-free readers on immutable epoch snapshots, one writer publishing
+/// [`Delta`]s atomically, and an epoch-keyed sharded answer cache.
+///
+/// `SharedEngine` is `Send + Sync + Clone` — clone it (an `Arc` bump)
+/// into as many threads as you like; every clone sees the same database,
+/// cache, and epoch stream. Spawn per-thread [`SharedSession`]s with
+/// [`SharedEngine::session`] for reads and call
+/// [`SharedEngine::apply`] from anywhere for writes (concurrent writers
+/// serialize; each published delta is observed in full or not at all).
+///
+/// # Example
+///
+/// ```
+/// use qld_engine::{Delta, Engine, SharedEngine};
+/// use qld_core::CwDatabase;
+/// use qld_logic::Vocabulary;
+///
+/// let mut voc = Vocabulary::new();
+/// let ids = voc.add_consts(["a", "b"]).unwrap();
+/// let p = voc.add_pred("P", 1).unwrap();
+/// let db = CwDatabase::builder(voc).fact(p, &[ids[0]]).build().unwrap();
+///
+/// let shared = SharedEngine::new(Engine::new(db));
+/// std::thread::scope(|scope| {
+///     let reader = shared.clone();
+///     scope.spawn(move || {
+///         let mut session = reader.session();
+///         let q = session.prepare_text("(x) . P(x)").unwrap();
+///         let answers = session.execute(&q).unwrap();
+///         // The answer names the database state it was computed at.
+///         assert!(answers.evidence().epoch <= reader.epoch());
+///     });
+///     let writer = shared.clone();
+///     scope.spawn(move || {
+///         let p = writer.snapshot().engine().db().voc().pred_id("P").unwrap();
+///         writer
+///             .apply(&Delta::new().insert_fact(p, &[ids[1]]))
+///             .unwrap();
+///     });
+/// });
+/// assert_eq!(shared.epoch(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedEngine {
+    inner: Arc<SharedInner>,
+}
+
+impl SharedEngine {
+    /// Wraps a configured [`Engine`] for concurrent serving. The engine's
+    /// own per-session answer cache is disabled — the shared epoch-keyed
+    /// cache (sized by the engine's
+    /// [`cache_capacity`](crate::EngineBuilder::cache_capacity)) replaces
+    /// it for every snapshot.
+    pub fn new(engine: Engine) -> SharedEngine {
+        engine.set_cache_enabled(false);
+        let cache_capacity = engine.cache_capacity();
+        let snapshot = Arc::new(EngineSnapshot {
+            engine: engine.clone(),
+            epoch: engine.epoch(),
+        });
+        SharedEngine {
+            inner: Arc::new(SharedInner {
+                published: RwLock::new(snapshot),
+                writer: Mutex::new(engine),
+                cache: SharedAnswerCache::new(cache_capacity),
+                cache_capacity,
+                sessions: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The currently published snapshot. The read lock is held only for
+    /// the `Arc` clone; evaluation on the snapshot runs lock-free.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.inner
+            .published
+            .read()
+            .expect("published snapshot poisoned")
+            .clone()
+    }
+
+    /// The currently published epoch (monotone non-decreasing).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch
+    }
+
+    /// Starts a new reader session. Sessions are cheap (an `Arc` clone
+    /// plus a counter bump) and independent — hand one to each thread or
+    /// client connection.
+    pub fn session(&self) -> SharedSession {
+        let id = self.inner.sessions.fetch_add(1, Ordering::Relaxed);
+        SharedSession {
+            shared: self.clone(),
+            id,
+            observed: 0,
+        }
+    }
+
+    /// Applies a [`Delta`] to the master engine (full incremental
+    /// maintenance, all-or-nothing validation — see [`Engine::apply`])
+    /// and, if the database changed, publishes a fresh epoch-stamped
+    /// snapshot atomically before returning.
+    ///
+    /// Concurrent `apply` calls serialize behind the writer mutex;
+    /// snapshots are published in apply order while the lock is still
+    /// held, so the epoch stream readers observe is exactly the sequence
+    /// of applied deltas. Readers holding the previous snapshot finish
+    /// their queries against it — they never see a half-applied delta.
+    /// The shared cache needs no invalidation: entries for earlier epochs
+    /// stay correct *for those epochs* and age out of the LRU.
+    pub fn apply(&self, delta: &Delta) -> Result<DeltaReport, EngineError> {
+        let mut writer = self.inner.writer.lock().expect("writer engine poisoned");
+        let report = writer.apply(delta)?;
+        if report.changed() {
+            let snapshot = Arc::new(EngineSnapshot {
+                engine: writer.clone(),
+                epoch: writer.epoch(),
+            });
+            *self
+                .inner
+                .published
+                .write()
+                .expect("published snapshot poisoned") = snapshot;
+        }
+        Ok(report)
+    }
+
+    /// Entries currently in the shared answer cache (across all epochs —
+    /// readers on older snapshots may still be hitting theirs).
+    pub fn cache_len(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Drops every shared-cache entry. Never required for correctness
+    /// (the epoch key does the invalidation work); useful for cold-cache
+    /// benchmarking.
+    pub fn invalidate_cache(&self) {
+        self.inner.cache.clear();
+    }
+
+    /// Aggregate statistics: published epoch, sessions started, cache
+    /// occupancy, and the master engine's cumulative delta counters.
+    pub fn stats(&self) -> SharedStats {
+        let deltas = self
+            .inner
+            .writer
+            .lock()
+            .expect("writer engine poisoned")
+            .delta_stats();
+        SharedStats {
+            epoch: self.epoch(),
+            sessions_started: self.inner.sessions.load(Ordering::Relaxed),
+            cache_len: self.inner.cache.len(),
+            cache_capacity: self.inner.cache_capacity,
+            deltas,
+        }
+    }
+}
+
+/// One reader's view of a [`SharedEngine`]: prepares and executes
+/// queries against the latest published snapshot, tracks the epochs it
+/// has observed, and guarantees the observation is monotone — a session
+/// can see the database advance between calls, but never run backwards.
+///
+/// Sessions are single-threaded by design (`&mut self` on the execution
+/// path keeps the epoch bookkeeping race-free); create one per thread
+/// with [`SharedEngine::session`].
+#[derive(Debug)]
+pub struct SharedSession {
+    shared: SharedEngine,
+    id: u64,
+    observed: u64,
+}
+
+impl SharedSession {
+    /// This session's id (unique per [`SharedEngine`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The highest epoch this session has observed so far.
+    pub fn observed_epoch(&self) -> u64 {
+        self.observed
+    }
+
+    /// Grabs the latest snapshot and folds its epoch into the monotone
+    /// observation record.
+    fn advance(&mut self) -> Arc<EngineSnapshot> {
+        let snapshot = self.shared.snapshot();
+        assert!(
+            snapshot.epoch >= self.observed,
+            "session {} observed epoch {} after {} — published epochs ran backwards",
+            self.id,
+            snapshot.epoch,
+            self.observed
+        );
+        self.observed = snapshot.epoch;
+        snapshot
+    }
+
+    /// Parses and prepares a query against the current snapshot. The
+    /// result is valid on every snapshot of this engine, past and future
+    /// (prepared artifacts reference stable predicate ids; certificates
+    /// are re-validated per epoch at execution time).
+    pub fn prepare_text(&mut self, text: &str) -> Result<PreparedQuery, EngineError> {
+        self.advance().engine.prepare_text(text)
+    }
+
+    /// Prepares an already-built [`Query`] against the current snapshot.
+    pub fn prepare(&mut self, query: Query) -> Result<PreparedQuery, EngineError> {
+        self.advance().engine.prepare(query)
+    }
+
+    /// Executes a prepared query under the engine's default semantics.
+    pub fn execute(&mut self, prepared: &PreparedQuery) -> Result<Answers, EngineError> {
+        let semantics = self.shared.snapshot().engine.semantics();
+        self.execute_as(prepared, semantics)
+    }
+
+    /// Executes a prepared query under an explicit semantics against the
+    /// latest published snapshot. The answer's
+    /// [`Evidence::epoch`](crate::Evidence::epoch) is the snapshot's
+    /// epoch; cache hits are only ever served from entries computed at
+    /// that exact epoch.
+    pub fn execute_as(
+        &mut self,
+        prepared: &PreparedQuery,
+        semantics: Semantics,
+    ) -> Result<Answers, EngineError> {
+        let snapshot = self.advance();
+        let cache = &self.shared.inner.cache;
+        if let Some(hit) = cache.lookup(prepared, semantics, snapshot.epoch) {
+            return Ok(hit);
+        }
+        let answers = snapshot.engine.execute_as(prepared, semantics)?;
+        cache.insert(prepared, semantics, snapshot.epoch, &answers);
+        Ok(answers)
+    }
+
+    /// Executes a batch against one snapshot (all members see the same
+    /// epoch): shared-cache hits are served first, the misses share the
+    /// single-enumeration batching of [`Engine::execute_batch_as`], and
+    /// every fresh answer lands in the shared cache.
+    pub fn execute_batch_as(
+        &mut self,
+        prepared: &[PreparedQuery],
+        semantics: Semantics,
+    ) -> Result<Vec<Answers>, EngineError> {
+        let snapshot = self.advance();
+        let cache = &self.shared.inner.cache;
+        let mut results: Vec<Option<Answers>> = vec![None; prepared.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, p) in prepared.iter().enumerate() {
+            match cache.lookup(p, semantics, snapshot.epoch) {
+                Some(hit) => results[i] = Some(hit),
+                None => misses.push(i),
+            }
+        }
+        if !misses.is_empty() {
+            let miss_prepared: Vec<PreparedQuery> =
+                misses.iter().map(|&i| prepared[i].clone()).collect();
+            let fresh = snapshot
+                .engine
+                .execute_batch_as(&miss_prepared, semantics)?;
+            for (&i, answers) in misses.iter().zip(fresh) {
+                cache.insert(&prepared[i], semantics, snapshot.epoch, &answers);
+                results[i] = Some(answers);
+            }
+        }
+        Ok(results
+            .into_iter()
+            .map(|a| a.expect("every batch slot answered"))
+            .collect())
+    }
+
+    /// Renders answer tuples with the vocabulary's constant names.
+    pub fn answer_names(&self, answers: &Answers) -> Vec<Vec<String>> {
+        qld_core::answer_names(self.shared.snapshot().engine.db().voc(), answers.tuples())
+    }
+}
+
+// The whole point of the module, enforced at compile time: the shared
+// serving layer (and everything a reader thread needs to hold) crosses
+// thread boundaries. A regression — say an `Rc` or `RefCell` sneaking
+// into `CwDatabase` or a derived structure — fails the build here, not
+// under load.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<SharedEngine>();
+    assert_send_sync::<EngineSnapshot>();
+    assert_send_sync::<SharedSession>();
+    assert_send_sync::<PreparedQuery>();
+    assert_send_sync::<Answers>();
+    assert_send_sync::<Delta>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_core::CwDatabase;
+    use qld_logic::Vocabulary;
+    use std::thread;
+
+    fn small_engine() -> Engine {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b", "c", "u"]).unwrap();
+        voc.add_pred("P", 1).unwrap();
+        voc.add_pred("R", 2).unwrap();
+        let db = CwDatabase::builder(voc).build().unwrap();
+        Engine::new(db)
+    }
+
+    fn shared_with_capacity(capacity: usize) -> SharedEngine {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b"]).unwrap();
+        voc.add_pred("P", 1).unwrap();
+        let db = CwDatabase::builder(voc).build().unwrap();
+        SharedEngine::new(Engine::builder(db).cache_capacity(capacity).build())
+    }
+
+    #[test]
+    fn snapshot_publish_and_epoch_stamping() {
+        let shared = SharedEngine::new(small_engine());
+        assert_eq!(shared.epoch(), 0);
+        let mut session = shared.session();
+        let q = session.prepare_text("(x) . P(x)").unwrap();
+        let before = session.execute(&q).unwrap();
+        assert_eq!(before.evidence().epoch, 0);
+
+        let voc_p = shared.snapshot().engine().db().voc().pred_id("P").unwrap();
+        let a = shared.snapshot().engine().db().voc().const_id("a").unwrap();
+        let old = shared.snapshot();
+        let report = shared
+            .apply(&Delta::new().insert_fact(voc_p, &[a]))
+            .unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(shared.epoch(), 1);
+        // The pre-delta snapshot is still alive and still answers at its
+        // own epoch.
+        assert_eq!(old.epoch(), 0);
+        assert!(old.engine().execute(&q).unwrap().tuples().is_empty());
+
+        let after = session.execute(&q).unwrap();
+        assert_eq!(after.evidence().epoch, 1);
+        assert_eq!(after.len(), 1);
+        assert_eq!(session.observed_epoch(), 1);
+    }
+
+    #[test]
+    fn duplicate_delta_publishes_nothing() {
+        let shared = SharedEngine::new(small_engine());
+        let snap = shared.snapshot();
+        let voc = snap.engine().db().voc();
+        let (p, a) = (voc.pred_id("P").unwrap(), voc.const_id("a").unwrap());
+        shared.apply(&Delta::new().insert_fact(p, &[a])).unwrap();
+        let published = shared.snapshot();
+        let report = shared.apply(&Delta::new().insert_fact(p, &[a])).unwrap();
+        assert!(!report.changed());
+        // Same snapshot object: a pure-duplicate delta is not republished.
+        assert!(Arc::ptr_eq(&published, &shared.snapshot()));
+    }
+
+    #[test]
+    fn shared_cache_serves_same_epoch_only() {
+        let shared = SharedEngine::new(small_engine());
+        let mut session = shared.session();
+        let q = session.prepare_text("(x) . !P(x)").unwrap();
+        let fresh = session.execute(&q).unwrap();
+        assert!(!fresh.evidence().cache_hit);
+        let hit = session.execute(&q).unwrap();
+        assert!(hit.evidence().cache_hit);
+        assert_eq!(hit.evidence().epoch, 0);
+        assert_eq!(hit.tuples(), fresh.tuples());
+
+        // A delta advances the epoch: the old entry is unreachable for
+        // new executions (key mismatch), so the next read is fresh.
+        let snap = shared.snapshot();
+        let voc = snap.engine().db().voc();
+        let (p, a) = (voc.pred_id("P").unwrap(), voc.const_id("a").unwrap());
+        shared.apply(&Delta::new().insert_fact(p, &[a])).unwrap();
+        let after = session.execute(&q).unwrap();
+        assert!(!after.evidence().cache_hit, "stale-epoch hit served");
+        assert_eq!(after.evidence().epoch, 1);
+    }
+
+    #[test]
+    fn batch_on_shared_session_mixes_hits_and_misses() {
+        let shared = SharedEngine::new(small_engine());
+        let mut session = shared.session();
+        let q1 = session.prepare_text("(x) . !P(x)").unwrap();
+        let q2 = session.prepare_text("(x) . !R(x, x)").unwrap();
+        session.execute(&q1).unwrap(); // q1 cached
+        let batch = session
+            .execute_batch_as(&[q1.clone(), q2.clone()], Semantics::Auto)
+            .unwrap();
+        assert!(batch[0].evidence().cache_hit);
+        assert!(!batch[1].evidence().cache_hit);
+        // Everything cached now: the second batch is all hits.
+        let again = session
+            .execute_batch_as(&[q1, q2], Semantics::Auto)
+            .unwrap();
+        assert!(again.iter().all(|a| a.evidence().cache_hit));
+        for (a, b) in batch.iter().zip(again.iter()) {
+            assert_eq!(a.tuples(), b.tuples());
+        }
+    }
+
+    #[test]
+    fn stats_report_sessions_epoch_and_deltas() {
+        let shared = SharedEngine::new(small_engine());
+        let _s1 = shared.session();
+        let mut s2 = shared.session();
+        let q = s2.prepare_text("P(a)").unwrap();
+        s2.execute(&q).unwrap();
+        let snap = shared.snapshot();
+        let voc = snap.engine().db().voc();
+        let (p, b) = (voc.pred_id("P").unwrap(), voc.const_id("b").unwrap());
+        shared.apply(&Delta::new().insert_fact(p, &[b])).unwrap();
+        let stats = shared.stats();
+        assert_eq!(stats.epoch, 1);
+        assert_eq!(stats.sessions_started, 2);
+        assert_eq!(stats.deltas.deltas_applied, 1);
+        assert_eq!(stats.deltas.facts_inserted, 1);
+        assert!(stats.cache_len >= 1);
+        assert!(stats.cache_capacity >= stats.cache_len);
+        shared.invalidate_cache();
+        assert_eq!(shared.cache_len(), 0);
+    }
+
+    // --- the sharded-cache contention suite -----------------------------
+
+    /// Concurrent insert/lookup from many threads: every hit must be
+    /// byte-identical to the inserted answer, and the total entry count
+    /// must respect the configured capacity at all times.
+    #[test]
+    fn cache_contention_insert_lookup_races() {
+        let shared = SharedEngine::new(
+            Engine::builder(small_engine().db().clone())
+                .cache_capacity(256)
+                .build(),
+        );
+        let mut seed = shared.session();
+        // 16 distinct queries × two semantics — comfortably within
+        // capacity, so every entry must survive and be served identically.
+        let texts = [
+            "(x) . P(x)",
+            "(x) . !P(x)",
+            "(x, y) . R(x, y)",
+            "(x) . R(x, x)",
+            "(x) . !R(x, x)",
+            "P(a)",
+            "P(b)",
+            "P(c)",
+            "P(u)",
+            "R(a, b)",
+            "R(b, a)",
+            "exists x. P(x)",
+            "exists x. R(x, a)",
+            "exists x. !P(x)",
+            "forall x. P(x) -> x != u",
+            "(x) . P(x) | x != a",
+        ];
+        let prepared: Vec<PreparedQuery> = texts
+            .iter()
+            .map(|t| seed.prepare_text(t).unwrap())
+            .collect();
+        let truth: Vec<(Answers, Answers)> = prepared
+            .iter()
+            .map(|p| {
+                let snap = shared.snapshot();
+                (
+                    snap.engine().execute_as(p, Semantics::Auto).unwrap(),
+                    snap.engine().execute_as(p, Semantics::Possible).unwrap(),
+                )
+            })
+            .collect();
+        thread::scope(|scope| {
+            for t in 0..8 {
+                let shared = shared.clone();
+                let prepared = &prepared;
+                let truth = &truth;
+                scope.spawn(move || {
+                    let mut session = shared.session();
+                    for round in 0..40 {
+                        let i = (t * 7 + round) % prepared.len();
+                        let (p, (auto_truth, possible_truth)) = (&prepared[i], &truth[i]);
+                        let a = session.execute_as(p, Semantics::Auto).unwrap();
+                        assert_eq!(a.tuples(), auto_truth.tuples());
+                        let pa = session.execute_as(p, Semantics::Possible).unwrap();
+                        assert_eq!(pa.tuples(), possible_truth.tuples());
+                        assert!(shared.cache_len() <= 256);
+                    }
+                });
+            }
+        });
+        // Steady state: all 16 × 2 entries cached, every further read a hit.
+        let mut session = shared.session();
+        for p in &prepared {
+            assert!(
+                session
+                    .execute_as(p, Semantics::Auto)
+                    .unwrap()
+                    .evidence()
+                    .cache_hit
+            );
+        }
+    }
+
+    /// LRU capacity is respected under insert races: hammering far more
+    /// distinct `(query, epoch)` keys than capacity from many threads
+    /// never grows any shard past its bound.
+    #[test]
+    fn cache_capacity_respected_under_races() {
+        let shared = shared_with_capacity(16); // 1 entry per shard
+        let mut seed = shared.session();
+        let queries: Vec<PreparedQuery> = ["(x) . P(x)", "(x) . !P(x)", "P(a)", "P(b)", "!P(a)"]
+            .iter()
+            .map(|t| seed.prepare_text(t).unwrap())
+            .collect();
+        thread::scope(|scope| {
+            for t in 0..8 {
+                let shared = shared.clone();
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut session = shared.session();
+                    for round in 0..50 {
+                        let p = &queries[(t + round) % queries.len()];
+                        for semantics in Semantics::ALL {
+                            session.execute_as(p, semantics).unwrap();
+                        }
+                        // Per-shard capacity 1 × 16 shards: never above 16.
+                        assert!(
+                            shared.cache_len() <= 16,
+                            "cache grew past capacity under racing inserts"
+                        );
+                    }
+                });
+            }
+        });
+        assert!(shared.cache_len() <= 16);
+    }
+
+    /// Epoch-keyed entries are never served cross-epoch, even when the
+    /// writer races the readers: every answer's stamped epoch matches a
+    /// snapshot the session could legitimately have observed, and
+    /// monotone observation holds per session.
+    #[test]
+    fn cache_entries_never_served_cross_epoch() {
+        let shared = shared_with_capacity(4096);
+        let snap = shared.snapshot();
+        let voc = snap.engine().db().voc();
+        let (p, a, b) = (
+            voc.pred_id("P").unwrap(),
+            voc.const_id("a").unwrap(),
+            voc.const_id("b").unwrap(),
+        );
+        thread::scope(|scope| {
+            let writer = shared.clone();
+            scope.spawn(move || {
+                writer.apply(&Delta::new().insert_fact(p, &[a])).unwrap();
+                writer.apply(&Delta::new().insert_fact(p, &[b])).unwrap();
+                writer.apply(&Delta::new().assert_ne(a, b)).unwrap();
+            });
+            for _ in 0..4 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    let mut session = shared.session();
+                    let q = session.prepare_text("(x) . P(x)").unwrap();
+                    let mut last_epoch = 0;
+                    for _ in 0..50 {
+                        let ans = session.execute(&q).unwrap();
+                        let e = ans.evidence().epoch;
+                        assert!(e >= last_epoch, "epoch ran backwards in one session");
+                        last_epoch = e;
+                        // The tuple count is a function of the epoch for
+                        // this positive query: epoch e has exactly e facts
+                        // (the axiom delta at epoch 3 adds none).
+                        let expected = (e as usize).min(2);
+                        assert_eq!(
+                            ans.len(),
+                            expected,
+                            "answer computed at epoch {e} does not match that epoch's database"
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn cache_rejects_fingerprint_collisions() {
+        let shared = shared_with_capacity(64);
+        let mut session = shared.session();
+        let p1 = session.prepare_text("P(a)").unwrap();
+        let p2 = session.prepare_text("P(b)").unwrap();
+        let answers = session.execute(&p1).unwrap();
+        let cache = &shared.inner.cache;
+        cache.insert(&p1, Semantics::Auto, 0, &answers);
+        let forged = PreparedQuery {
+            fingerprint: p1.fingerprint,
+            ..p2.clone()
+        };
+        assert!(cache.lookup(&forged, Semantics::Auto, 0).is_none());
+        assert!(cache.lookup(&p1, Semantics::Auto, 0).is_some());
+        // And the same entry at another epoch misses.
+        assert!(cache.lookup(&p1, Semantics::Auto, 1).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_shared_cache() {
+        let shared = shared_with_capacity(0);
+        let mut session = shared.session();
+        let q = session.prepare_text("P(a)").unwrap();
+        session.execute(&q).unwrap();
+        assert_eq!(shared.cache_len(), 0);
+        assert!(!session.execute(&q).unwrap().evidence().cache_hit);
+    }
+}

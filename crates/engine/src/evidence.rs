@@ -201,6 +201,16 @@ pub struct Evidence {
     /// is 0); the regime/certificate fields describe the original
     /// computation the cached answer came from.
     pub cache_hit: bool,
+    /// The database epoch the answer was computed at (see
+    /// [`Engine::epoch`](crate::Engine::epoch)). Cache hits keep the epoch
+    /// of the original computation — for the single-owner engine a
+    /// retained entry may predate the current epoch (selective
+    /// invalidation proved it still valid), while the epoch-keyed shared
+    /// cache of [`SharedEngine`](crate::SharedEngine) only ever serves an
+    /// entry to readers at exactly this epoch. This is what makes a
+    /// concurrent repro report unambiguous: the epoch names the exact
+    /// database state that produced the tuples.
+    pub epoch: u64,
     /// `Some(n)`: this answer came out of an [`Engine::execute_batch`]
     /// group of `n` queries sharing **one** mapping enumeration —
     /// `mappings_evaluated` is that shared total (each mapping counted
@@ -212,10 +222,12 @@ pub struct Evidence {
 
 impl Evidence {
     /// One-line human-readable summary, e.g.
-    /// `auto → §5 approx, exact (Theorem 11 + Theorem 13)` or
-    /// `exact → Theorem 1, exact (Theorem 1), 15 mapping(s), 4 worker(s)`,
-    /// with `(cached)` appended on cache hits and the shared-enumeration
-    /// batch size when the mappings were amortized across a batch.
+    /// `auto → §5 approx, exact (Theorem 11 + Theorem 13), epoch 0` or
+    /// `exact → Theorem 1, exact (Theorem 1), 15 mapping(s), 4 worker(s),
+    /// epoch 2`, with `(cached)` appended on cache hits and the
+    /// shared-enumeration batch size when the mappings were amortized
+    /// across a batch. The epoch names the database state the answer was
+    /// computed at, so concurrent repro reports are unambiguous.
     pub fn summary(&self) -> String {
         let mut s = format!("{} → {}, {}", self.requested, self.regime, self.certificate);
         if self.mappings_evaluated > 0 {
@@ -227,6 +239,7 @@ impl Evidence {
         if self.workers_used > 1 {
             s.push_str(&format!(", {} worker(s)", self.workers_used));
         }
+        s.push_str(&format!(", epoch {}", self.epoch));
         if self.cache_hit {
             s.push_str(" (cached)");
         }
@@ -357,10 +370,12 @@ mod tests {
             workers_used: 1,
             cache_hit: false,
             shared_batch: None,
+            epoch: 3,
         };
         let s = ev.summary();
         assert!(s.contains("Theorem 1"), "{s}");
         assert!(s.contains("15 mapping(s)"), "{s}");
+        assert!(s.contains("epoch 3"), "{s}");
         // Single-worker runs don't advertise the pool…
         assert!(!s.contains("worker"), "{s}");
         assert!(!s.contains("cached"), "{s}");

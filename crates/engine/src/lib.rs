@@ -28,7 +28,13 @@
 //! * [`Engine::apply`] mutates the database through [`Delta`]s with
 //!   incremental maintenance of every derived structure (`Ph₁`, `Ph₂`,
 //!   `α_P`, the `NE` store) and *selective* answer-cache invalidation
-//!   keyed on each entry's [`QueryFootprint`].
+//!   keyed on each entry's [`QueryFootprint`];
+//! * [`SharedEngine`] lifts one engine to concurrent multi-session
+//!   serving: `Send + Sync`, wait-free readers on immutable epoch-stamped
+//!   [`EngineSnapshot`]s, a single writer publishing [`Delta`]s
+//!   atomically, and a sharded answer cache keyed
+//!   `(fingerprint, semantics, epoch)` so stale hits are structurally
+//!   impossible.
 //!
 //! Under [`Semantics::Auto`] the engine is a *certifying dispatcher*: it
 //! runs the cheapest path the paper licenses as exact and escalates to
@@ -40,12 +46,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod concurrent;
 mod delta;
 mod error;
 mod evidence;
 mod prepared;
 mod session;
 
+pub use concurrent::{EngineSnapshot, SharedEngine, SharedSession, SharedStats};
 pub use delta::{Delta, DeltaReport, DeltaStats, QueryFootprint};
 pub use error::EngineError;
 pub use evidence::{Answers, Certificate, Evidence, Regime, Semantics};

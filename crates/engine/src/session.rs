@@ -241,12 +241,14 @@ enum EnumerationKind {
     Possible,
 }
 
-/// Packages a run's outcome as [`Answers`] with full [`Evidence`].
+/// Packages a run's outcome as [`Answers`] with full [`Evidence`],
+/// stamped with the database epoch the run computed against.
 fn package(
     outcome: RunOutcome,
     semantics: Semantics,
     shared_batch: Option<usize>,
     start: Instant,
+    epoch: u64,
 ) -> Answers {
     let answers = Answers::new(
         outcome.tuples,
@@ -259,6 +261,7 @@ fn package(
             workers_used: outcome.stats.workers_used,
             cache_hit: false,
             shared_batch,
+            epoch,
         },
     );
     match outcome.upper {
@@ -903,7 +906,7 @@ impl Engine {
             Semantics::Possible => self.run_possible(prepared)?,
             Semantics::Auto => self.run_auto(prepared, completeness)?,
         };
-        let answers = package(outcome, semantics, None, start);
+        let answers = package(outcome, semantics, None, start, self.epoch);
         self.cache.insert(prepared, semantics, &answers);
         Ok(answers)
     }
@@ -1062,7 +1065,7 @@ impl Engine {
                 stats,
                 upper: None,
             };
-            let answers = package(outcome, semantics, shared, start);
+            let answers = package(outcome, semantics, shared, start, self.epoch);
             self.cache.insert(&prepared[i], semantics, &answers);
             results[i] = Some(answers);
         }

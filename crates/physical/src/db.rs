@@ -79,6 +79,14 @@ pub struct PhysicalDb {
     rels: Vec<Relation>,
 }
 
+// Physical databases (and the relations they hold) cross thread
+// boundaries in the concurrent serving layer; enforce it at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PhysicalDb>();
+    assert_send_sync::<Relation>();
+};
+
 impl PhysicalDb {
     /// Starts building an interpretation for `voc`.
     pub fn builder(voc: &Vocabulary) -> PhysicalDbBuilder {

@@ -6,14 +6,16 @@
 //! qld <database.qld> --mode approx -q "..."  # choose semantics
 //! ```
 
-use querying_logical_databases::cli::{Mode, Outcome, Session, MODE_USAGE};
+use querying_logical_databases::cli::{
+    concurrent_batch_file, ConcurrentConfig, Mode, Outcome, Session, MODE_USAGE,
+};
 use std::io::{self, BufRead, Write};
 use std::process::ExitCode;
 
 fn usage() -> String {
     format!(
         "usage: qld <database.qld> [--mode {MODE_USAGE}] [--threads <N>]\n\
-         \x20          [--no-cache] [--batch <file>] [-q <query>]...\n\
+         \x20          [--no-cache] [--batch <file>] [--sessions <N>] [-q <query>]...\n\
          With no -q/--batch, starts an interactive shell (:help for commands).\n\
          The default mode is `auto`: the engine runs the cheapest evaluation\n\
          path the paper proves exact and reports which theorem certified it.\n\
@@ -21,7 +23,11 @@ fn usage() -> String {
          from QLD_THREADS, else 1). Answers are identical at any count.\n\
          --batch runs a query file (one query per line, # comments) as one\n\
          batch: all Theorem-1-bound queries share a single mapping\n\
-         enumeration. --no-cache disables the answer cache."
+         enumeration. --no-cache disables the answer cache.\n\
+         --sessions N serves the batch concurrently: N reader sessions\n\
+         execute against epoch-stamped snapshots of one shared engine while\n\
+         :insert/:assert-ne lines in the script publish new epochs between\n\
+         query segments (every answer reports the epoch it was computed at)."
     )
 }
 
@@ -38,6 +44,7 @@ fn main() -> ExitCode {
     let mut mode: Option<Mode> = None;
     let mut threads: Option<usize> = None;
     let mut no_cache = false;
+    let mut sessions: Option<usize> = None;
     let mut actions: Vec<Action> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -74,6 +81,13 @@ fn main() -> ExitCode {
                 }
             },
             "--no-cache" => no_cache = true,
+            "--sessions" | "-s" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => sessions = Some(n),
+                _ => {
+                    eprintln!("--sessions needs a reader-session count (>= 1)");
+                    return ExitCode::from(2);
+                }
+            },
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`\n{}", usage());
@@ -100,6 +114,39 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    // Concurrent serving: the script drives a shared engine with N reader
+    // sessions instead of one single-owner shell.
+    if let Some(n) = sessions {
+        let batches: Vec<&String> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Batch(f) => Some(f),
+                Action::Query(_) => None,
+            })
+            .collect();
+        if batches.len() != actions.len() || batches.is_empty() {
+            eprintln!("--sessions needs --batch (concurrent mode is script-driven)");
+            return ExitCode::from(2);
+        }
+        let config = ConcurrentConfig {
+            sessions: n,
+            mode: mode.unwrap_or_default(),
+            threads,
+            cache: !no_cache,
+        };
+        let stdout = io::stdout();
+        let mut out = stdout.lock();
+        for file in batches {
+            // Each batch gets a fresh copy of the database (mutations in
+            // one script don't leak into the next).
+            match concurrent_batch_file(db.clone(), config, file, &mut out) {
+                Ok(true) => {}
+                Ok(false) | Err(_) => return ExitCode::FAILURE,
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
 
     let mut session = Session::new(db);
     if let Some(mode) = mode {

@@ -10,10 +10,10 @@
 
 use qld_algebra::display_plan;
 use qld_core::CwDatabase;
-use qld_engine::{Delta, Engine, EngineError, Semantics};
+use qld_engine::{Answers, Delta, Engine, EngineError, PreparedQuery, Semantics, SharedEngine};
 use qld_logic::display::display_query;
 use qld_logic::parser::parse_query;
-use qld_logic::{Formula, Term};
+use qld_logic::{ConstId, Formula, PredId, Term, Vocabulary};
 use std::io::{self, Write};
 
 /// The shell's evaluation mode *is* the engine's semantics — one
@@ -236,12 +236,13 @@ impl Session {
                 writeln!(
                     out,
                     "deltas: {} applied ({} fact(s), {} axiom(s) inserted), \
-                     {} cache eviction(s), {} re-certification(s)",
+                     {} cache eviction(s), {} re-certification(s), epoch {}",
                     deltas.deltas_applied,
                     deltas.facts_inserted,
                     deltas.ne_inserted,
                     deltas.cache_evicted,
-                    deltas.queries_recertified
+                    deltas.queries_recertified,
+                    self.engine.epoch()
                 )?;
             }
             Some("dump") => {
@@ -274,25 +275,10 @@ impl Session {
     /// the engine refreshes `Ph₁`/`Ph₂`/`α_P` in place and evicts only the
     /// cached answers that mention the predicate.
     fn insert_fact(&mut self, text: &str, out: &mut dyn Write) -> io::Result<()> {
-        const USAGE: &str = "a fact is a ground atom: :insert P(c1, ..., ck)";
-        let query = match parse_query(self.db().voc(), text) {
-            Ok(q) => q,
-            Err(e) => return writeln!(out, "parse error: {e}"),
+        let (p, args) = match parse_fact(self.db().voc(), text) {
+            Ok(fact) => fact,
+            Err(e) => return writeln!(out, "{e}"),
         };
-        let (head, body) = query.into_parts();
-        let Formula::Atom(p, terms) = body else {
-            return writeln!(out, "{USAGE}");
-        };
-        if !head.is_empty() {
-            return writeln!(out, "{USAGE}");
-        }
-        let mut args = Vec::with_capacity(terms.len());
-        for term in terms.iter() {
-            match term {
-                Term::Const(c) => args.push(*c),
-                Term::Var(_) => return writeln!(out, "{USAGE}"),
-            }
-        }
         match self.engine.apply(&Delta::new().insert_fact(p, &args)) {
             Ok(report) => writeln!(out, "{report}"),
             Err(e) => writeln!(out, "error: {e}"),
@@ -370,22 +356,7 @@ impl Session {
         answers: &qld_engine::Answers,
         out: &mut dyn Write,
     ) -> io::Result<()> {
-        let evidence = answers.evidence();
-        let tag = format!("{} in {:.2?}", evidence.summary(), evidence.elapsed);
-        if is_boolean {
-            let verdict = match (self.mode(), answers.holds()) {
-                (Mode::Possible, true) => "POSSIBLE",
-                (Mode::Possible, false) => "impossible",
-                (_, true) => "CERTAIN",
-                (_, false) => "not certain",
-            };
-            writeln!(out, "{verdict}   [{tag}]")
-        } else {
-            for tuple in self.engine.answer_names(answers) {
-                writeln!(out, "({})", tuple.join(", "))?;
-            }
-            writeln!(out, "{} tuple(s)   [{tag}]", answers.len())
-        }
+        render_answers(self.db().voc(), self.mode(), is_boolean, answers, out)
     }
 
     /// The `:batch` script mode: reads a query file (one query per line;
@@ -464,6 +435,320 @@ impl Session {
         writeln!(out)?;
         Ok(true)
     }
+}
+
+/// Parses a ground atom in the query syntax (e.g.
+/// `TEACHES(socrates, plato)`) into a fact, for `:insert` in both the
+/// interactive shell and the concurrent batch driver.
+fn parse_fact(voc: &Vocabulary, text: &str) -> Result<(PredId, Vec<ConstId>), String> {
+    const USAGE: &str = "a fact is a ground atom: :insert P(c1, ..., ck)";
+    let query = parse_query(voc, text).map_err(|e| format!("parse error: {e}"))?;
+    let (head, body) = query.into_parts();
+    let Formula::Atom(p, terms) = body else {
+        return Err(USAGE.to_string());
+    };
+    if !head.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let mut args = Vec::with_capacity(terms.len());
+    for term in terms.iter() {
+        match term {
+            Term::Const(c) => args.push(*c),
+            Term::Var(_) => return Err(USAGE.to_string()),
+        }
+    }
+    Ok((p, args))
+}
+
+/// Renders one answer set with its evidence tag (shared by the
+/// single-owner shell and the concurrent batch driver).
+fn render_answers(
+    voc: &Vocabulary,
+    mode: Mode,
+    is_boolean: bool,
+    answers: &Answers,
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    let evidence = answers.evidence();
+    let tag = format!("{} in {:.2?}", evidence.summary(), evidence.elapsed);
+    if is_boolean {
+        let verdict = match (mode, answers.holds()) {
+            (Mode::Possible, true) => "POSSIBLE",
+            (Mode::Possible, false) => "impossible",
+            (_, true) => "CERTAIN",
+            (_, false) => "not certain",
+        };
+        writeln!(out, "{verdict}   [{tag}]")
+    } else {
+        for tuple in qld_core::answer_names(voc, answers.tuples()) {
+            writeln!(out, "({})", tuple.join(", "))?;
+        }
+        writeln!(out, "{} tuple(s)   [{tag}]", answers.len())
+    }
+}
+
+/// Configuration of the concurrent batch driver (`--sessions N`).
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentConfig {
+    /// Reader sessions the script's queries are distributed across.
+    pub sessions: usize,
+    /// Evaluation mode for every reader.
+    pub mode: Mode,
+    /// Enumeration worker threads (`None` = engine default from
+    /// `QLD_THREADS`).
+    pub threads: Option<usize>,
+    /// Whether the shared epoch-keyed answer cache is enabled.
+    pub cache: bool,
+}
+
+/// One parsed line of a concurrent batch script.
+enum ScriptItem {
+    /// A query, prepared once up front (valid at every epoch).
+    Query {
+        line: String,
+        is_boolean: bool,
+        prepared: PreparedQuery,
+    },
+    /// A `:insert`/`:assert-ne` mutation the writer applies between
+    /// query segments.
+    Mutation { line: String, delta: Delta },
+    /// `:stats` — prints the epoch and cache counters mid-script.
+    Stats,
+}
+
+/// Runs a batch script concurrently: a [`SharedEngine`] serves the
+/// script's queries across `config.sessions` reader threads while the
+/// writer applies `:insert`/`:assert-ne` deltas between query segments.
+///
+/// The script is segmented at mutation lines: all queries between two
+/// mutations execute concurrently (distributed round-robin over the
+/// reader sessions, each reading the latest published snapshot), then
+/// the mutation publishes the next epoch, then the next segment runs.
+/// Answers are printed in script order, each stamped with the epoch it
+/// was computed at, so the output is deterministic. `:stats` lines print
+/// the live epoch/session/cache counters. Returns whether the script
+/// actually executed (parse errors abort before anything runs, like
+/// [`Session::batch_text`]).
+pub fn concurrent_batch_text(
+    db: CwDatabase,
+    config: ConcurrentConfig,
+    text: &str,
+    out: &mut dyn Write,
+) -> io::Result<bool> {
+    if config.sessions == 0 {
+        writeln!(out, "--sessions needs at least 1 reader session")?;
+        return Ok(false);
+    }
+    let mut builder = Engine::builder(db).semantics(config.mode);
+    if let Some(threads) = config.threads {
+        builder = builder.parallelism(threads);
+    }
+    if !config.cache {
+        builder = builder.cache_capacity(0);
+    }
+    let shared = SharedEngine::new(builder.build());
+    let snapshot = shared.snapshot();
+    let voc = snapshot.engine().db().voc();
+
+    // Parse and prepare the whole script up front: a bad line aborts the
+    // batch before anything runs (scripted callers fail loudly).
+    let mut items = Vec::new();
+    for (lineno, raw) in text.lines().enumerate().map(|(i, l)| (i + 1, l.trim())) {
+        if raw.is_empty() || raw.starts_with('#') {
+            continue;
+        }
+        if let Some(cmd) = raw.strip_prefix(':') {
+            let cmd = cmd.trim();
+            if cmd == "stats" {
+                items.push(ScriptItem::Stats);
+            } else if let Some(rest) = cmd.strip_prefix("insert") {
+                match parse_fact(voc, rest.trim()) {
+                    Ok((p, args)) => items.push(ScriptItem::Mutation {
+                        line: raw.to_string(),
+                        delta: Delta::new().insert_fact(p, &args),
+                    }),
+                    Err(e) => {
+                        writeln!(out, "line {lineno}: {e}")?;
+                        return Ok(false);
+                    }
+                }
+            } else if let Some(rest) = cmd.strip_prefix("assert-ne") {
+                let mut words = rest.split_whitespace();
+                let (Some(a), Some(b)) = (words.next(), words.next()) else {
+                    writeln!(out, "line {lineno}: usage: :assert-ne <a> <b>")?;
+                    return Ok(false);
+                };
+                let (Some(ca), Some(cb)) = (voc.const_id(a), voc.const_id(b)) else {
+                    let unknown = if voc.const_id(a).is_none() { a } else { b };
+                    writeln!(out, "line {lineno}: unknown constant `{unknown}`")?;
+                    return Ok(false);
+                };
+                items.push(ScriptItem::Mutation {
+                    line: raw.to_string(),
+                    delta: Delta::new().assert_ne(ca, cb),
+                });
+            } else {
+                writeln!(
+                    out,
+                    "line {lineno}: `:{cmd}` is not available in concurrent mode \
+                     (only :insert, :assert-ne, :stats)"
+                )?;
+                return Ok(false);
+            }
+        } else {
+            let query = match parse_query(voc, raw) {
+                Ok(q) => q,
+                Err(e) => {
+                    writeln!(out, "line {lineno}: parse error: {e}")?;
+                    return Ok(false);
+                }
+            };
+            let is_boolean = query.is_boolean();
+            match snapshot.engine().prepare(query) {
+                Ok(prepared) => items.push(ScriptItem::Query {
+                    line: raw.to_string(),
+                    is_boolean,
+                    prepared,
+                }),
+                Err(e) => {
+                    writeln!(out, "line {lineno}: error: {e}")?;
+                    return Ok(false);
+                }
+            }
+        }
+    }
+
+    // Execute: persistent reader sessions (monotone epoch observation
+    // spans the whole script), one segment of queries at a time.
+    let mut readers: Vec<_> = (0..config.sessions).map(|_| shared.session()).collect();
+    let mut total_queries = 0usize;
+    let mut deltas_applied = 0usize;
+    let mut segment: Vec<(&str, bool, &PreparedQuery)> = Vec::new();
+    for item in &items {
+        if let ScriptItem::Query {
+            line,
+            is_boolean,
+            prepared,
+        } = item
+        {
+            segment.push((line, *is_boolean, prepared));
+            continue;
+        }
+        total_queries += segment.len();
+        run_segment(voc, config.mode, &mut readers, &segment, out)?;
+        segment.clear();
+        match item {
+            ScriptItem::Mutation { line, delta } => {
+                writeln!(out, "> {line}")?;
+                match shared.apply(delta) {
+                    Ok(report) => {
+                        deltas_applied += 1;
+                        writeln!(out, "{report}")?;
+                    }
+                    Err(e) => {
+                        writeln!(out, "error: {e}")?;
+                        return Ok(false);
+                    }
+                }
+            }
+            ScriptItem::Stats => {
+                let stats = shared.stats();
+                writeln!(
+                    out,
+                    "epoch: {}, sessions: {}, shared cache: {}/{} answer(s), \
+                     deltas: {} applied ({} fact(s), {} axiom(s) inserted)",
+                    stats.epoch,
+                    stats.sessions_started,
+                    stats.cache_len,
+                    stats.cache_capacity,
+                    stats.deltas.deltas_applied,
+                    stats.deltas.facts_inserted,
+                    stats.deltas.ne_inserted
+                )?;
+            }
+            ScriptItem::Query { .. } => unreachable!("handled above"),
+        }
+    }
+    total_queries += segment.len();
+    run_segment(voc, config.mode, &mut readers, &segment, out)?;
+    writeln!(
+        out,
+        "concurrent batch: {} query(s) across {} session(s), {} delta(s), final epoch {}",
+        total_queries,
+        config.sessions,
+        deltas_applied,
+        shared.epoch()
+    )?;
+    Ok(true)
+}
+
+/// Executes one segment of queries concurrently (round-robin across the
+/// reader sessions, one thread per session) and prints the answers in
+/// script order.
+fn run_segment(
+    voc: &Vocabulary,
+    mode: Mode,
+    readers: &mut [qld_engine::SharedSession],
+    segment: &[(&str, bool, &PreparedQuery)],
+    out: &mut dyn Write,
+) -> io::Result<()> {
+    if segment.is_empty() {
+        return Ok(());
+    }
+    let n = readers.len();
+    let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for j in 0..segment.len() {
+        assignments[j % n].push(j);
+    }
+    let mut results: Vec<Option<Result<Answers, EngineError>>> =
+        (0..segment.len()).map(|_| None).collect();
+    let outputs: Vec<Vec<(usize, Result<Answers, EngineError>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = readers
+            .iter_mut()
+            .zip(&assignments)
+            .map(|(session, indices)| {
+                scope.spawn(move || {
+                    indices
+                        .iter()
+                        .map(|&j| (j, session.execute(segment[j].2)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reader session thread panicked"))
+            .collect()
+    });
+    for (j, result) in outputs.into_iter().flatten() {
+        results[j] = Some(result);
+    }
+    for ((line, is_boolean, _), result) in segment.iter().zip(results) {
+        writeln!(out, "> {line}")?;
+        match result.expect("every segment slot answered") {
+            Ok(answers) => render_answers(voc, mode, *is_boolean, &answers, out)?,
+            Err(e) => writeln!(out, "error: {e}")?,
+        }
+    }
+    Ok(())
+}
+
+/// Runs a concurrent batch script from a file (see
+/// [`concurrent_batch_text`]).
+pub fn concurrent_batch_file(
+    db: CwDatabase,
+    config: ConcurrentConfig,
+    path: &str,
+    out: &mut dyn Write,
+) -> io::Result<bool> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(out, "cannot read {path}: {e}")?;
+            return Ok(false);
+        }
+    };
+    concurrent_batch_text(db, config, &text, out)
 }
 
 #[cfg(test)]
@@ -761,5 +1046,129 @@ distinct socrates plato aristotle
     fn comments_and_blank_lines_ignored() {
         let (out, _) = run(&["", "# a comment"]);
         assert!(out.is_empty(), "{out}");
+    }
+
+    fn concurrent_config(sessions: usize) -> ConcurrentConfig {
+        ConcurrentConfig {
+            sessions,
+            mode: Mode::Auto,
+            threads: Some(1),
+            cache: true,
+        }
+    }
+
+    fn run_concurrent(sessions: usize, script: &str) -> (String, bool) {
+        let mut out = Vec::new();
+        let ran = concurrent_batch_text(
+            from_text(SAMPLE).unwrap(),
+            concurrent_config(sessions),
+            script,
+            &mut out,
+        )
+        .unwrap();
+        (String::from_utf8(out).unwrap(), ran)
+    }
+
+    #[test]
+    fn concurrent_batch_interleaves_queries_and_deltas() {
+        let (out, ran) = run_concurrent(
+            3,
+            "# epoch 0: one student\n\
+             (x) . TEACHES(socrates, x)\n\
+             TEACHES(socrates, plato)\n\
+             :stats\n\
+             :insert TEACHES(socrates, aristotle)\n\
+             (x) . TEACHES(socrates, x)\n\
+             :stats\n",
+        );
+        assert!(ran, "{out}");
+        // Pre-delta segment answers at epoch 0…
+        assert!(out.contains("epoch 0"), "{out}");
+        assert!(out.contains("1 tuple(s)"), "{out}");
+        assert!(out.contains("CERTAIN"), "{out}");
+        // …the :stats lines track the epoch counter across the delta…
+        assert!(out.contains("epoch: 0, sessions: 3"), "{out}");
+        assert!(out.contains("epoch: 1, sessions: 3"), "{out}");
+        assert!(out.contains("1 fact(s) inserted"), "{out}");
+        // …and the post-delta segment sees the new epoch and the new fact.
+        assert!(out.contains("epoch 1"), "{out}");
+        assert!(out.contains("(aristotle)"), "{out}");
+        assert!(out.contains("2 tuple(s)"), "{out}");
+        assert!(
+            out.contains(
+                "concurrent batch: 3 query(s) across 3 session(s), 1 delta(s), final epoch 1"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn concurrent_batch_output_is_in_script_order() {
+        let script = "(x) . TEACHES(socrates, x)\n\
+                      (x) . !TEACHES(socrates, x)\n\
+                      TEACHES(socrates, mystery)\n\
+                      (x, y) . TEACHES(x, y)\n";
+        let (solo, ran_solo) = run_concurrent(1, script);
+        assert!(ran_solo);
+        for sessions in [2, 4, 8] {
+            let (many, ran) = run_concurrent(sessions, script);
+            assert!(ran);
+            // Same answers, same order, regardless of the session count —
+            // only the trailing summary differs.
+            let strip = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("concurrent batch:"))
+                    // Timings differ run to run; compare everything else.
+                    .map(|l| l.split("   [").next().unwrap().to_string())
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(strip(&solo), strip(&many), "at {sessions} sessions");
+        }
+    }
+
+    #[test]
+    fn concurrent_batch_supports_assert_ne_and_rejects_other_commands() {
+        let (out, ran) = run_concurrent(
+            2,
+            ":assert-ne mystery socrates\n\
+             :stats\n",
+        );
+        assert!(ran, "{out}");
+        assert!(out.contains("1 axiom(s) inserted"), "{out}");
+        assert!(out.contains("0 fact(s), 1 axiom(s) inserted"), "{out}");
+
+        let (out, ran) = run_concurrent(2, ":mode exact\n");
+        assert!(!ran);
+        assert!(out.contains("not available in concurrent mode"), "{out}");
+    }
+
+    #[test]
+    fn concurrent_batch_fails_loudly_before_running() {
+        let (out, ran) = run_concurrent(2, "TEACHES(socrates, plato)\nNOPE(\n");
+        assert!(!ran);
+        assert!(out.contains("line 2: parse error"), "{out}");
+        assert!(!out.contains("CERTAIN"), "{out}");
+
+        let (out, ran) = run_concurrent(
+            2,
+            ":insert TEACHES(socrates, plato) | TEACHES(plato, socrates)\n",
+        );
+        assert!(!ran);
+        assert!(out.contains("ground atom"), "{out}");
+
+        let (out, ran) = run_concurrent(2, ":assert-ne nope socrates\n");
+        assert!(!ran);
+        assert!(out.contains("unknown constant `nope`"), "{out}");
+
+        let (out, ran) = run_concurrent(0, "TEACHES(socrates, plato)\n");
+        assert!(!ran);
+        assert!(out.contains("at least 1"), "{out}");
+    }
+
+    #[test]
+    fn session_stats_report_the_epoch() {
+        let (out, _) = run(&[":stats", ":insert TEACHES(plato, aristotle)", ":stats"]);
+        assert!(out.contains("epoch 0"), "{out}");
+        assert!(out.contains("epoch 1"), "{out}");
     }
 }

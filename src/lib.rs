@@ -77,8 +77,8 @@ pub mod prelude {
     pub use qld_core::{answer_names, CwDatabase};
     pub use qld_engine::{
         Answers, Certificate, Delta, DeltaReport, DeltaStats, Engine, EngineBuilder, EngineError,
-        Evidence, MappingStrategy, NeStoreMode, ParallelConfig, PreparedQuery, QueryFootprint,
-        Regime, Semantics,
+        EngineSnapshot, Evidence, MappingStrategy, NeStoreMode, ParallelConfig, PreparedQuery,
+        QueryFootprint, Regime, Semantics, SharedEngine, SharedSession, SharedStats,
     };
     pub use qld_logic::parser::{parse_query, parse_sentence};
     pub use qld_logic::{Formula, Query, Term, Var, Vocabulary};

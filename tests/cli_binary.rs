@@ -135,6 +135,54 @@ fn no_cache_flag_disables_the_cache() {
 }
 
 #[test]
+fn concurrent_sessions_flag_runs_a_script_with_interleaved_deltas() {
+    let dir = std::env::temp_dir().join("qld_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("concurrent.batch");
+    std::fs::write(
+        &path,
+        "# epoch 0: plato is the only student\n\
+         (x) . TEACHES(socrates, x)\n\
+         TEACHES(socrates, plato)\n\
+         :stats\n\
+         :insert TEACHES(socrates, aristotle)\n\
+         :stats\n\
+         (x) . TEACHES(socrates, x)\n\
+         (x) . !TEACHES(socrates, x)\n",
+    )
+    .unwrap();
+    let (stdout, _, ok) = run(&[DB, "--sessions", "4", "--batch", path.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    // The pre-delta segment answers at epoch 0, the post-delta one at 1 —
+    // every evidence line names the snapshot it read.
+    assert!(stdout.contains("epoch 0"), "{stdout}");
+    assert!(stdout.contains("epoch 1"), "{stdout}");
+    // The :stats lines track the epoch counter across the :insert.
+    assert!(stdout.contains("epoch: 0, sessions: 4"), "{stdout}");
+    assert!(stdout.contains("epoch: 1, sessions: 4"), "{stdout}");
+    assert!(stdout.contains("1 fact(s) inserted"), "{stdout}");
+    // Queries before and after the delta see different databases.
+    assert!(stdout.contains("1 tuple(s)"), "{stdout}");
+    assert!(stdout.contains("2 tuple(s)"), "{stdout}");
+    assert!(stdout.contains("(aristotle)"), "{stdout}");
+    assert!(
+        stdout.contains("across 4 session(s), 1 delta(s), final epoch 1"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn concurrent_sessions_flag_requires_a_batch_script() {
+    let (_, stderr, ok) = run(&[DB, "--sessions", "4", "-q", "WISE(socrates)"]);
+    assert!(!ok);
+    assert!(stderr.contains("--sessions needs --batch"), "{stderr}");
+
+    let (_, stderr, ok) = run(&[DB, "--sessions", "0", "--batch", "x.batch"]);
+    assert!(!ok);
+    assert!(stderr.contains(">= 1"), "{stderr}");
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let (_, stderr, ok) = run(&["/nonexistent/db.qld", "-q", "true"]);
     assert!(!ok);

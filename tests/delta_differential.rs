@@ -214,6 +214,96 @@ proptest! {
         }
     }
 
+    /// The interleaving case: queries prepared at epoch `k`, then `m`
+    /// deltas applied with *no* execution in between, then executed —
+    /// the automatic re-certification at execution time must produce
+    /// tuples and certificates identical to a fresh engine over the
+    /// final database, and the epoch bookkeeping must line up: the
+    /// prepared query still reports its prepare-time epoch, the engine
+    /// reports `k + m'` (one per *changed* delta), and every answer's
+    /// evidence is stamped with the epoch it was computed at.
+    #[test]
+    fn prepared_at_epoch_k_executed_after_m_deltas_matches_fresh_engine(
+        seed in 0u64..10_000,
+        n in 2usize..5,
+        known in 0u8..=10,
+        warm in 0u8..=1,
+        ops in proptest::collection::vec((0u8..3, 0u32..8, 0u32..8), 2..7),
+    ) {
+        let db = random_db(seed.wrapping_add(123), n, f64::from(known) / 10.0);
+        let queries = random_queries(&db, 3, seed);
+        let mut engine = Engine::new(db);
+        let prepared: Vec<PreparedQuery> = queries
+            .iter()
+            .map(|q| engine.prepare(q.clone()).unwrap())
+            .collect();
+        let epoch_at_prepare = engine.epoch();
+        prop_assert_eq!(epoch_at_prepare, 0);
+        // Half the cases execute once before the deltas (warm cache +
+        // built structures), half go in cold — re-certification must be
+        // correct either way.
+        if warm == 1 {
+            for p in &prepared {
+                engine.execute(p).unwrap();
+            }
+        }
+        let mut calls = 0u64;
+        let mut changed = 0u64;
+        for &op in &ops {
+            let Some(delta) = op_to_delta(engine.db(), op) else { continue };
+            let report = engine.apply(&delta).unwrap();
+            calls += 1;
+            if report.changed() {
+                changed += 1;
+            }
+            prop_assert_eq!(report.epoch, engine.epoch(), "report names its epoch");
+        }
+        prop_assert_eq!(engine.epoch(), changed, "one epoch per changed delta");
+        prop_assert_eq!(engine.delta_stats().deltas_applied, calls);
+        let rebuilt = Engine::builder(engine.db().clone())
+            .answer_cache(false)
+            .build();
+        for (p, q) in prepared.iter().zip(&queries) {
+            prop_assert_eq!(
+                p.epoch(),
+                epoch_at_prepare,
+                "prepare-time epoch is immutable on the handle"
+            );
+            for semantics in Semantics::ALL {
+                let stale = engine.execute_as(p, semantics).unwrap();
+                // A surviving (footprint-disjoint) cache entry keeps the
+                // evidence of its original computation — including its
+                // epoch; anything computed fresh is stamped `now`.
+                if stale.evidence().cache_hit {
+                    prop_assert!(stale.evidence().epoch <= engine.epoch());
+                } else {
+                    prop_assert_eq!(
+                        stale.evidence().epoch,
+                        engine.epoch(),
+                        "fresh answer stamped with the epoch it was computed at"
+                    );
+                }
+                let truth = rebuilt
+                    .execute_as(&rebuilt.prepare(q.clone()).unwrap(), semantics)
+                    .unwrap();
+                prop_assert_eq!(
+                    stale.tuples(),
+                    truth.tuples(),
+                    "stale prepared query diverged under {:?} on {:?}",
+                    semantics,
+                    q
+                );
+                prop_assert_eq!(
+                    stale.evidence().certificate,
+                    truth.evidence().certificate,
+                    "re-certification diverged under {:?} on {:?}",
+                    semantics,
+                    q
+                );
+            }
+        }
+    }
+
     /// The mutated `CwDatabase` itself (not just the engine's answers)
     /// equals one rebuilt from scratch with the same axioms.
     #[test]
