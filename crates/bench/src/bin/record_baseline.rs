@@ -1,7 +1,9 @@
 //! `record_baseline` — runs the headline workloads (E1 exact enumeration,
 //! E7 approximation, E8 polynomial parity, E10 parallel scaling, E11 batch
-//! amortization) once each and writes the measurements to a JSON file, so
-//! the repository carries a recorded perf trajectory instead of folklore.
+//! amortization, E12 incremental deltas, E13 in-process concurrent
+//! serving, E14 the same load over loopback TCP) once each and writes the
+//! measurements to a JSON file, so the repository carries a recorded perf
+//! trajectory instead of folklore.
 //!
 //! ```text
 //! record_baseline [--out BENCH_baseline.json] [--smoke]
@@ -13,8 +15,8 @@
 //! future perf PRs re-run it and diff.
 
 use qld_bench::{
-    batch_queries, concurrent_load, fresh_facts, high_null_db, scaling_query, standard_db,
-    standard_queries, time_once,
+    batch_queries, concurrent_load, fresh_facts, high_null_db, scaling_query, socket_load,
+    standard_db, standard_queries, time_once,
 };
 use qld_engine::{Backend, Delta, Engine, MappingStrategy, Semantics};
 use std::fmt::Write as _;
@@ -291,6 +293,39 @@ fn run_workloads(smoke: bool) -> Vec<Entry> {
                 2 => ("e13_read_p50_s2", "e13_read_p99_s2", "e13_writer_s2"),
                 4 => ("e13_read_p50_s4", "e13_read_p99_s4", "e13_writer_s4"),
                 _ => ("e13_read_p50_s8", "e13_read_p99_s8", "e13_writer_s8"),
+            };
+        entries.push(Entry {
+            workload: p50_name,
+            threads: sessions,
+            wall: report.read_p50,
+            mappings: 0,
+        });
+        entries.push(Entry {
+            workload: p99_name,
+            threads: sessions,
+            wall: report.read_p99,
+            mappings: 0,
+        });
+        entries.push(Entry {
+            workload: writer_name,
+            threads: sessions,
+            wall: report.writer_wall,
+            mappings: report.deltas as u64,
+        });
+    }
+
+    // E14: the E13 workload over real loopback TCP through the network
+    // front-end — same query mix, same delta stream, but every read is a
+    // `Client::request` round-trip and every delta an `:insert` script
+    // line. The E14 − E13 gap at matching session counts is the protocol
+    // and kernel cost of serving over sockets.
+    for &sessions in session_sweep {
+        let report = socket_load(&serve_db, sessions, reads, delta_count, 7);
+        let (p50_name, p99_name, writer_name): (&'static str, &'static str, &'static str) =
+            match sessions {
+                2 => ("e14_read_p50_s2", "e14_read_p99_s2", "e14_writer_s2"),
+                4 => ("e14_read_p50_s4", "e14_read_p99_s4", "e14_writer_s4"),
+                _ => ("e14_read_p50_s8", "e14_read_p99_s8", "e14_writer_s8"),
             };
         entries.push(Entry {
             workload: p50_name,

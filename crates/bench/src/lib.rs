@@ -125,22 +125,26 @@ pub fn fresh_facts(
     out
 }
 
+/// The raw text forms of [`standard_queries`] — what the E14 socket
+/// clients send over the wire, one request line each.
+pub const STANDARD_QUERY_TEXTS: [(&str, &str); 3] = [
+    ("join", "(x, z) . exists y. P0(x, y) & P0(y, z)"),
+    ("negation", "(x) . P1(x) & !P0(x, x)"),
+    ("universal", "(x) . forall y. P0(x, y) -> P1(y)"),
+];
+
 /// The standard query mix used across experiments: a join, a negation,
 /// and a universally quantified implication.
 pub fn standard_queries(db: &CwDatabase) -> Vec<(&'static str, Query)> {
-    [
-        ("join", "(x, z) . exists y. P0(x, y) & P0(y, z)"),
-        ("negation", "(x) . P1(x) & !P0(x, x)"),
-        ("universal", "(x) . forall y. P0(x, y) -> P1(y)"),
-    ]
-    .into_iter()
-    .map(|(name, text)| {
-        (
-            name,
-            parse_query(db.voc(), text).expect("standard query parses"),
-        )
-    })
-    .collect()
+    STANDARD_QUERY_TEXTS
+        .into_iter()
+        .map(|(name, text)| {
+            (
+                name,
+                parse_query(db.voc(), text).expect("standard query parses"),
+            )
+        })
+        .collect()
 }
 
 /// Prints a Markdown-ish table row, padding columns to a fixed width.
@@ -285,6 +289,107 @@ pub fn concurrent_load(
             .collect();
         (wall, latencies)
     });
+
+    let mut latencies = latencies;
+    let reads = latencies.len();
+    ConcurrentLoadReport {
+        sessions,
+        reads,
+        read_p50: percentile(&mut latencies, 50.0),
+        read_p99: percentile(&mut latencies, 99.0),
+        deltas,
+        writer_wall,
+    }
+}
+
+/// The E14 socket load generator: the [`concurrent_load`] workload driven
+/// over real loopback TCP through `qld_server`. Each reader session is a
+/// blocking [`qld_server::Client`] sending the [`STANDARD_QUERY_TEXTS`]
+/// round-robin as request lines; one writer client streams the same
+/// [`fresh_facts`] deltas as `:insert` script lines. Latencies therefore
+/// include parse, framing, and the kernel's loopback round-trip on top of
+/// the in-process numbers E13 records — the gap between the two series is
+/// the cost of the network front-end itself.
+pub fn socket_load(
+    db: &CwDatabase,
+    sessions: usize,
+    reads_per_session: usize,
+    deltas: usize,
+    seed: u64,
+) -> ConcurrentLoadReport {
+    use qld_engine::{Engine, SharedEngine};
+    use qld_server::{Client, Server, ServerConfig};
+    use std::sync::Barrier;
+    use std::time::Instant;
+
+    let shared = SharedEngine::new(Engine::new(db.clone()));
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_connections: sessions + 1,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(shared, config).expect("bench server binds");
+    let addr = server.local_addr().expect("bench server addr");
+    let running = server.spawn().expect("bench server spawns");
+
+    // Render the writer's insert lines up front so the measured window is
+    // pure protocol + engine work, not string formatting.
+    let voc = db.voc();
+    let inserts: Vec<String> = fresh_facts(db, deltas, seed)
+        .into_iter()
+        .map(|(p, args)| {
+            let names: Vec<&str> = args.iter().map(|&c| voc.const_name(c)).collect();
+            format!(":insert {}({})", voc.pred_name(p), names.join(", "))
+        })
+        .collect();
+    let barrier = Barrier::new(sessions + 1);
+
+    let (writer_wall, latencies) = std::thread::scope(|scope| {
+        let writer = {
+            let barrier = &barrier;
+            let inserts = &inserts;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("writer connects");
+                barrier.wait();
+                let start = Instant::now();
+                for line in inserts {
+                    let reply = client.request(line).expect("writer delta round-trips");
+                    assert!(reply.is_ok(), "writer delta rejected: {:?}", reply.error);
+                    std::thread::yield_now();
+                }
+                let wall = start.elapsed();
+                let _ = client.quit();
+                wall
+            })
+        };
+        let readers: Vec<_> = (0..sessions)
+            .map(|i| {
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("reader connects");
+                    let mut samples = Vec::with_capacity(reads_per_session);
+                    barrier.wait();
+                    for r in 0..reads_per_session {
+                        let (_, text) = STANDARD_QUERY_TEXTS[(i + r) % STANDARD_QUERY_TEXTS.len()];
+                        let start = Instant::now();
+                        let reply = client.request(text).expect("reader query round-trips");
+                        samples.push(start.elapsed());
+                        assert!(reply.is_ok(), "reader query rejected: {:?}", reply.error);
+                    }
+                    let _ = client.quit();
+                    samples
+                })
+            })
+            .collect();
+        let wall = writer.join().expect("writer thread");
+        let latencies: Vec<std::time::Duration> = readers
+            .into_iter()
+            .flat_map(|r| r.join().expect("reader thread"))
+            .collect();
+        (wall, latencies)
+    });
+
+    running.shutdown().expect("bench server stops");
 
     let mut latencies = latencies;
     let reads = latencies.len();

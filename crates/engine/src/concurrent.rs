@@ -208,6 +208,23 @@ impl SharedAnswerCache {
             .map(|s| s.lock().expect("shared cache poisoned").map.len())
             .sum()
     }
+
+    /// Per-shard occupancy summary: `(total entries, shards with at least
+    /// one entry, largest shard)`.
+    fn occupancy(&self) -> (usize, usize, usize) {
+        let mut total = 0;
+        let mut occupied = 0;
+        let mut max_len = 0;
+        for shard in &self.shards {
+            let len = shard.lock().expect("shared cache poisoned").map.len();
+            total += len;
+            if len > 0 {
+                occupied += 1;
+            }
+            max_len = max_len.max(len);
+        }
+        (total, occupied, max_len)
+    }
 }
 
 /// An immutable, epoch-stamped view of the database and all its derived
@@ -254,6 +271,48 @@ pub struct SharedStats {
     pub cache_capacity: usize,
     /// Cumulative delta counters of the master engine.
     pub deltas: DeltaStats,
+}
+
+/// A point-in-time picture of the snapshot-publish machinery itself:
+/// which epoch is published, how the sharded cache is filling up, and how
+/// far the published snapshot lags the writer (surfaced by `:stats` both
+/// locally and over the wire).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// The currently published epoch.
+    pub epoch: u64,
+    /// Entries currently in the shared answer cache (across all epochs).
+    pub cache_entries: usize,
+    /// Total shared-cache capacity (`0` = caching disabled).
+    pub cache_capacity: usize,
+    /// Shards holding at least one entry.
+    pub shards_occupied: usize,
+    /// Total shard count.
+    pub shard_count: usize,
+    /// Entries in the fullest shard (skew indicator).
+    pub max_shard_len: usize,
+    /// Deltas the writer has applied beyond the published snapshot.
+    /// Non-zero only in the window between an `apply` mutating the master
+    /// engine and the snapshot swap — sampling it concurrently with a
+    /// writer can legitimately observe `1`.
+    pub snapshot_age_deltas: u64,
+}
+
+impl std::fmt::Display for SnapshotStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "epoch {}, shared cache {}/{} answer(s) in {}/{} shard(s) (largest {}), \
+             snapshot age {} delta(s)",
+            self.epoch,
+            self.cache_entries,
+            self.cache_capacity,
+            self.shards_occupied,
+            self.shard_count,
+            self.max_shard_len,
+            self.snapshot_age_deltas
+        )
+    }
 }
 
 #[derive(Debug)]
@@ -428,6 +487,32 @@ impl SharedEngine {
             cache_len: self.inner.cache.len(),
             cache_capacity: self.inner.cache_capacity,
             deltas,
+        }
+    }
+
+    /// Snapshot-machinery statistics: published epoch, per-shard cache
+    /// occupancy, and the published snapshot's age in deltas (how many
+    /// deltas the writer has applied past it — normally `0`, since
+    /// publication happens under the writer lock).
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        let writer_deltas = self
+            .inner
+            .writer
+            .lock()
+            .expect("writer engine poisoned")
+            .delta_stats()
+            .deltas_applied;
+        let snapshot = self.snapshot();
+        let snapshot_deltas = snapshot.engine().delta_stats().deltas_applied;
+        let (cache_entries, shards_occupied, max_shard_len) = self.inner.cache.occupancy();
+        SnapshotStats {
+            epoch: snapshot.epoch(),
+            cache_entries,
+            cache_capacity: self.inner.cache_capacity,
+            shards_occupied,
+            shard_count: SHARD_COUNT,
+            max_shard_len,
+            snapshot_age_deltas: writer_deltas.saturating_sub(snapshot_deltas),
         }
     }
 }
@@ -701,6 +786,44 @@ mod tests {
         assert!(stats.cache_capacity >= stats.cache_len);
         shared.invalidate_cache();
         assert_eq!(shared.cache_len(), 0);
+    }
+
+    #[test]
+    fn snapshot_stats_track_occupancy_and_age() {
+        let shared = shared_with_capacity(64);
+        let zero = shared.snapshot_stats();
+        assert_eq!(zero.epoch, 0);
+        assert_eq!(zero.cache_entries, 0);
+        assert_eq!(zero.shards_occupied, 0);
+        assert_eq!(zero.shard_count, SHARD_COUNT);
+        assert_eq!(zero.snapshot_age_deltas, 0);
+
+        let mut session = shared.session();
+        let q1 = session.prepare_text("P(a)").unwrap();
+        let q2 = session.prepare_text("(x) . !P(x)").unwrap();
+        session.execute(&q1).unwrap();
+        session.execute(&q2).unwrap();
+        let warm = shared.snapshot_stats();
+        assert_eq!(warm.cache_entries, 2);
+        assert!(warm.shards_occupied >= 1 && warm.shards_occupied <= 2);
+        assert!(warm.max_shard_len >= 1);
+        assert_eq!(warm.cache_capacity, 64);
+
+        // A changing delta republished the snapshot: age stays 0.
+        let snap = shared.snapshot();
+        let voc = snap.engine().db().voc();
+        let (p, a) = (voc.pred_id("P").unwrap(), voc.const_id("a").unwrap());
+        shared.apply(&Delta::new().insert_fact(p, &[a])).unwrap();
+        let fresh = shared.snapshot_stats();
+        assert_eq!(fresh.epoch, 1);
+        assert_eq!(fresh.snapshot_age_deltas, 0);
+
+        // A pure-duplicate delta advances the writer's counter without
+        // republishing: the published snapshot ages by one delta.
+        shared.apply(&Delta::new().insert_fact(p, &[a])).unwrap();
+        let aged = shared.snapshot_stats();
+        assert_eq!(aged.epoch, 1);
+        assert_eq!(aged.snapshot_age_deltas, 1);
     }
 
     // --- the sharded-cache contention suite -----------------------------

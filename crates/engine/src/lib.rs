@@ -53,7 +53,7 @@ mod evidence;
 mod prepared;
 mod session;
 
-pub use concurrent::{EngineSnapshot, SharedEngine, SharedSession, SharedStats};
+pub use concurrent::{EngineSnapshot, SharedEngine, SharedSession, SharedStats, SnapshotStats};
 pub use delta::{Delta, DeltaReport, DeltaStats, QueryFootprint};
 pub use error::EngineError;
 pub use evidence::{Answers, Certificate, Evidence, Regime, Semantics};

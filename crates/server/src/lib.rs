@@ -1,0 +1,840 @@
+//! # qld_server — the TCP network front-end for the shared engine
+//!
+//! A std-only (no async runtime) line-protocol server that exposes a
+//! [`SharedEngine`] over sockets, speaking the same `:batch` script
+//! dialect the CLI runs locally (see [`script`]). The design is the
+//! classic thread-per-connection loop over the snapshot-publish core
+//! built in `qld_engine::concurrent`:
+//!
+//! * the accept loop hands each connection its own OS thread and one
+//!   persistent [`SharedSession`] — reads are wait-free against the
+//!   epoch-stamped published snapshot, `:insert`/`:assert-ne` route
+//!   through the engine's single writer, and every reply carries the
+//!   epoch that produced it (see [`proto`] for the framing);
+//! * **admission control** is layered: a connection cap
+//!   ([`ServerConfig::max_connections`], excess connections get
+//!   `error: busy` and are closed), optional per-connection query/delta
+//!   quotas (`error: quota`), an optional shared-secret token
+//!   ([`ServerConfig::auth_token`], checked before anything else), and —
+//!   at the engine layer — `mapping_budget`, which makes Auto refuse
+//!   hopeless Theorem 1 enumerations with a certified bound instead of
+//!   burning the server's CPU;
+//! * **graceful shutdown**: [`ServerHandle::shutdown`] (or the
+//!   `:shutdown` wire command) flips a flag; the accept loop stops
+//!   accepting, every connection thread finishes its in-flight reply,
+//!   notices the flag at its next poll tick, and the server joins them
+//!   all before returning — no reply is ever cut off mid-frame;
+//! * per-connection [`ConnectionStats`] (queries, cache hits, deltas,
+//!   rejections) fold into aggregate [`ServerStats`] counters and are
+//!   reported live in the `:stats` reply.
+//!
+//! The crate also ships the blocking [`Client`] used by the e2e tests,
+//! the CI smoke driver, and `qld_bench::socket_load`.
+//!
+//! ```no_run
+//! use qld_engine::{Engine, SharedEngine};
+//! use qld_server::{Client, Server, ServerConfig};
+//! # let db: qld_core::CwDatabase = unimplemented!();
+//!
+//! let shared = SharedEngine::new(Engine::new(db));
+//! let server = Server::bind(shared, ServerConfig::default()).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let running = server.spawn().unwrap();
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let reply = client.request("(x) . TEACHES(socrates, x)").unwrap();
+//! assert!(reply.is_ok());
+//! println!("{:?} at epoch {:?}", reply.answers, reply.epoch);
+//! running.shutdown().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod proto;
+pub mod script;
+
+use proto::{Hello, Reply, PROTOCOL_VERSION};
+use qld_engine::{SharedEngine, SharedSession};
+use script::ScriptLine;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How often blocked reads and the accept loop re-check the shutdown
+/// flag. Small enough that shutdown feels immediate, large enough that
+/// an idle server burns no measurable CPU.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port; read the
+    /// actual one back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Connection cap: further connections are greeted with
+    /// `error: busy` and closed immediately.
+    pub max_connections: usize,
+    /// Optional shared secret. When set, the first request on every
+    /// connection must be `auth <token>`; anything else (or a wrong
+    /// token) gets `error: auth` and the connection is closed.
+    pub auth_token: Option<String>,
+    /// Per-connection query quota: the connection is closed with
+    /// `error: quota` when a request would exceed it.
+    pub query_quota: Option<u64>,
+    /// Per-connection delta quota (`:insert`/`:assert-ne`).
+    pub delta_quota: Option<u64>,
+    /// Idle cutoff: a connection that sends nothing for this long is
+    /// closed with `error: timeout`.
+    pub read_timeout: Duration,
+    /// Socket write timeout for replies (a stuck client cannot wedge a
+    /// connection thread forever).
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+            auth_token: None,
+            query_quota: None,
+            delta_quota: None,
+            read_timeout: Duration::from_secs(60),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Structured statistics of one connection, folded into the server
+/// aggregates when the connection closes and reported in its `:stats`
+/// reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Queries answered on this connection.
+    pub queries: u64,
+    /// Of those, answers served from the shared epoch-keyed cache.
+    pub cache_hits: u64,
+    /// Deltas applied by this connection.
+    pub deltas: u64,
+    /// Requests refused (auth failures, quota/timeout closures, script
+    /// and engine errors).
+    pub rejections: u64,
+}
+
+/// Aggregate server counters (monotone over the server's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted into a handler thread.
+    pub connections_accepted: u64,
+    /// Connections turned away by the `max_connections` cap.
+    pub connections_rejected: u64,
+    /// Connections currently being served.
+    pub active_connections: usize,
+    /// Queries answered across all connections.
+    pub queries_served: u64,
+    /// Of those, shared-cache hits.
+    pub cache_hits: u64,
+    /// Deltas applied across all connections.
+    pub deltas_applied: u64,
+    /// `error:` terminators sent.
+    pub errors_sent: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_rejected: AtomicU64,
+    queries_served: AtomicU64,
+    cache_hits: AtomicU64,
+    deltas_applied: AtomicU64,
+    errors_sent: AtomicU64,
+}
+
+#[derive(Debug)]
+struct ServerState {
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    counters: Counters,
+}
+
+impl ServerState {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.counters.connections_accepted.load(Ordering::Relaxed),
+            connections_rejected: self.counters.connections_rejected.load(Ordering::Relaxed),
+            active_connections: self.active.load(Ordering::Relaxed),
+            queries_served: self.counters.queries_served.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            deltas_applied: self.counters.deltas_applied.load(Ordering::Relaxed),
+            errors_sent: self.counters.errors_sent.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A cloneable remote control for a running [`Server`]: signal shutdown
+/// and read live statistics from any thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals graceful shutdown: stop accepting, drain in-flight
+    /// replies, join every connection thread. [`Server::run`] returns
+    /// once the drain completes.
+    pub fn shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether shutdown has been signalled.
+    pub fn is_shutdown(&self) -> bool {
+        self.state.shutdown.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats()
+    }
+}
+
+/// The TCP front-end: a bound listener plus the [`SharedEngine`] it
+/// serves. Drive it with [`Server::run`] (blocking) or
+/// [`Server::spawn`] (own thread, for tests and embedding).
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    shared: SharedEngine,
+    config: Arc<ServerConfig>,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener. The engine keeps serving local sessions too —
+    /// `SharedEngine` is already shared; the server is just one more
+    /// front door.
+    pub fn bind(shared: SharedEngine, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            shared,
+            config: Arc::new(config),
+            state: Arc::new(ServerState {
+                shutdown: AtomicBool::new(false),
+                active: AtomicUsize::new(0),
+                counters: Counters::default(),
+            }),
+        })
+    }
+
+    /// The bound address (the real port when the config asked for `:0`).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A remote control valid for this server's whole lifetime.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            state: self.state.clone(),
+        })
+    }
+
+    /// Runs the accept loop until shutdown is signalled (via a
+    /// [`ServerHandle`] or the `:shutdown` wire command), then joins
+    /// every connection thread so all in-flight replies drain before
+    /// returning.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers: Vec<JoinHandle<()>> = Vec::new();
+        while !self.state.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    workers.retain(|w| !w.is_finished());
+                    if self.state.active.load(Ordering::Relaxed) >= self.config.max_connections {
+                        self.state
+                            .counters
+                            .connections_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        reject_busy(stream, self.config.max_connections);
+                        continue;
+                    }
+                    self.state.active.fetch_add(1, Ordering::Relaxed);
+                    self.state
+                        .counters
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    let session = self.shared.session();
+                    let shared = self.shared.clone();
+                    let config = self.config.clone();
+                    let state = self.state.clone();
+                    workers.push(thread::spawn(move || {
+                        let _ = serve_connection(stream, session, shared, &config, &state);
+                        state.active.fetch_sub(1, Ordering::Relaxed);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_TICK),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.state.shutdown.store(true, Ordering::Release);
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Spawns [`Server::run`] on its own thread and returns the pair of
+    /// remote control + join handle.
+    pub fn spawn(self) -> io::Result<RunningServer> {
+        let handle = self.handle()?;
+        let thread = thread::Builder::new()
+            .name("qld-server-accept".to_string())
+            .spawn(move || self.run())?;
+        Ok(RunningServer { handle, thread })
+    }
+}
+
+/// A server running on its own thread (from [`Server::spawn`]).
+#[derive(Debug)]
+pub struct RunningServer {
+    handle: ServerHandle,
+    thread: JoinHandle<io::Result<()>>,
+}
+
+impl RunningServer {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.handle.addr()
+    }
+
+    /// A cloneable remote control.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// A snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        self.handle.stats()
+    }
+
+    /// Signals shutdown and waits for the full drain.
+    pub fn shutdown(self) -> io::Result<()> {
+        self.handle.shutdown();
+        self.join()
+    }
+
+    /// Waits for the server to stop on its own (e.g. after a client's
+    /// `:shutdown`).
+    pub fn join(self) -> io::Result<()> {
+        self.thread.join().expect("server accept thread panicked")
+    }
+}
+
+/// Tells an over-cap connection why it is being dropped. Best-effort:
+/// the socket may already be gone.
+fn reject_busy(stream: TcpStream, cap: usize) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let mut stream = stream;
+    let _ = writeln!(
+        stream,
+        "error: busy: connection limit reached ({cap} active)"
+    );
+}
+
+/// Reads one request line, polling the shutdown flag and the idle clock
+/// between socket timeouts. Returns `None` when the connection should
+/// close (EOF, shutdown, idle timeout, hard error); the idle-timeout
+/// diagnostic is sent here because only this loop knows it fired.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    line: &mut String,
+    config: &ServerConfig,
+    state: &ServerState,
+    stats: &mut ConnectionStats,
+) -> Option<()> {
+    line.clear();
+    let idle_since = Instant::now();
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return None,
+            Ok(_) => return Some(()),
+            // A timeout tick: bytes already read stay in `line` (read_line
+            // only appends), so retrying is lossless.
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutdown.load(Ordering::Acquire) {
+                    return None;
+                }
+                if idle_since.elapsed() >= config.read_timeout {
+                    stats.rejections += 1;
+                    state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    let _ = writeln!(writer, "error: timeout: idle for {:?}", config.read_timeout);
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// One connection, start to finish: greeting, optional auth handshake,
+/// then the request/reply loop. Every reply is composed in full and
+/// written with a single syscall, so a reply is never interleaved or cut
+/// off mid-frame. Returns the connection's final stats (also folded into
+/// the aggregates).
+fn serve_connection(
+    stream: TcpStream,
+    mut session: SharedSession,
+    shared: SharedEngine,
+    config: &ServerConfig,
+    state: &ServerState,
+) -> io::Result<ConnectionStats> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(POLL_TICK))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+
+    let hello = Hello {
+        version: PROTOCOL_VERSION,
+        epoch: shared.epoch(),
+        auth_required: config.auth_token.is_some(),
+    };
+    writer.write_all(format!("{}\n", hello.render()).as_bytes())?;
+
+    let mut stats = ConnectionStats::default();
+    let mut authed = config.auth_token.is_none();
+    let mut line = String::new();
+    let mut reply = String::new();
+    loop {
+        if read_request(
+            &mut reader,
+            &mut writer,
+            &mut line,
+            config,
+            state,
+            &mut stats,
+        )
+        .is_none()
+        {
+            break;
+        }
+        let request = line.trim();
+        reply.clear();
+        let mut close = false;
+
+        if !authed {
+            let mut words = request.split_whitespace();
+            let ok = words.next() == Some("auth")
+                && words.next() == config.auth_token.as_deref()
+                && words.next().is_none();
+            if ok {
+                authed = true;
+                let _ = writeln!(reply, "done: epoch={}", shared.epoch());
+            } else {
+                stats.rejections += 1;
+                state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                let _ = writeln!(reply, "error: auth: this server requires `auth <token>`");
+                close = true;
+            }
+        } else if request.split_whitespace().next() == Some("auth") {
+            // Re-authenticating an open or already-authed connection is a
+            // harmless no-op.
+            let _ = writeln!(reply, "done: epoch={}", shared.epoch());
+        } else {
+            close = handle_request(
+                request,
+                &mut session,
+                &shared,
+                config,
+                state,
+                &mut stats,
+                &mut reply,
+            );
+        }
+
+        writer.write_all(reply.as_bytes())?;
+        // Re-check shutdown after every completed reply, not only on idle
+        // read ticks: a client streaming requests back-to-back never
+        // leaves the socket idle, and must not be able to hold the drain
+        // hostage.
+        if close || state.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+    }
+
+    let c = &state.counters;
+    c.queries_served.fetch_add(stats.queries, Ordering::Relaxed);
+    c.cache_hits.fetch_add(stats.cache_hits, Ordering::Relaxed);
+    c.deltas_applied.fetch_add(stats.deltas, Ordering::Relaxed);
+    Ok(stats)
+}
+
+/// Dispatches one authenticated request into `reply`; returns whether
+/// the connection must close afterwards.
+fn handle_request(
+    request: &str,
+    session: &mut SharedSession,
+    shared: &SharedEngine,
+    config: &ServerConfig,
+    state: &ServerState,
+    stats: &mut ConnectionStats,
+    reply: &mut String,
+) -> bool {
+    let snapshot = shared.snapshot();
+    let mode = snapshot.engine().semantics();
+    let parsed = script::parse_line(snapshot.engine().db().voc(), request);
+    match parsed {
+        Ok(None) => {
+            // Blank lines and comments are acknowledged so that 1 request
+            // line always equals 1 reply frame.
+            let _ = writeln!(reply, "done: epoch={}", snapshot.epoch());
+            false
+        }
+        Ok(Some(ScriptLine::Quit)) => {
+            let _ = writeln!(reply, "done: epoch={}", snapshot.epoch());
+            true
+        }
+        Ok(Some(ScriptLine::Shutdown)) => {
+            let _ = writeln!(reply, "done: epoch={}", snapshot.epoch());
+            state.shutdown.store(true, Ordering::Release);
+            true
+        }
+        Ok(Some(ScriptLine::Stats)) => {
+            let server = state.stats();
+            let _ = writeln!(
+                reply,
+                "stat: connection: {} query(s) ({} cache hit(s)), {} delta(s), {} rejection(s)",
+                stats.queries, stats.cache_hits, stats.deltas, stats.rejections
+            );
+            let _ = writeln!(
+                reply,
+                "stat: server: {} active connection(s), {} accepted, {} rejected, \
+                 {} query(s) served, {} delta(s) applied",
+                server.active_connections,
+                server.connections_accepted,
+                server.connections_rejected,
+                server.queries_served + stats.queries,
+                server.deltas_applied + stats.deltas
+            );
+            let _ = writeln!(reply, "stat: snapshot: {}", shared.snapshot_stats());
+            let _ = writeln!(reply, "done: epoch={}", shared.epoch());
+            false
+        }
+        Ok(Some(ScriptLine::Query(query))) => {
+            if let Some(quota) = config.query_quota {
+                if stats.queries >= quota {
+                    stats.rejections += 1;
+                    state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    let _ = writeln!(reply, "error: quota: query quota exhausted (limit {quota})");
+                    return true;
+                }
+            }
+            let is_boolean = query.is_boolean();
+            let answers = session
+                .prepare(query)
+                .and_then(|prepared| session.execute_as(&prepared, mode));
+            match answers {
+                Ok(answers) => {
+                    stats.queries += 1;
+                    if answers.evidence().cache_hit {
+                        stats.cache_hits += 1;
+                    }
+                    let voc = snapshot.engine().db().voc();
+                    for line in proto::answer_lines(voc, mode, is_boolean, &answers) {
+                        let _ = writeln!(reply, "answer: {line}");
+                    }
+                    let _ = writeln!(
+                        reply,
+                        "evidence: {}",
+                        proto::evidence_tag(answers.evidence())
+                    );
+                    let _ = writeln!(reply, "done: epoch={}", answers.evidence().epoch);
+                }
+                Err(e) => {
+                    stats.rejections += 1;
+                    state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    let _ = writeln!(reply, "error: {e}");
+                }
+            }
+            false
+        }
+        Ok(Some(mutation @ (ScriptLine::Insert(..) | ScriptLine::AssertNe(..)))) => {
+            if let Some(quota) = config.delta_quota {
+                if stats.deltas >= quota {
+                    stats.rejections += 1;
+                    state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    let _ = writeln!(reply, "error: quota: delta quota exhausted (limit {quota})");
+                    return true;
+                }
+            }
+            let delta = mutation.to_delta().expect("mutation lines carry a delta");
+            match shared.apply(&delta) {
+                Ok(report) => {
+                    stats.deltas += 1;
+                    let _ = writeln!(reply, "delta: {report}");
+                    let _ = writeln!(reply, "done: epoch={}", report.epoch);
+                }
+                Err(e) => {
+                    stats.rejections += 1;
+                    state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                    let _ = writeln!(reply, "error: {e}");
+                }
+            }
+            false
+        }
+        Err(e) => {
+            // A malformed line is the same diagnostic the local batch
+            // drivers print — and, like the interactive shell, it does not
+            // cost the client its connection.
+            stats.rejections += 1;
+            state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+            let _ = writeln!(reply, "error: {e}");
+            false
+        }
+    }
+}
+
+/// A blocking client for the wire protocol: one request line out, one
+/// framed reply back. Used by the e2e tests, the CI smoke driver, and
+/// `qld_bench::socket_load`.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    hello: Hello,
+}
+
+impl Client {
+    /// Connects and reads the greeting. If the greeting announces
+    /// `auth=required`, call [`Client::authenticate`] before anything
+    /// else.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let _ = writer.set_nodelay(true);
+        let mut reader = BufReader::new(writer.try_clone()?);
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                line.trim().to_string(),
+            ));
+        }
+        // An over-capacity server sends `error: busy` instead of a
+        // greeting — surface that as a connection error.
+        let hello = Hello::parse(&line).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::ConnectionRefused, line.trim().to_string())
+        })?;
+        Ok(Client {
+            writer,
+            reader,
+            hello,
+        })
+    }
+
+    /// The greeting the server sent on connect.
+    pub fn hello(&self) -> Hello {
+        self.hello
+    }
+
+    /// Performs the `auth <token>` handshake.
+    pub fn authenticate(&mut self, token: &str) -> io::Result<Reply> {
+        self.request(&format!("auth {token}"))
+    }
+
+    /// Sends one script line and reads the full reply frame. An
+    /// `error:`-terminated reply is `Ok` with [`Reply::error`] set; `Err`
+    /// means the transport itself failed (including the server closing
+    /// the connection mid-reply).
+    pub fn request(&mut self, line: &str) -> io::Result<Reply> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> io::Result<Reply> {
+        let mut reply = Reply::default();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-reply",
+                ));
+            }
+            if reply.push_line(&line) {
+                return Ok(reply);
+            }
+        }
+    }
+
+    /// Sends `:quit` and consumes the client (the server closes the
+    /// connection after the ack).
+    pub fn quit(mut self) -> io::Result<Reply> {
+        self.request(":quit")
+    }
+
+    /// Sends `:shutdown`: the ack comes back, then the whole server
+    /// drains and stops.
+    pub fn shutdown_server(&mut self) -> io::Result<Reply> {
+        self.request(":shutdown")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qld_core::CwDatabase;
+    use qld_engine::Engine;
+    use qld_logic::Vocabulary;
+
+    fn shared() -> SharedEngine {
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b", "c"]).unwrap();
+        let p = voc.add_pred("P", 1).unwrap();
+        let db = CwDatabase::builder(voc).fact(p, &[ids[0]]).build().unwrap();
+        SharedEngine::new(Engine::new(db))
+    }
+
+    fn start(config: ServerConfig) -> (RunningServer, SocketAddr) {
+        let server = Server::bind(shared(), config).unwrap();
+        let addr = server.local_addr().unwrap();
+        (server.spawn().unwrap(), addr)
+    }
+
+    #[test]
+    fn round_trip_query_delta_stats_quit() {
+        let (running, addr) = start(ServerConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        assert_eq!(client.hello().epoch, 0);
+        assert!(!client.hello().auth_required);
+
+        let reply = client.request("(x) . P(x)").unwrap();
+        assert!(reply.is_ok(), "{reply:?}");
+        assert_eq!(reply.answers, vec!["(a)"]);
+        assert_eq!(reply.epoch, Some(0));
+        assert!(reply.evidence.as_deref().unwrap().contains("epoch 0"));
+
+        let reply = client.request(":insert P(b)").unwrap();
+        assert!(reply.is_ok(), "{reply:?}");
+        assert_eq!(reply.epoch, Some(1));
+        assert!(reply
+            .delta
+            .as_deref()
+            .unwrap()
+            .contains("1 fact(s) inserted"));
+
+        let reply = client.request("(x) . P(x)").unwrap();
+        assert_eq!(reply.answers.len(), 2);
+        assert_eq!(reply.epoch, Some(1));
+
+        let reply = client.request(":stats").unwrap();
+        assert!(
+            reply
+                .stats
+                .iter()
+                .any(|s| s.starts_with("connection: 2 query(s)")),
+            "{reply:?}"
+        );
+        assert!(
+            reply.stats.iter().any(|s| s.contains("1 delta(s) applied")),
+            "{reply:?}"
+        );
+        assert!(
+            reply
+                .stats
+                .iter()
+                .any(|s| s.starts_with("snapshot: epoch 1")),
+            "{reply:?}"
+        );
+
+        let reply = client.quit().unwrap();
+        assert!(reply.is_ok());
+        running.shutdown().unwrap();
+    }
+
+    #[test]
+    fn script_errors_keep_the_connection_open() {
+        let (running, addr) = start(ServerConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.request("NOPE(").unwrap();
+        assert!(
+            reply.error.as_deref().unwrap().starts_with("parse error"),
+            "{reply:?}"
+        );
+        let reply = client.request(":mode exact").unwrap();
+        assert!(reply
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("not available in script mode"));
+        // Still alive and serving.
+        let reply = client.request("P(a)").unwrap();
+        assert_eq!(reply.answers, vec!["CERTAIN"]);
+        running.shutdown().unwrap();
+    }
+
+    #[test]
+    fn auth_gate_rejects_and_admits() {
+        let (running, addr) = start(ServerConfig {
+            auth_token: Some("sesame".to_string()),
+            ..ServerConfig::default()
+        });
+        // Wrong first request: closed.
+        let mut client = Client::connect(addr).unwrap();
+        assert!(client.hello().auth_required);
+        let reply = client.request("P(a)").unwrap();
+        assert!(
+            reply.error.as_deref().unwrap().starts_with("auth:"),
+            "{reply:?}"
+        );
+        assert!(
+            client.request("P(a)").is_err(),
+            "connection should be closed"
+        );
+        // Wrong token: closed.
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.authenticate("mellon").unwrap();
+        assert!(!reply.is_ok());
+        // Right token: served.
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.authenticate("sesame").unwrap();
+        assert!(reply.is_ok(), "{reply:?}");
+        let reply = client.request("P(a)").unwrap();
+        assert_eq!(reply.answers, vec!["CERTAIN"]);
+        running.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_server() {
+        let (running, addr) = start(ServerConfig::default());
+        let mut client = Client::connect(addr).unwrap();
+        let reply = client.shutdown_server().unwrap();
+        assert!(reply.is_ok());
+        // The accept loop drains and run() returns on its own.
+        running.join().unwrap();
+    }
+}

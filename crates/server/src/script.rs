@@ -1,0 +1,209 @@
+//! The `:batch` script dialect, parsed in exactly one place.
+//!
+//! Every front-end that accepts script lines — the single-owner
+//! `--batch` driver, the concurrent `--sessions` driver, and the TCP
+//! server — routes through [`parse_line`], so a malformed line produces
+//! the same [`ScriptError`] diagnostic locally and over the wire. A
+//! script line is one of:
+//!
+//! * a **query** in the surface syntax (`(x) . P(x, y)`, `forall y. …`);
+//! * `:insert P(c1, ..., ck)` — a ground-atom fact delta;
+//! * `:assert-ne <a> <b>` — a uniqueness-axiom delta;
+//! * `:stats` — live epoch/cache/session counters;
+//! * `:quit` (also `:q`, `:exit`) — end of script / close connection;
+//! * `:shutdown` — stop the whole server (wire only; local drivers treat
+//!   it like `:quit`);
+//! * blank lines and `#` comments, which parse to nothing.
+
+use qld_engine::Delta;
+use qld_logic::parser::parse_query;
+use qld_logic::{ConstId, Formula, PredId, Query, Term, Vocabulary};
+use std::fmt;
+
+/// One parsed script line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptLine {
+    /// A query to prepare and execute.
+    Query(Query),
+    /// `:insert P(c1, ..., ck)` — a fact delta.
+    Insert(PredId, Vec<ConstId>),
+    /// `:assert-ne a b` — a uniqueness-axiom delta.
+    AssertNe(ConstId, ConstId),
+    /// `:stats`.
+    Stats,
+    /// `:quit` — end of script (close the connection over the wire).
+    Quit,
+    /// `:shutdown` — stop the server (local drivers treat it as `:quit`).
+    Shutdown,
+}
+
+impl ScriptLine {
+    /// The [`Delta`] a mutation line applies (`None` for non-mutations).
+    pub fn to_delta(&self) -> Option<Delta> {
+        match self {
+            ScriptLine::Insert(p, args) => Some(Delta::new().insert_fact(*p, args)),
+            ScriptLine::AssertNe(a, b) => Some(Delta::new().assert_ne(*a, *b)),
+            _ => None,
+        }
+    }
+}
+
+/// A malformed script line. The `Display` strings are the shared
+/// diagnostics: local drivers print them prefixed `line {n}: `, the
+/// server sends them prefixed `error: `.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptError {
+    /// The query (or `:insert` atom) failed to parse.
+    Parse(String),
+    /// `:insert` got something other than a ground atom.
+    NotAFact,
+    /// A command was called with the wrong shape of arguments.
+    Usage(&'static str),
+    /// `:assert-ne` named a constant outside the vocabulary.
+    UnknownConstant(String),
+    /// A shell-only command (`:mode`, `:dump`, …) in a script.
+    Unsupported(String),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Parse(e) => write!(f, "parse error: {e}"),
+            ScriptError::NotAFact => {
+                write!(f, "a fact is a ground atom: :insert P(c1, ..., ck)")
+            }
+            ScriptError::Usage(usage) => write!(f, "usage: {usage}"),
+            ScriptError::UnknownConstant(c) => write!(f, "unknown constant `{c}`"),
+            ScriptError::Unsupported(cmd) => write!(
+                f,
+                "`:{cmd}` is not available in script mode \
+                 (only :insert, :assert-ne, :stats, :quit)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// Parses one script line. `Ok(None)` is a blank line or comment.
+pub fn parse_line(voc: &Vocabulary, raw: &str) -> Result<Option<ScriptLine>, ScriptError> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let Some(cmd) = line.strip_prefix(':') else {
+        let query = parse_query(voc, line).map_err(|e| ScriptError::Parse(e.to_string()))?;
+        return Ok(Some(ScriptLine::Query(query)));
+    };
+    let cmd = cmd.trim();
+    match cmd.split_whitespace().next().unwrap_or("") {
+        "stats" => Ok(Some(ScriptLine::Stats)),
+        "quit" | "q" | "exit" => Ok(Some(ScriptLine::Quit)),
+        "shutdown" => Ok(Some(ScriptLine::Shutdown)),
+        "insert" => {
+            let rest = cmd["insert".len()..].trim();
+            if rest.is_empty() {
+                return Err(ScriptError::Usage(":insert P(c1, ..., ck)"));
+            }
+            let (p, args) = parse_fact(voc, rest)?;
+            Ok(Some(ScriptLine::Insert(p, args)))
+        }
+        "assert-ne" => {
+            let mut words = cmd["assert-ne".len()..].split_whitespace();
+            let (Some(a), Some(b)) = (words.next(), words.next()) else {
+                return Err(ScriptError::Usage(":assert-ne <a> <b>"));
+            };
+            let (ca, cb) = (voc.const_id(a), voc.const_id(b));
+            match (ca, cb) {
+                (Some(ca), Some(cb)) => Ok(Some(ScriptLine::AssertNe(ca, cb))),
+                _ => {
+                    let unknown = if ca.is_none() { a } else { b };
+                    Err(ScriptError::UnknownConstant(unknown.to_string()))
+                }
+            }
+        }
+        other => Err(ScriptError::Unsupported(other.to_string())),
+    }
+}
+
+/// Parses a ground atom in the query syntax (e.g.
+/// `TEACHES(socrates, plato)`) into a fact, for `:insert` everywhere the
+/// dialect is spoken.
+pub fn parse_fact(voc: &Vocabulary, text: &str) -> Result<(PredId, Vec<ConstId>), ScriptError> {
+    let query = parse_query(voc, text).map_err(|e| ScriptError::Parse(e.to_string()))?;
+    let (head, body) = query.into_parts();
+    let Formula::Atom(p, terms) = body else {
+        return Err(ScriptError::NotAFact);
+    };
+    if !head.is_empty() {
+        return Err(ScriptError::NotAFact);
+    }
+    let mut args = Vec::with_capacity(terms.len());
+    for term in terms.iter() {
+        match term {
+            Term::Const(c) => args.push(*c),
+            Term::Var(_) => return Err(ScriptError::NotAFact),
+        }
+    }
+    Ok((p, args))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn voc() -> Vocabulary {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b"]).unwrap();
+        voc.add_pred("P", 2).unwrap();
+        voc
+    }
+
+    #[test]
+    fn parses_queries_commands_and_noise() {
+        let voc = voc();
+        assert_eq!(parse_line(&voc, "").unwrap(), None);
+        assert_eq!(parse_line(&voc, "  # comment").unwrap(), None);
+        assert!(matches!(
+            parse_line(&voc, "(x) . P(a, x)").unwrap(),
+            Some(ScriptLine::Query(_))
+        ));
+        assert_eq!(parse_line(&voc, ":stats").unwrap(), Some(ScriptLine::Stats));
+        assert_eq!(parse_line(&voc, ":quit").unwrap(), Some(ScriptLine::Quit));
+        assert_eq!(parse_line(&voc, ":q").unwrap(), Some(ScriptLine::Quit));
+        assert_eq!(
+            parse_line(&voc, ":shutdown").unwrap(),
+            Some(ScriptLine::Shutdown)
+        );
+        let insert = parse_line(&voc, ":insert P(a, b)").unwrap().unwrap();
+        assert!(matches!(insert, ScriptLine::Insert(_, ref args) if args.len() == 2));
+        assert!(insert.to_delta().is_some());
+        let ne = parse_line(&voc, ":assert-ne a b").unwrap().unwrap();
+        assert!(matches!(ne, ScriptLine::AssertNe(_, _)));
+        assert!(ne.to_delta().is_some());
+        assert!(ScriptLine::Stats.to_delta().is_none());
+    }
+
+    #[test]
+    fn error_diagnostics_are_stable() {
+        let voc = voc();
+        let parse = parse_line(&voc, "NOPE(").unwrap_err();
+        assert!(parse.to_string().starts_with("parse error: "), "{parse}");
+        let fact = parse_line(&voc, ":insert P(a, b) | P(b, a)").unwrap_err();
+        assert!(fact.to_string().contains("ground atom"), "{fact}");
+        let var = parse_line(&voc, ":insert P(a, x)").unwrap_err();
+        assert!(matches!(var, ScriptError::Parse(_) | ScriptError::NotAFact));
+        let usage = parse_line(&voc, ":insert").unwrap_err();
+        assert_eq!(usage.to_string(), "usage: :insert P(c1, ..., ck)");
+        let usage = parse_line(&voc, ":assert-ne a").unwrap_err();
+        assert_eq!(usage.to_string(), "usage: :assert-ne <a> <b>");
+        let unknown = parse_line(&voc, ":assert-ne a nope").unwrap_err();
+        assert_eq!(unknown.to_string(), "unknown constant `nope`");
+        let cmd = parse_line(&voc, ":mode exact").unwrap_err();
+        assert!(
+            cmd.to_string()
+                .contains("`:mode` is not available in script mode"),
+            "{cmd}"
+        );
+    }
+}

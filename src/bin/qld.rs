@@ -4,11 +4,14 @@
 //! qld <database.qld>                         # REPL (auto semantics)
 //! qld <database.qld> -q "(x) . P(x)"         # one-shot query
 //! qld <database.qld> --mode approx -q "..."  # choose semantics
+//! qld serve <database.qld> --addr 127.0.0.1:1985   # TCP front-end
 //! ```
 
 use querying_logical_databases::cli::{
-    concurrent_batch_file, ConcurrentConfig, Mode, Outcome, Session, MODE_USAGE,
+    concurrent_batch_file, serve, ConcurrentConfig, Mode, Outcome, ServeOptions, Session,
+    MODE_USAGE,
 };
+use querying_logical_databases::core::CwDatabase;
 use std::io::{self, BufRead, Write};
 use std::process::ExitCode;
 
@@ -16,6 +19,7 @@ fn usage() -> String {
     format!(
         "usage: qld <database.qld> [--mode {MODE_USAGE}] [--threads <N>]\n\
          \x20          [--no-cache] [--batch <file>] [--sessions <N>] [-q <query>]...\n\
+         \x20      qld serve <database.qld> [options]   (see qld serve --help)\n\
          With no -q/--batch, starts an interactive shell (:help for commands).\n\
          The default mode is `auto`: the engine runs the cheapest evaluation\n\
          path the paper proves exact and reports which theorem certified it.\n\
@@ -38,8 +42,137 @@ enum Action {
     Batch(String),
 }
 
+fn serve_usage() -> String {
+    format!(
+        "usage: qld serve <database.qld> [--addr <host:port>] [--sessions-max <N>]\n\
+         \x20          [--token <secret>] [--budget <mappings>] [--quota-queries <N>]\n\
+         \x20          [--quota-deltas <N>] [--mode {MODE_USAGE}] [--threads <N>]\n\
+         \x20          [--no-cache]\n\
+         Serves the database over TCP: a line protocol speaking the same\n\
+         script dialect as --batch (queries, :insert, :assert-ne, :stats,\n\
+         :quit, :shutdown), one shared engine with epoch-stamped snapshots\n\
+         behind every connection. Defaults: --addr 127.0.0.1:1985 (port 0\n\
+         picks an ephemeral port), --sessions-max 64. --token demands an\n\
+         `auth <token>` handshake; --budget caps Theorem 1 enumerations\n\
+         (Auto returns certified bounds past it); the quotas are per\n\
+         connection. A client's :shutdown stops the server gracefully."
+    )
+}
+
+/// The `qld serve` subcommand.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut opts = ServeOptions::default();
+    let mut path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{}", serve_usage());
+                return ExitCode::SUCCESS;
+            }
+            "--addr" | "-a" => match iter.next() {
+                Some(addr) => opts.addr = addr.clone(),
+                None => {
+                    eprintln!("--addr needs a host:port argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sessions-max" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => opts.sessions_max = n,
+                _ => {
+                    eprintln!("--sessions-max needs a connection cap (>= 1)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--token" => match iter.next() {
+                Some(token) => opts.token = Some(token.clone()),
+                None => {
+                    eprintln!("--token needs a secret argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--budget" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.budget = Some(n),
+                None => {
+                    eprintln!("--budget needs a mapping count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quota-queries" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.query_quota = Some(n),
+                None => {
+                    eprintln!("--quota-queries needs a per-connection count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quota-deltas" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.delta_quota = Some(n),
+                None => {
+                    eprintln!("--quota-deltas needs a per-connection count");
+                    return ExitCode::from(2);
+                }
+            },
+            "--mode" | "-m" => match iter.next().map(String::as_str).and_then(Mode::parse) {
+                Some(m) => opts.mode = m,
+                None => {
+                    eprintln!("--mode needs {MODE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" | "-t" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.threads = Some(n),
+                None => {
+                    eprintln!("--threads needs a worker count (0 = all CPUs)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => opts.cache = false,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{}", serve_usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{}", serve_usage());
+        return ExitCode::from(2);
+    };
+    let Some(db) = load_db(&path) else {
+        return ExitCode::FAILURE;
+    };
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    match serve(db, &opts, &mut out) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) | Err(_) => ExitCode::FAILURE,
+    }
+}
+
+/// Loads a `.qld` database file, printing the error on failure.
+fn load_db(path: &str) -> Option<CwDatabase> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return None;
+        }
+    };
+    match querying_logical_databases::core::textio::from_text(&text) {
+        Ok(db) => Some(db),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            None
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
+    let all_args: Vec<String> = std::env::args().skip(1).collect();
+    if all_args.first().map(String::as_str) == Some("serve") {
+        return serve_main(&all_args[1..]);
+    }
+    let mut args = all_args.into_iter();
     let mut path: Option<String> = None;
     let mut mode: Option<Mode> = None;
     let mut threads: Option<usize> = None;
@@ -100,19 +233,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let db = match querying_logical_databases::core::textio::from_text(&text) {
-        Ok(db) => db,
-        Err(e) => {
-            eprintln!("{path}: {e}");
-            return ExitCode::FAILURE;
-        }
+    let Some(db) = load_db(&path) else {
+        return ExitCode::FAILURE;
     };
 
     // Concurrent serving: the script drives a shared engine with N reader

@@ -13,7 +13,9 @@ use qld_core::CwDatabase;
 use qld_engine::{Answers, Delta, Engine, EngineError, PreparedQuery, Semantics, SharedEngine};
 use qld_logic::display::display_query;
 use qld_logic::parser::parse_query;
-use qld_logic::{ConstId, Formula, PredId, Term, Vocabulary};
+use qld_logic::Vocabulary;
+use qld_server::script::{parse_fact, parse_line, ScriptLine};
+use qld_server::{proto, Server, ServerConfig};
 use std::io::{self, Write};
 
 /// The shell's evaluation mode *is* the engine's semantics — one
@@ -213,38 +215,7 @@ impl Session {
                 (Some(a), Some(b)) => self.assert_ne(a, b, out)?,
                 _ => writeln!(out, "usage: :assert-ne <a> <b>")?,
             },
-            Some("stats") => {
-                writeln!(
-                    out,
-                    "{} constants, {} predicates, {} facts, {} uniqueness axioms, fully specified: {}",
-                    self.db().num_consts(),
-                    self.db().voc().num_preds(),
-                    self.db().num_facts(),
-                    self.db().num_ne(),
-                    self.db().is_fully_specified()
-                )?;
-                writeln!(
-                    out,
-                    "mode: {}, threads: {}, cache: {} ({}/{} answer(s) cached)",
-                    self.mode().name(),
-                    describe_threads(self.threads()),
-                    if self.cache_enabled() { "on" } else { "off" },
-                    self.engine.cache_len(),
-                    self.engine.cache_capacity()
-                )?;
-                let deltas = self.engine.delta_stats();
-                writeln!(
-                    out,
-                    "deltas: {} applied ({} fact(s), {} axiom(s) inserted), \
-                     {} cache eviction(s), {} re-certification(s), epoch {}",
-                    deltas.deltas_applied,
-                    deltas.facts_inserted,
-                    deltas.ne_inserted,
-                    deltas.cache_evicted,
-                    deltas.queries_recertified,
-                    self.engine.epoch()
-                )?;
-            }
+            Some("stats") => self.print_stats(out)?,
             Some("dump") => {
                 write!(out, "{}", qld_core::textio::to_text(self.db()))?;
             }
@@ -268,6 +239,41 @@ impl Session {
             None => writeln!(out, "empty command (try :help)")?,
         }
         Ok(Outcome::Continue)
+    }
+
+    /// The `:stats` output (also printed by `:stats` lines in a batch
+    /// script).
+    fn print_stats(&self, out: &mut dyn Write) -> io::Result<()> {
+        writeln!(
+            out,
+            "{} constants, {} predicates, {} facts, {} uniqueness axioms, fully specified: {}",
+            self.db().num_consts(),
+            self.db().voc().num_preds(),
+            self.db().num_facts(),
+            self.db().num_ne(),
+            self.db().is_fully_specified()
+        )?;
+        writeln!(
+            out,
+            "mode: {}, threads: {}, cache: {} ({}/{} answer(s) cached)",
+            self.mode().name(),
+            describe_threads(self.threads()),
+            if self.cache_enabled() { "on" } else { "off" },
+            self.engine.cache_len(),
+            self.engine.cache_capacity()
+        )?;
+        let deltas = self.engine.delta_stats();
+        writeln!(
+            out,
+            "deltas: {} applied ({} fact(s), {} axiom(s) inserted), \
+             {} cache eviction(s), {} re-certification(s), epoch {}",
+            deltas.deltas_applied,
+            deltas.facts_inserted,
+            deltas.ne_inserted,
+            deltas.cache_evicted,
+            deltas.queries_recertified,
+            self.engine.epoch()
+        )
     }
 
     /// The `:insert` command: parses a ground atom in the query syntax
@@ -381,31 +387,130 @@ impl Session {
         self.batch_text(&text, out)
     }
 
-    /// Runs batch-script text (see [`Session::batch_file`]).
+    /// Runs batch-script text (see [`Session::batch_file`]). The script
+    /// speaks the same dialect as `--sessions` and the TCP server
+    /// ([`qld_server::script`]): queries, `:insert`, `:assert-ne`,
+    /// `:stats`, `:quit`, comments. Queries between two mutations form a
+    /// segment sharing one [`Engine::execute_batch`] enumeration;
+    /// malformed lines abort before anything runs, with the same
+    /// diagnostics the server sends over the wire.
+    ///
+    /// [`Engine::execute_batch`]: qld_engine::Engine::execute_batch
     pub fn batch_text(&mut self, text: &str, out: &mut dyn Write) -> io::Result<bool> {
-        let lines: Vec<(usize, &str)> = text
-            .lines()
-            .enumerate()
-            .map(|(i, l)| (i + 1, l.trim()))
-            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
-            .collect();
-        let mut prepared = Vec::with_capacity(lines.len());
-        for &(lineno, line) in &lines {
-            let query = match parse_query(self.db().voc(), line) {
-                Ok(q) => q,
-                Err(e) => {
-                    writeln!(out, "line {lineno}: parse error: {e}")?;
-                    return Ok(false);
+        enum Item {
+            Query {
+                line: String,
+                is_boolean: bool,
+                prepared: PreparedQuery,
+            },
+            Mutation {
+                line: String,
+                delta: Delta,
+            },
+            Stats,
+        }
+        let mut items = Vec::new();
+        for (lineno, raw) in text.lines().enumerate().map(|(i, l)| (i + 1, l.trim())) {
+            match parse_line(self.db().voc(), raw) {
+                Ok(None) => {}
+                Ok(Some(ScriptLine::Query(query))) => {
+                    let is_boolean = query.is_boolean();
+                    match self.engine.prepare(query) {
+                        Ok(prepared) => items.push(Item::Query {
+                            line: raw.to_string(),
+                            is_boolean,
+                            prepared,
+                        }),
+                        Err(e) => {
+                            writeln!(out, "line {lineno}: error: {e}")?;
+                            return Ok(false);
+                        }
+                    }
                 }
-            };
-            match self.engine.prepare(query) {
-                Ok(p) => prepared.push(p),
+                Ok(Some(item @ (ScriptLine::Insert(..) | ScriptLine::AssertNe(..)))) => {
+                    items.push(Item::Mutation {
+                        line: raw.to_string(),
+                        delta: item.to_delta().expect("mutation lines carry a delta"),
+                    });
+                }
+                Ok(Some(ScriptLine::Stats)) => items.push(Item::Stats),
+                Ok(Some(ScriptLine::Quit | ScriptLine::Shutdown)) => break,
                 Err(e) => {
-                    writeln!(out, "line {lineno}: error: {e}")?;
+                    writeln!(out, "line {lineno}: {e}")?;
                     return Ok(false);
                 }
             }
         }
+
+        let mut total_queries = 0usize;
+        let mut deltas_applied = 0usize;
+        let mut shared_mappings = 0u64;
+        let mut segment: Vec<(&str, bool, &PreparedQuery)> = Vec::new();
+        for item in &items {
+            if let Item::Query {
+                line,
+                is_boolean,
+                prepared,
+            } = item
+            {
+                segment.push((line, *is_boolean, prepared));
+                continue;
+            }
+            total_queries += segment.len();
+            if !self.run_batch_segment(&segment, &mut shared_mappings, out)? {
+                return Ok(false);
+            }
+            segment.clear();
+            match item {
+                Item::Mutation { line, delta } => {
+                    writeln!(out, "> {line}")?;
+                    match self.engine.apply(delta) {
+                        Ok(report) => {
+                            deltas_applied += 1;
+                            writeln!(out, "{report}")?;
+                        }
+                        Err(e) => {
+                            writeln!(out, "error: {e}")?;
+                            return Ok(false);
+                        }
+                    }
+                }
+                Item::Stats => self.print_stats(out)?,
+                Item::Query { .. } => unreachable!("handled above"),
+            }
+        }
+        total_queries += segment.len();
+        if !self.run_batch_segment(&segment, &mut shared_mappings, out)? {
+            return Ok(false);
+        }
+        write!(out, "batch: {total_queries} query(s)")?;
+        if deltas_applied > 0 {
+            write!(out, ", {deltas_applied} delta(s)")?;
+        }
+        if shared_mappings > 0 {
+            write!(
+                out,
+                ", {shared_mappings} mapping(s) in one shared enumeration"
+            )?;
+        }
+        writeln!(out)?;
+        Ok(true)
+    }
+
+    /// Executes one segment of batch queries through
+    /// [`Engine::execute_batch`](qld_engine::Engine::execute_batch) and
+    /// prints the answers in script order. Returns `false` when the
+    /// segment failed (the error has been printed).
+    fn run_batch_segment(
+        &self,
+        segment: &[(&str, bool, &PreparedQuery)],
+        shared_mappings: &mut u64,
+        out: &mut dyn Write,
+    ) -> io::Result<bool> {
+        if segment.is_empty() {
+            return Ok(true);
+        }
+        let prepared: Vec<PreparedQuery> = segment.iter().map(|(_, _, p)| (*p).clone()).collect();
         let answers = match self.engine.execute_batch(&prepared) {
             Ok(a) => a,
             Err(e @ EngineError::Compile(_)) => {
@@ -417,51 +522,21 @@ impl Session {
                 return Ok(false);
             }
         };
-        let mut shared_mappings = 0u64;
-        for (((_, line), p), a) in lines.iter().zip(prepared.iter()).zip(answers.iter()) {
+        for ((line, is_boolean, _), a) in segment.iter().zip(answers.iter()) {
             writeln!(out, "> {line}")?;
-            self.print_answers(p.query().is_boolean(), a, out)?;
+            self.print_answers(*is_boolean, a, out)?;
             if a.evidence().shared_batch.is_some() {
-                shared_mappings = shared_mappings.max(a.evidence().mappings_evaluated);
+                *shared_mappings = (*shared_mappings).max(a.evidence().mappings_evaluated);
             }
         }
-        write!(out, "batch: {} query(s)", answers.len())?;
-        if shared_mappings > 0 {
-            write!(
-                out,
-                ", {shared_mappings} mapping(s) in one shared enumeration"
-            )?;
-        }
-        writeln!(out)?;
         Ok(true)
     }
 }
 
-/// Parses a ground atom in the query syntax (e.g.
-/// `TEACHES(socrates, plato)`) into a fact, for `:insert` in both the
-/// interactive shell and the concurrent batch driver.
-fn parse_fact(voc: &Vocabulary, text: &str) -> Result<(PredId, Vec<ConstId>), String> {
-    const USAGE: &str = "a fact is a ground atom: :insert P(c1, ..., ck)";
-    let query = parse_query(voc, text).map_err(|e| format!("parse error: {e}"))?;
-    let (head, body) = query.into_parts();
-    let Formula::Atom(p, terms) = body else {
-        return Err(USAGE.to_string());
-    };
-    if !head.is_empty() {
-        return Err(USAGE.to_string());
-    }
-    let mut args = Vec::with_capacity(terms.len());
-    for term in terms.iter() {
-        match term {
-            Term::Const(c) => args.push(*c),
-            Term::Var(_) => return Err(USAGE.to_string()),
-        }
-    }
-    Ok((p, args))
-}
-
-/// Renders one answer set with its evidence tag (shared by the
-/// single-owner shell and the concurrent batch driver).
+/// Renders one answer set with its evidence tag. The payload rendering
+/// lives in [`qld_server::proto`] so a remote answer is byte-identical
+/// to a local one; only the trailing tuple count + tag line is CLI
+/// dressing.
 fn render_answers(
     voc: &Vocabulary,
     mode: Mode,
@@ -469,19 +544,12 @@ fn render_answers(
     answers: &Answers,
     out: &mut dyn Write,
 ) -> io::Result<()> {
-    let evidence = answers.evidence();
-    let tag = format!("{} in {:.2?}", evidence.summary(), evidence.elapsed);
+    let tag = proto::evidence_tag(answers.evidence());
     if is_boolean {
-        let verdict = match (mode, answers.holds()) {
-            (Mode::Possible, true) => "POSSIBLE",
-            (Mode::Possible, false) => "impossible",
-            (_, true) => "CERTAIN",
-            (_, false) => "not certain",
-        };
-        writeln!(out, "{verdict}   [{tag}]")
+        writeln!(out, "{}   [{tag}]", proto::verdict(mode, answers.holds()))
     } else {
-        for tuple in qld_core::answer_names(voc, answers.tuples()) {
-            writeln!(out, "({})", tuple.join(", "))?;
+        for line in proto::tuple_lines(voc, answers) {
+            writeln!(out, "{line}")?;
         }
         writeln!(out, "{} tuple(s)   [{tag}]", answers.len())
     }
@@ -536,7 +604,7 @@ pub fn concurrent_batch_text(
     out: &mut dyn Write,
 ) -> io::Result<bool> {
     if config.sessions == 0 {
-        writeln!(out, "--sessions needs at least 1 reader session")?;
+        writeln!(out, "error: --sessions needs at least 1 reader session")?;
         return Ok(false);
     }
     let mut builder = Engine::builder(db).semantics(config.mode);
@@ -551,69 +619,37 @@ pub fn concurrent_batch_text(
     let voc = snapshot.engine().db().voc();
 
     // Parse and prepare the whole script up front: a bad line aborts the
-    // batch before anything runs (scripted callers fail loudly).
+    // batch before anything runs (scripted callers fail loudly), with
+    // the same diagnostics the server sends over the wire.
     let mut items = Vec::new();
     for (lineno, raw) in text.lines().enumerate().map(|(i, l)| (i + 1, l.trim())) {
-        if raw.is_empty() || raw.starts_with('#') {
-            continue;
-        }
-        if let Some(cmd) = raw.strip_prefix(':') {
-            let cmd = cmd.trim();
-            if cmd == "stats" {
-                items.push(ScriptItem::Stats);
-            } else if let Some(rest) = cmd.strip_prefix("insert") {
-                match parse_fact(voc, rest.trim()) {
-                    Ok((p, args)) => items.push(ScriptItem::Mutation {
+        match parse_line(voc, raw) {
+            Ok(None) => {}
+            Ok(Some(ScriptLine::Query(query))) => {
+                let is_boolean = query.is_boolean();
+                match snapshot.engine().prepare(query) {
+                    Ok(prepared) => items.push(ScriptItem::Query {
                         line: raw.to_string(),
-                        delta: Delta::new().insert_fact(p, &args),
+                        is_boolean,
+                        prepared,
                     }),
                     Err(e) => {
-                        writeln!(out, "line {lineno}: {e}")?;
+                        writeln!(out, "line {lineno}: error: {e}")?;
                         return Ok(false);
                     }
                 }
-            } else if let Some(rest) = cmd.strip_prefix("assert-ne") {
-                let mut words = rest.split_whitespace();
-                let (Some(a), Some(b)) = (words.next(), words.next()) else {
-                    writeln!(out, "line {lineno}: usage: :assert-ne <a> <b>")?;
-                    return Ok(false);
-                };
-                let (Some(ca), Some(cb)) = (voc.const_id(a), voc.const_id(b)) else {
-                    let unknown = if voc.const_id(a).is_none() { a } else { b };
-                    writeln!(out, "line {lineno}: unknown constant `{unknown}`")?;
-                    return Ok(false);
-                };
+            }
+            Ok(Some(item @ (ScriptLine::Insert(..) | ScriptLine::AssertNe(..)))) => {
                 items.push(ScriptItem::Mutation {
                     line: raw.to_string(),
-                    delta: Delta::new().assert_ne(ca, cb),
+                    delta: item.to_delta().expect("mutation lines carry a delta"),
                 });
-            } else {
-                writeln!(
-                    out,
-                    "line {lineno}: `:{cmd}` is not available in concurrent mode \
-                     (only :insert, :assert-ne, :stats)"
-                )?;
-                return Ok(false);
             }
-        } else {
-            let query = match parse_query(voc, raw) {
-                Ok(q) => q,
-                Err(e) => {
-                    writeln!(out, "line {lineno}: parse error: {e}")?;
-                    return Ok(false);
-                }
-            };
-            let is_boolean = query.is_boolean();
-            match snapshot.engine().prepare(query) {
-                Ok(prepared) => items.push(ScriptItem::Query {
-                    line: raw.to_string(),
-                    is_boolean,
-                    prepared,
-                }),
-                Err(e) => {
-                    writeln!(out, "line {lineno}: error: {e}")?;
-                    return Ok(false);
-                }
+            Ok(Some(ScriptLine::Stats)) => items.push(ScriptItem::Stats),
+            Ok(Some(ScriptLine::Quit | ScriptLine::Shutdown)) => break,
+            Err(e) => {
+                writeln!(out, "line {lineno}: {e}")?;
+                return Ok(false);
             }
         }
     }
@@ -665,6 +701,7 @@ pub fn concurrent_batch_text(
                     stats.deltas.facts_inserted,
                     stats.deltas.ne_inserted
                 )?;
+                writeln!(out, "snapshot: {}", shared.snapshot_stats())?;
             }
             ScriptItem::Query { .. } => unreachable!("handled above"),
         }
@@ -749,6 +786,96 @@ pub fn concurrent_batch_file(
         }
     };
     concurrent_batch_text(db, config, &text, out)
+}
+
+/// Options of `qld serve` (the TCP front-end over a [`SharedEngine`]).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port `0` picks an ephemeral port,
+    /// printed in the `listening on` line).
+    pub addr: String,
+    /// Connection cap (`--sessions-max`): excess connections are turned
+    /// away with `error: busy`.
+    pub sessions_max: usize,
+    /// Optional shared-secret token every connection must present first.
+    pub token: Option<String>,
+    /// Optional mapping budget (admission control at the engine layer:
+    /// Auto refuses Theorem 1 enumerations past the budget and returns
+    /// certified bounds instead).
+    pub budget: Option<u64>,
+    /// Per-connection query quota.
+    pub query_quota: Option<u64>,
+    /// Per-connection delta quota.
+    pub delta_quota: Option<u64>,
+    /// Evaluation mode for every connection.
+    pub mode: Mode,
+    /// Enumeration worker threads (`None` = engine default).
+    pub threads: Option<usize>,
+    /// Whether the shared epoch-keyed answer cache is enabled.
+    pub cache: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            // The paper's year; override with --addr (port 0 = ephemeral).
+            addr: "127.0.0.1:1985".to_string(),
+            sessions_max: 64,
+            token: None,
+            budget: None,
+            query_quota: None,
+            delta_quota: None,
+            mode: Mode::Auto,
+            threads: None,
+            cache: true,
+        }
+    }
+}
+
+/// The `qld serve` driver: wraps the database in a [`SharedEngine`],
+/// binds the TCP front-end, prints a parseable `listening on <addr>`
+/// line, and runs the accept loop until a client sends `:shutdown` (or
+/// the process is killed). Returns whether the server ran and stopped
+/// cleanly.
+pub fn serve(db: CwDatabase, opts: &ServeOptions, out: &mut dyn Write) -> io::Result<bool> {
+    let mut builder = Engine::builder(db).semantics(opts.mode);
+    if let Some(threads) = opts.threads {
+        builder = builder.parallelism(threads);
+    }
+    if !opts.cache {
+        builder = builder.cache_capacity(0);
+    }
+    if let Some(budget) = opts.budget {
+        builder = builder.mapping_budget(budget);
+    }
+    let shared = SharedEngine::new(builder.build());
+    let config = ServerConfig {
+        addr: opts.addr.clone(),
+        max_connections: opts.sessions_max,
+        auth_token: opts.token.clone(),
+        query_quota: opts.query_quota,
+        delta_quota: opts.delta_quota,
+        ..ServerConfig::default()
+    };
+    let server = match Server::bind(shared, config) {
+        Ok(server) => server,
+        Err(e) => {
+            writeln!(out, "error: cannot bind {}: {e}", opts.addr)?;
+            return Ok(false);
+        }
+    };
+    writeln!(out, "listening on {}", server.local_addr()?)?;
+    out.flush()?;
+    match server.run() {
+        Ok(()) => {
+            writeln!(out, "server stopped")?;
+            Ok(true)
+        }
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            Ok(false)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -910,6 +1037,45 @@ distinct socrates plato aristotle
         let out = String::from_utf8(out).unwrap();
         assert!(out.contains("line 2: parse error"), "{out}");
         assert!(!out.contains("CERTAIN"), "{out}");
+    }
+
+    #[test]
+    fn batch_text_speaks_the_full_script_dialect() {
+        let mut session = Session::new(from_text(SAMPLE).unwrap());
+        let mut out = Vec::new();
+        let ran = session
+            .batch_text(
+                "(x) . TEACHES(socrates, x)\n\
+                 :insert TEACHES(socrates, aristotle)\n\
+                 (x) . TEACHES(socrates, x)\n\
+                 :stats\n\
+                 :quit\n\
+                 this line is never parsed because :quit ended the script\n",
+                &mut out,
+            )
+            .unwrap();
+        assert!(ran);
+        let out = String::from_utf8(out).unwrap();
+        // Segment 1 sees one student, the delta lands, segment 2 sees two.
+        assert!(out.contains("1 tuple(s)"), "{out}");
+        assert!(out.contains("1 fact(s) inserted (0 duplicate)"), "{out}");
+        assert!(out.contains("2 tuple(s)"), "{out}");
+        // :stats mid-script reports the post-delta epoch.
+        assert!(out.contains("epoch 1"), "{out}");
+        assert!(out.contains("batch: 2 query(s), 1 delta(s)"), "{out}");
+    }
+
+    #[test]
+    fn batch_text_rejects_shell_only_commands() {
+        let mut session = Session::new(from_text(SAMPLE).unwrap());
+        let mut out = Vec::new();
+        let ran = session.batch_text(":mode exact\n", &mut out).unwrap();
+        assert!(!ran);
+        let out = String::from_utf8(out).unwrap();
+        assert!(
+            out.contains("line 1: `:mode` is not available in script mode"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -1089,6 +1255,10 @@ distinct socrates plato aristotle
         // …the :stats lines track the epoch counter across the delta…
         assert!(out.contains("epoch: 0, sessions: 3"), "{out}");
         assert!(out.contains("epoch: 1, sessions: 3"), "{out}");
+        // …including the snapshot-machinery line (shard occupancy, age)…
+        assert!(out.contains("snapshot: epoch 0, shared cache"), "{out}");
+        assert!(out.contains("snapshot: epoch 1, shared cache"), "{out}");
+        assert!(out.contains("snapshot age 0 delta(s)"), "{out}");
         assert!(out.contains("1 fact(s) inserted"), "{out}");
         // …and the post-delta segment sees the new epoch and the new fact.
         assert!(out.contains("epoch 1"), "{out}");
@@ -1139,7 +1309,7 @@ distinct socrates plato aristotle
 
         let (out, ran) = run_concurrent(2, ":mode exact\n");
         assert!(!ran);
-        assert!(out.contains("not available in concurrent mode"), "{out}");
+        assert!(out.contains("not available in script mode"), "{out}");
     }
 
     #[test]

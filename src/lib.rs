@@ -16,6 +16,7 @@
 //! | [`core`] | CW logical databases, Theorem 1 exact evaluation, Corollary 2 fast path, the model-enumeration oracle, the Theorem 3 precise simulation |
 //! | [`approx`] | the §5 approximation: `Q ↦ Q̂`, `α_P`, virtual `NE`, algebra backend, completeness predicates |
 //! | [`engine`] | **the front door**: the unified [`Engine`](prelude::Engine) session API — prepared queries, four semantics, exactness certificates |
+//! | [`server`] | the TCP network front-end: a std-only line-protocol server over [`SharedEngine`](prelude::SharedEngine) plus the blocking [`Client`](prelude::Client) |
 //! | [`reductions`] | §4 lower-bound constructions (3-colorability, QBF) + oracles |
 //! | [`workloads`] | seeded generators for databases, graphs, QBFs, queries |
 //!
@@ -66,6 +67,7 @@ pub use qld_engine as engine;
 pub use qld_logic as logic;
 pub use qld_physical as physical;
 pub use qld_reductions as reductions;
+pub use qld_server as server;
 pub use qld_workloads as workloads;
 
 /// The most common imports in one place, centred on the [`engine::Engine`]
@@ -78,11 +80,12 @@ pub mod prelude {
     pub use qld_engine::{
         Answers, Certificate, Delta, DeltaReport, DeltaStats, Engine, EngineBuilder, EngineError,
         EngineSnapshot, Evidence, MappingStrategy, NeStoreMode, ParallelConfig, PreparedQuery,
-        QueryFootprint, Regime, Semantics, SharedEngine, SharedSession, SharedStats,
+        QueryFootprint, Regime, Semantics, SharedEngine, SharedSession, SharedStats, SnapshotStats,
     };
     pub use qld_logic::parser::{parse_query, parse_sentence};
     pub use qld_logic::{Formula, Query, Term, Var, Vocabulary};
     pub use qld_physical::{eval_query, PhysicalDb, Relation};
+    pub use qld_server::{Client, Server, ServerConfig, ServerHandle, ServerStats};
 
     #[allow(deprecated)]
     pub use crate::{approximate_answers, certain_answers, certainly_holds, possible_answers};

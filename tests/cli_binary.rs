@@ -183,6 +183,74 @@ fn concurrent_sessions_flag_requires_a_batch_script() {
 }
 
 #[test]
+fn serve_subcommand_answers_over_a_real_socket() {
+    use querying_logical_databases::prelude::Client;
+    use std::io::BufRead;
+
+    // Ephemeral port: the binary prints `listening on <addr>` first, so
+    // read it from the child's stdout before connecting.
+    let mut child = qld()
+        .args(["serve", DB, "--addr", "127.0.0.1:0", "--quota-queries", "8"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("banner line").unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    // Two concurrent clients: one queries, one mutates, the first sees
+    // the new epoch.
+    let mut reader = Client::connect(&addr).unwrap();
+    let mut writer = Client::connect(&addr).unwrap();
+    let reply = reader.request("(x) . TEACHES(socrates, x)").unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    assert_eq!(reply.answers, vec!["(plato)"]);
+    assert_eq!(reply.epoch, Some(0));
+
+    let reply = writer
+        .request(":insert TEACHES(socrates, aristotle)")
+        .unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    assert_eq!(reply.epoch, Some(1));
+    writer.quit().unwrap();
+
+    let reply = reader.request("(x) . TEACHES(socrates, x)").unwrap();
+    assert_eq!(reply.answers.len(), 2, "{reply:?}");
+    assert_eq!(reply.epoch, Some(1));
+
+    // `:shutdown` over the wire stops the binary cleanly.
+    let reply = reader.shutdown_server().unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status:?}");
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        rest.iter().any(|l| l == "server stopped"),
+        "missing stop banner: {rest:?}"
+    );
+}
+
+#[test]
+fn serve_subcommand_validates_its_arguments() {
+    let (_, stderr, ok) = run(&["serve", DB, "--sessions-max", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains(">= 1"), "{stderr}");
+
+    let (stdout, _, ok) = run(&["serve", "--help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage: qld serve"), "{stdout}");
+    assert!(stdout.contains("127.0.0.1:1985"), "{stdout}");
+
+    let (_, stderr, ok) = run(&["serve", "/nonexistent/db.qld", "--addr", "127.0.0.1:0"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
 fn missing_file_fails_cleanly() {
     let (_, stderr, ok) = run(&["/nonexistent/db.qld", "-q", "true"]);
     assert!(!ok);
