@@ -1,9 +1,10 @@
 //! `record_baseline` — runs the headline workloads (E1 exact enumeration,
 //! E7 approximation, E8 polynomial parity, E10 parallel scaling, E11 batch
 //! amortization, E12 incremental deltas, E13 in-process concurrent
-//! serving, E14 the same load over loopback TCP) once each and writes the
-//! measurements to a JSON file, so the repository carries a recorded perf
-//! trajectory instead of folklore.
+//! serving, E14 the same load over loopback TCP, E15 WAL append overhead
+//! and recovery replay) once each and writes the measurements to a JSON
+//! file, so the repository carries a recorded perf trajectory instead of
+//! folklore.
 //!
 //! ```text
 //! record_baseline [--out BENCH_baseline.json] [--smoke]
@@ -18,7 +19,10 @@ use qld_bench::{
     batch_queries, concurrent_load, fresh_facts, high_null_db, scaling_query, socket_load,
     standard_db, standard_queries, time_once,
 };
-use qld_engine::{Backend, Delta, Engine, MappingStrategy, Semantics};
+use qld_engine::{
+    Backend, Delta, DiskStorage, DurabilityConfig, Engine, FsyncPolicy, MappingStrategy, Semantics,
+    SharedEngine, WalConfig,
+};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -346,6 +350,93 @@ fn run_workloads(smoke: bool) -> Vec<Entry> {
             mappings: report.deltas as u64,
         });
     }
+
+    // E15: durability — what the WAL costs the writer path and what
+    // recovery costs by replay length, on real files. Writer entries
+    // apply the same delta stream through a `SharedEngine` with no WAL,
+    // with a WAL fsyncing every record, and with a WAL that never
+    // fsyncs (`mappings` holds the delta count, so `mappings_per_sec`
+    // is writer throughput in deltas/s; the off/fsync gap is the full
+    // durability overhead, the off/nofsync gap the pure append cost).
+    // Recovery entries seed a WAL, log N deltas with checkpoints off,
+    // and time `SharedEngine::recover_with` replaying all N.
+    let wal_db = high_null_db(if smoke { 12 } else { 32 }, 42);
+    let wal_deltas = if smoke { 16 } else { 256 };
+    let wal_facts = fresh_facts(&wal_db, wal_deltas, 7);
+    let wal_root = std::env::temp_dir().join(format!("qld_e15_wal_{}", std::process::id()));
+    let wal_config = |fsync| DurabilityConfig {
+        wal: WalConfig {
+            fsync,
+            ..WalConfig::default()
+        },
+        checkpoint_every: 0,
+    };
+    for (workload, fsync) in [
+        ("e15_wal_off_writer", None),
+        ("e15_wal_fsync_writer", Some(FsyncPolicy::Always)),
+        ("e15_wal_nofsync_writer", Some(FsyncPolicy::Never)),
+    ] {
+        let engine = Engine::builder(wal_db.clone()).parallelism(1).build();
+        let shared = match fsync {
+            None => SharedEngine::new(engine),
+            Some(policy) => {
+                let _ = std::fs::remove_dir_all(&wal_root);
+                let storage = DiskStorage::open(&wal_root).expect("E15 WAL directory");
+                SharedEngine::durable(engine, Box::new(storage), wal_config(policy))
+                    .expect("E15 seed")
+            }
+        };
+        let (_, wall) = time_once(|| {
+            for (p, args) in &wal_facts {
+                shared.apply(&Delta::new().insert_fact(*p, args)).unwrap();
+            }
+        });
+        if let Some(stats) = shared.wal_stats() {
+            assert_eq!(stats.records_appended, wal_deltas as u64, "{workload}");
+        }
+        entries.push(Entry {
+            workload,
+            threads: 1,
+            wall,
+            mappings: wal_deltas as u64,
+        });
+    }
+    let recover_sizes: &[(usize, &'static str)] = if smoke {
+        &[(16, "e15_recover_x16"), (64, "e15_recover_x64")]
+    } else {
+        &[(64, "e15_recover_x64"), (512, "e15_recover_x512")]
+    };
+    for &(k, workload) in recover_sizes {
+        let facts = fresh_facts(&wal_db, k, 7);
+        let _ = std::fs::remove_dir_all(&wal_root);
+        let storage = DiskStorage::open(&wal_root).expect("E15 WAL directory");
+        let shared = SharedEngine::durable(
+            Engine::builder(wal_db.clone()).parallelism(1).build(),
+            Box::new(storage),
+            wal_config(FsyncPolicy::Never),
+        )
+        .expect("E15 seed");
+        for (p, args) in &facts {
+            shared.apply(&Delta::new().insert_fact(*p, args)).unwrap();
+        }
+        drop(shared);
+        let ((_, report), wall) = time_once(|| {
+            SharedEngine::recover_with(
+                Box::new(DiskStorage::open(&wal_root).expect("E15 reopen")),
+                wal_config(FsyncPolicy::Never),
+                |db| Engine::builder(db).parallelism(1).build(),
+            )
+            .expect("E15 recovery")
+        });
+        assert_eq!(report.records_replayed, k as u64, "{workload}");
+        entries.push(Entry {
+            workload,
+            threads: 1,
+            wall,
+            mappings: k as u64,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&wal_root);
 
     entries
 }

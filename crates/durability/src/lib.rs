@@ -1,0 +1,711 @@
+//! `qld_wal` — the durability layer under the qld serving stack.
+//!
+//! The engine's whole state is derivable: a closed-world database plus a
+//! deterministic, differential-tested `apply` function means durability
+//! only has to persist *the sequence of deltas* — restart is replay. This
+//! crate provides exactly that, with nothing engine-specific in it:
+//!
+//! * [`Wal`] — an append-only, **segmented**, CRC-checksummed log of
+//!   [`WalRecord`]s (storage-neutral serialized deltas) with a
+//!   configurable [`FsyncPolicy`];
+//! * **checkpoints** — [`Wal::checkpoint`] persists an opaque snapshot
+//!   payload (the engine layer stores its `.qld` database text) stamped
+//!   with an epoch, then truncates every older segment and checkpoint,
+//!   bounding replay work;
+//! * **recovery** — [`Wal::open`] scans whatever bytes survived, picks
+//!   the newest *valid* checkpoint, replays the record tail after it,
+//!   and tolerates torn tails and corrupt records by truncating the log
+//!   at the first bad frame (every complete, checksummed record before
+//!   the tear survives; nothing after it does);
+//! * an injectable [`Storage`] trait with a real-file implementation
+//!   ([`DiskStorage`]), an in-memory one ([`MemStorage`]), and a
+//!   deterministic crash simulator ([`FaultyStorage`] driven by a
+//!   [`FaultPlan`]) — so crash-at-every-byte-offset recovery tests are
+//!   exhaustive and reproducible.
+//!
+//! The intended write protocol is *log-before-publish*: append (and,
+//! under [`FsyncPolicy::Always`], sync) the record for a delta **before**
+//! acknowledging it to any client. Under that discipline every
+//! acknowledged epoch survives a crash, and recovery always lands on a
+//! prefix of the acknowledged history.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod record;
+mod storage;
+
+pub use record::{
+    crc32, decode_segment, Checkpoint, SegmentScan, WalRecord, CHECKPOINT_MAGIC, MAX_RECORD_BYTES,
+    SEGMENT_MAGIC,
+};
+pub use storage::{DiskStorage, FaultPlan, FaultyStorage, MemStorage, Storage, INJECTED_CRASH};
+
+use std::fmt;
+use std::io;
+
+/// When the WAL forces appended bytes to durable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Sync after every appended record: an acknowledged delta is always
+    /// durable (the strongest guarantee, one fsync per write).
+    Always,
+    /// Sync after every `n` appended records: bounded data loss (at most
+    /// `n - 1` acknowledged records) at a fraction of the fsync cost.
+    EveryN(u64),
+    /// Never sync explicitly: throughput of a plain append, durability
+    /// only as good as the OS page cache.
+    Never,
+}
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// The fsync policy (default [`FsyncPolicy::Always`]).
+    pub fsync: FsyncPolicy,
+    /// Records per segment before rotating to a fresh file (default
+    /// 1024). Smaller segments mean finer-grained truncation; larger
+    /// ones mean fewer files.
+    pub segment_max_records: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> WalConfig {
+        WalConfig {
+            fsync: FsyncPolicy::Always,
+            segment_max_records: 1024,
+        }
+    }
+}
+
+/// Cumulative counters of one [`Wal`] (surfaced in `:stats` by the
+/// engine and server layers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since open.
+    pub records_appended: u64,
+    /// Frame bytes appended since open.
+    pub bytes_appended: u64,
+    /// Explicit syncs issued (per policy plus checkpoint syncs).
+    pub fsyncs: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Segment files created (including the one recovered into).
+    pub segments_created: u64,
+    /// Records recovered (decoded and surviving the checkpoint filter)
+    /// when the log was opened.
+    pub records_recovered: u64,
+    /// Whole decodable records dropped at open because they sat beyond a
+    /// corrupt frame.
+    pub records_truncated: u64,
+    /// Torn/corrupt tail bytes discarded at open.
+    pub bytes_truncated: u64,
+}
+
+impl fmt::Display for WalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} record(s) appended ({} bytes), {} fsync(s), {} checkpoint(s), \
+             {} segment(s); recovery: {} replayed, {} record(s) / {} byte(s) truncated",
+            self.records_appended,
+            self.bytes_appended,
+            self.fsyncs,
+            self.checkpoints,
+            self.segments_created,
+            self.records_recovered,
+            self.records_truncated,
+            self.bytes_truncated
+        )
+    }
+}
+
+/// What [`Wal::open`] found in the storage: the state to rebuild from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// The newest valid checkpoint, if any.
+    pub checkpoint: Option<Checkpoint>,
+    /// Records after the checkpoint, in log order — the replay tail.
+    pub records: Vec<WalRecord>,
+    /// Whole decodable records dropped because they followed a corrupt
+    /// frame (only possible with mid-log corruption, never a plain torn
+    /// tail).
+    pub records_truncated: u64,
+    /// Torn/corrupt bytes discarded.
+    pub bytes_truncated: u64,
+}
+
+impl Recovery {
+    /// The epoch the recovered state ends at: the last replayed record's
+    /// epoch, else the checkpoint's, else 0.
+    pub fn final_epoch(&self) -> u64 {
+        self.records
+            .last()
+            .map(|r| r.epoch)
+            .or(self.checkpoint.as_ref().map(|c| c.epoch))
+            .unwrap_or(0)
+    }
+}
+
+fn segment_name(seq: u64) -> String {
+    format!("wal-{seq:016x}.seg")
+}
+
+fn checkpoint_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:016x}.ck")
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("ckpt-")?.strip_suffix(".ck")?;
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Whether the storage holds recoverable WAL state: at least one
+/// checkpoint file (every log seeded through a checkpoint has one from
+/// its first instant, so this is how front-ends decide between seeding
+/// a fresh log and recovering an existing one). A directory with
+/// segments but no checkpoint is a crash before the initial checkpoint
+/// completed — not recoverable, and reported as empty.
+pub fn has_state(storage: &dyn Storage) -> io::Result<bool> {
+    Ok(storage
+        .list()?
+        .iter()
+        .any(|name| parse_checkpoint_name(name).is_some()))
+}
+
+/// The write-ahead log: appends [`WalRecord`]s to segment files through
+/// a [`Storage`], rotating, syncing, and checkpointing per its
+/// [`WalConfig`]. Open with [`Wal::open`], which doubles as recovery.
+#[derive(Debug)]
+pub struct Wal {
+    storage: Box<dyn Storage>,
+    config: WalConfig,
+    active_seq: u64,
+    active_name: String,
+    active_records: u64,
+    unsynced: u64,
+    stats: WalStats,
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `storage` and recovers whatever it
+    /// holds: the newest valid checkpoint plus every whole,
+    /// CRC-verified record after it. Torn tails and corrupt records are
+    /// truncated away — physically, so the next append continues from a
+    /// clean frame boundary.
+    pub fn open(storage: Box<dyn Storage>, config: WalConfig) -> io::Result<(Wal, Recovery)> {
+        let mut storage = storage;
+        let names = storage.list()?;
+
+        // Newest checkpoint that decodes cleanly wins; torn ones are
+        // skipped (they never finished, so an older consistent one —
+        // or none — is the truth).
+        let mut ckpt_epochs: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_checkpoint_name(n))
+            .collect();
+        ckpt_epochs.sort_unstable();
+        let mut checkpoint = None;
+        for &epoch in ckpt_epochs.iter().rev() {
+            if let Ok(bytes) = storage.read(&checkpoint_name(epoch)) {
+                if let Some(ckpt) = Checkpoint::decode(&bytes) {
+                    checkpoint = Some(ckpt);
+                    break;
+                }
+            }
+        }
+
+        // Scan segments in sequence order, stopping at the first corrupt
+        // frame: that segment is truncated to its valid prefix and every
+        // later segment is dropped whole (its records sit beyond the
+        // corruption, so replaying them would apply a non-prefix).
+        let mut seg_seqs: Vec<u64> = names.iter().filter_map(|n| parse_segment_name(n)).collect();
+        seg_seqs.sort_unstable();
+        let mut records = Vec::new();
+        let mut records_truncated = 0u64;
+        let mut bytes_truncated = 0u64;
+        let mut surviving: Vec<u64> = Vec::new();
+        let mut corrupted = false;
+        for &seq in &seg_seqs {
+            let name = segment_name(seq);
+            if corrupted {
+                let bytes = storage.read(&name)?;
+                let scan = decode_segment(&bytes);
+                records_truncated += scan.records.len() as u64;
+                bytes_truncated += bytes.len() as u64;
+                storage.remove(&name)?;
+                continue;
+            }
+            let bytes = storage.read(&name)?;
+            let scan = decode_segment(&bytes);
+            records.extend(scan.records);
+            if scan.corrupt {
+                bytes_truncated += bytes.len() as u64 - scan.valid_len;
+                storage.truncate(&name, scan.valid_len)?;
+                corrupted = true;
+            }
+            surviving.push(seq);
+        }
+
+        // Records at or below the checkpoint epoch are already inside the
+        // checkpoint payload (leftovers of a crash between checkpoint
+        // write and segment removal).
+        if let Some(ckpt) = &checkpoint {
+            let epoch = ckpt.epoch;
+            records.retain(|r| r.epoch > epoch);
+        }
+
+        let mut stats = WalStats {
+            records_recovered: records.len() as u64,
+            records_truncated,
+            bytes_truncated,
+            ..WalStats::default()
+        };
+
+        // Continue appending into the last surviving segment — or a
+        // fresh one if the log is empty.
+        let (active_seq, active_records) = match surviving.last() {
+            Some(&seq) => {
+                let scan = decode_segment(&storage.read(&segment_name(seq))?);
+                (seq, scan.records.len() as u64)
+            }
+            None => (0, 0),
+        };
+        let active_name = segment_name(active_seq);
+        let active_len = match storage.read(&active_name) {
+            Ok(bytes) => bytes.len(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e),
+        };
+        if active_len == 0 {
+            // Fresh log, or a segment torn inside its magic header
+            // (truncated to zero above): write the header.
+            storage.append(&active_name, SEGMENT_MAGIC)?;
+            stats.segments_created += 1;
+        }
+
+        let recovery = Recovery {
+            checkpoint,
+            records: records.clone(),
+            records_truncated,
+            bytes_truncated,
+        };
+        Ok((
+            Wal {
+                storage,
+                config,
+                active_seq,
+                active_name,
+                active_records,
+                unsynced: 0,
+                stats,
+            },
+            recovery,
+        ))
+    }
+
+    /// Appends one record, rotating segments and syncing per the
+    /// configured policy. When this returns `Ok` under
+    /// [`FsyncPolicy::Always`], the record is durable.
+    pub fn append(&mut self, record: &WalRecord) -> io::Result<()> {
+        if self.active_records >= self.config.segment_max_records {
+            self.rotate()?;
+        }
+        let frame = record.encode_frame();
+        self.storage.append(&self.active_name, &frame)?;
+        self.active_records += 1;
+        self.unsynced += 1;
+        self.stats.records_appended += 1;
+        self.stats.bytes_appended += frame.len() as u64;
+        match self.config.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(())
+    }
+
+    /// Forces all appended records to durable storage now, regardless of
+    /// policy.
+    pub fn sync(&mut self) -> io::Result<()> {
+        self.storage.sync(&self.active_name)?;
+        self.stats.fsyncs += 1;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Writes a checkpoint capturing `payload` at `epoch`, then
+    /// truncates the log: rotates to a fresh segment and removes every
+    /// older segment and checkpoint. The checkpoint file is synced
+    /// before any truncation, so a crash at any point leaves either the
+    /// old state (checkpoint torn → ignored at recovery) or the new one
+    /// (leftover segments' records filtered by epoch at recovery).
+    pub fn checkpoint(&mut self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        let name = checkpoint_name(epoch);
+        let bytes = Checkpoint {
+            epoch,
+            payload: payload.to_vec(),
+        }
+        .encode();
+        // Replace any stale file of the same epoch (possible after a
+        // crash mid-checkpoint and replay to the same epoch).
+        if self.storage.list()?.iter().any(|n| n == &name) {
+            self.storage.remove(&name)?;
+        }
+        self.storage.append(&name, &bytes)?;
+        self.storage.sync(&name)?;
+        self.stats.fsyncs += 1;
+        self.stats.checkpoints += 1;
+
+        // The checkpoint is durable: everything older is now redundant.
+        self.rotate()?;
+        let names = self.storage.list()?;
+        for n in &names {
+            if let Some(seq) = parse_segment_name(n) {
+                if seq < self.active_seq {
+                    self.storage.remove(n)?;
+                }
+            }
+            if let Some(e) = parse_checkpoint_name(n) {
+                if e != epoch {
+                    self.storage.remove(n)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cumulative counters since open.
+    pub fn stats(&self) -> WalStats {
+        self.stats
+    }
+
+    /// The configured fsync policy.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        if !matches!(self.config.fsync, FsyncPolicy::Never) && self.unsynced > 0 {
+            self.sync()?;
+        }
+        self.active_seq += 1;
+        self.active_name = segment_name(self.active_seq);
+        self.active_records = 0;
+        self.storage.append(&self.active_name, SEGMENT_MAGIC)?;
+        self.stats.segments_created += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(epoch: u64) -> WalRecord {
+        WalRecord {
+            epoch,
+            facts: vec![(0, vec![epoch as u32, 1])],
+            ne_pairs: vec![],
+        }
+    }
+
+    fn open_mem(mem: &MemStorage, config: WalConfig) -> (Wal, Recovery) {
+        Wal::open(Box::new(mem.clone()), config).unwrap()
+    }
+
+    #[test]
+    fn append_and_recover_round_trips() {
+        let mem = MemStorage::new();
+        let (mut wal, empty) = open_mem(&mem, WalConfig::default());
+        assert_eq!(
+            empty,
+            Recovery {
+                checkpoint: None,
+                records: vec![],
+                records_truncated: 0,
+                bytes_truncated: 0
+            }
+        );
+        assert_eq!(empty.final_epoch(), 0);
+        for e in 1..=5 {
+            wal.append(&record(e)).unwrap();
+        }
+        assert_eq!(wal.stats().records_appended, 5);
+        assert_eq!(wal.stats().fsyncs, 5, "Always syncs per record");
+        drop(wal);
+
+        let (wal, recovery) = open_mem(&mem, WalConfig::default());
+        assert_eq!(recovery.records, (1..=5).map(record).collect::<Vec<_>>());
+        assert_eq!(recovery.final_epoch(), 5);
+        assert_eq!(wal.stats().records_recovered, 5);
+        assert_eq!(wal.stats().bytes_truncated, 0);
+    }
+
+    #[test]
+    fn fsync_policies_count_syncs() {
+        let mem = MemStorage::new();
+        let config = WalConfig {
+            fsync: FsyncPolicy::EveryN(3),
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = open_mem(&mem, config);
+        for e in 1..=7 {
+            wal.append(&record(e)).unwrap();
+        }
+        assert_eq!(wal.stats().fsyncs, 2, "7 appends at n=3 sync twice");
+        wal.sync().unwrap();
+        assert_eq!(wal.stats().fsyncs, 3);
+
+        let mem = MemStorage::new();
+        let config = WalConfig {
+            fsync: FsyncPolicy::Never,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = open_mem(&mem, config);
+        for e in 1..=7 {
+            wal.append(&record(e)).unwrap();
+        }
+        assert_eq!(wal.stats().fsyncs, 0);
+    }
+
+    #[test]
+    fn segments_rotate_and_all_records_survive() {
+        let mem = MemStorage::new();
+        let config = WalConfig {
+            segment_max_records: 2,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = open_mem(&mem, config);
+        for e in 1..=7 {
+            wal.append(&record(e)).unwrap();
+        }
+        // 7 records at 2 per segment: segments 0..=3 exist.
+        assert_eq!(wal.stats().segments_created, 4);
+        let segs = mem
+            .list()
+            .unwrap()
+            .iter()
+            .filter(|n| parse_segment_name(n).is_some())
+            .count();
+        assert_eq!(segs, 4);
+        drop(wal);
+        let (_, recovery) = open_mem(&mem, config);
+        assert_eq!(recovery.records.len(), 7);
+        assert_eq!(recovery.final_epoch(), 7);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_prefix_survives() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = open_mem(&mem, WalConfig::default());
+        for e in 1..=3 {
+            wal.append(&record(e)).unwrap();
+        }
+        drop(wal);
+        // Tear the last record: chop 3 bytes off the segment.
+        let name = segment_name(0);
+        let len = mem.read(&name).unwrap().len() as u64;
+        let mut handle = mem.clone();
+        handle.truncate(&name, len - 3).unwrap();
+
+        let (mut wal, recovery) = open_mem(&mem, WalConfig::default());
+        assert_eq!(recovery.records.len(), 2);
+        assert_eq!(recovery.final_epoch(), 2);
+        assert!(recovery.bytes_truncated > 0);
+        assert_eq!(recovery.records_truncated, 0);
+        // The log continues cleanly from the truncation point.
+        wal.append(&record(3)).unwrap();
+        drop(wal);
+        let (_, again) = open_mem(&mem, WalConfig::default());
+        assert_eq!(again.records.len(), 3);
+        assert_eq!(again.bytes_truncated, 0);
+    }
+
+    #[test]
+    fn mid_log_corruption_drops_later_segments() {
+        let mem = MemStorage::new();
+        let config = WalConfig {
+            segment_max_records: 2,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = open_mem(&mem, config);
+        for e in 1..=6 {
+            wal.append(&record(e)).unwrap();
+        }
+        drop(wal);
+        // Corrupt the middle segment (seq 1, records 3 and 4) by tearing
+        // its second record.
+        let name = segment_name(1);
+        let len = mem.read(&name).unwrap().len() as u64;
+        mem.clone().truncate(&name, len - 1).unwrap();
+
+        let (_, recovery) = open_mem(&mem, config);
+        // Records 1..=3 survive; 4 is torn; 5..=6 sit beyond the tear and
+        // are dropped whole.
+        assert_eq!(recovery.records.len(), 3);
+        assert_eq!(recovery.final_epoch(), 3);
+        assert_eq!(recovery.records_truncated, 2);
+        assert!(recovery.bytes_truncated > 0);
+        // The dropped segment is gone from storage.
+        assert!(!mem.list().unwrap().contains(&segment_name(2)));
+    }
+
+    #[test]
+    fn checkpoint_truncates_older_state() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = open_mem(&mem, WalConfig::default());
+        for e in 1..=4 {
+            wal.append(&record(e)).unwrap();
+        }
+        wal.checkpoint(4, b"state at four").unwrap();
+        for e in 5..=6 {
+            wal.append(&record(e)).unwrap();
+        }
+        assert_eq!(wal.stats().checkpoints, 1);
+        drop(wal);
+
+        let (_, recovery) = open_mem(&mem, WalConfig::default());
+        let ckpt = recovery.checkpoint.as_ref().unwrap();
+        assert_eq!(ckpt.epoch, 4);
+        assert_eq!(ckpt.payload, b"state at four");
+        assert_eq!(
+            recovery.records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+        assert_eq!(recovery.final_epoch(), 6);
+        // Only the post-checkpoint segment and the one checkpoint remain.
+        let names = mem.list().unwrap();
+        assert_eq!(
+            names
+                .iter()
+                .filter(|n| parse_segment_name(n).is_some())
+                .count(),
+            1
+        );
+        assert_eq!(
+            names
+                .iter()
+                .filter(|n| parse_checkpoint_name(n).is_some())
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn torn_checkpoint_falls_back_to_previous_state() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = open_mem(&mem, WalConfig::default());
+        for e in 1..=3 {
+            wal.append(&record(e)).unwrap();
+        }
+        drop(wal);
+        // Hand-write a torn checkpoint claiming epoch 99.
+        let bytes = Checkpoint {
+            epoch: 99,
+            payload: b"never finished".to_vec(),
+        }
+        .encode();
+        mem.clone()
+            .append(&checkpoint_name(99), &bytes[..bytes.len() - 2])
+            .unwrap();
+
+        let (_, recovery) = open_mem(&mem, WalConfig::default());
+        assert_eq!(recovery.checkpoint, None);
+        assert_eq!(recovery.records.len(), 3);
+    }
+
+    #[test]
+    fn crash_during_checkpoint_removal_recovers_consistently() {
+        let mem = MemStorage::new();
+        let config = WalConfig {
+            segment_max_records: 2,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = Wal::open(
+            Box::new(FaultyStorage::new(
+                mem.clone(),
+                FaultPlan::crash_on_remove(1),
+            )),
+            config,
+        )
+        .unwrap();
+        for e in 1..=5 {
+            wal.append(&record(e)).unwrap();
+        }
+        // The checkpoint file lands and syncs; the first removal dies.
+        let err = wal.checkpoint(5, b"at five").unwrap_err();
+        assert_eq!(err.kind(), INJECTED_CRASH);
+        drop(wal);
+
+        let (_, recovery) = open_mem(&mem, config);
+        let ckpt = recovery.checkpoint.as_ref().unwrap();
+        assert_eq!(ckpt.epoch, 5);
+        // Leftover pre-checkpoint records are filtered out by epoch.
+        assert_eq!(recovery.records, vec![]);
+        assert_eq!(recovery.final_epoch(), 5);
+    }
+
+    #[test]
+    fn crash_at_every_byte_recovers_a_prefix() {
+        // The exhaustive sweep in miniature: run the workload cleanly to
+        // learn the byte count, then crash at every offset and assert
+        // recovery yields a prefix of the record sequence.
+        let mem = MemStorage::new();
+        let (mut wal, _) = open_mem(&mem, WalConfig::default());
+        for e in 1..=4 {
+            wal.append(&record(e)).unwrap();
+        }
+        let total = mem.total_bytes();
+        drop(wal);
+
+        for crash_at in 0..=total {
+            let mem = MemStorage::new();
+            let storage = FaultyStorage::new(mem.clone(), FaultPlan::crash_after_bytes(crash_at));
+            let mut acked = 0u64;
+            if let Ok((mut wal, _)) = Wal::open(Box::new(storage), WalConfig::default()) {
+                for e in 1..=4 {
+                    match wal.append(&record(e)) {
+                        Ok(()) => acked = e,
+                        Err(_) => break,
+                    }
+                }
+            }
+            let (_, recovery) = open_mem(&mem, WalConfig::default());
+            let epochs: Vec<u64> = recovery.records.iter().map(|r| r.epoch).collect();
+            let expect: Vec<u64> = (1..=epochs.len() as u64).collect();
+            assert_eq!(epochs, expect, "crash at byte {crash_at}: not a prefix");
+            assert!(
+                epochs.len() as u64 >= acked,
+                "crash at byte {crash_at}: acked {acked} but only {} recovered",
+                epochs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_display_mentions_the_counters() {
+        let line = WalStats {
+            records_appended: 3,
+            bytes_appended: 120,
+            fsyncs: 3,
+            checkpoints: 1,
+            segments_created: 2,
+            records_recovered: 0,
+            records_truncated: 0,
+            bytes_truncated: 0,
+        }
+        .to_string();
+        assert!(line.contains("3 record(s) appended"), "{line}");
+        assert!(line.contains("1 checkpoint(s)"), "{line}");
+    }
+}

@@ -1,0 +1,419 @@
+//! The on-disk record format: length-prefixed, CRC-checksummed frames.
+//!
+//! A segment file is an 8-byte magic header followed by zero or more
+//! records. Each record is
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! and the payload serializes one delta:
+//!
+//! ```text
+//! [epoch: u64] [nfacts: u32] nfacts × ([pred: u32] [arity: u32] arity × [arg: u32])
+//!              [nne: u32]    nne × ([a: u32] [b: u32])
+//! ```
+//!
+//! (all integers little-endian). Decoding is *strict*: a frame whose
+//! payload does not parse to exactly `len` bytes is as corrupt as a bad
+//! CRC, and [`decode_segment`] stops at the first problem — that is the
+//! torn-tail tolerance recovery relies on.
+
+use std::fmt;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"QWALSEG1";
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"QWALCKP1";
+
+/// Hard upper bound on one record's payload (sanity check against a
+/// corrupt length prefix sending the decoder on a gigabyte allocation).
+pub const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), the checksum on every
+/// record and checkpoint payload.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                bit += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// One logged delta, in storage-neutral form: raw predicate/constant ids
+/// plus the epoch the delta produced. The engine layer converts its
+/// `Delta` type to and from this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The database epoch *after* this delta was applied. Records in a
+    /// log have strictly increasing epochs (only changing deltas are
+    /// logged, and each bumps the epoch by one).
+    pub epoch: u64,
+    /// Fact insertions: `(predicate id, argument constant ids)`.
+    pub facts: Vec<(u32, Vec<u32>)>,
+    /// Uniqueness-axiom insertions: `(constant id, constant id)`.
+    pub ne_pairs: Vec<(u32, u32)>,
+}
+
+impl WalRecord {
+    /// Serializes the payload (no frame header).
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.facts.len() * 16 + self.ne_pairs.len() * 8);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.facts.len() as u32).to_le_bytes());
+        for (pred, args) in &self.facts {
+            out.extend_from_slice(&pred.to_le_bytes());
+            out.extend_from_slice(&(args.len() as u32).to_le_bytes());
+            for arg in args {
+                out.extend_from_slice(&arg.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.ne_pairs.len() as u32).to_le_bytes());
+        for (a, b) in &self.ne_pairs {
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Serializes the full frame: length prefix, CRC, payload.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.encode_payload();
+        let mut out = Vec::with_capacity(8 + payload.len());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parses a payload; `None` unless it decodes cleanly and consumes
+    /// every byte.
+    pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        let mut cursor = Cursor {
+            buf: payload,
+            at: 0,
+        };
+        let epoch = cursor.u64()?;
+        let nfacts = cursor.u32()? as usize;
+        let mut facts = Vec::with_capacity(nfacts.min(1024));
+        for _ in 0..nfacts {
+            let pred = cursor.u32()?;
+            let arity = cursor.u32()? as usize;
+            let mut args = Vec::with_capacity(arity.min(1024));
+            for _ in 0..arity {
+                args.push(cursor.u32()?);
+            }
+            facts.push((pred, args));
+        }
+        let nne = cursor.u32()? as usize;
+        let mut ne_pairs = Vec::with_capacity(nne.min(1024));
+        for _ in 0..nne {
+            ne_pairs.push((cursor.u32()?, cursor.u32()?));
+        }
+        if cursor.at != payload.len() {
+            return None; // trailing garbage: treat as corrupt
+        }
+        Some(WalRecord {
+            epoch,
+            facts,
+            ne_pairs,
+        })
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.at.checked_add(n)?;
+        let slice = self.buf.get(self.at..end)?;
+        self.at = end;
+        Some(slice)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+}
+
+/// The result of scanning one segment's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentScan {
+    /// Records that decoded cleanly, in file order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of the valid prefix (magic header plus whole
+    /// records). Truncating the file to this length removes exactly the
+    /// torn/corrupt tail.
+    pub valid_len: u64,
+    /// Whether a torn or corrupt suffix follows the valid prefix.
+    pub corrupt: bool,
+}
+
+/// Scans a segment file: validates the magic, then decodes records until
+/// the bytes run out (clean) or a frame fails its length/CRC/payload
+/// checks (corrupt — everything from that frame on is the tail to drop).
+pub fn decode_segment(bytes: &[u8]) -> SegmentScan {
+    if bytes.len() < SEGMENT_MAGIC.len() || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return SegmentScan {
+            records: Vec::new(),
+            valid_len: 0,
+            corrupt: !bytes.is_empty(),
+        };
+    }
+    let mut records = Vec::new();
+    let mut at = SEGMENT_MAGIC.len();
+    loop {
+        if at == bytes.len() {
+            return SegmentScan {
+                records,
+                valid_len: at as u64,
+                corrupt: false,
+            };
+        }
+        let frame = decode_frame(&bytes[at..]);
+        match frame {
+            Some((record, consumed)) => {
+                records.push(record);
+                at += consumed;
+            }
+            None => {
+                return SegmentScan {
+                    records,
+                    valid_len: at as u64,
+                    corrupt: true,
+                };
+            }
+        }
+    }
+}
+
+/// Decodes one frame at the start of `bytes`; `None` on any torn or
+/// corrupt condition. Returns the record and the bytes consumed.
+fn decode_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    if len > MAX_RECORD_BYTES {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    let end = 8usize.checked_add(len as usize)?;
+    let payload = bytes.get(8..end)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    let record = WalRecord::decode_payload(payload)?;
+    Some((record, end))
+}
+
+/// A database checkpoint: the serialized state at one epoch. The payload
+/// is opaque to the WAL (the engine layer stores its `.qld` text there).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The epoch the payload captures.
+    pub epoch: u64,
+    /// The serialized database.
+    pub payload: Vec<u8>,
+}
+
+impl Checkpoint {
+    /// Serializes the whole checkpoint file.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.payload.len());
+        out.extend_from_slice(CHECKPOINT_MAGIC);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a checkpoint file; `None` unless the magic, length, and
+    /// CRC all check out exactly (a torn checkpoint is simply invalid —
+    /// recovery falls back to the previous one).
+    pub fn decode(bytes: &[u8]) -> Option<Checkpoint> {
+        let magic = CHECKPOINT_MAGIC.len();
+        if bytes.len() < magic + 16 || &bytes[..magic] != CHECKPOINT_MAGIC {
+            return None;
+        }
+        let epoch = u64::from_le_bytes(bytes[magic..magic + 8].try_into().expect("8 bytes"));
+        let len =
+            u32::from_le_bytes(bytes[magic + 8..magic + 12].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[magic + 12..magic + 16].try_into().expect("4 bytes"));
+        let payload = bytes.get(magic + 16..)?;
+        if payload.len() != len || crc32(payload) != crc {
+            return None;
+        }
+        Some(Checkpoint {
+            epoch,
+            payload: payload.to_vec(),
+        })
+    }
+}
+
+impl fmt::Display for WalRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "epoch {} ({} fact(s), {} axiom(s))",
+            self.epoch,
+            self.facts.len(),
+            self.ne_pairs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: u64) -> WalRecord {
+        WalRecord {
+            epoch,
+            facts: vec![(0, vec![1, 2]), (3, vec![])],
+            ne_pairs: vec![(1, 2)],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn record_payload_round_trips() {
+        for record in [
+            sample(0),
+            sample(u64::MAX),
+            WalRecord {
+                epoch: 7,
+                facts: vec![],
+                ne_pairs: vec![],
+            },
+        ] {
+            let payload = record.encode_payload();
+            assert_eq!(WalRecord::decode_payload(&payload), Some(record));
+        }
+        // Trailing garbage is corrupt, not ignored.
+        let mut payload = sample(1).encode_payload();
+        payload.push(0);
+        assert_eq!(WalRecord::decode_payload(&payload), None);
+        // A truncated payload is corrupt.
+        let payload = sample(1).encode_payload();
+        assert_eq!(
+            WalRecord::decode_payload(&payload[..payload.len() - 1]),
+            None
+        );
+    }
+
+    #[test]
+    fn segment_scan_accepts_clean_files_and_stops_at_corruption() {
+        let mut bytes = SEGMENT_MAGIC.to_vec();
+        bytes.extend_from_slice(&sample(1).encode_frame());
+        bytes.extend_from_slice(&sample(2).encode_frame());
+        let clean = decode_segment(&bytes);
+        assert!(!clean.corrupt);
+        assert_eq!(clean.valid_len, bytes.len() as u64);
+        assert_eq!(clean.records.len(), 2);
+        assert_eq!(clean.records[1].epoch, 2);
+
+        // Tear the second record at every byte: the scan always keeps
+        // exactly the first record and reports the tear.
+        let first_end = SEGMENT_MAGIC.len() + sample(1).encode_frame().len();
+        for cut in first_end + 1..bytes.len() {
+            let scan = decode_segment(&bytes[..cut]);
+            assert!(scan.corrupt, "cut at {cut}");
+            assert_eq!(scan.valid_len as usize, first_end, "cut at {cut}");
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+        }
+
+        // Flip a payload byte: bad CRC, same truncation point.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        let scan = decode_segment(&flipped);
+        assert!(scan.corrupt);
+        assert_eq!(scan.records.len(), 1);
+
+        // A bad magic yields nothing; an empty file is merely empty.
+        assert!(decode_segment(b"NOTMAGIC").corrupt);
+        assert!(!decode_segment(b"").corrupt);
+        assert!(decode_segment(b"QWAL").corrupt);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corrupt() {
+        let mut bytes = SEGMENT_MAGIC.to_vec();
+        bytes.extend_from_slice(&(MAX_RECORD_BYTES + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 12]);
+        let scan = decode_segment(&bytes);
+        assert!(scan.corrupt);
+        assert_eq!(scan.valid_len as usize, SEGMENT_MAGIC.len());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_corruption() {
+        let ckpt = Checkpoint {
+            epoch: 42,
+            payload: b"db text here".to_vec(),
+        };
+        let bytes = ckpt.encode();
+        assert_eq!(Checkpoint::decode(&bytes), Some(ckpt.clone()));
+        // Torn at any byte: invalid.
+        for cut in 0..bytes.len() {
+            assert_eq!(Checkpoint::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Flipped payload byte: invalid.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert_eq!(Checkpoint::decode(&flipped), None);
+        // Extra byte: invalid.
+        let mut extra = bytes;
+        extra.push(0);
+        assert_eq!(Checkpoint::decode(&extra), None);
+    }
+
+    #[test]
+    fn record_display_summarizes() {
+        let line = sample(9).to_string();
+        assert!(line.contains("epoch 9"), "{line}");
+        assert!(line.contains("2 fact(s)"), "{line}");
+    }
+}

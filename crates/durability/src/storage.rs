@@ -1,0 +1,435 @@
+//! The injectable storage layer: every byte the WAL persists flows
+//! through the [`Storage`] trait, so the same log code runs against real
+//! files ([`DiskStorage`]), an in-process map ([`MemStorage`]), or a
+//! deterministic crash simulator ([`FaultyStorage`]).
+//!
+//! The trait models exactly the operations an append-only log needs —
+//! list/read/append/sync/truncate/remove over flat file names — and
+//! nothing more. Keeping the surface this small is what makes the
+//! fault-injection implementation *exhaustive*: a crash can be placed at
+//! any byte of any append, and recovery sees precisely the bytes that
+//! were persisted before it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Flat-namespace file storage for the WAL. Names never contain path
+/// separators; implementations map them onto whatever medium they wrap.
+///
+/// The durability contract is the usual one: [`Storage::append`] makes
+/// bytes *visible* to a subsequent [`Storage::read`], but only
+/// [`Storage::sync`] makes them *durable* across a crash. Fault
+/// injectors exploit the gap deliberately.
+pub trait Storage: fmt::Debug + Send {
+    /// Every file name currently stored, in unspecified order.
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// The full contents of `name` (`NotFound` if absent).
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Appends `data` to `name`, creating it if absent.
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Forces previously appended bytes of `name` to durable storage.
+    fn sync(&mut self, name: &str) -> io::Result<()>;
+    /// Shrinks `name` to `len` bytes (no-op if already shorter).
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()>;
+    /// Deletes `name` (`NotFound` if absent).
+    fn remove(&mut self, name: &str) -> io::Result<()>;
+}
+
+/// Real files under one root directory, via `std::fs`.
+#[derive(Debug)]
+pub struct DiskStorage {
+    root: PathBuf,
+}
+
+impl DiskStorage {
+    /// Opens (creating if needed) the directory the log lives in.
+    pub fn open(root: impl AsRef<Path>) -> io::Result<DiskStorage> {
+        fs::create_dir_all(root.as_ref())?;
+        Ok(DiskStorage {
+            root: root.as_ref().to_path_buf(),
+        })
+    }
+
+    /// The directory this storage is rooted at.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Storage for DiskStorage {
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        Ok(names)
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        fs::read(self.path(name))
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        use io::Write;
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        file.write_all(data)
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))?;
+        file.sync_all()
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        let file = fs::OpenOptions::new().write(true).open(self.path(name))?;
+        if file.metadata()?.len() > len {
+            file.set_len(len)?;
+            file.sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        fs::remove_file(self.path(name))
+    }
+}
+
+/// In-memory storage: a shared map of name → bytes.
+///
+/// Clones share the same underlying map, which is the crash-simulation
+/// hook: wrap one handle in a [`FaultyStorage`], drive it until the
+/// injected crash kills it, then open a *fresh* clone of the same
+/// [`MemStorage`] for recovery — exactly the bytes persisted before the
+/// crash are still there, and nothing else.
+#[derive(Debug, Clone, Default)]
+pub struct MemStorage {
+    files: Arc<Mutex<BTreeMap<String, Vec<u8>>>>,
+}
+
+impl MemStorage {
+    /// A fresh, empty in-memory store.
+    pub fn new() -> MemStorage {
+        MemStorage::default()
+    }
+
+    /// Total bytes across all files (test instrumentation).
+    pub fn total_bytes(&self) -> u64 {
+        let files = self.files.lock().expect("mem storage poisoned");
+        files.values().map(|v| v.len() as u64).sum()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        self.files.lock().expect("mem storage poisoned")
+    }
+}
+
+impl Storage for MemStorage {
+    fn list(&self) -> io::Result<Vec<String>> {
+        Ok(self.lock().keys().cloned().collect())
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}")))
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.lock()
+            .entry(name.to_string())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        if let Some(bytes) = self.lock().get_mut(name) {
+            if bytes.len() as u64 > len {
+                bytes.truncate(len as usize);
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.lock()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no such file: {name}")))
+    }
+}
+
+/// Where a [`FaultyStorage`] is scheduled to fail.
+///
+/// All triggers are cumulative across files and calls, which is what
+/// exhaustive crash-point testing wants: `crash_after_bytes(k)` for every
+/// `k` up to the clean run's total byte count places a torn write at
+/// every possible offset of the log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Crash once this many cumulative bytes have been appended: the
+    /// append that crosses the threshold persists only the prefix up to
+    /// it (a torn write), then the storage is dead.
+    pub crash_after_bytes: Option<u64>,
+    /// Fail the nth [`Storage::sync`] call (1-based), then die.
+    pub crash_on_sync: Option<u64>,
+    /// Fail the nth [`Storage::remove`] call (1-based), then die — this
+    /// lands a crash in the middle of checkpoint truncation.
+    pub crash_on_remove: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that tears the append crossing byte `k` and dies.
+    pub fn crash_after_bytes(k: u64) -> FaultPlan {
+        FaultPlan {
+            crash_after_bytes: Some(k),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that fails the nth sync (1-based) and dies.
+    pub fn crash_on_sync(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash_on_sync: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that fails the nth remove (1-based) and dies.
+    pub fn crash_on_remove(n: u64) -> FaultPlan {
+        FaultPlan {
+            crash_on_remove: Some(n),
+            ..FaultPlan::default()
+        }
+    }
+}
+
+/// The error kind every injected fault surfaces as.
+pub const INJECTED_CRASH: io::ErrorKind = io::ErrorKind::Other;
+
+fn injected() -> io::Error {
+    io::Error::new(INJECTED_CRASH, "injected crash")
+}
+
+/// Deterministic fault injection over a [`MemStorage`]: follows a
+/// [`FaultPlan`], persists exactly the bytes a real crash would have
+/// persisted, and fails every operation once the crash point is reached.
+///
+/// After the simulated crash, recover from a clone of the underlying
+/// [`MemStorage`] — the faulty wrapper stays dead forever, like the
+/// process that was killed.
+#[derive(Debug)]
+pub struct FaultyStorage {
+    inner: MemStorage,
+    plan: FaultPlan,
+    appended: u64,
+    syncs: u64,
+    removes: u64,
+    dead: bool,
+}
+
+impl FaultyStorage {
+    /// Wraps `inner` with the given plan.
+    pub fn new(inner: MemStorage, plan: FaultPlan) -> FaultyStorage {
+        FaultyStorage {
+            inner,
+            plan,
+            appended: 0,
+            syncs: 0,
+            removes: 0,
+            dead: false,
+        }
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.dead
+    }
+
+    /// Cumulative bytes appended (including the torn prefix).
+    pub fn bytes_appended(&self) -> u64 {
+        self.appended
+    }
+
+    fn alive(&self) -> io::Result<()> {
+        if self.dead {
+            Err(injected())
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Storage for FaultyStorage {
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.alive()?;
+        self.inner.list()
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.alive()?;
+        self.inner.read(name)
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.alive()?;
+        if let Some(limit) = self.plan.crash_after_bytes {
+            let after = self.appended + data.len() as u64;
+            if after > limit {
+                // Torn write: persist only the prefix up to the limit.
+                let keep = limit.saturating_sub(self.appended) as usize;
+                self.inner.append(name, &data[..keep])?;
+                self.appended = limit;
+                self.dead = true;
+                return Err(injected());
+            }
+        }
+        self.inner.append(name, data)?;
+        self.appended += data.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> io::Result<()> {
+        self.alive()?;
+        self.syncs += 1;
+        if let Some(n) = self.plan.crash_on_sync {
+            if self.syncs >= n {
+                self.dead = true;
+                return Err(injected());
+            }
+        }
+        self.inner.sync(name)
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
+        self.alive()?;
+        self.inner.truncate(name, len)
+    }
+
+    fn remove(&mut self, name: &str) -> io::Result<()> {
+        self.alive()?;
+        self.removes += 1;
+        if let Some(n) = self.plan.crash_on_remove {
+            if self.removes >= n {
+                self.dead = true;
+                return Err(injected());
+            }
+        }
+        self.inner.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_storage_round_trips_and_shares() {
+        let mut a = MemStorage::new();
+        a.append("f", b"hello").unwrap();
+        a.append("f", b" world").unwrap();
+        let b = a.clone();
+        assert_eq!(b.read("f").unwrap(), b"hello world");
+        assert_eq!(b.list().unwrap(), vec!["f".to_string()]);
+        let mut b = b;
+        b.truncate("f", 5).unwrap();
+        assert_eq!(a.read("f").unwrap(), b"hello");
+        b.truncate("f", 100).unwrap(); // no-op past the end
+        assert_eq!(a.total_bytes(), 5);
+        b.remove("f").unwrap();
+        assert_eq!(a.read("f").unwrap_err().kind(), io::ErrorKind::NotFound);
+        assert_eq!(b.remove("f").unwrap_err().kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn faulty_storage_tears_the_crossing_append() {
+        let mem = MemStorage::new();
+        let mut faulty = FaultyStorage::new(mem.clone(), FaultPlan::crash_after_bytes(7));
+        faulty.append("f", b"hello").unwrap(); // 5 bytes, under the limit
+        let err = faulty.append("f", b"world").unwrap_err();
+        assert_eq!(err.kind(), INJECTED_CRASH);
+        assert!(faulty.crashed());
+        // Exactly two bytes of the torn append survived.
+        assert_eq!(mem.read("f").unwrap(), b"hellowo");
+        // Everything after the crash fails.
+        assert_eq!(faulty.read("f").unwrap_err().kind(), INJECTED_CRASH);
+        assert_eq!(faulty.append("f", b"x").unwrap_err().kind(), INJECTED_CRASH);
+        assert_eq!(faulty.sync("f").unwrap_err().kind(), INJECTED_CRASH);
+        // The shared map is untouched by the dead handle.
+        assert_eq!(mem.read("f").unwrap(), b"hellowo");
+    }
+
+    #[test]
+    fn faulty_storage_crash_at_exact_boundary_keeps_full_record() {
+        let mem = MemStorage::new();
+        let mut faulty = FaultyStorage::new(mem.clone(), FaultPlan::crash_after_bytes(5));
+        faulty.append("f", b"hello").unwrap(); // lands exactly on the limit
+        let err = faulty.append("f", b"x").unwrap_err();
+        assert_eq!(err.kind(), INJECTED_CRASH);
+        assert_eq!(mem.read("f").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn faulty_storage_sync_and_remove_triggers() {
+        let mem = MemStorage::new();
+        let mut faulty = FaultyStorage::new(mem.clone(), FaultPlan::crash_on_sync(2));
+        faulty.append("f", b"a").unwrap();
+        faulty.sync("f").unwrap();
+        assert_eq!(faulty.sync("f").unwrap_err().kind(), INJECTED_CRASH);
+        assert!(faulty.crashed());
+
+        let mut faulty = FaultyStorage::new(mem.clone(), FaultPlan::crash_on_remove(1));
+        assert_eq!(faulty.remove("f").unwrap_err().kind(), INJECTED_CRASH);
+        assert_eq!(mem.read("f").unwrap(), b"a", "remove must not reach disk");
+    }
+
+    #[test]
+    fn disk_storage_round_trips() {
+        let root = std::env::temp_dir().join(format!("qld_wal_storage_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let mut disk = DiskStorage::open(&root).unwrap();
+        assert!(disk.list().unwrap().is_empty());
+        disk.append("wal-0", b"abc").unwrap();
+        disk.append("wal-0", b"def").unwrap();
+        disk.sync("wal-0").unwrap();
+        assert_eq!(disk.read("wal-0").unwrap(), b"abcdef");
+        disk.truncate("wal-0", 4).unwrap();
+        assert_eq!(disk.read("wal-0").unwrap(), b"abcd");
+        disk.append("ckpt-1", b"x").unwrap();
+        let mut names = disk.list().unwrap();
+        names.sort();
+        assert_eq!(names, vec!["ckpt-1".to_string(), "wal-0".to_string()]);
+        disk.remove("ckpt-1").unwrap();
+        assert_eq!(disk.list().unwrap(), vec!["wal-0".to_string()]);
+        assert_eq!(
+            disk.read("missing").unwrap_err().kind(),
+            io::ErrorKind::NotFound
+        );
+        assert_eq!(disk.root(), root.as_path());
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -34,6 +34,7 @@
 //! rebuilt from the database as it stood at the reader's observed epoch.
 
 use crate::delta::{Delta, DeltaReport, DeltaStats};
+use crate::durable::DurableState;
 use crate::error::EngineError;
 use crate::evidence::{Answers, Semantics};
 use crate::prepared::PreparedQuery;
@@ -271,6 +272,10 @@ pub struct SharedStats {
     pub cache_capacity: usize,
     /// Cumulative delta counters of the master engine.
     pub deltas: DeltaStats,
+    /// WAL counters, when this engine was built with
+    /// [`SharedEngine::durable`] or
+    /// [`SharedEngine::recover_with`](crate::SharedEngine::recover_with).
+    pub wal: Option<qld_wal::WalStats>,
 }
 
 /// A point-in-time picture of the snapshot-publish machinery itself:
@@ -329,6 +334,10 @@ struct SharedInner {
     cache: SharedAnswerCache,
     cache_capacity: usize,
     sessions: AtomicU64,
+    /// The write-ahead log, when durability is attached. Locked only on
+    /// the write path, nested inside the writer lock — readers never
+    /// touch it.
+    wal: Option<Mutex<DurableState>>,
 }
 
 /// A shareable, concurrently correct engine over one evolving database:
@@ -386,6 +395,17 @@ impl SharedEngine {
     /// [`cache_capacity`](crate::EngineBuilder::cache_capacity)) replaces
     /// it for every snapshot.
     pub fn new(engine: Engine) -> SharedEngine {
+        SharedEngine::build(engine, None)
+    }
+
+    /// Constructs the shared machinery, optionally with a WAL on the
+    /// write path (used by [`SharedEngine::durable`] and
+    /// [`SharedEngine::recover_with`](crate::SharedEngine::recover_with)).
+    pub(crate) fn with_wal(engine: Engine, state: DurableState) -> SharedEngine {
+        SharedEngine::build(engine, Some(state))
+    }
+
+    fn build(engine: Engine, wal: Option<DurableState>) -> SharedEngine {
         engine.set_cache_enabled(false);
         let cache_capacity = engine.cache_capacity();
         let snapshot = Arc::new(EngineSnapshot {
@@ -399,6 +419,7 @@ impl SharedEngine {
                 cache: SharedAnswerCache::new(cache_capacity),
                 cache_capacity,
                 sessions: AtomicU64::new(0),
+                wal: wal.map(Mutex::new),
             }),
         }
     }
@@ -442,10 +463,25 @@ impl SharedEngine {
     /// their queries against it — they never see a half-applied delta.
     /// The shared cache needs no invalidation: entries for earlier epochs
     /// stay correct *for those epochs* and age out of the LRU.
+    ///
+    /// With durability attached ([`SharedEngine::durable`]), the delta's
+    /// WAL record is appended — and synced, per policy — **before** the
+    /// snapshot is published (*log-before-publish*): no reader, and no
+    /// client reply, can ever observe an epoch the log does not hold. A
+    /// WAL failure fails the `apply` with
+    /// [`EngineError::Durability`] and publishes nothing; the engine
+    /// should then be abandoned and recovered, like the crashed process
+    /// it is simulating.
     pub fn apply(&self, delta: &Delta) -> Result<DeltaReport, EngineError> {
         let mut writer = self.inner.writer.lock().expect("writer engine poisoned");
         let report = writer.apply(delta)?;
         if report.changed() {
+            if let Some(wal) = &self.inner.wal {
+                wal.lock()
+                    .expect("wal poisoned")
+                    .log(delta, &writer)
+                    .map_err(|e| EngineError::Durability(e.to_string()))?;
+            }
             let snapshot = Arc::new(EngineSnapshot {
                 engine: writer.clone(),
                 epoch: writer.epoch(),
@@ -487,7 +523,33 @@ impl SharedEngine {
             cache_len: self.inner.cache.len(),
             cache_capacity: self.inner.cache_capacity,
             deltas,
+            wal: self.wal_stats(),
         }
+    }
+
+    /// Cumulative WAL counters (`None` when the engine was built without
+    /// durability).
+    pub fn wal_stats(&self) -> Option<qld_wal::WalStats> {
+        self.inner
+            .wal
+            .as_ref()
+            .map(|w| w.lock().expect("wal poisoned").stats())
+    }
+
+    /// Writes a database checkpoint now (serializes the writer's
+    /// database, then truncates older log state), regardless of the
+    /// automatic cadence. Returns the checkpointed epoch, or `None` when
+    /// the engine has no WAL.
+    pub fn checkpoint_now(&self) -> Result<Option<u64>, EngineError> {
+        let Some(wal) = &self.inner.wal else {
+            return Ok(None);
+        };
+        let writer = self.inner.writer.lock().expect("writer engine poisoned");
+        wal.lock()
+            .expect("wal poisoned")
+            .checkpoint(&writer)
+            .map_err(|e| EngineError::Durability(e.to_string()))?;
+        Ok(Some(writer.epoch()))
     }
 
     /// Snapshot-machinery statistics: published epoch, per-shard cache

@@ -1,0 +1,474 @@
+//! Durability for the serving stack: a [`SharedEngine`] backed by a
+//! [`qld_wal::Wal`], with crash recovery by checkpoint-plus-replay.
+//!
+//! The engine side of the story is small because `Engine::apply` is
+//! deterministic and differential-tested against rebuild: persisting the
+//! delta sequence *is* persisting the database. This module provides the
+//! glue:
+//!
+//! * [`SharedEngine::durable`] attaches a fresh WAL to an engine and
+//!   seeds it with a checkpoint of the current database, so the log
+//!   directory is self-contained from the first byte;
+//! * every changing [`SharedEngine::apply`] then appends one
+//!   [`WalRecord`] **before** the new snapshot is published
+//!   (log-before-publish) — under [`FsyncPolicy::Always`] an
+//!   acknowledged epoch is always durable;
+//! * [`SharedEngine::recover_with`] rebuilds after a crash: newest valid
+//!   checkpoint → database → replay the record tail through the ordinary
+//!   `apply` path, asserting each record lands on exactly the epoch it
+//!   was logged at;
+//! * periodic checkpoints (every [`DurabilityConfig::checkpoint_every`]
+//!   changing deltas) bound replay time and let the WAL truncate old
+//!   segments.
+//!
+//! The recovery invariant — an engine recovered after a crash at *any*
+//! byte offset equals a solo engine rebuilt from some prefix of the
+//! applied deltas, and under `Always` that prefix covers every
+//! acknowledged delta — is exercised exhaustively in
+//! `tests/wal_recovery.rs` with [`qld_wal::FaultyStorage`].
+//!
+//! [`FsyncPolicy::Always`]: qld_wal::FsyncPolicy::Always
+
+use crate::concurrent::SharedEngine;
+use crate::delta::Delta;
+use crate::error::EngineError;
+use crate::session::Engine;
+use qld_core::CwDatabase;
+use qld_logic::{ConstId, PredId};
+use qld_wal::{Wal, WalConfig, WalRecord, WalStats};
+use std::fmt;
+use std::io;
+
+/// How a [`SharedEngine`] uses its WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// The log's own knobs: fsync policy and segment size.
+    pub wal: WalConfig,
+    /// Write a database checkpoint (and truncate older log state) every
+    /// this many changing deltas; `0` disables automatic checkpoints
+    /// (the seed checkpoint at attach time is still written).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> DurabilityConfig {
+        DurabilityConfig {
+            wal: WalConfig::default(),
+            checkpoint_every: 256,
+        }
+    }
+}
+
+/// What a recovery did, for operators and tests (`qld recover` prints
+/// it; `:stats` carries the counters via [`WalStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The epoch of the checkpoint the database was rebuilt from.
+    pub checkpoint_epoch: u64,
+    /// Records replayed on top of the checkpoint.
+    pub records_replayed: u64,
+    /// Whole records dropped because they sat beyond a corrupt frame.
+    pub records_truncated: u64,
+    /// Torn/corrupt bytes discarded from the log tail.
+    pub bytes_truncated: u64,
+    /// The epoch the recovered engine resumed at.
+    pub epoch: u64,
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovered epoch {} (checkpoint at {}, {} record(s) replayed, \
+             {} record(s) / {} byte(s) truncated)",
+            self.epoch,
+            self.checkpoint_epoch,
+            self.records_replayed,
+            self.records_truncated,
+            self.bytes_truncated
+        )
+    }
+}
+
+/// The WAL plus its checkpoint cadence, held behind the writer path of a
+/// [`SharedEngine`].
+#[derive(Debug)]
+pub(crate) struct DurableState {
+    wal: Wal,
+    checkpoint_every: u64,
+    since_checkpoint: u64,
+}
+
+impl DurableState {
+    /// Appends the record for a just-applied changing delta, then writes
+    /// a checkpoint if the cadence says so. Called with the writer lock
+    /// held, before the snapshot is published.
+    pub(crate) fn log(&mut self, delta: &Delta, engine: &Engine) -> io::Result<()> {
+        self.wal.append(&delta_to_record(delta, engine.epoch()))?;
+        self.since_checkpoint += 1;
+        if self.checkpoint_every > 0 && self.since_checkpoint >= self.checkpoint_every {
+            self.checkpoint(engine)?;
+        }
+        Ok(())
+    }
+
+    /// Serializes the engine's database and checkpoints the log at its
+    /// epoch.
+    pub(crate) fn checkpoint(&mut self, engine: &Engine) -> io::Result<()> {
+        let payload = qld_core::textio::to_text(engine.db());
+        self.wal.checkpoint(engine.epoch(), payload.as_bytes())?;
+        self.since_checkpoint = 0;
+        Ok(())
+    }
+
+    pub(crate) fn stats(&self) -> WalStats {
+        self.wal.stats()
+    }
+}
+
+fn durability_err(e: io::Error) -> EngineError {
+    EngineError::Durability(e.to_string())
+}
+
+/// Serializes a changing delta as the storage-neutral WAL record for the
+/// epoch it produced.
+fn delta_to_record(delta: &Delta, epoch: u64) -> WalRecord {
+    WalRecord {
+        epoch,
+        facts: delta
+            .facts
+            .iter()
+            .map(|(p, args)| (p.0, args.iter().map(|c| c.0).collect()))
+            .collect(),
+        ne_pairs: delta.ne_pairs.iter().map(|(a, b)| (a.0, b.0)).collect(),
+    }
+}
+
+/// The inverse of [`delta_to_record`], for replay.
+fn record_to_delta(record: &WalRecord) -> Delta {
+    Delta {
+        facts: record
+            .facts
+            .iter()
+            .map(|(p, args)| {
+                (
+                    PredId(*p),
+                    args.iter().map(|c| ConstId(*c)).collect::<Vec<_>>().into(),
+                )
+            })
+            .collect(),
+        ne_pairs: record
+            .ne_pairs
+            .iter()
+            .map(|(a, b)| (ConstId(*a), ConstId(*b)))
+            .collect(),
+    }
+}
+
+impl SharedEngine {
+    /// Wraps an engine for concurrent serving **with durability**: opens
+    /// the WAL in `storage` (which must not already hold log state — use
+    /// [`SharedEngine::recover_with`] after a crash), writes a seed
+    /// checkpoint of the engine's current database, and logs every
+    /// subsequent changing delta before publishing it.
+    pub fn durable(
+        engine: Engine,
+        storage: Box<dyn qld_wal::Storage>,
+        config: DurabilityConfig,
+    ) -> Result<SharedEngine, EngineError> {
+        let (mut wal, recovery) = Wal::open(storage, config.wal).map_err(durability_err)?;
+        if recovery.checkpoint.is_some() || !recovery.records.is_empty() {
+            return Err(EngineError::Durability(
+                "WAL directory already holds state; recover from it instead of seeding a new log"
+                    .to_string(),
+            ));
+        }
+        // Seed checkpoint: the directory is self-contained from now on —
+        // recovery never needs the original database file.
+        let payload = qld_core::textio::to_text(engine.db());
+        wal.checkpoint(engine.epoch(), payload.as_bytes())
+            .map_err(durability_err)?;
+        let state = DurableState {
+            wal,
+            checkpoint_every: config.checkpoint_every,
+            since_checkpoint: 0,
+        };
+        Ok(SharedEngine::with_wal(engine, state))
+    }
+
+    /// Rebuilds a durable engine from whatever the log holds: the newest
+    /// valid checkpoint's database (handed to `build` so the caller
+    /// configures semantics/parallelism/cache as usual), the checkpoint
+    /// epoch restored, and every surviving record replayed through the
+    /// ordinary [`Engine::apply`] path. Returns the serving engine (the
+    /// WAL stays attached and continues at the log tail) and a
+    /// [`RecoveryReport`].
+    ///
+    /// Every replayed record must land on exactly the epoch it was
+    /// logged at — a mismatch means the log does not describe a delta
+    /// history of this database and recovery refuses to guess.
+    pub fn recover_with<F>(
+        storage: Box<dyn qld_wal::Storage>,
+        config: DurabilityConfig,
+        build: F,
+    ) -> Result<(SharedEngine, RecoveryReport), EngineError>
+    where
+        F: FnOnce(CwDatabase) -> Engine,
+    {
+        let (wal, recovery) = Wal::open(storage, config.wal).map_err(durability_err)?;
+        let checkpoint = recovery.checkpoint.ok_or_else(|| {
+            EngineError::Durability(
+                "no valid checkpoint in the WAL directory (not a WAL, or its seed \
+                 checkpoint was destroyed)"
+                    .to_string(),
+            )
+        })?;
+        let text = String::from_utf8(checkpoint.payload).map_err(|_| {
+            EngineError::Durability("checkpoint payload is not UTF-8 database text".to_string())
+        })?;
+        let db = qld_core::textio::from_text(&text)
+            .map_err(|e| EngineError::Durability(format!("checkpoint database invalid: {e}")))?;
+        let mut engine = build(db);
+        engine.set_epoch(checkpoint.epoch);
+        for record in &recovery.records {
+            let report = engine.apply(&record_to_delta(record))?;
+            if report.epoch != record.epoch {
+                return Err(EngineError::Durability(format!(
+                    "replay diverged: record logged at epoch {} landed on epoch {}",
+                    record.epoch, report.epoch
+                )));
+            }
+        }
+        let report = RecoveryReport {
+            checkpoint_epoch: checkpoint.epoch,
+            records_replayed: recovery.records.len() as u64,
+            records_truncated: recovery.records_truncated,
+            bytes_truncated: recovery.bytes_truncated,
+            epoch: engine.epoch(),
+        };
+        let state = DurableState {
+            wal,
+            checkpoint_every: config.checkpoint_every,
+            since_checkpoint: 0,
+        };
+        Ok((SharedEngine::with_wal(engine, state), report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evidence::Semantics;
+    use qld_logic::Vocabulary;
+    use qld_wal::{FaultPlan, FaultyStorage, FsyncPolicy, MemStorage};
+
+    fn small_db() -> CwDatabase {
+        let mut voc = Vocabulary::new();
+        voc.add_consts(["a", "b", "c"]).unwrap();
+        voc.add_pred("P", 1).unwrap();
+        voc.add_pred("R", 2).unwrap();
+        CwDatabase::builder(voc).build().unwrap()
+    }
+
+    fn ids(shared: &SharedEngine) -> (PredId, PredId, Vec<ConstId>) {
+        let snap = shared.snapshot();
+        let voc = snap.engine().db().voc();
+        (
+            voc.pred_id("P").unwrap(),
+            voc.pred_id("R").unwrap(),
+            ["a", "b", "c"]
+                .iter()
+                .map(|c| voc.const_id(c).unwrap())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn record_conversion_round_trips() {
+        let delta = Delta::new()
+            .insert_fact(PredId(2), &[ConstId(0), ConstId(1)])
+            .assert_ne(ConstId(0), ConstId(2));
+        let record = delta_to_record(&delta, 17);
+        assert_eq!(record.epoch, 17);
+        let back = record_to_delta(&record);
+        assert_eq!(back.facts, delta.facts);
+        assert_eq!(back.ne_pairs, delta.ne_pairs);
+    }
+
+    #[test]
+    fn durable_engine_logs_and_recovers_identically() {
+        let mem = MemStorage::new();
+        let shared = SharedEngine::durable(
+            Engine::new(small_db()),
+            Box::new(mem.clone()),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        let (p, r, c) = ids(&shared);
+        shared.apply(&Delta::new().insert_fact(p, &[c[0]])).unwrap();
+        shared
+            .apply(&Delta::new().insert_fact(r, &[c[0], c[1]]))
+            .unwrap();
+        shared.apply(&Delta::new().assert_ne(c[0], c[2])).unwrap();
+        // Duplicates are not logged.
+        shared.apply(&Delta::new().insert_fact(p, &[c[0]])).unwrap();
+        assert_eq!(shared.epoch(), 3);
+        let stats = shared.wal_stats().unwrap();
+        assert_eq!(stats.records_appended, 3);
+        assert_eq!(stats.checkpoints, 1, "seed checkpoint only");
+        assert!(stats.fsyncs >= 3, "Always syncs per record");
+        drop(shared);
+
+        let (recovered, report) = SharedEngine::recover_with(
+            Box::new(mem.clone()),
+            DurabilityConfig::default(),
+            Engine::new,
+        )
+        .unwrap();
+        assert_eq!(report.checkpoint_epoch, 0);
+        assert_eq!(report.records_replayed, 3);
+        assert_eq!(report.epoch, 3);
+        assert_eq!(recovered.epoch(), 3);
+        let line = report.to_string();
+        assert!(line.contains("recovered epoch 3"), "{line}");
+
+        // The recovered engine answers like the original across
+        // semantics.
+        let mut session = recovered.session();
+        for (text, semantics) in [
+            ("(x) . P(x)", Semantics::Auto),
+            ("(x) . !P(x)", Semantics::Exact),
+            ("(x, y) . R(x, y)", Semantics::Possible),
+            ("(x) . x != a", Semantics::Approx),
+        ] {
+            let q = session.prepare_text(text).unwrap();
+            let ans = session.execute_as(&q, semantics).unwrap();
+            assert_eq!(ans.evidence().epoch, 3, "{text}");
+        }
+        // And it keeps logging: a fourth delta lands in the same WAL.
+        let (p, _, c) = ids(&recovered);
+        recovered
+            .apply(&Delta::new().insert_fact(p, &[c[1]]))
+            .unwrap();
+        assert_eq!(recovered.epoch(), 4);
+        drop(recovered);
+        let (_, report) =
+            SharedEngine::recover_with(Box::new(mem), DurabilityConfig::default(), Engine::new)
+                .unwrap();
+        assert_eq!(report.epoch, 4);
+        assert_eq!(report.records_replayed, 4);
+    }
+
+    #[test]
+    fn automatic_checkpoints_bound_replay() {
+        let mem = MemStorage::new();
+        let config = DurabilityConfig {
+            checkpoint_every: 2,
+            ..DurabilityConfig::default()
+        };
+        let shared =
+            SharedEngine::durable(Engine::new(small_db()), Box::new(mem.clone()), config).unwrap();
+        let (p, r, c) = ids(&shared);
+        shared.apply(&Delta::new().insert_fact(p, &[c[0]])).unwrap();
+        shared.apply(&Delta::new().insert_fact(p, &[c[1]])).unwrap();
+        shared.apply(&Delta::new().insert_fact(p, &[c[2]])).unwrap();
+        let stats = shared.wal_stats().unwrap();
+        assert_eq!(stats.checkpoints, 2, "seed + one automatic");
+        drop(shared);
+
+        let (recovered, report) =
+            SharedEngine::recover_with(Box::new(mem), config, Engine::new).unwrap();
+        assert_eq!(report.checkpoint_epoch, 2);
+        assert_eq!(report.records_replayed, 1, "only the post-checkpoint tail");
+        assert_eq!(recovered.epoch(), 3);
+        // The checkpointed database carries the first two facts.
+        let mut session = recovered.session();
+        let q = session.prepare_text("(x) . P(x)").unwrap();
+        assert_eq!(session.execute(&q).unwrap().len(), 3);
+        let _ = r;
+    }
+
+    #[test]
+    fn durable_refuses_a_dirty_directory_and_recover_refuses_an_empty_one() {
+        let mem = MemStorage::new();
+        let shared = SharedEngine::durable(
+            Engine::new(small_db()),
+            Box::new(mem.clone()),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        drop(shared);
+        let err = SharedEngine::durable(
+            Engine::new(small_db()),
+            Box::new(mem.clone()),
+            DurabilityConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::Durability(_)));
+        assert!(err.to_string().contains("already holds state"), "{err}");
+
+        let err = SharedEngine::recover_with(
+            Box::new(MemStorage::new()),
+            DurabilityConfig::default(),
+            Engine::new,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no valid checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn wal_append_failure_fails_apply_without_publishing() {
+        // Seed a clean WAL directory, then reopen it through a faulty
+        // storage that dies on the very first append. Recovery after a
+        // clean checkpoint appends nothing, so the crash lands exactly on
+        // the first logged delta.
+        let mem = MemStorage::new();
+        let shared = SharedEngine::durable(
+            Engine::new(small_db()),
+            Box::new(mem.clone()),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        drop(shared);
+        let faulty = FaultyStorage::new(mem.clone(), FaultPlan::crash_after_bytes(0));
+        let (shared, _) =
+            SharedEngine::recover_with(Box::new(faulty), DurabilityConfig::default(), Engine::new)
+                .unwrap();
+        let (p, _, c) = ids(&shared);
+        let err = shared
+            .apply(&Delta::new().insert_fact(p, &[c[0]]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Durability(_)), "{err}");
+        // Log-before-publish: the failed delta was never published.
+        assert_eq!(shared.epoch(), 0);
+        // And recovery of the surviving bytes sees the seed state only.
+        let (recovered, report) =
+            SharedEngine::recover_with(Box::new(mem), DurabilityConfig::default(), Engine::new)
+                .unwrap();
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(recovered.epoch(), 0);
+    }
+
+    #[test]
+    fn fsync_policies_flow_through_the_config() {
+        let mem = MemStorage::new();
+        let config = DurabilityConfig {
+            wal: WalConfig {
+                fsync: FsyncPolicy::Never,
+                ..WalConfig::default()
+            },
+            ..DurabilityConfig::default()
+        };
+        let shared =
+            SharedEngine::durable(Engine::new(small_db()), Box::new(mem.clone()), config).unwrap();
+        let (p, _, c) = ids(&shared);
+        let before = shared.wal_stats().unwrap().fsyncs;
+        shared.apply(&Delta::new().insert_fact(p, &[c[0]])).unwrap();
+        shared.apply(&Delta::new().insert_fact(p, &[c[1]])).unwrap();
+        assert_eq!(
+            shared.wal_stats().unwrap().fsyncs,
+            before,
+            "Never policy issues no per-record syncs"
+        );
+    }
+}

@@ -33,6 +33,12 @@ pub enum EngineError {
     /// the preparing engine's extended vocabulary, so they are not
     /// portable across engines.
     PreparedElsewhere,
+    /// The write-ahead log failed (storage error on append, sync, or
+    /// checkpoint) or recovery found an inconsistent log. Carries the
+    /// underlying diagnostic; the database itself is untouched, but a
+    /// durable engine whose log failed should be abandoned and
+    /// recovered.
+    Durability(String),
 }
 
 impl fmt::Display for EngineError {
@@ -45,6 +51,7 @@ impl fmt::Display for EngineError {
                 f,
                 "prepared query belongs to a different engine; re-prepare it on this one"
             ),
+            EngineError::Durability(e) => write!(f, "durability: {e}"),
         }
     }
 }

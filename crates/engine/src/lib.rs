@@ -48,6 +48,7 @@
 
 mod concurrent;
 mod delta;
+mod durable;
 mod error;
 mod evidence;
 mod prepared;
@@ -55,6 +56,7 @@ mod session;
 
 pub use concurrent::{EngineSnapshot, SharedEngine, SharedSession, SharedStats, SnapshotStats};
 pub use delta::{Delta, DeltaReport, DeltaStats, QueryFootprint};
+pub use durable::{DurabilityConfig, RecoveryReport};
 pub use error::EngineError;
 pub use evidence::{Answers, Certificate, Evidence, Regime, Semantics};
 pub use prepared::PreparedQuery;
@@ -62,8 +64,15 @@ pub use session::{Engine, EngineBuilder, NeStoreMode};
 
 // The configuration vocabulary callers need alongside the builder.
 pub use qld_approx::{AlphaMode, Backend, CompletenessTheorem};
+// The durability vocabulary callers need alongside `SharedEngine::durable`
+// (storage backends, fsync policies, and the fault injector the crash
+// tests drive).
 pub use qld_core::exact::MappingStrategy;
 pub use qld_core::mappings::ParallelConfig;
+pub use qld_wal::{
+    has_state as wal_has_state, DiskStorage, FaultPlan, FaultyStorage, FsyncPolicy, MemStorage,
+    Storage, WalConfig, WalStats,
+};
 
 #[cfg(test)]
 mod tests {

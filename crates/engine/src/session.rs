@@ -666,6 +666,14 @@ impl Engine {
         self.epoch
     }
 
+    /// Restores the epoch counter after a WAL recovery: an engine rebuilt
+    /// from a checkpoint serialized at epoch `n` must resume the epoch
+    /// stream at `n`, not restart it at 0 (replayed records assert that
+    /// each lands on exactly the epoch it was logged at).
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Cumulative delta counters for this engine (deltas applied, facts
     /// and axioms inserted, cache entries evicted by footprint
     /// invalidation, certificates re-classified).

@@ -142,6 +142,9 @@ pub struct ServerStats {
     pub deltas_applied: u64,
     /// `error:` terminators sent.
     pub errors_sent: u64,
+    /// Malformed frames refused at the transport layer (over-long
+    /// request lines, invalid UTF-8) — before script parsing even runs.
+    pub protocol_errors: u64,
 }
 
 #[derive(Debug, Default)]
@@ -152,6 +155,7 @@ struct Counters {
     cache_hits: AtomicU64,
     deltas_applied: AtomicU64,
     errors_sent: AtomicU64,
+    protocol_errors: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -171,6 +175,7 @@ impl ServerState {
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             deltas_applied: self.counters.deltas_applied.load(Ordering::Relaxed),
             errors_sent: self.counters.errors_sent.load(Ordering::Relaxed),
+            protocol_errors: self.counters.protocol_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -357,10 +362,32 @@ fn reject_busy(stream: TcpStream, cap: usize) {
     );
 }
 
-/// Reads one request line, polling the shutdown flag and the idle clock
-/// between socket timeouts. Returns `None` when the connection should
-/// close (EOF, shutdown, idle timeout, hard error); the idle-timeout
-/// diagnostic is sent here because only this loop knows it fired.
+/// Longest accepted request line in bytes, newline included. Orders of
+/// magnitude beyond any sane query, and small enough that a hostile
+/// peer streaming an endless "line" cannot balloon a connection
+/// thread's memory.
+const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// What [`read_request`] produced.
+enum Request {
+    /// A complete UTF-8 request line is in the caller's buffer.
+    Line,
+    /// A malformed frame (invalid UTF-8) was refused with a
+    /// `error: protocol:` reply; the connection stays usable — the
+    /// newline still framed the request, so the stream is in sync.
+    Skip,
+    /// The connection is finished (EOF, shutdown, idle timeout,
+    /// over-long line, hard I/O error). Any diagnostic owed to the
+    /// client has already been sent.
+    Closed,
+}
+
+/// Reads one request line as raw bytes — bounded, UTF-8-validated, and
+/// polling the shutdown flag and the idle clock between socket
+/// timeouts. Malformed input is answered with a clean per-connection
+/// `error: protocol:` reply (and counted), never a panic or a wedged
+/// connection; the diagnostics are sent here because only this loop
+/// knows which transport rule fired.
 fn read_request(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
@@ -368,15 +395,34 @@ fn read_request(
     config: &ServerConfig,
     state: &ServerState,
     stats: &mut ConnectionStats,
-) -> Option<()> {
+) -> Request {
     line.clear();
+    let mut buf: Vec<u8> = Vec::new();
     let idle_since = Instant::now();
+    let protocol_error = |stats: &mut ConnectionStats, writer: &mut TcpStream, what: &str| {
+        stats.rejections += 1;
+        state
+            .counters
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+        let _ = writeln!(writer, "error: protocol: {what}");
+    };
     loop {
-        match reader.read_line(line) {
-            Ok(0) => return None,
-            Ok(_) => return Some(()),
-            // A timeout tick: bytes already read stay in `line` (read_line
-            // only appends), so retrying is lossless.
+        let (take, complete) = match reader.fill_buf() {
+            // EOF: a trailing unterminated line still counts as a
+            // request (matching what a buffered line reader would do).
+            Ok([]) if buf.is_empty() => return Request::Closed,
+            Ok([]) => (0, true),
+            Ok(available) => {
+                let newline = available.iter().position(|&b| b == b'\n');
+                (
+                    newline.map_or(available.len(), |i| i + 1),
+                    newline.is_some(),
+                )
+            }
+            // A timeout tick: bytes already taken stay in `buf`, so
+            // retrying is lossless.
             Err(e)
                 if matches!(
                     e.kind(),
@@ -384,17 +430,43 @@ fn read_request(
                 ) =>
             {
                 if state.shutdown.load(Ordering::Acquire) {
-                    return None;
+                    return Request::Closed;
                 }
                 if idle_since.elapsed() >= config.read_timeout {
                     stats.rejections += 1;
                     state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
                     let _ = writeln!(writer, "error: timeout: idle for {:?}", config.read_timeout);
-                    return None;
+                    return Request::Closed;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Request::Closed,
+        };
+        if buf.len() + take > MAX_REQUEST_BYTES {
+            // Closing (rather than draining to the next newline) is
+            // deliberate: the peer is either broken or hostile, and the
+            // rest of the oversized line is unbounded.
+            protocol_error(
+                stats,
+                writer,
+                &format!("request line exceeds {MAX_REQUEST_BYTES} bytes"),
+            );
+            return Request::Closed;
+        }
+        buf.extend_from_slice(&reader.buffer()[..take]);
+        reader.consume(take);
+        if complete {
+            match std::str::from_utf8(&buf) {
+                Ok(text) => {
+                    line.push_str(text);
+                    return Request::Line;
+                }
+                Err(_) => {
+                    protocol_error(stats, writer, "request line is not valid UTF-8");
+                    return Request::Skip;
                 }
             }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(_) => return None,
         }
     }
 }
@@ -429,17 +501,24 @@ fn serve_connection(
     let mut line = String::new();
     let mut reply = String::new();
     loop {
-        if read_request(
+        match read_request(
             &mut reader,
             &mut writer,
             &mut line,
             config,
             state,
             &mut stats,
-        )
-        .is_none()
-        {
-            break;
+        ) {
+            Request::Line => {}
+            // The protocol error has been replied to; the stream is
+            // still framed, so keep serving (but honour shutdown).
+            Request::Skip => {
+                if state.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                continue;
+            }
+            Request::Closed => break,
         }
         let request = line.trim();
         reply.clear();
@@ -532,14 +611,18 @@ fn handle_request(
             let _ = writeln!(
                 reply,
                 "stat: server: {} active connection(s), {} accepted, {} rejected, \
-                 {} query(s) served, {} delta(s) applied",
+                 {} query(s) served, {} delta(s) applied, {} protocol error(s)",
                 server.active_connections,
                 server.connections_accepted,
                 server.connections_rejected,
                 server.queries_served + stats.queries,
-                server.deltas_applied + stats.deltas
+                server.deltas_applied + stats.deltas,
+                server.protocol_errors
             );
             let _ = writeln!(reply, "stat: snapshot: {}", shared.snapshot_stats());
+            if let Some(wal) = shared.wal_stats() {
+                let _ = writeln!(reply, "stat: wal: {wal}");
+            }
             let _ = writeln!(reply, "done: epoch={}", shared.epoch());
             false
         }
@@ -617,6 +700,63 @@ fn handle_request(
     }
 }
 
+/// Bounded exponential backoff with jitter for
+/// [`Client::connect_with_retry`]. Retrying is opt-in: plain
+/// [`Client::connect`] fails fast, exactly as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total connection attempts, the first of which is immediate
+    /// (clamped to at least 1).
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles on each further retry.
+    pub base_delay: Duration,
+    /// Cap on any single backoff delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter. Give each client its own seed
+    /// so a herd of rejected clients spreads out instead of retrying in
+    /// lockstep; fix it in tests for reproducible schedules.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 5,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_secs(1),
+            jitter_seed: 1,
+        }
+    }
+}
+
+/// One step of a xorshift64 generator — enough randomness for retry
+/// jitter without pulling in a dependency.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before retry `n` (the first retry is `n = 1`):
+    /// exponential `base_delay * 2^(n-1)` capped at `max_delay`, then
+    /// jittered into `[delay/2, delay]` — "equal jitter", which keeps a
+    /// floor under the backoff while decorrelating synchronized clients.
+    pub fn delay_before(&self, retry: u32, rng: &mut u64) -> Duration {
+        let doublings = retry.saturating_sub(1).min(20);
+        let capped = self
+            .base_delay
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_delay);
+        let half = capped / 2;
+        let span = half.as_nanos().max(1) as u64;
+        half + Duration::from_nanos(xorshift64(rng) % span)
+    }
+}
+
 /// A blocking client for the wire protocol: one request line out, one
 /// framed reply back. Used by the e2e tests, the CI smoke driver, and
 /// `qld_bench::socket_load`.
@@ -652,6 +792,31 @@ impl Client {
             reader,
             hello,
         })
+    }
+
+    /// [`Client::connect`] with bounded exponential backoff: retries
+    /// connections that fail with [`io::ErrorKind::ConnectionRefused`] —
+    /// which covers both a TCP-level refusal (server not up yet) and an
+    /// `error: busy` greeting from an over-capacity server (mapped to
+    /// `ConnectionRefused` by `connect`). Any other error, including
+    /// exhausting the attempt budget, is returned immediately.
+    pub fn connect_with_retry<A: ToSocketAddrs>(
+        addr: A,
+        policy: RetryPolicy,
+    ) -> io::Result<Client> {
+        let mut rng = policy.jitter_seed | 1;
+        let mut last = None;
+        for retry in 0..policy.attempts.max(1) {
+            if retry > 0 {
+                thread::sleep(policy.delay_before(retry, &mut rng));
+            }
+            match Client::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("at least one attempt ran"))
     }
 
     /// The greeting the server sent on connect.
@@ -826,6 +991,189 @@ mod tests {
         let reply = client.request("P(a)").unwrap();
         assert_eq!(reply.answers, vec!["CERTAIN"]);
         running.shutdown().unwrap();
+    }
+
+    /// A raw socket speaking bytes, for malformed-frame tests the
+    /// well-behaved [`Client`] cannot produce.
+    fn raw_connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting).unwrap();
+        assert!(greeting.starts_with("hello:"), "{greeting}");
+        (stream, reader)
+    }
+
+    fn read_line_from(reader: &mut BufReader<TcpStream>) -> String {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    }
+
+    #[test]
+    fn invalid_utf8_is_refused_and_the_connection_survives() {
+        let (running, addr) = start(ServerConfig::default());
+        let (mut stream, mut reader) = raw_connect(addr);
+
+        stream.write_all(b"\xff\xfe bogus bytes \x80\n").unwrap();
+        let reply = read_line_from(&mut reader);
+        assert!(
+            reply.starts_with("error: protocol: request line is not valid UTF-8"),
+            "{reply}"
+        );
+
+        // The newline framed the garbage, so the connection still works.
+        stream.write_all(b"P(a)\n").unwrap();
+        let reply = read_line_from(&mut reader);
+        assert!(reply.starts_with("answer: CERTAIN"), "{reply}");
+
+        // The refusal is counted and visible in the wire stats.
+        stream.write_all(b":stats\n").unwrap();
+        loop {
+            let line = read_line_from(&mut reader);
+            if line.starts_with("stat: server:") {
+                assert!(line.contains("1 protocol error(s)"), "{line}");
+            }
+            if line.starts_with("done:") {
+                break;
+            }
+        }
+        running.shutdown().unwrap();
+    }
+
+    #[test]
+    fn overlong_request_line_is_refused_and_closed() {
+        let (running, addr) = start(ServerConfig::default());
+        let (mut stream, mut reader) = raw_connect(addr);
+
+        // 80 KiB of 'a' without a newline: past the cap the server
+        // refuses and hangs up — it must not buffer without bound.
+        let blob = vec![b'a'; 80 * 1024];
+        // The server may close mid-write; that is the point.
+        let _ = stream.write_all(&blob);
+        let _ = stream.write_all(b"\n");
+        let reply = read_line_from(&mut reader);
+        assert!(
+            reply.starts_with("error: protocol: request line exceeds"),
+            "{reply}"
+        );
+        let mut rest = String::new();
+        assert_eq!(reader.read_line(&mut rest).unwrap_or(0), 0, "{rest}");
+        running.shutdown().unwrap();
+    }
+
+    #[test]
+    fn binary_garbage_never_panics_or_wedges_the_server() {
+        let (running, addr) = start(ServerConfig::default());
+        // A battery of hostile frames, each on a fresh connection: ASCII
+        // control soup, truncated UTF-8 multibyte heads, NULs, a
+        // zero-length line, a lone carriage return, and overlong UTF-8.
+        let frames: &[&[u8]] = &[
+            b"\x00\x01\x02\x03\n",
+            b"\xc3(\n",
+            b"\xe2\x82\n",
+            b"\xf0\x9f\x92\n",
+            b"\n",
+            b"\r\n",
+            b"\xc0\xaf\n",
+            b"\xed\xa0\x80\n",
+        ];
+        for frame in frames {
+            let (mut stream, mut reader) = raw_connect(addr);
+            stream.write_all(frame).unwrap();
+            let reply = read_line_from(&mut reader);
+            // Every frame gets exactly one terminator line back: either
+            // a protocol/script error or a blank-line ack.
+            assert!(
+                reply.starts_with("error:") || reply.starts_with("done:"),
+                "frame {frame:?} got {reply}"
+            );
+            // And the connection is still in sync afterwards.
+            stream.write_all(b"P(a)\n").unwrap();
+            let reply = read_line_from(&mut reader);
+            assert!(
+                reply.starts_with("answer: CERTAIN"),
+                "frame {frame:?} wedged the connection: {reply}"
+            );
+        }
+        running.shutdown().unwrap();
+    }
+
+    #[test]
+    fn retry_delays_grow_exponentially_and_cap_with_jitter() {
+        let policy = RetryPolicy {
+            attempts: 8,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(60),
+            jitter_seed: 42,
+        };
+        let mut rng = policy.jitter_seed | 1;
+        // Uncapped: 10, 20, 40; capped at 60 from retry 4 on. Jitter
+        // keeps each delay within [capped/2, capped].
+        for (retry, capped_ms) in [(1, 10), (2, 20), (3, 40), (4, 60), (5, 60), (10, 60)] {
+            let d = policy.delay_before(retry, &mut rng);
+            let capped = Duration::from_millis(capped_ms);
+            assert!(d >= capped / 2 && d <= capped, "retry {retry}: {d:?}");
+        }
+        // Two different seeds give different schedules (decorrelation).
+        let (mut a, mut b) = (3u64, 4u64);
+        let schedule = |rng: &mut u64| {
+            (1..=4)
+                .map(|r| policy.delay_before(r, rng))
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(schedule(&mut a), schedule(&mut b));
+    }
+
+    #[test]
+    fn connect_with_retry_rides_out_a_busy_server() {
+        // Capacity 1: the parked client makes every new connection get
+        // `error: busy` until it quits.
+        let (running, addr) = start(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
+        let parked = Client::connect(addr).unwrap();
+        assert!(
+            Client::connect(addr).is_err(),
+            "fail-fast connect should see busy"
+        );
+        let unparker = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(60));
+            parked.quit().unwrap();
+        });
+        let policy = RetryPolicy {
+            attempts: 50,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(40),
+            jitter_seed: 7,
+        };
+        let mut client = Client::connect_with_retry(addr, policy).expect("retry should win");
+        let reply = client.request("P(a)").unwrap();
+        assert_eq!(reply.answers, vec!["CERTAIN"]);
+        unparker.join().unwrap();
+        running.shutdown().unwrap();
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_when_nothing_listens() {
+        // Bind-then-drop: the ephemeral port is free again, so every
+        // attempt is refused at the TCP level.
+        let addr = TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap();
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            jitter_seed: 9,
+        };
+        let err = Client::connect_with_retry(addr, policy).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
     }
 
     #[test]

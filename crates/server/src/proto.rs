@@ -33,8 +33,11 @@
 //! Failure diagnostics are namespaced: `error: auth: …`,
 //! `error: quota: …`, `error: busy: …`, and `error: timeout: …` are
 //! connection-level (the server closes the connection after sending
-//! them); every other `error:` carries a script/engine diagnostic and
-//! leaves the connection open.
+//! them); `error: protocol: …` marks a malformed frame at the transport
+//! layer (an over-long request line closes the connection; a complete
+//! but non-UTF-8 line is refused and the connection stays usable);
+//! every other `error:` carries a script/engine diagnostic and leaves
+//! the connection open.
 
 use qld_engine::{Answers, Evidence, Semantics};
 use qld_logic::Vocabulary;

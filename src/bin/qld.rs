@@ -8,8 +8,8 @@
 //! ```
 
 use querying_logical_databases::cli::{
-    concurrent_batch_file, serve, ConcurrentConfig, Mode, Outcome, ServeOptions, Session,
-    MODE_USAGE,
+    concurrent_batch_file, parse_fsync, recover, serve, ConcurrentConfig, Mode, Outcome,
+    RecoverOptions, ServeOptions, Session, MODE_USAGE,
 };
 use querying_logical_databases::core::CwDatabase;
 use std::io::{self, BufRead, Write};
@@ -20,6 +20,7 @@ fn usage() -> String {
         "usage: qld <database.qld> [--mode {MODE_USAGE}] [--threads <N>]\n\
          \x20          [--no-cache] [--batch <file>] [--sessions <N>] [-q <query>]...\n\
          \x20      qld serve <database.qld> [options]   (see qld serve --help)\n\
+         \x20      qld recover <wal-dir> [--out <file.qld>]\n\
          With no -q/--batch, starts an interactive shell (:help for commands).\n\
          The default mode is `auto`: the engine runs the cheapest evaluation\n\
          path the paper proves exact and reports which theorem certified it.\n\
@@ -47,7 +48,8 @@ fn serve_usage() -> String {
         "usage: qld serve <database.qld> [--addr <host:port>] [--sessions-max <N>]\n\
          \x20          [--token <secret>] [--budget <mappings>] [--quota-queries <N>]\n\
          \x20          [--quota-deltas <N>] [--mode {MODE_USAGE}] [--threads <N>]\n\
-         \x20          [--no-cache]\n\
+         \x20          [--no-cache] [--wal-dir <dir>] [--fsync always|never|every:<N>]\n\
+         \x20          [--checkpoint-every <N>]\n\
          Serves the database over TCP: a line protocol speaking the same\n\
          script dialect as --batch (queries, :insert, :assert-ne, :stats,\n\
          :quit, :shutdown), one shared engine with epoch-stamped snapshots\n\
@@ -55,7 +57,12 @@ fn serve_usage() -> String {
          picks an ephemeral port), --sessions-max 64. --token demands an\n\
          `auth <token>` handshake; --budget caps Theorem 1 enumerations\n\
          (Auto returns certified bounds past it); the quotas are per\n\
-         connection. A client's :shutdown stops the server gracefully."
+         connection. A client's :shutdown stops the server gracefully.\n\
+         --wal-dir logs every delta to a write-ahead log before its epoch\n\
+         is published (default --fsync always: an acknowledged write is\n\
+         durable); a directory that already holds a log is recovered and\n\
+         the database file is ignored. `qld recover <dir>` inspects a log\n\
+         offline."
     )
 }
 
@@ -127,6 +134,27 @@ fn serve_main(args: &[String]) -> ExitCode {
                 }
             },
             "--no-cache" => opts.cache = false,
+            "--wal-dir" | "-w" => match iter.next() {
+                Some(dir) => opts.wal_dir = Some(dir.clone()),
+                None => {
+                    eprintln!("--wal-dir needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--fsync" => match iter.next().map(String::as_str).and_then(parse_fsync) {
+                Some(policy) => opts.fsync = policy,
+                None => {
+                    eprintln!("--fsync needs always, never, or every:<N>");
+                    return ExitCode::from(2);
+                }
+            },
+            "--checkpoint-every" => match iter.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.checkpoint_every = n,
+                None => {
+                    eprintln!("--checkpoint-every needs a delta count (0 disables)");
+                    return ExitCode::from(2);
+                }
+            },
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`\n{}", serve_usage());
@@ -144,6 +172,54 @@ fn serve_main(args: &[String]) -> ExitCode {
     let stdout = io::stdout();
     let mut out = stdout.lock();
     match serve(db, &opts, &mut out) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) | Err(_) => ExitCode::FAILURE,
+    }
+}
+
+fn recover_usage() -> &'static str {
+    "usage: qld recover <wal-dir> [--out <file.qld>]\n\
+     Recovers the engine state persisted in a `qld serve --wal-dir`\n\
+     directory: loads the newest valid checkpoint, replays the record\n\
+     tail (truncating any torn tail at the first bad checksum), and\n\
+     prints the recovery report, the WAL counters, and the recovered\n\
+     database statistics. --out writes the recovered state as a `.qld`\n\
+     file."
+}
+
+/// The `qld recover` subcommand.
+fn recover_main(args: &[String]) -> ExitCode {
+    let mut opts = RecoverOptions::default();
+    let mut dir: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{}", recover_usage());
+                return ExitCode::SUCCESS;
+            }
+            "--out" | "-o" => match iter.next() {
+                Some(path) => opts.out = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a file argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{}", recover_usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("{}", recover_usage());
+        return ExitCode::from(2);
+    };
+    opts.dir = dir;
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    match recover(&opts, &mut out) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) | Err(_) => ExitCode::FAILURE,
     }
@@ -171,6 +247,9 @@ fn main() -> ExitCode {
     let all_args: Vec<String> = std::env::args().skip(1).collect();
     if all_args.first().map(String::as_str) == Some("serve") {
         return serve_main(&all_args[1..]);
+    }
+    if all_args.first().map(String::as_str) == Some("recover") {
+        return recover_main(&all_args[1..]);
     }
     let mut args = all_args.into_iter();
     let mut path: Option<String> = None;

@@ -10,7 +10,10 @@
 
 use qld_algebra::display_plan;
 use qld_core::CwDatabase;
-use qld_engine::{Answers, Delta, Engine, EngineError, PreparedQuery, Semantics, SharedEngine};
+use qld_engine::{
+    wal_has_state, Answers, Delta, DiskStorage, DurabilityConfig, Engine, EngineError, FsyncPolicy,
+    PreparedQuery, Semantics, SharedEngine, WalConfig,
+};
 use qld_logic::display::display_query;
 use qld_logic::parser::parse_query;
 use qld_logic::Vocabulary;
@@ -813,6 +816,18 @@ pub struct ServeOptions {
     pub threads: Option<usize>,
     /// Whether the shared epoch-keyed answer cache is enabled.
     pub cache: bool,
+    /// Optional write-ahead-log directory (`--wal-dir`). When set, every
+    /// delta is logged (and, under [`FsyncPolicy::Always`], fsynced)
+    /// before its epoch is published, so every acknowledged write
+    /// survives a crash; a directory that already holds a log is
+    /// recovered instead of re-seeded, and the database file argument
+    /// is ignored.
+    pub wal_dir: Option<String>,
+    /// WAL fsync policy (`--fsync always|never|every:<N>`).
+    pub fsync: FsyncPolicy,
+    /// Checkpoint cadence in logged deltas (`--checkpoint-every`; `0`
+    /// disables automatic checkpoints).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServeOptions {
@@ -828,7 +843,24 @@ impl Default for ServeOptions {
             mode: Mode::Auto,
             threads: None,
             cache: true,
+            wal_dir: None,
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: DurabilityConfig::default().checkpoint_every,
         }
+    }
+}
+
+/// Parses an `--fsync` argument: `always`, `never`, or `every:<N>`
+/// (sync once per `N` appended records, `N >= 1`).
+pub fn parse_fsync(s: &str) -> Option<FsyncPolicy> {
+    match s {
+        "always" => Some(FsyncPolicy::Always),
+        "never" => Some(FsyncPolicy::Never),
+        _ => s
+            .strip_prefix("every:")
+            .and_then(|n| n.parse().ok())
+            .filter(|&n| n > 0)
+            .map(FsyncPolicy::EveryN),
     }
 }
 
@@ -838,17 +870,67 @@ impl Default for ServeOptions {
 /// the process is killed). Returns whether the server ran and stopped
 /// cleanly.
 pub fn serve(db: CwDatabase, opts: &ServeOptions, out: &mut dyn Write) -> io::Result<bool> {
-    let mut builder = Engine::builder(db).semantics(opts.mode);
-    if let Some(threads) = opts.threads {
-        builder = builder.parallelism(threads);
-    }
-    if !opts.cache {
-        builder = builder.cache_capacity(0);
-    }
-    if let Some(budget) = opts.budget {
-        builder = builder.mapping_budget(budget);
-    }
-    let shared = SharedEngine::new(builder.build());
+    let build = |db: CwDatabase| {
+        let mut builder = Engine::builder(db).semantics(opts.mode);
+        if let Some(threads) = opts.threads {
+            builder = builder.parallelism(threads);
+        }
+        if !opts.cache {
+            builder = builder.cache_capacity(0);
+        }
+        if let Some(budget) = opts.budget {
+            builder = builder.mapping_budget(budget);
+        }
+        builder.build()
+    };
+    let shared = match &opts.wal_dir {
+        None => SharedEngine::new(build(db)),
+        Some(dir) => {
+            let config = DurabilityConfig {
+                wal: WalConfig {
+                    fsync: opts.fsync,
+                    ..WalConfig::default()
+                },
+                checkpoint_every: opts.checkpoint_every,
+            };
+            let storage = match DiskStorage::open(dir) {
+                Ok(storage) => storage,
+                Err(e) => {
+                    writeln!(out, "error: cannot open WAL directory {dir}: {e}")?;
+                    return Ok(false);
+                }
+            };
+            if wal_has_state(&storage).unwrap_or(false) {
+                // The log is the authority: recover from it and ignore
+                // the database file (which reflects some older state).
+                match SharedEngine::recover_with(Box::new(storage), config, build) {
+                    Ok((shared, report)) => {
+                        writeln!(out, "wal: {report}")?;
+                        writeln!(
+                            out,
+                            "wal: database argument ignored; state comes from the recovered log"
+                        )?;
+                        shared
+                    }
+                    Err(e) => {
+                        writeln!(out, "error: {e}")?;
+                        return Ok(false);
+                    }
+                }
+            } else {
+                match SharedEngine::durable(build(db), Box::new(storage), config) {
+                    Ok(shared) => {
+                        writeln!(out, "wal: logging to {dir}")?;
+                        shared
+                    }
+                    Err(e) => {
+                        writeln!(out, "error: {e}")?;
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+    };
     let config = ServerConfig {
         addr: opts.addr.clone(),
         max_connections: opts.sessions_max,
@@ -869,6 +951,68 @@ pub fn serve(db: CwDatabase, opts: &ServeOptions, out: &mut dyn Write) -> io::Re
     match server.run() {
         Ok(()) => {
             writeln!(out, "server stopped")?;
+            Ok(true)
+        }
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            Ok(false)
+        }
+    }
+}
+
+/// Options of `qld recover` (offline WAL recovery).
+#[derive(Debug, Clone, Default)]
+pub struct RecoverOptions {
+    /// The WAL directory to recover.
+    pub dir: String,
+    /// Optional path the recovered database is written to as `.qld`
+    /// text (`--out`).
+    pub out: Option<String>,
+}
+
+/// The `qld recover` driver: rebuilds an engine from a WAL directory
+/// (newest valid checkpoint plus the replayed record tail, truncating
+/// any torn tail), prints the recovery report, the WAL counters, and
+/// the recovered database statistics, and optionally writes the state
+/// back out as a `.qld` file. Returns whether recovery succeeded.
+pub fn recover(opts: &RecoverOptions, out: &mut dyn Write) -> io::Result<bool> {
+    if !std::path::Path::new(&opts.dir).is_dir() {
+        writeln!(out, "error: no such WAL directory: {}", opts.dir)?;
+        return Ok(false);
+    }
+    let storage = match DiskStorage::open(&opts.dir) {
+        Ok(storage) => storage,
+        Err(e) => {
+            writeln!(out, "error: cannot open WAL directory {}: {e}", opts.dir)?;
+            return Ok(false);
+        }
+    };
+    match SharedEngine::recover_with(Box::new(storage), DurabilityConfig::default(), Engine::new) {
+        Ok((shared, report)) => {
+            writeln!(out, "{report}")?;
+            if let Some(wal) = shared.wal_stats() {
+                writeln!(out, "wal: {wal}")?;
+            }
+            let snapshot = shared.snapshot();
+            let db = snapshot.engine().db();
+            writeln!(
+                out,
+                "{} constants, {} predicates, {} facts, {} uniqueness axioms, epoch {}",
+                db.num_consts(),
+                db.voc().num_preds(),
+                db.num_facts(),
+                db.num_ne(),
+                shared.epoch()
+            )?;
+            if let Some(path) = &opts.out {
+                match std::fs::write(path, qld_core::textio::to_text(db)) {
+                    Ok(()) => writeln!(out, "wrote {path}")?,
+                    Err(e) => {
+                        writeln!(out, "error: cannot write {path}: {e}")?;
+                        return Ok(false);
+                    }
+                }
+            }
             Ok(true)
         }
         Err(e) => {
@@ -1340,5 +1484,108 @@ distinct socrates plato aristotle
         let (out, _) = run(&[":stats", ":insert TEACHES(plato, aristotle)", ":stats"]);
         assert!(out.contains("epoch 0"), "{out}");
         assert!(out.contains("epoch 1"), "{out}");
+    }
+
+    #[test]
+    fn parse_fsync_spellings() {
+        assert_eq!(parse_fsync("always"), Some(FsyncPolicy::Always));
+        assert_eq!(parse_fsync("never"), Some(FsyncPolicy::Never));
+        assert_eq!(parse_fsync("every:8"), Some(FsyncPolicy::EveryN(8)));
+        assert_eq!(parse_fsync("every:0"), None);
+        assert_eq!(parse_fsync("every:"), None);
+        assert_eq!(parse_fsync("sometimes"), None);
+    }
+
+    /// A scratch WAL directory, removed from any previous run.
+    fn wal_dir(name: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("qld_cli_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn recover_round_trips_a_logged_database() {
+        let dir = wal_dir("recover");
+        // Log two deltas through a durable engine, then "crash" (drop).
+        let storage = DiskStorage::open(&dir).unwrap();
+        let shared = SharedEngine::durable(
+            Engine::new(from_text(SAMPLE).unwrap()),
+            Box::new(storage),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        let voc = shared.snapshot().engine().db().voc().clone();
+        let teaches = voc.pred_id("TEACHES").unwrap();
+        let (p, a, m) = (
+            voc.const_id("plato").unwrap(),
+            voc.const_id("aristotle").unwrap(),
+            voc.const_id("mystery").unwrap(),
+        );
+        shared
+            .apply(&Delta::new().insert_fact(teaches, &[p, a]))
+            .unwrap();
+        shared.apply(&Delta::new().assert_ne(m, a)).unwrap();
+        drop(shared);
+
+        let out_file = format!("{dir}/recovered.qld");
+        let mut out = Vec::new();
+        let opts = RecoverOptions {
+            dir: dir.clone(),
+            out: Some(out_file.clone()),
+        };
+        assert!(recover(&opts, &mut out).unwrap());
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("recovered epoch 2"), "{out}");
+        assert!(out.contains("2 record(s) replayed"), "{out}");
+        assert!(out.contains("2 facts"), "{out}");
+        assert!(out.contains("epoch 2"), "{out}");
+        assert!(out.contains("wrote "), "{out}");
+
+        // The written .qld file holds the post-delta state.
+        let db = from_text(&std::fs::read_to_string(&out_file).unwrap()).unwrap();
+        assert_eq!(db.num_facts(), 2);
+        assert_eq!(db.num_ne(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_reports_missing_and_empty_directories() {
+        let mut out = Vec::new();
+        let opts = RecoverOptions {
+            dir: "/nonexistent/wal".to_string(),
+            out: None,
+        };
+        assert!(!recover(&opts, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no such WAL directory"), "{text}");
+
+        let dir = wal_dir("recover_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut out = Vec::new();
+        let opts = RecoverOptions {
+            dir: dir.clone(),
+            out: None,
+        };
+        assert!(!recover(&opts, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no valid checkpoint"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_rejects_an_unusable_wal_directory() {
+        // A *file* where the WAL directory should be: serve fails before
+        // it ever binds.
+        let dir = wal_dir("serve_badwal");
+        std::fs::write(&dir, "not a directory").unwrap();
+        let opts = ServeOptions {
+            wal_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        let mut out = Vec::new();
+        assert!(!serve(from_text(SAMPLE).unwrap(), &opts, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("cannot open WAL directory"), "{text}");
+        let _ = std::fs::remove_file(&dir);
     }
 }

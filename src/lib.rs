@@ -85,7 +85,7 @@ pub mod prelude {
     pub use qld_logic::parser::{parse_query, parse_sentence};
     pub use qld_logic::{Formula, Query, Term, Var, Vocabulary};
     pub use qld_physical::{eval_query, PhysicalDb, Relation};
-    pub use qld_server::{Client, Server, ServerConfig, ServerHandle, ServerStats};
+    pub use qld_server::{Client, RetryPolicy, Server, ServerConfig, ServerHandle, ServerStats};
 
     #[allow(deprecated)]
     pub use crate::{approximate_answers, certain_answers, certainly_holds, possible_answers};

@@ -235,6 +235,111 @@ fn serve_subcommand_answers_over_a_real_socket() {
 }
 
 #[test]
+fn serve_with_wal_survives_a_kill_and_recovers() {
+    use querying_logical_databases::prelude::Client;
+    use std::io::BufRead;
+
+    let dir = std::env::temp_dir().join(format!("qld_wal_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal = dir.to_str().unwrap();
+
+    // Serve with a WAL, apply one acknowledged delta, then SIGKILL the
+    // process mid-flight — no graceful shutdown, no final checkpoint.
+    let mut child = qld()
+        .args(["serve", DB, "--addr", "127.0.0.1:0", "--wal-dir", wal])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("wal banner").unwrap();
+    assert!(banner.starts_with("wal: logging to"), "{banner}");
+    let banner = lines.next().expect("listen banner").unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let reply = client
+        .request(":insert TEACHES(socrates, aristotle)")
+        .unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    assert_eq!(reply.epoch, Some(1));
+    // The WAL counters are live in the wire `:stats`.
+    let reply = client.request(":stats").unwrap();
+    assert!(
+        reply
+            .stats
+            .iter()
+            .any(|s| s.starts_with("wal: 1 record(s) appended")),
+        "{reply:?}"
+    );
+    child.kill().expect("kill serve");
+    let _ = child.wait();
+
+    // Offline recovery sees the acknowledged delta (fsync=always means
+    // the ack implied durability).
+    let out_file = dir.join("recovered.qld");
+    let (stdout, _, ok) = run(&["recover", wal, "--out", out_file.to_str().unwrap()]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("recovered epoch 1"), "{stdout}");
+    assert!(stdout.contains("1 record(s) replayed"), "{stdout}");
+    assert!(stdout.contains("3 facts"), "{stdout}");
+
+    // The recovered .qld answers the post-delta query.
+    let (stdout, _, ok) = run(&[
+        out_file.to_str().unwrap(),
+        "-q",
+        "(x) . TEACHES(socrates, x)",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("(aristotle)"), "{stdout}");
+    assert!(stdout.contains("2 tuple(s)"), "{stdout}");
+
+    // Re-serving from the same directory recovers too (the database
+    // file argument is ignored) and keeps serving at the right epoch.
+    let mut child = qld()
+        .args(["serve", DB, "--addr", "127.0.0.1:0", "--wal-dir", wal])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve restarts");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("recovery banner").unwrap();
+    assert!(banner.starts_with("wal: recovered epoch 1"), "{banner}");
+    let banner = lines.next().expect("ignored banner").unwrap();
+    assert!(banner.contains("database argument ignored"), "{banner}");
+    let banner = lines.next().expect("listen banner").unwrap();
+    let addr = banner.strip_prefix("listening on ").unwrap().to_string();
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.hello().epoch, 1);
+    let reply = client.request("(x) . TEACHES(socrates, x)").unwrap();
+    assert_eq!(reply.answers.len(), 2, "{reply:?}");
+    let reply = client.shutdown_server().unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exited with {status:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn recover_subcommand_validates_its_arguments() {
+    let (stdout, _, ok) = run(&["recover", "--help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage: qld recover"), "{stdout}");
+
+    let (_, stderr, ok) = run(&["recover"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: qld recover"), "{stderr}");
+
+    let (stdout, _, ok) = run(&["recover", "/nonexistent/wal"]);
+    assert!(!ok);
+    assert!(stdout.contains("no such WAL directory"), "{stdout}");
+}
+
+#[test]
 fn serve_subcommand_validates_its_arguments() {
     let (_, stderr, ok) = run(&["serve", DB, "--sessions-max", "0"]);
     assert!(!ok);
