@@ -39,7 +39,9 @@ pub use record::{
     crc32, decode_segment, Checkpoint, SegmentScan, WalRecord, CHECKPOINT_MAGIC, MAX_RECORD_BYTES,
     SEGMENT_MAGIC,
 };
-pub use storage::{DiskStorage, FaultPlan, FaultyStorage, MemStorage, Storage, INJECTED_CRASH};
+pub use storage::{
+    DiskStorage, FaultPlan, FaultyStorage, MemStorage, ReadOnlyStorage, Storage, INJECTED_CRASH,
+};
 
 use std::fmt;
 use std::io;
@@ -166,16 +168,24 @@ fn parse_checkpoint_name(name: &str) -> Option<u64> {
 }
 
 /// Whether the storage holds recoverable WAL state: at least one
-/// checkpoint file (every log seeded through a checkpoint has one from
-/// its first instant, so this is how front-ends decide between seeding
-/// a fresh log and recovering an existing one). A directory with
-/// segments but no checkpoint is a crash before the initial checkpoint
-/// completed — not recoverable, and reported as empty.
+/// checkpoint file that *decodes to a valid [`Checkpoint`]* (every log
+/// seeded through a checkpoint has one from its first instant, so this
+/// is how front-ends decide between seeding a fresh log and recovering
+/// an existing one). A directory with only torn checkpoints — a crash
+/// during the very first, seed checkpoint — or with segments but no
+/// checkpoint at all is not recoverable and is reported as empty, so
+/// the front-end re-seeds instead of refusing to start.
 pub fn has_state(storage: &dyn Storage) -> io::Result<bool> {
-    Ok(storage
-        .list()?
-        .iter()
-        .any(|name| parse_checkpoint_name(name).is_some()))
+    for name in storage.list()? {
+        if parse_checkpoint_name(&name).is_some() {
+            if let Ok(bytes) = storage.read(&name) {
+                if Checkpoint::decode(&bytes).is_some() {
+                    return Ok(true);
+                }
+            }
+        }
+    }
+    Ok(false)
 }
 
 /// The write-ahead log: appends [`WalRecord`]s to segment files through
@@ -284,8 +294,11 @@ impl Wal {
         };
         if active_len == 0 {
             // Fresh log, or a segment torn inside its magic header
-            // (truncated to zero above): write the header.
+            // (truncated to zero above): write the header, and persist
+            // the new file's directory entry — records synced into a
+            // file whose dirent is not durable vanish with it.
             storage.append(&active_name, SEGMENT_MAGIC)?;
+            storage.sync_dir()?;
             stats.segments_created += 1;
         }
 
@@ -363,6 +376,10 @@ impl Wal {
         }
         self.storage.append(&name, &bytes)?;
         self.storage.sync(&name)?;
+        // The checkpoint's directory entry must be durable *before* any
+        // older state is removed: a crash that persisted the removals
+        // but not the new file's dirent would lose committed state.
+        self.storage.sync_dir()?;
         self.stats.fsyncs += 1;
         self.stats.checkpoints += 1;
 
@@ -381,6 +398,10 @@ impl Wal {
                 }
             }
         }
+        // Persist the removals too — not load-bearing for correctness
+        // (recovery filters leftovers by epoch), but it keeps the
+        // directory from resurrecting deleted files after a crash.
+        self.storage.sync_dir()?;
         Ok(())
     }
 
@@ -402,6 +423,9 @@ impl Wal {
         self.active_name = segment_name(self.active_seq);
         self.active_records = 0;
         self.storage.append(&self.active_name, SEGMENT_MAGIC)?;
+        // Make the fresh segment's directory entry durable before any
+        // record synced into it is acknowledged.
+        self.storage.sync_dir()?;
         self.stats.segments_created += 1;
         Ok(())
     }
@@ -690,6 +714,60 @@ mod tests {
                 epochs.len()
             );
         }
+    }
+
+    #[test]
+    fn has_state_requires_a_checkpoint_that_decodes() {
+        let mem = MemStorage::new();
+        assert!(!has_state(&mem).unwrap(), "empty directory");
+
+        // A torn checkpoint — a crash during the seed write — is not
+        // state: the front-end should re-seed, not refuse to start.
+        let bytes = Checkpoint {
+            epoch: 0,
+            payload: b"seed".to_vec(),
+        }
+        .encode();
+        mem.clone()
+            .append(&checkpoint_name(0), &bytes[..bytes.len() - 1])
+            .unwrap();
+        assert!(!has_state(&mem).unwrap(), "torn checkpoint only");
+
+        // A valid one (any epoch) is.
+        mem.clone().append(&checkpoint_name(7), &bytes).unwrap();
+        assert!(has_state(&mem).unwrap());
+    }
+
+    #[test]
+    fn read_only_open_scans_without_repairing() {
+        let mem = MemStorage::new();
+        let (mut wal, _) = open_mem(&mem, WalConfig::default());
+        for e in 1..=3 {
+            wal.append(&record(e)).unwrap();
+        }
+        drop(wal);
+        // Tear the last record.
+        let name = segment_name(0);
+        let len = mem.read(&name).unwrap().len() as u64;
+        mem.clone().truncate(&name, len - 3).unwrap();
+        let torn = mem.read(&name).unwrap();
+
+        let (_, recovery) = Wal::open(
+            Box::new(ReadOnlyStorage::new(mem.clone())),
+            WalConfig::default(),
+        )
+        .unwrap();
+        // Same recovery result as a repairing open…
+        assert_eq!(recovery.records.len(), 2);
+        assert_eq!(recovery.final_epoch(), 2);
+        assert!(recovery.bytes_truncated > 0);
+        // …but the torn tail is still on the medium, untouched.
+        assert_eq!(mem.read(&name).unwrap(), torn);
+
+        // A plain open afterwards repairs it physically.
+        let (_, again) = open_mem(&mem, WalConfig::default());
+        assert_eq!(again.records.len(), 2);
+        assert!(mem.read(&name).unwrap().len() < torn.len());
     }
 
     #[test]

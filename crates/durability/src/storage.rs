@@ -4,8 +4,9 @@
 //! deterministic crash simulator ([`FaultyStorage`]).
 //!
 //! The trait models exactly the operations an append-only log needs —
-//! list/read/append/sync/truncate/remove over flat file names — and
-//! nothing more. Keeping the surface this small is what makes the
+//! list/read/append/sync/truncate/remove over flat file names, plus a
+//! directory-entry sync for media that distinguish file content from
+//! namespace durability — and nothing more. Keeping the surface this small is what makes the
 //! fault-injection implementation *exhaustive*: a crash can be placed at
 //! any byte of any append, and recovery sees precisely the bytes that
 //! were persisted before it.
@@ -33,6 +34,15 @@ pub trait Storage: fmt::Debug + Send {
     fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()>;
     /// Forces previously appended bytes of `name` to durable storage.
     fn sync(&mut self, name: &str) -> io::Result<()>;
+    /// Forces the *namespace itself* to durable storage: on POSIX,
+    /// syncing a file does not persist its directory entry, so a newly
+    /// created (or removed) file can vanish across a crash even though
+    /// its bytes were synced. Implementations backed by a real
+    /// directory fsync it; the default is a no-op for media without the
+    /// distinction (in-memory maps).
+    fn sync_dir(&mut self) -> io::Result<()> {
+        Ok(())
+    }
     /// Shrinks `name` to `len` bytes (no-op if already shorter).
     fn truncate(&mut self, name: &str, len: u64) -> io::Result<()>;
     /// Deletes `name` (`NotFound` if absent).
@@ -97,6 +107,10 @@ impl Storage for DiskStorage {
             .append(true)
             .open(self.path(name))?;
         file.sync_all()
+    }
+
+    fn sync_dir(&mut self) -> io::Result<()> {
+        fs::File::open(&self.root)?.sync_all()
     }
 
     fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
@@ -200,6 +214,13 @@ pub struct FaultPlan {
     /// Fail the nth [`Storage::remove`] call (1-based), then die — this
     /// lands a crash in the middle of checkpoint truncation.
     pub crash_on_remove: Option<u64>,
+    /// Fail the nth [`Storage::append`] call (1-based) *transiently*:
+    /// nothing is persisted, the error is returned, and the storage
+    /// stays alive — a later append succeeds. This models a recoverable
+    /// medium error (ENOSPC, a blip) rather than a process crash, and
+    /// exists to prove the engine never trusts a storage again after
+    /// one lost write.
+    pub fail_append_nth: Option<u64>,
 }
 
 impl FaultPlan {
@@ -226,6 +247,15 @@ impl FaultPlan {
             ..FaultPlan::default()
         }
     }
+
+    /// A plan that fails the nth append (1-based) transiently, leaving
+    /// the storage alive afterwards.
+    pub fn fail_append(n: u64) -> FaultPlan {
+        FaultPlan {
+            fail_append_nth: Some(n),
+            ..FaultPlan::default()
+        }
+    }
 }
 
 /// The error kind every injected fault surfaces as.
@@ -247,6 +277,7 @@ pub struct FaultyStorage {
     inner: MemStorage,
     plan: FaultPlan,
     appended: u64,
+    appends: u64,
     syncs: u64,
     removes: u64,
     dead: bool,
@@ -259,6 +290,7 @@ impl FaultyStorage {
             inner,
             plan,
             appended: 0,
+            appends: 0,
             syncs: 0,
             removes: 0,
             dead: false,
@@ -297,6 +329,11 @@ impl Storage for FaultyStorage {
 
     fn append(&mut self, name: &str, data: &[u8]) -> io::Result<()> {
         self.alive()?;
+        self.appends += 1;
+        if self.plan.fail_append_nth == Some(self.appends) {
+            // Transient: nothing persisted, storage stays alive.
+            return Err(injected());
+        }
         if let Some(limit) = self.plan.crash_after_bytes {
             let after = self.appended + data.len() as u64;
             if after > limit {
@@ -325,6 +362,11 @@ impl Storage for FaultyStorage {
         self.inner.sync(name)
     }
 
+    fn sync_dir(&mut self) -> io::Result<()> {
+        self.alive()?;
+        self.inner.sync_dir()
+    }
+
     fn truncate(&mut self, name: &str, len: u64) -> io::Result<()> {
         self.alive()?;
         self.inner.truncate(name, len)
@@ -340,6 +382,51 @@ impl Storage for FaultyStorage {
             }
         }
         self.inner.remove(name)
+    }
+}
+
+/// A storage wrapper that reads the underlying medium but silently
+/// drops every mutation (append/sync/truncate/remove become no-ops).
+///
+/// This turns [`Wal::open`](crate::Wal::open) into a pure scan: the
+/// same recovery result is computed (decoding stops at the first bad
+/// frame either way), but torn tails are not physically truncated,
+/// post-corruption segments are not deleted, and no fresh segment
+/// header is written — the evidence of a crash survives inspection.
+/// `qld recover --read-only` is built on this.
+#[derive(Debug)]
+pub struct ReadOnlyStorage<S: Storage>(S);
+
+impl<S: Storage> ReadOnlyStorage<S> {
+    /// Wraps `inner`, exposing its contents immutably.
+    pub fn new(inner: S) -> ReadOnlyStorage<S> {
+        ReadOnlyStorage(inner)
+    }
+}
+
+impl<S: Storage> Storage for ReadOnlyStorage<S> {
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.0.list()
+    }
+
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.0.read(name)
+    }
+
+    fn append(&mut self, _name: &str, _data: &[u8]) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn sync(&mut self, _name: &str) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, _name: &str, _len: u64) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn remove(&mut self, _name: &str) -> io::Result<()> {
+        Ok(())
     }
 }
 
@@ -408,6 +495,39 @@ mod tests {
     }
 
     #[test]
+    fn transient_append_failure_leaves_storage_alive() {
+        let mem = MemStorage::new();
+        let mut faulty = FaultyStorage::new(mem.clone(), FaultPlan::fail_append(2));
+        faulty.append("f", b"one").unwrap();
+        // The second append fails without persisting anything…
+        assert_eq!(
+            faulty.append("f", b"two").unwrap_err().kind(),
+            INJECTED_CRASH
+        );
+        assert!(!faulty.crashed(), "a transient failure is not a crash");
+        assert_eq!(mem.read("f").unwrap(), b"one");
+        // …and the storage works again afterwards.
+        faulty.append("f", b"three").unwrap();
+        faulty.sync("f").unwrap();
+        assert_eq!(mem.read("f").unwrap(), b"onethree");
+    }
+
+    #[test]
+    fn read_only_storage_reads_but_never_writes() {
+        let mut mem = MemStorage::new();
+        mem.append("f", b"bytes").unwrap();
+        let mut ro = ReadOnlyStorage::new(mem.clone());
+        assert_eq!(ro.read("f").unwrap(), b"bytes");
+        assert_eq!(ro.list().unwrap(), vec!["f".to_string()]);
+        ro.append("f", b"more").unwrap();
+        ro.truncate("f", 1).unwrap();
+        ro.remove("f").unwrap();
+        ro.sync("f").unwrap();
+        ro.sync_dir().unwrap();
+        assert_eq!(mem.read("f").unwrap(), b"bytes", "mutations must not land");
+    }
+
+    #[test]
     fn disk_storage_round_trips() {
         let root = std::env::temp_dir().join(format!("qld_wal_storage_{}", std::process::id()));
         let _ = fs::remove_dir_all(&root);
@@ -416,6 +536,7 @@ mod tests {
         disk.append("wal-0", b"abc").unwrap();
         disk.append("wal-0", b"def").unwrap();
         disk.sync("wal-0").unwrap();
+        disk.sync_dir().unwrap();
         assert_eq!(disk.read("wal-0").unwrap(), b"abcdef");
         disk.truncate("wal-0", 4).unwrap();
         assert_eq!(disk.read("wal-0").unwrap(), b"abcd");

@@ -42,7 +42,7 @@ use crate::session::Engine;
 use qld_logic::Query;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -338,6 +338,13 @@ struct SharedInner {
     /// the write path, nested inside the writer lock — readers never
     /// touch it.
     wal: Option<Mutex<DurableState>>,
+    /// Set (never cleared) on the first WAL error. Once a record append
+    /// or checkpoint fails, the writer engine may hold a delta the log
+    /// does not — publishing anything after that, or appending a later
+    /// record over a possibly torn frame, would break the
+    /// log-before-publish guarantee. Every subsequent write therefore
+    /// fails fast until the process restarts and recovers from the log.
+    wal_poisoned: AtomicBool,
 }
 
 /// A shareable, concurrently correct engine over one evolving database:
@@ -420,6 +427,7 @@ impl SharedEngine {
                 cache_capacity,
                 sessions: AtomicU64::new(0),
                 wal: wal.map(Mutex::new),
+                wal_poisoned: AtomicBool::new(false),
             }),
         }
     }
@@ -468,19 +476,25 @@ impl SharedEngine {
     /// WAL record is appended — and synced, per policy — **before** the
     /// snapshot is published (*log-before-publish*): no reader, and no
     /// client reply, can ever observe an epoch the log does not hold. A
-    /// WAL failure fails the `apply` with
-    /// [`EngineError::Durability`] and publishes nothing; the engine
-    /// should then be abandoned and recovered, like the crashed process
-    /// it is simulating.
+    /// WAL failure fails the `apply` with [`EngineError::Durability`],
+    /// publishes nothing, and **poisons the engine for writes**: the
+    /// writer holds a delta the log may not, and a later append could
+    /// land beyond a torn frame, so every subsequent `apply` (and
+    /// [`SharedEngine::checkpoint_now`]) fails until the process
+    /// restarts and recovers from the log — even if the underlying
+    /// storage error was transient. Reads keep being served from the
+    /// last published (durable) snapshot; see
+    /// [`SharedEngine::wal_poisoned`].
     pub fn apply(&self, delta: &Delta) -> Result<DeltaReport, EngineError> {
         let mut writer = self.inner.writer.lock().expect("writer engine poisoned");
+        self.check_wal_poisoned()?;
         let report = writer.apply(delta)?;
         if report.changed() {
             if let Some(wal) = &self.inner.wal {
-                wal.lock()
-                    .expect("wal poisoned")
-                    .log(delta, &writer)
-                    .map_err(|e| EngineError::Durability(e.to_string()))?;
+                if let Err(e) = wal.lock().expect("wal poisoned").log(delta, &writer) {
+                    self.inner.wal_poisoned.store(true, Ordering::Release);
+                    return Err(EngineError::Durability(e.to_string()));
+                }
             }
             let snapshot = Arc::new(EngineSnapshot {
                 engine: writer.clone(),
@@ -493,6 +507,29 @@ impl SharedEngine {
                 .expect("published snapshot poisoned") = snapshot;
         }
         Ok(report)
+    }
+
+    /// Whether a WAL failure has poisoned this engine for writes (always
+    /// `false` without durability). A poisoned engine keeps serving
+    /// reads at the last published epoch but rejects every write; the
+    /// only way forward is to restart and
+    /// [`recover_with`](SharedEngine::recover_with).
+    pub fn wal_poisoned(&self) -> bool {
+        self.inner.wal_poisoned.load(Ordering::Acquire)
+    }
+
+    /// Fails if a previous WAL error poisoned the write path. Called
+    /// with the writer lock held, *before* mutating the writer engine,
+    /// so a poisoned engine's state stops evolving entirely.
+    fn check_wal_poisoned(&self) -> Result<(), EngineError> {
+        if self.wal_poisoned() {
+            return Err(EngineError::Durability(
+                "a write-ahead-log failure poisoned this engine; restart and recover \
+                 from the log"
+                    .to_string(),
+            ));
+        }
+        Ok(())
     }
 
     /// Entries currently in the shared answer cache (across all epochs —
@@ -539,16 +576,19 @@ impl SharedEngine {
     /// Writes a database checkpoint now (serializes the writer's
     /// database, then truncates older log state), regardless of the
     /// automatic cadence. Returns the checkpointed epoch, or `None` when
-    /// the engine has no WAL.
+    /// the engine has no WAL. A failure poisons the engine for writes,
+    /// exactly like a failed [`SharedEngine::apply`] — the log may be
+    /// mid-rotation, so appending anything more could tear it.
     pub fn checkpoint_now(&self) -> Result<Option<u64>, EngineError> {
         let Some(wal) = &self.inner.wal else {
             return Ok(None);
         };
         let writer = self.inner.writer.lock().expect("writer engine poisoned");
-        wal.lock()
-            .expect("wal poisoned")
-            .checkpoint(&writer)
-            .map_err(|e| EngineError::Durability(e.to_string()))?;
+        self.check_wal_poisoned()?;
+        if let Err(e) = wal.lock().expect("wal poisoned").checkpoint(&writer) {
+            self.inner.wal_poisoned.store(true, Ordering::Release);
+            return Err(EngineError::Durability(e.to_string()));
+        }
         Ok(Some(writer.epoch()))
     }
 

@@ -260,7 +260,7 @@ mod tests {
     use super::*;
     use crate::evidence::Semantics;
     use qld_logic::Vocabulary;
-    use qld_wal::{FaultPlan, FaultyStorage, FsyncPolicy, MemStorage};
+    use qld_wal::{has_state, FaultPlan, FaultyStorage, FsyncPolicy, MemStorage, Storage as _};
 
     fn small_db() -> CwDatabase {
         let mut voc = Vocabulary::new();
@@ -417,6 +417,45 @@ mod tests {
     }
 
     #[test]
+    fn torn_seed_checkpoint_reseeds_instead_of_wedging() {
+        // Crash in the middle of the very first (seed) checkpoint
+        // write: the directory holds a segment header and a torn ckpt
+        // file. That is not recoverable state — `has_state` must report
+        // the directory as empty so the serve front-end re-seeds it,
+        // rather than taking the recover path and refusing to start
+        // until an operator wipes the directory by hand.
+        let mem = MemStorage::new();
+        let faulty = FaultyStorage::new(mem.clone(), FaultPlan::crash_after_bytes(20));
+        let err = SharedEngine::durable(
+            Engine::new(small_db()),
+            Box::new(faulty),
+            DurabilityConfig::default(),
+        );
+        assert!(err.is_err(), "the injected crash fails the seed");
+        assert!(
+            mem.list().unwrap().iter().any(|n| n.ends_with(".ck")),
+            "a torn checkpoint file is left behind"
+        );
+        assert!(!has_state(&mem).unwrap(), "torn seed is not state");
+
+        // Seeding over the debris succeeds and produces a working log.
+        let shared = SharedEngine::durable(
+            Engine::new(small_db()),
+            Box::new(mem.clone()),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        let (p, _, c) = ids(&shared);
+        shared.apply(&Delta::new().insert_fact(p, &[c[0]])).unwrap();
+        drop(shared);
+        let (recovered, report) =
+            SharedEngine::recover_with(Box::new(mem), DurabilityConfig::default(), Engine::new)
+                .unwrap();
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(recovered.epoch(), 1);
+    }
+
+    #[test]
     fn wal_append_failure_fails_apply_without_publishing() {
         // Seed a clean WAL directory, then reopen it through a faulty
         // storage that dies on the very first append. Recovery after a
@@ -439,14 +478,72 @@ mod tests {
             .apply(&Delta::new().insert_fact(p, &[c[0]]))
             .unwrap_err();
         assert!(matches!(err, EngineError::Durability(_)), "{err}");
-        // Log-before-publish: the failed delta was never published.
+        // Log-before-publish: the failed delta was never published, and
+        // the write path is poisoned from here on.
         assert_eq!(shared.epoch(), 0);
+        assert!(shared.wal_poisoned());
         // And recovery of the surviving bytes sees the seed state only.
         let (recovered, report) =
             SharedEngine::recover_with(Box::new(mem), DurabilityConfig::default(), Engine::new)
                 .unwrap();
         assert_eq!(report.records_replayed, 0);
         assert_eq!(recovered.epoch(), 0);
+    }
+
+    #[test]
+    fn transient_wal_failure_poisons_all_subsequent_writes() {
+        // Seed a clean WAL, then reopen it through a storage that fails
+        // exactly one append *transiently* — the medium recovers, think
+        // ENOSPC. The failed apply leaves the writer engine one delta
+        // ahead of the log; were a later apply allowed to proceed, it
+        // would log a record with a gapped epoch and recovery would
+        // refuse the whole tail ("replay diverged"), losing every acked
+        // write since the checkpoint. The poison flag forbids it.
+        let mem = MemStorage::new();
+        let shared = SharedEngine::durable(
+            Engine::new(small_db()),
+            Box::new(mem.clone()),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        drop(shared);
+        let faulty = FaultyStorage::new(mem.clone(), FaultPlan::fail_append(1));
+        let (shared, _) =
+            SharedEngine::recover_with(Box::new(faulty), DurabilityConfig::default(), Engine::new)
+                .unwrap();
+        let (p, _, c) = ids(&shared);
+        assert!(!shared.wal_poisoned());
+        let err = shared
+            .apply(&Delta::new().insert_fact(p, &[c[0]]))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Durability(_)), "{err}");
+        assert!(shared.wal_poisoned());
+
+        // The storage is healthy again, but the engine must never trust
+        // it: the next apply fails fast, before touching the writer…
+        let err = shared
+            .apply(&Delta::new().insert_fact(p, &[c[1]]))
+            .unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        // …and so does an explicit checkpoint (it would persist the
+        // unlogged delta under a gapped epoch).
+        let err = shared.checkpoint_now().unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        // Reads keep working at the last durable epoch.
+        assert_eq!(shared.epoch(), 0);
+        let mut session = shared.session();
+        let q = session.prepare_text("(x) . P(x)").unwrap();
+        assert_eq!(session.execute(&q).unwrap().evidence().epoch, 0);
+        drop(shared);
+
+        // Recovery sees exactly the durable prefix: no gapped record,
+        // no divergence, nothing acked lost (nothing was acked).
+        let (recovered, report) =
+            SharedEngine::recover_with(Box::new(mem), DurabilityConfig::default(), Engine::new)
+                .unwrap();
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(recovered.epoch(), 0);
+        assert!(!recovered.wal_poisoned());
     }
 
     #[test]

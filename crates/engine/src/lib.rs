@@ -71,7 +71,7 @@ pub use qld_core::exact::MappingStrategy;
 pub use qld_core::mappings::ParallelConfig;
 pub use qld_wal::{
     has_state as wal_has_state, DiskStorage, FaultPlan, FaultyStorage, FsyncPolicy, MemStorage,
-    Storage, WalConfig, WalStats,
+    ReadOnlyStorage, Storage, WalConfig, WalStats,
 };
 
 #[cfg(test)]

@@ -623,6 +623,14 @@ fn handle_request(
             if let Some(wal) = shared.wal_stats() {
                 let _ = writeln!(reply, "stat: wal: {wal}");
             }
+            if shared.wal_poisoned() {
+                let _ = writeln!(
+                    reply,
+                    "stat: wal: write-poisoned by an earlier WAL failure — reads \
+                     serve the last durable epoch, every write fails; restart and \
+                     recover from the log"
+                );
+            }
             let _ = writeln!(reply, "done: epoch={}", shared.epoch());
             false
         }

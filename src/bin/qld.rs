@@ -20,7 +20,7 @@ fn usage() -> String {
         "usage: qld <database.qld> [--mode {MODE_USAGE}] [--threads <N>]\n\
          \x20          [--no-cache] [--batch <file>] [--sessions <N>] [-q <query>]...\n\
          \x20      qld serve <database.qld> [options]   (see qld serve --help)\n\
-         \x20      qld recover <wal-dir> [--out <file.qld>]\n\
+         \x20      qld recover <wal-dir> [--out <file.qld>] [--read-only]\n\
          With no -q/--batch, starts an interactive shell (:help for commands).\n\
          The default mode is `auto`: the engine runs the cheapest evaluation\n\
          path the paper proves exact and reports which theorem certified it.\n\
@@ -61,8 +61,9 @@ fn serve_usage() -> String {
          --wal-dir logs every delta to a write-ahead log before its epoch\n\
          is published (default --fsync always: an acknowledged write is\n\
          durable); a directory that already holds a log is recovered and\n\
-         the database file is ignored. `qld recover <dir>` inspects a log\n\
-         offline."
+         the database file is ignored. `qld recover <dir>` replays a log\n\
+         offline (repairing torn tails in place; --read-only to only\n\
+         inspect)."
     )
 }
 
@@ -178,13 +179,16 @@ fn serve_main(args: &[String]) -> ExitCode {
 }
 
 fn recover_usage() -> &'static str {
-    "usage: qld recover <wal-dir> [--out <file.qld>]\n\
+    "usage: qld recover <wal-dir> [--out <file.qld>] [--read-only]\n\
      Recovers the engine state persisted in a `qld serve --wal-dir`\n\
      directory: loads the newest valid checkpoint, replays the record\n\
-     tail (truncating any torn tail at the first bad checksum), and\n\
-     prints the recovery report, the WAL counters, and the recovered\n\
-     database statistics. --out writes the recovered state as a `.qld`\n\
-     file."
+     tail, and prints the recovery report, the WAL counters, and the\n\
+     recovered database statistics. By default the log is repaired in\n\
+     place, exactly as serving from it would: torn tails are truncated\n\
+     at the first bad checksum and segments beyond a corrupt frame are\n\
+     removed. --read-only computes the same report without modifying\n\
+     the directory (torn bytes stay on disk as evidence). --out writes\n\
+     the recovered state as a `.qld` file."
 }
 
 /// The `qld recover` subcommand.
@@ -198,6 +202,7 @@ fn recover_main(args: &[String]) -> ExitCode {
                 println!("{}", recover_usage());
                 return ExitCode::SUCCESS;
             }
+            "--read-only" => opts.read_only = true,
             "--out" | "-o" => match iter.next() {
                 Some(path) => opts.out = Some(path.clone()),
                 None => {

@@ -12,7 +12,7 @@ use qld_algebra::display_plan;
 use qld_core::CwDatabase;
 use qld_engine::{
     wal_has_state, Answers, Delta, DiskStorage, DurabilityConfig, Engine, EngineError, FsyncPolicy,
-    PreparedQuery, Semantics, SharedEngine, WalConfig,
+    PreparedQuery, ReadOnlyStorage, Semantics, SharedEngine, WalConfig,
 };
 use qld_logic::display::display_query;
 use qld_logic::parser::parse_query;
@@ -968,26 +968,44 @@ pub struct RecoverOptions {
     /// Optional path the recovered database is written to as `.qld`
     /// text (`--out`).
     pub out: Option<String>,
+    /// Scan without repairing (`--read-only`): compute the same
+    /// recovery result but leave the directory byte-for-byte untouched
+    /// — torn tails stay on disk as evidence instead of being
+    /// physically truncated.
+    pub read_only: bool,
 }
 
 /// The `qld recover` driver: rebuilds an engine from a WAL directory
-/// (newest valid checkpoint plus the replayed record tail, truncating
-/// any torn tail), prints the recovery report, the WAL counters, and
-/// the recovered database statistics, and optionally writes the state
-/// back out as a `.qld` file. Returns whether recovery succeeded.
+/// (newest valid checkpoint plus the replayed record tail), prints the
+/// recovery report, the WAL counters, and the recovered database
+/// statistics, and optionally writes the state back out as a `.qld`
+/// file. Returns whether recovery succeeded.
+///
+/// By default this **repairs the log in place**, exactly as `qld serve
+/// --wal-dir` would on restart: torn tails are physically truncated at
+/// the first bad checksum, segments beyond a corrupt frame are removed,
+/// and a fresh frame boundary is prepared for future appends. Pass
+/// [`RecoverOptions::read_only`] for a purely diagnostic scan that
+/// leaves the directory untouched.
 pub fn recover(opts: &RecoverOptions, out: &mut dyn Write) -> io::Result<bool> {
     if !std::path::Path::new(&opts.dir).is_dir() {
         writeln!(out, "error: no such WAL directory: {}", opts.dir)?;
         return Ok(false);
     }
-    let storage = match DiskStorage::open(&opts.dir) {
+    let disk = match DiskStorage::open(&opts.dir) {
         Ok(storage) => storage,
         Err(e) => {
             writeln!(out, "error: cannot open WAL directory {}: {e}", opts.dir)?;
             return Ok(false);
         }
     };
-    match SharedEngine::recover_with(Box::new(storage), DurabilityConfig::default(), Engine::new) {
+    let storage: Box<dyn qld_engine::Storage> = if opts.read_only {
+        writeln!(out, "read-only scan: the log will not be modified")?;
+        Box::new(ReadOnlyStorage::new(disk))
+    } else {
+        Box::new(disk)
+    };
+    match SharedEngine::recover_with(storage, DurabilityConfig::default(), Engine::new) {
         Ok((shared, report)) => {
             writeln!(out, "{report}")?;
             if let Some(wal) = shared.wal_stats() {
@@ -1532,6 +1550,7 @@ distinct socrates plato aristotle
         let opts = RecoverOptions {
             dir: dir.clone(),
             out: Some(out_file.clone()),
+            read_only: false,
         };
         assert!(recover(&opts, &mut out).unwrap());
         let out = String::from_utf8(out).unwrap();
@@ -1549,11 +1568,65 @@ distinct socrates plato aristotle
     }
 
     #[test]
+    fn read_only_recover_leaves_the_log_untouched() {
+        let dir = wal_dir("recover_ro");
+        let shared = SharedEngine::durable(
+            Engine::new(from_text(SAMPLE).unwrap()),
+            Box::new(DiskStorage::open(&dir).unwrap()),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        let voc = shared.snapshot().engine().db().voc().clone();
+        let teaches = voc.pred_id("TEACHES").unwrap();
+        let (p, a) = (
+            voc.const_id("plato").unwrap(),
+            voc.const_id("aristotle").unwrap(),
+        );
+        shared
+            .apply(&Delta::new().insert_fact(teaches, &[p, a]))
+            .unwrap();
+        drop(shared);
+        // Tear the live segment's tail, crash-style.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "seg"))
+            .unwrap();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 2]).unwrap();
+        let torn = std::fs::read(&seg).unwrap();
+
+        let mut out = Vec::new();
+        let opts = RecoverOptions {
+            dir: dir.clone(),
+            out: None,
+            read_only: true,
+        };
+        assert!(recover(&opts, &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("read-only scan"), "{text}");
+        assert!(text.contains("recovered epoch 0"), "{text}");
+        // The torn tail is still there, byte for byte.
+        assert_eq!(std::fs::read(&seg).unwrap(), torn);
+
+        // A plain recover repairs it in place.
+        let mut out = Vec::new();
+        let opts = RecoverOptions {
+            read_only: false,
+            ..opts
+        };
+        assert!(recover(&opts, &mut out).unwrap());
+        assert!(std::fs::read(&seg).unwrap().len() < torn.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn recover_reports_missing_and_empty_directories() {
         let mut out = Vec::new();
         let opts = RecoverOptions {
             dir: "/nonexistent/wal".to_string(),
-            out: None,
+            ..RecoverOptions::default()
         };
         assert!(!recover(&opts, &mut out).unwrap());
         let text = String::from_utf8(out).unwrap();
@@ -1564,7 +1637,7 @@ distinct socrates plato aristotle
         let mut out = Vec::new();
         let opts = RecoverOptions {
             dir: dir.clone(),
-            out: None,
+            ..RecoverOptions::default()
         };
         assert!(!recover(&opts, &mut out).unwrap());
         let text = String::from_utf8(out).unwrap();
