@@ -2,7 +2,8 @@
 //! E7 approximation, E8 polynomial parity, E10 parallel scaling, E11 batch
 //! amortization, E12 incremental deltas, E13 in-process concurrent
 //! serving, E14 the same load over loopback TCP, E15 WAL append overhead
-//! and recovery replay) once each and writes the measurements to a JSON
+//! and recovery replay, E16 replication catch-up, lag, and replica
+//! reads) once each and writes the measurements to a JSON
 //! file, so the repository carries a recorded perf trajectory instead of
 //! folklore.
 //!
@@ -16,8 +17,8 @@
 //! future perf PRs re-run it and diff.
 
 use qld_bench::{
-    batch_queries, concurrent_load, fresh_facts, high_null_db, scaling_query, socket_load,
-    standard_db, standard_queries, time_once,
+    batch_queries, concurrent_load, fresh_facts, high_null_db, replication_load, scaling_query,
+    socket_load, standard_db, standard_queries, time_once,
 };
 use qld_engine::{
     Backend, Delta, DiskStorage, DurabilityConfig, Engine, FsyncPolicy, MappingStrategy, Semantics,
@@ -437,6 +438,47 @@ fn run_workloads(smoke: bool) -> Vec<Entry> {
         });
     }
     let _ = std::fs::remove_dir_all(&wal_root);
+
+    // E16: replication — a fresh follower bootstraps through the feed
+    // over loopback TCP, then applies the primary's delta stream while
+    // reader threads hammer the replica. `e16_catchup` holds the record
+    // count in `mappings`, so `mappings_per_sec` is follower catch-up
+    // throughput in records/s; the lag entries store epochs of lag in
+    // `mappings` (sampled every millisecond over the streaming window);
+    // the read entries are replica read-latency percentiles to set next
+    // to the E13 (in-process) and E14 (socket) series.
+    let repl_sessions = if smoke { 2 } else { 4 };
+    let report = replication_load(&serve_db, repl_sessions, reads, delta_count, 7);
+    entries.push(Entry {
+        workload: "e16_catchup",
+        threads: 1,
+        wall: report.catchup_wall,
+        mappings: report.deltas as u64,
+    });
+    entries.push(Entry {
+        workload: "e16_lag_p50",
+        threads: 1,
+        wall: report.catchup_wall,
+        mappings: report.lag_p50,
+    });
+    entries.push(Entry {
+        workload: "e16_lag_max",
+        threads: 1,
+        wall: report.catchup_wall,
+        mappings: report.lag_max,
+    });
+    entries.push(Entry {
+        workload: "e16_read_p50",
+        threads: repl_sessions,
+        wall: report.read_p50,
+        mappings: 0,
+    });
+    entries.push(Entry {
+        workload: "e16_read_p99",
+        threads: repl_sessions,
+        wall: report.read_p99,
+        mappings: 0,
+    });
 
     entries
 }

@@ -402,3 +402,221 @@ pub fn socket_load(
         writer_wall,
     }
 }
+
+/// What the E16 replication load generator measured: how fast a fresh
+/// follower bootstraps and applies the primary's delta stream, how far
+/// it trails while the writer is live, and what reads cost on the
+/// replica itself.
+pub struct ReplicationLoadReport {
+    /// Deltas streamed through the primary (and applied by the follower).
+    pub deltas: usize,
+    /// Wall-clock from the first blast-phase write until the follower
+    /// had applied the final blast epoch; catch-up throughput is
+    /// `deltas / catchup_wall`.
+    pub catchup_wall: std::time::Duration,
+    /// Median replication lag in epochs (primary epoch − follower
+    /// applied epoch), sampled every millisecond during the *paced*
+    /// phase, where the writer publishes at a sustainable rate — a
+    /// healthy follower holds this near zero.
+    pub lag_p50: u64,
+    /// Worst lag in epochs observed in the paced window.
+    pub lag_max: u64,
+    /// Total reads the replica served during the stream.
+    pub reads: usize,
+    /// Median replica read latency.
+    pub read_p50: std::time::Duration,
+    /// 99th-percentile replica read latency.
+    pub read_p99: std::time::Duration,
+}
+
+impl ReplicationLoadReport {
+    /// Records the follower applied per second during catch-up.
+    pub fn catchup_throughput(&self) -> f64 {
+        self.deltas as f64 / self.catchup_wall.as_secs_f64()
+    }
+}
+
+/// The E16 replication load generator: a primary `qld_server` over `db`,
+/// a fresh follower bootstrapping through the replication feed over real
+/// loopback TCP, then one writer streaming fresh `P0` facts through the
+/// primary in two phases — a *blast* of `deltas` records applied
+/// back-to-back (timing how long the follower takes to drain them =
+/// catch-up throughput) and a *paced* stream of `deltas` more at one
+/// record per 500µs (sampling the epoch lag every millisecond =
+/// steady-state lag) — while `sessions` reader threads hammer the
+/// *follower's* `SharedEngine` with the [`STANDARD_QUERY_TEXTS`] mix.
+/// Returns catch-up throughput, lag percentiles, and replica read
+/// latencies — the replica numbers to set next to E13 (in-process) and
+/// E14 (socket) reads.
+pub fn replication_load(
+    db: &CwDatabase,
+    sessions: usize,
+    reads_per_session: usize,
+    deltas: usize,
+    seed: u64,
+) -> ReplicationLoadReport {
+    use qld_engine::{Delta, Engine, SharedEngine};
+    use qld_server::replication::FollowerLink;
+    use qld_server::{RetryPolicy, Server, ServerConfig};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+    use std::time::{Duration, Instant};
+
+    let primary = SharedEngine::new(Engine::new(db.clone()));
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        max_connections: 4,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(primary.clone(), config).expect("bench primary binds");
+    let addr = server.local_addr().expect("bench primary addr");
+    let running = server.spawn().expect("bench primary spawns");
+
+    // A fresh follower: placeholder database (bootstrap handshake →
+    // snapshot transfer), then the live frame stream.
+    let placeholder = qld_core::textio::from_text("const bootstrap").expect("placeholder db");
+    let follower = SharedEngine::new(Engine::new(placeholder));
+    let link = FollowerLink::new(
+        follower.clone(),
+        addr.to_string(),
+        None,
+        RetryPolicy::default(),
+        Arc::new(Engine::new),
+    );
+    let handle = link.spawn();
+
+    // Warm-up delta: once the follower has applied epoch 1 the snapshot
+    // landed and its vocabulary matches the primary's, so the readers
+    // can prepare against the replica.
+    let mut stream = fresh_facts(db, 2 * deltas + 1, seed);
+    let (wp, wargs) = stream.remove(0);
+    primary
+        .apply(&Delta::new().insert_fact(wp, &wargs))
+        .expect("warm-up delta applies");
+    let bootstrap_deadline = Instant::now() + Duration::from_secs(30);
+    while follower.epoch() < 1 {
+        assert!(
+            Instant::now() < bootstrap_deadline,
+            "follower never bootstrapped"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let prepared: Vec<qld_engine::PreparedQuery> = {
+        let snap = follower.snapshot();
+        let voc = snap.engine().db().voc();
+        STANDARD_QUERY_TEXTS
+            .iter()
+            .map(|(name, text)| {
+                let query = parse_query(voc, text).expect(name);
+                snap.engine().prepare(query).expect(name)
+            })
+            .collect()
+    };
+
+    let (blast, paced) = stream.split_at(deltas);
+    let blast_target = deltas as u64 + 1;
+    let paced_target = 2 * deltas as u64 + 1;
+    let barrier = Barrier::new(sessions + 2);
+    // Lag is only meaningful while the writer paces itself: during the
+    // blast the primary is always a full stream ahead by construction.
+    let pacing = AtomicBool::new(false);
+    let streaming = AtomicBool::new(true);
+
+    let (catchup_wall, lag_samples, latencies) = std::thread::scope(|scope| {
+        let writer = {
+            let primary = primary.clone();
+            let follower = follower.clone();
+            let barrier = &barrier;
+            let pacing = &pacing;
+            let streaming = &streaming;
+            scope.spawn(move || {
+                barrier.wait();
+                let start = Instant::now();
+                for (p, args) in blast {
+                    primary
+                        .apply(&Delta::new().insert_fact(*p, args))
+                        .expect("bench delta applies");
+                }
+                while follower.epoch() < blast_target {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                let wall = start.elapsed();
+                pacing.store(true, Ordering::Release);
+                for (p, args) in paced {
+                    primary
+                        .apply(&Delta::new().insert_fact(*p, args))
+                        .expect("bench delta applies");
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                while follower.epoch() < paced_target {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                streaming.store(false, Ordering::Release);
+                wall
+            })
+        };
+        let sampler = {
+            let primary = primary.clone();
+            let follower = follower.clone();
+            let barrier = &barrier;
+            let pacing = &pacing;
+            let streaming = &streaming;
+            scope.spawn(move || {
+                let mut samples = Vec::new();
+                barrier.wait();
+                while streaming.load(Ordering::Acquire) {
+                    if pacing.load(Ordering::Acquire) {
+                        samples.push(primary.epoch().saturating_sub(follower.epoch()));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                samples
+            })
+        };
+        let readers: Vec<_> = (0..sessions)
+            .map(|i| {
+                let follower = follower.clone();
+                let barrier = &barrier;
+                let prepared = &prepared;
+                scope.spawn(move || {
+                    let mut session = follower.session();
+                    let mut samples = Vec::with_capacity(reads_per_session);
+                    barrier.wait();
+                    for r in 0..reads_per_session {
+                        let p = &prepared[(i + r) % prepared.len()];
+                        let start = Instant::now();
+                        session.execute(p).expect("replica read executes");
+                        samples.push(start.elapsed());
+                    }
+                    samples
+                })
+            })
+            .collect();
+        let wall = writer.join().expect("writer thread");
+        let lags = sampler.join().expect("sampler thread");
+        let latencies: Vec<Duration> = readers
+            .into_iter()
+            .flat_map(|r| r.join().expect("reader thread"))
+            .collect();
+        (wall, lags, latencies)
+    });
+
+    handle.stop();
+    running.shutdown().expect("bench primary stops");
+
+    let mut lags = lag_samples;
+    lags.sort_unstable();
+    let lag_p50 = lags.get(lags.len() / 2).copied().unwrap_or(0);
+    let lag_max = lags.last().copied().unwrap_or(0);
+    let mut latencies = latencies;
+    let reads = latencies.len();
+    ReplicationLoadReport {
+        deltas,
+        catchup_wall,
+        lag_p50,
+        lag_max,
+        reads,
+        read_p50: percentile(&mut latencies, 50.0),
+        read_p99: percentile(&mut latencies, 99.0),
+    }
+}

@@ -36,8 +36,8 @@ mod record;
 mod storage;
 
 pub use record::{
-    crc32, decode_segment, Checkpoint, SegmentScan, WalRecord, CHECKPOINT_MAGIC, MAX_RECORD_BYTES,
-    SEGMENT_MAGIC,
+    crc32, decode_segment, Checkpoint, SegmentScan, WalRecord, CHECKPOINT_MAGIC,
+    CHECKPOINT_MAGIC_V2, MAX_RECORD_BYTES, SEGMENT_MAGIC,
 };
 pub use storage::{
     DiskStorage, FaultPlan, FaultyStorage, MemStorage, ReadOnlyStorage, Storage, INJECTED_CRASH,
@@ -356,16 +356,18 @@ impl Wal {
         Ok(())
     }
 
-    /// Writes a checkpoint capturing `payload` at `epoch`, then
-    /// truncates the log: rotates to a fresh segment and removes every
-    /// older segment and checkpoint. The checkpoint file is synced
-    /// before any truncation, so a crash at any point leaves either the
-    /// old state (checkpoint torn → ignored at recovery) or the new one
-    /// (leftover segments' records filtered by epoch at recovery).
-    pub fn checkpoint(&mut self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+    /// Writes a checkpoint capturing `payload` at `epoch` under the
+    /// primary `generation`, then truncates the log: rotates to a fresh
+    /// segment and removes every older segment and checkpoint. The
+    /// checkpoint file is synced before any truncation, so a crash at
+    /// any point leaves either the old state (checkpoint torn → ignored
+    /// at recovery) or the new one (leftover segments' records filtered
+    /// by epoch at recovery).
+    pub fn checkpoint(&mut self, epoch: u64, generation: u64, payload: &[u8]) -> io::Result<()> {
         let name = checkpoint_name(epoch);
         let bytes = Checkpoint {
             epoch,
+            generation,
             payload: payload.to_vec(),
         }
         .encode();
@@ -403,6 +405,47 @@ impl Wal {
         // directory from resurrecting deleted files after a crash.
         self.storage.sync_dir()?;
         Ok(())
+    }
+
+    /// Re-reads the log's current durable state without disturbing it:
+    /// the newest valid checkpoint plus every whole record after it, in
+    /// epoch order. This is the catch-up read a replication feed serves
+    /// from an *open* log — unlike [`Wal::open`] it takes `&self`, never
+    /// repairs anything, and tolerates a torn in-flight tail by simply
+    /// stopping at it (the torn frame, if any, is the record currently
+    /// being appended, which has not been acknowledged yet).
+    pub fn tail(&self) -> io::Result<(Option<Checkpoint>, Vec<WalRecord>)> {
+        let names = self.storage.list()?;
+        let mut ckpt_epochs: Vec<u64> = names
+            .iter()
+            .filter_map(|n| parse_checkpoint_name(n))
+            .collect();
+        ckpt_epochs.sort_unstable();
+        let mut checkpoint = None;
+        for &epoch in ckpt_epochs.iter().rev() {
+            if let Ok(bytes) = self.storage.read(&checkpoint_name(epoch)) {
+                if let Some(ckpt) = Checkpoint::decode(&bytes) {
+                    checkpoint = Some(ckpt);
+                    break;
+                }
+            }
+        }
+        let mut seg_seqs: Vec<u64> = names.iter().filter_map(|n| parse_segment_name(n)).collect();
+        seg_seqs.sort_unstable();
+        let mut records = Vec::new();
+        for &seq in &seg_seqs {
+            let bytes = self.storage.read(&segment_name(seq))?;
+            let scan = decode_segment(&bytes);
+            records.extend(scan.records);
+            if scan.corrupt {
+                break; // stop at the first torn frame — never a non-prefix
+            }
+        }
+        if let Some(ckpt) = &checkpoint {
+            let epoch = ckpt.epoch;
+            records.retain(|r| r.epoch > epoch);
+        }
+        Ok((checkpoint, records))
     }
 
     /// Cumulative counters since open.
@@ -591,7 +634,7 @@ mod tests {
         for e in 1..=4 {
             wal.append(&record(e)).unwrap();
         }
-        wal.checkpoint(4, b"state at four").unwrap();
+        wal.checkpoint(4, 2, b"state at four").unwrap();
         for e in 5..=6 {
             wal.append(&record(e)).unwrap();
         }
@@ -601,6 +644,7 @@ mod tests {
         let (_, recovery) = open_mem(&mem, WalConfig::default());
         let ckpt = recovery.checkpoint.as_ref().unwrap();
         assert_eq!(ckpt.epoch, 4);
+        assert_eq!(ckpt.generation, 2);
         assert_eq!(ckpt.payload, b"state at four");
         assert_eq!(
             recovery.records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
@@ -636,6 +680,7 @@ mod tests {
         // Hand-write a torn checkpoint claiming epoch 99.
         let bytes = Checkpoint {
             epoch: 99,
+            generation: 1,
             payload: b"never finished".to_vec(),
         }
         .encode();
@@ -667,7 +712,7 @@ mod tests {
             wal.append(&record(e)).unwrap();
         }
         // The checkpoint file lands and syncs; the first removal dies.
-        let err = wal.checkpoint(5, b"at five").unwrap_err();
+        let err = wal.checkpoint(5, 1, b"at five").unwrap_err();
         assert_eq!(err.kind(), INJECTED_CRASH);
         drop(wal);
 
@@ -717,6 +762,46 @@ mod tests {
     }
 
     #[test]
+    fn tail_reads_the_open_log_without_disturbing_it() {
+        let mem = MemStorage::new();
+        let config = WalConfig {
+            segment_max_records: 2,
+            ..WalConfig::default()
+        };
+        let (mut wal, _) = open_mem(&mem, config);
+        // Empty log: nothing yet.
+        let (ckpt, records) = wal.tail().unwrap();
+        assert!(ckpt.is_none() && records.is_empty());
+        for e in 1..=3 {
+            wal.append(&record(e)).unwrap();
+        }
+        let (ckpt, records) = wal.tail().unwrap();
+        assert!(ckpt.is_none());
+        assert_eq!(
+            records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        // After a checkpoint the tail starts from it.
+        wal.checkpoint(3, 1, b"at three").unwrap();
+        for e in 4..=5 {
+            wal.append(&record(e)).unwrap();
+        }
+        let (ckpt, records) = wal.tail().unwrap();
+        let ckpt = ckpt.unwrap();
+        assert_eq!((ckpt.epoch, ckpt.generation), (3, 1));
+        assert_eq!(records.iter().map(|r| r.epoch).collect::<Vec<_>>(), [4, 5]);
+        // A torn in-flight frame stops the scan but changes nothing on
+        // the medium, and the wal keeps appending where it was.
+        let name = segment_name(wal.active_seq);
+        mem.clone().append(&name, &[0xFF, 0x01, 0x02]).unwrap();
+        let (_, torn_tail) = wal.tail().unwrap();
+        assert_eq!(
+            torn_tail.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            [4, 5]
+        );
+    }
+
+    #[test]
     fn has_state_requires_a_checkpoint_that_decodes() {
         let mem = MemStorage::new();
         assert!(!has_state(&mem).unwrap(), "empty directory");
@@ -725,6 +810,7 @@ mod tests {
         // state: the front-end should re-seed, not refuse to start.
         let bytes = Checkpoint {
             epoch: 0,
+            generation: 1,
             payload: b"seed".to_vec(),
         }
         .encode();

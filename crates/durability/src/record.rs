@@ -24,8 +24,15 @@ use std::fmt;
 /// Magic bytes opening every segment file.
 pub const SEGMENT_MAGIC: &[u8; 8] = b"QWALSEG1";
 
-/// Magic bytes opening every checkpoint file.
+/// Magic bytes opening a legacy (pre-replication) checkpoint file.
+/// Decoded for backward compatibility; such checkpoints carry
+/// generation 0.
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"QWALCKP1";
+
+/// Magic bytes opening every checkpoint file written today: the `V2`
+/// layout adds the primary generation (the failover fencing term) to
+/// the header, between the epoch and the payload length.
+pub const CHECKPOINT_MAGIC_V2: &[u8; 8] = b"QWALCKP2";
 
 /// Hard upper bound on one record's payload (sanity check against a
 /// corrupt length prefix sending the decoder on a gigabyte allocation).
@@ -139,6 +146,29 @@ impl WalRecord {
             ne_pairs,
         })
     }
+
+    /// Decodes one frame at the start of `bytes`; `None` on any torn or
+    /// corrupt condition. Returns the record and the bytes consumed
+    /// (`8 + payload length`). This is the segment scanner's inner step,
+    /// exposed so a replication follower can decode the same frames off
+    /// a byte stream.
+    pub fn decode_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_BYTES {
+            return None;
+        }
+        let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let end = 8usize.checked_add(len as usize)?;
+        let payload = bytes.get(8..end)?;
+        if crc32(payload) != crc {
+            return None;
+        }
+        let record = WalRecord::decode_payload(payload)?;
+        Some((record, end))
+    }
 }
 
 struct Cursor<'a> {
@@ -199,7 +229,7 @@ pub fn decode_segment(bytes: &[u8]) -> SegmentScan {
                 corrupt: false,
             };
         }
-        let frame = decode_frame(&bytes[at..]);
+        let frame = WalRecord::decode_frame(&bytes[at..]);
         match frame {
             Some((record, consumed)) => {
                 records.push(record);
@@ -216,42 +246,30 @@ pub fn decode_segment(bytes: &[u8]) -> SegmentScan {
     }
 }
 
-/// Decodes one frame at the start of `bytes`; `None` on any torn or
-/// corrupt condition. Returns the record and the bytes consumed.
-fn decode_frame(bytes: &[u8]) -> Option<(WalRecord, usize)> {
-    if bytes.len() < 8 {
-        return None;
-    }
-    let len = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
-    if len > MAX_RECORD_BYTES {
-        return None;
-    }
-    let crc = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    let end = 8usize.checked_add(len as usize)?;
-    let payload = bytes.get(8..end)?;
-    if crc32(payload) != crc {
-        return None;
-    }
-    let record = WalRecord::decode_payload(payload)?;
-    Some((record, end))
-}
-
-/// A database checkpoint: the serialized state at one epoch. The payload
-/// is opaque to the WAL (the engine layer stores its `.qld` text there).
+/// A database checkpoint: the serialized state at one epoch, under one
+/// primary generation. The payload is opaque to the WAL (the engine
+/// layer stores its `.qld` text there).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
     /// The epoch the payload captures.
     pub epoch: u64,
+    /// The primary generation (failover term) the state was written
+    /// under. Bumped by promotion; used to fence a stale primary's
+    /// replication stream. Legacy `QWALCKP1` checkpoints decode as
+    /// generation 0.
+    pub generation: u64,
     /// The serialized database.
     pub payload: Vec<u8>,
 }
 
 impl Checkpoint {
-    /// Serializes the whole checkpoint file.
+    /// Serializes the whole checkpoint file (always the `V2` layout:
+    /// magic, epoch, generation, payload length, payload CRC, payload).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(24 + self.payload.len());
-        out.extend_from_slice(CHECKPOINT_MAGIC);
+        let mut out = Vec::with_capacity(32 + self.payload.len());
+        out.extend_from_slice(CHECKPOINT_MAGIC_V2);
         out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
         out.extend_from_slice(&crc32(&self.payload).to_le_bytes());
         out.extend_from_slice(&self.payload);
@@ -260,22 +278,34 @@ impl Checkpoint {
 
     /// Parses a checkpoint file; `None` unless the magic, length, and
     /// CRC all check out exactly (a torn checkpoint is simply invalid —
-    /// recovery falls back to the previous one).
+    /// recovery falls back to the previous one). Accepts both the
+    /// current `QWALCKP2` layout and the legacy `QWALCKP1` layout
+    /// (which carried no generation; it decodes as generation 0).
     pub fn decode(bytes: &[u8]) -> Option<Checkpoint> {
         let magic = CHECKPOINT_MAGIC.len();
-        if bytes.len() < magic + 16 || &bytes[..magic] != CHECKPOINT_MAGIC {
+        let head = bytes.get(..magic)?;
+        let mut cursor = Cursor {
+            buf: bytes,
+            at: magic,
+        };
+        let generation_present = if head == CHECKPOINT_MAGIC_V2 {
+            true
+        } else if head == CHECKPOINT_MAGIC {
+            false
+        } else {
             return None;
-        }
-        let epoch = u64::from_le_bytes(bytes[magic..magic + 8].try_into().expect("8 bytes"));
-        let len =
-            u32::from_le_bytes(bytes[magic + 8..magic + 12].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_le_bytes(bytes[magic + 12..magic + 16].try_into().expect("4 bytes"));
-        let payload = bytes.get(magic + 16..)?;
+        };
+        let epoch = cursor.u64()?;
+        let generation = if generation_present { cursor.u64()? } else { 0 };
+        let len = cursor.u32()? as usize;
+        let crc = cursor.u32()?;
+        let payload = bytes.get(cursor.at..)?;
         if payload.len() != len || crc32(payload) != crc {
             return None;
         }
         Some(Checkpoint {
             epoch,
+            generation,
             payload: payload.to_vec(),
         })
     }
@@ -391,6 +421,7 @@ mod tests {
     fn checkpoint_round_trips_and_rejects_corruption() {
         let ckpt = Checkpoint {
             epoch: 42,
+            generation: 7,
             payload: b"db text here".to_vec(),
         };
         let bytes = ckpt.encode();
@@ -408,6 +439,45 @@ mod tests {
         let mut extra = bytes;
         extra.push(0);
         assert_eq!(Checkpoint::decode(&extra), None);
+    }
+
+    #[test]
+    fn legacy_v1_checkpoints_decode_as_generation_zero() {
+        // Hand-build the QWALCKP1 layout (no generation field).
+        let payload = b"legacy state".to_vec();
+        let mut bytes = CHECKPOINT_MAGIC.to_vec();
+        bytes.extend_from_slice(&9u64.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let decoded = Checkpoint::decode(&bytes).expect("legacy layout decodes");
+        assert_eq!(decoded.epoch, 9);
+        assert_eq!(decoded.generation, 0);
+        assert_eq!(decoded.payload, payload);
+        // Torn at any byte: invalid, same as the current layout.
+        for cut in 0..bytes.len() {
+            assert_eq!(Checkpoint::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn public_frame_decode_matches_the_segment_scanner() {
+        let record = sample(5);
+        let frame = record.encode_frame();
+        let (decoded, consumed) = WalRecord::decode_frame(&frame).expect("frame decodes");
+        assert_eq!(decoded, record);
+        assert_eq!(consumed, frame.len());
+        // Torn at every byte: no partial decode.
+        for cut in 0..frame.len() {
+            assert_eq!(WalRecord::decode_frame(&frame[..cut]), None, "cut at {cut}");
+        }
+        // Extra trailing bytes are fine — the frame knows its own length.
+        let mut stream = frame.clone();
+        stream.extend_from_slice(&sample(6).encode_frame());
+        let (first, consumed) = WalRecord::decode_frame(&stream).expect("first frame decodes");
+        assert_eq!(first.epoch, 5);
+        let (second, _) = WalRecord::decode_frame(&stream[consumed..]).expect("second frame");
+        assert_eq!(second.epoch, 6);
     }
 
     #[test]

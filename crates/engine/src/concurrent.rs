@@ -34,17 +34,18 @@
 //! rebuilt from the database as it stood at the reader's observed epoch.
 
 use crate::delta::{Delta, DeltaReport, DeltaStats};
-use crate::durable::DurableState;
+use crate::durable::{delta_to_record, record_to_delta, DurableState};
 use crate::error::EngineError;
 use crate::evidence::{Answers, Semantics};
 use crate::prepared::PreparedQuery;
 use crate::session::Engine;
 use qld_logic::Query;
+use qld_wal::WalRecord;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Number of independent shards in the [`SharedAnswerCache`]. Sixteen
 /// mutexes keep lock contention negligible for any realistic session
@@ -276,6 +277,28 @@ pub struct SharedStats {
     /// [`SharedEngine::durable`] or
     /// [`SharedEngine::recover_with`](crate::SharedEngine::recover_with).
     pub wal: Option<qld_wal::WalStats>,
+    /// Whether this engine is a read-only replication follower.
+    pub read_only: bool,
+    /// The primary generation (failover term) this engine serves under.
+    pub generation: u64,
+    /// Highest epoch the upstream primary has reported (followers only;
+    /// `0` on a primary).
+    pub source_epoch: u64,
+    /// Replication feed connections currently attached (primaries only).
+    pub followers: usize,
+}
+
+impl SharedStats {
+    /// Replication lag in epochs: how far this follower's applied epoch
+    /// trails the highest epoch its primary has reported. Always `0` on a
+    /// primary (and on a follower that is fully caught up).
+    pub fn replication_lag(&self) -> u64 {
+        if self.read_only {
+            self.source_epoch.saturating_sub(self.epoch)
+        } else {
+            0
+        }
+    }
 }
 
 /// A point-in-time picture of the snapshot-publish machinery itself:
@@ -345,6 +368,29 @@ struct SharedInner {
     /// log-before-publish guarantee. Every subsequent write therefore
     /// fails fast until the process restarts and recovers from the log.
     wal_poisoned: AtomicBool,
+    /// Replication commit watchers (feed connections on a primary).
+    /// Senders are registered under the writer lock by
+    /// [`SharedEngine::subscribe_commits`] and notified under the same
+    /// lock on every changing apply, so every subscriber sees a gap-free
+    /// record stream starting exactly after its subscription snapshot.
+    /// Senders whose receiver hung up are dropped on notify.
+    watchers: Mutex<Vec<mpsc::Sender<WalRecord>>>,
+    /// Whether this engine is a replication follower: the public
+    /// [`SharedEngine::apply`] is refused with [`EngineError::ReadOnly`]
+    /// (the replication stream mutates through
+    /// [`SharedEngine::apply_replica`] instead). Cleared by
+    /// [`SharedEngine::promote`].
+    read_only: AtomicBool,
+    /// The primary generation (failover term). Bumped by `promote`;
+    /// stamped into WAL checkpoints so a recovered engine resumes under
+    /// the generation it last served, and carried in the replication
+    /// handshake to fence stale primaries.
+    generation: AtomicU64,
+    /// Replication feed connections currently attached (primary side).
+    followers: AtomicUsize,
+    /// Highest epoch the upstream primary has reported (follower side);
+    /// `source_epoch - epoch` is the replication lag.
+    source_epoch: AtomicU64,
 }
 
 /// A shareable, concurrently correct engine over one evolving database:
@@ -402,17 +448,18 @@ impl SharedEngine {
     /// [`cache_capacity`](crate::EngineBuilder::cache_capacity)) replaces
     /// it for every snapshot.
     pub fn new(engine: Engine) -> SharedEngine {
-        SharedEngine::build(engine, None)
+        SharedEngine::build(engine, None, 1)
     }
 
     /// Constructs the shared machinery, optionally with a WAL on the
     /// write path (used by [`SharedEngine::durable`] and
-    /// [`SharedEngine::recover_with`](crate::SharedEngine::recover_with)).
-    pub(crate) fn with_wal(engine: Engine, state: DurableState) -> SharedEngine {
-        SharedEngine::build(engine, Some(state))
+    /// [`SharedEngine::recover_with`](crate::SharedEngine::recover_with)),
+    /// serving under `generation`.
+    pub(crate) fn with_wal(engine: Engine, state: DurableState, generation: u64) -> SharedEngine {
+        SharedEngine::build(engine, Some(state), generation)
     }
 
-    fn build(engine: Engine, wal: Option<DurableState>) -> SharedEngine {
+    fn build(engine: Engine, wal: Option<DurableState>, generation: u64) -> SharedEngine {
         engine.set_cache_enabled(false);
         let cache_capacity = engine.cache_capacity();
         let snapshot = Arc::new(EngineSnapshot {
@@ -428,6 +475,11 @@ impl SharedEngine {
                 sessions: AtomicU64::new(0),
                 wal: wal.map(Mutex::new),
                 wal_poisoned: AtomicBool::new(false),
+                watchers: Mutex::new(Vec::new()),
+                read_only: AtomicBool::new(false),
+                generation: AtomicU64::new(generation),
+                followers: AtomicUsize::new(0),
+                source_epoch: AtomicU64::new(0),
             }),
         }
     }
@@ -488,10 +540,18 @@ impl SharedEngine {
     pub fn apply(&self, delta: &Delta) -> Result<DeltaReport, EngineError> {
         let mut writer = self.inner.writer.lock().expect("writer engine poisoned");
         self.check_wal_poisoned()?;
+        if self.inner.read_only.load(Ordering::Acquire) {
+            return Err(EngineError::ReadOnly);
+        }
         let report = writer.apply(delta)?;
         if report.changed() {
             if let Some(wal) = &self.inner.wal {
-                if let Err(e) = wal.lock().expect("wal poisoned").log(delta, &writer) {
+                let generation = self.inner.generation.load(Ordering::Acquire);
+                if let Err(e) = wal
+                    .lock()
+                    .expect("wal poisoned")
+                    .log(delta, &writer, generation)
+                {
                     self.inner.wal_poisoned.store(true, Ordering::Release);
                     return Err(EngineError::Durability(e.to_string()));
                 }
@@ -505,8 +565,24 @@ impl SharedEngine {
                 .published
                 .write()
                 .expect("published snapshot poisoned") = snapshot;
+            self.notify_watchers(|| delta_to_record(delta, writer.epoch()));
         }
         Ok(report)
+    }
+
+    /// Fans a committed record out to every replication subscriber,
+    /// dropping senders whose feed hung up. Called with the writer lock
+    /// held, *after* the snapshot swap, so subscribers receive commits in
+    /// publish order with no gaps. The record is built lazily — the
+    /// common case (no followers) pays one uncontended lock and nothing
+    /// else.
+    fn notify_watchers(&self, record: impl FnOnce() -> WalRecord) {
+        let mut watchers = self.inner.watchers.lock().expect("watcher list poisoned");
+        if watchers.is_empty() {
+            return;
+        }
+        let record = record();
+        watchers.retain(|tx| tx.send(record.clone()).is_ok());
     }
 
     /// Whether a WAL failure has poisoned this engine for writes (always
@@ -561,6 +637,10 @@ impl SharedEngine {
             cache_capacity: self.inner.cache_capacity,
             deltas,
             wal: self.wal_stats(),
+            read_only: self.is_read_only(),
+            generation: self.generation(),
+            source_epoch: self.source_epoch(),
+            followers: self.followers(),
         }
     }
 
@@ -585,7 +665,12 @@ impl SharedEngine {
         };
         let writer = self.inner.writer.lock().expect("writer engine poisoned");
         self.check_wal_poisoned()?;
-        if let Err(e) = wal.lock().expect("wal poisoned").checkpoint(&writer) {
+        let generation = self.inner.generation.load(Ordering::Acquire);
+        if let Err(e) = wal
+            .lock()
+            .expect("wal poisoned")
+            .checkpoint(&writer, generation)
+        {
             self.inner.wal_poisoned.store(true, Ordering::Release);
             return Err(EngineError::Durability(e.to_string()));
         }
@@ -616,6 +701,271 @@ impl SharedEngine {
             max_shard_len,
             snapshot_age_deltas: writer_deltas.saturating_sub(snapshot_deltas),
         }
+    }
+
+    // --- replication ----------------------------------------------------
+    //
+    // A primary streams committed deltas to followers; a follower applies
+    // them through `apply_replica` (or swallows a whole snapshot through
+    // `reset_replica` when it is too far behind the truncated log) and
+    // serves wait-free reads at its stamped epoch. Because `Engine::apply`
+    // is deterministic, a follower that has applied the epoch-ordered
+    // record stream answers byte-identically to a solo engine rebuilt at
+    // the same epoch — the invariant `tests/replication.rs` checks.
+
+    /// Subscribes to the commit stream: returns the currently published
+    /// snapshot and a [`CommitFeed`] delivering the [`WalRecord`] of every
+    /// changing delta applied *after* that snapshot, in epoch order with
+    /// no gaps (registration happens under the writer lock, so no commit
+    /// can slip between the snapshot and the first delivered record).
+    ///
+    /// Dropping the feed unsubscribes: the writer discards the sender on
+    /// its next commit.
+    pub fn subscribe_commits(&self) -> (Arc<EngineSnapshot>, CommitFeed) {
+        let _writer = self.inner.writer.lock().expect("writer engine poisoned");
+        let (tx, rx) = mpsc::channel();
+        self.inner
+            .watchers
+            .lock()
+            .expect("watcher list poisoned")
+            .push(tx);
+        let snapshot = self
+            .inner
+            .published
+            .read()
+            .expect("published snapshot poisoned")
+            .clone();
+        (snapshot, CommitFeed { rx })
+    }
+
+    /// Applies one replicated [`WalRecord`] on a follower, bypassing the
+    /// read-only gate. Returns the engine's epoch after the call.
+    ///
+    /// Epoch discipline makes resumption and stream overlap safe:
+    ///
+    /// * a record at or below the current epoch is **skipped** (the
+    ///   snapshot transfer and the live feed can legitimately overlap by
+    ///   a few epochs);
+    /// * the record at exactly `current + 1` is applied, logged to the
+    ///   local WAL if one is attached, published, and forwarded to this
+    ///   engine's own subscribers (so chained followers work);
+    /// * a record further ahead is a **gap** — the caller must tear down
+    ///   the stream and resync from its last applied epoch.
+    ///
+    /// Records with no facts and no `NE` pairs are heartbeats: they only
+    /// refresh [`SharedEngine::source_epoch`].
+    pub fn apply_replica(&self, record: &WalRecord) -> Result<u64, EngineError> {
+        self.note_source_epoch(record.epoch);
+        let mut writer = self.inner.writer.lock().expect("writer engine poisoned");
+        self.check_wal_poisoned()?;
+        let current = writer.epoch();
+        if record.facts.is_empty() && record.ne_pairs.is_empty() {
+            return Ok(current);
+        }
+        if record.epoch <= current {
+            return Ok(current);
+        }
+        if record.epoch != current + 1 {
+            return Err(EngineError::Durability(format!(
+                "replication gap: record for epoch {} arrived at epoch {current}; \
+                 resync from the last applied epoch",
+                record.epoch
+            )));
+        }
+        let delta = record_to_delta(record);
+        let report = writer.apply(&delta)?;
+        if report.epoch != record.epoch {
+            return Err(EngineError::Durability(format!(
+                "replicated record for epoch {} left the engine at epoch {} — \
+                 the streams have diverged",
+                record.epoch, report.epoch
+            )));
+        }
+        if let Some(wal) = &self.inner.wal {
+            let generation = self.inner.generation.load(Ordering::Acquire);
+            if let Err(e) = wal
+                .lock()
+                .expect("wal poisoned")
+                .log(&delta, &writer, generation)
+            {
+                self.inner.wal_poisoned.store(true, Ordering::Release);
+                return Err(EngineError::Durability(e.to_string()));
+            }
+        }
+        let snapshot = Arc::new(EngineSnapshot {
+            engine: writer.clone(),
+            epoch: writer.epoch(),
+        });
+        *self
+            .inner
+            .published
+            .write()
+            .expect("published snapshot poisoned") = snapshot;
+        self.notify_watchers(|| record.clone());
+        Ok(record.epoch)
+    }
+
+    /// Replaces the whole database with a transferred snapshot stamped at
+    /// `epoch` — the catch-up path for a follower too far behind the
+    /// primary's truncated log for incremental records.
+    ///
+    /// The new epoch must be at least the current one: published epochs
+    /// are monotone and live [`SharedSession`]s assert they never run
+    /// backwards. (An equal-epoch reset is fine — resuming at the epoch
+    /// we already hold re-transfers identical content, so epoch-keyed
+    /// cache entries stay correct.) Subscribers are *not* notified of
+    /// resets; feeds only ever carry incremental records.
+    ///
+    /// [`PreparedQuery`]s prepared before the reset are bound to the
+    /// replaced engine and fail with
+    /// [`EngineError::PreparedElsewhere`] afterwards — re-prepare them.
+    /// (The server prepares per request line, so wire clients never see
+    /// this.)
+    pub fn reset_replica(&self, engine: Engine, epoch: u64) -> Result<(), EngineError> {
+        engine.set_cache_enabled(false);
+        let mut engine = engine;
+        engine.set_epoch(epoch);
+        let mut writer = self.inner.writer.lock().expect("writer engine poisoned");
+        self.check_wal_poisoned()?;
+        if epoch < writer.epoch() {
+            return Err(EngineError::Durability(format!(
+                "replication reset to epoch {epoch} would run the engine backwards \
+                 from epoch {}",
+                writer.epoch()
+            )));
+        }
+        let snapshot = Arc::new(EngineSnapshot {
+            engine: engine.clone(),
+            epoch,
+        });
+        *writer = engine;
+        *self
+            .inner
+            .published
+            .write()
+            .expect("published snapshot poisoned") = snapshot;
+        Ok(())
+    }
+
+    /// Promotes a read-only follower into a writable primary: clears the
+    /// read-only gate, bumps the generation, and — when a WAL is attached
+    /// — immediately checkpoints under the new generation so the fencing
+    /// term survives a crash. Returns the new generation.
+    ///
+    /// Errors if the engine is already writable: promotion is a failover
+    /// action, not an idempotent toggle, and a double-promote usually
+    /// means two operators are racing.
+    pub fn promote(&self) -> Result<u64, EngineError> {
+        let writer = self.inner.writer.lock().expect("writer engine poisoned");
+        if !self.inner.read_only.load(Ordering::Acquire) {
+            return Err(EngineError::Durability(
+                "promote: this engine is already a writable primary".to_string(),
+            ));
+        }
+        self.check_wal_poisoned()?;
+        let generation = self.inner.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        self.inner.read_only.store(false, Ordering::Release);
+        if let Some(wal) = &self.inner.wal {
+            if let Err(e) = wal
+                .lock()
+                .expect("wal poisoned")
+                .checkpoint(&writer, generation)
+            {
+                self.inner.wal_poisoned.store(true, Ordering::Release);
+                return Err(EngineError::Durability(e.to_string()));
+            }
+        }
+        Ok(generation)
+    }
+
+    /// Whether this engine is a read-only replication follower.
+    pub fn is_read_only(&self) -> bool {
+        self.inner.read_only.load(Ordering::Acquire)
+    }
+
+    /// Marks this engine as a read-only follower (or clears the mark).
+    /// Set by the follower runtime before serving; cleared by
+    /// [`SharedEngine::promote`].
+    pub fn set_read_only(&self, read_only: bool) {
+        self.inner.read_only.store(read_only, Ordering::Release);
+    }
+
+    /// The primary generation (failover term) this engine serves under.
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::Acquire)
+    }
+
+    /// Adopts a generation learned from the replication handshake (a
+    /// follower tracks its primary's term so a later promote fences the
+    /// old primary).
+    pub fn set_generation(&self, generation: u64) {
+        self.inner.generation.store(generation, Ordering::Release);
+    }
+
+    /// Highest epoch the upstream primary has reported (followers only).
+    pub fn source_epoch(&self) -> u64 {
+        self.inner.source_epoch.load(Ordering::Acquire)
+    }
+
+    /// Records an epoch the upstream primary reported (monotone max).
+    pub fn note_source_epoch(&self, epoch: u64) {
+        self.inner.source_epoch.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Replication feed connections currently attached (primary side).
+    pub fn followers(&self) -> usize {
+        self.inner.followers.load(Ordering::Acquire)
+    }
+
+    /// Counts a replication feed connection in (primary side gauge).
+    pub fn follower_attached(&self) {
+        self.inner.followers.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Counts a replication feed connection out.
+    pub fn follower_detached(&self) {
+        self.inner.followers.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Reads the live WAL tail for replication catch-up: `None` without
+    /// a WAL, otherwise the newest checkpoint's epoch and every record
+    /// logged after it. A feed can serve a follower incrementally iff
+    /// the checkpoint epoch is at or below the follower's last applied
+    /// epoch — otherwise the truncated log no longer covers the gap and
+    /// a snapshot transfer is needed.
+    pub fn wal_tail(&self) -> Result<Option<(u64, Vec<WalRecord>)>, EngineError> {
+        let Some(wal) = &self.inner.wal else {
+            return Ok(None);
+        };
+        let (checkpoint, records) = wal
+            .lock()
+            .expect("wal poisoned")
+            .tail()
+            .map_err(|e| EngineError::Durability(e.to_string()))?;
+        Ok(Some((checkpoint.map_or(0, |c| c.epoch), records)))
+    }
+}
+
+/// The receiving end of a [`SharedEngine::subscribe_commits`]
+/// subscription: an in-order, gap-free stream of the [`WalRecord`]s the
+/// engine commits after the subscription snapshot.
+///
+/// The feed buffers without bound while the subscriber is slow (the
+/// writer never blocks on a follower); dropping it unsubscribes.
+#[derive(Debug)]
+pub struct CommitFeed {
+    rx: mpsc::Receiver<WalRecord>,
+}
+
+impl CommitFeed {
+    /// Waits up to `timeout` for the next committed record.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<WalRecord, mpsc::RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Returns the next committed record if one is already queued.
+    pub fn try_recv(&self) -> Result<WalRecord, mpsc::TryRecvError> {
+        self.rx.try_recv()
     }
 }
 
@@ -755,6 +1105,11 @@ const _: () = {
     assert_send_sync::<PreparedQuery>();
     assert_send_sync::<Answers>();
     assert_send_sync::<Delta>();
+    // The commit feed moves into the per-follower feed thread; mpsc
+    // receivers are deliberately single-consumer, so `Send` is the
+    // contract (not `Sync`).
+    const fn assert_send<T: Send>() {}
+    assert_send::<CommitFeed>();
 };
 
 #[cfg(test)]
@@ -1115,5 +1470,158 @@ mod tests {
         session.execute(&q).unwrap();
         assert_eq!(shared.cache_len(), 0);
         assert!(!session.execute(&q).unwrap().evidence().cache_hit);
+    }
+
+    // --- replication hooks ----------------------------------------------
+
+    fn pa_delta(shared: &SharedEngine, name: &str) -> Delta {
+        let snap = shared.snapshot();
+        let voc = snap.engine().db().voc();
+        Delta::new().insert_fact(voc.pred_id("P").unwrap(), &[voc.const_id(name).unwrap()])
+    }
+
+    #[test]
+    fn read_only_engines_reject_apply_but_accept_replica_records() {
+        let primary = SharedEngine::new(small_engine());
+        let follower = SharedEngine::new(small_engine());
+        follower.set_read_only(true);
+        assert!(follower.is_read_only());
+        let delta = pa_delta(&follower, "a");
+        assert_eq!(
+            follower.apply(&delta).unwrap_err(),
+            EngineError::ReadOnly,
+            "a follower must refuse direct writes"
+        );
+        assert!(follower
+            .apply(&delta)
+            .unwrap_err()
+            .to_string()
+            .starts_with("read-only"));
+
+        // The same mutation arrives as a replicated record and applies.
+        let (_, feed) = primary.subscribe_commits();
+        primary.apply(&delta).unwrap();
+        let record = feed.try_recv().unwrap();
+        assert_eq!(follower.apply_replica(&record).unwrap(), 1);
+        assert_eq!(follower.epoch(), 1);
+        let mut session = follower.session();
+        let q = session.prepare_text("(x) . P(x)").unwrap();
+        assert_eq!(session.execute(&q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn subscribe_commits_is_gap_free_from_the_snapshot() {
+        let shared = SharedEngine::new(small_engine());
+        shared.apply(&pa_delta(&shared, "a")).unwrap();
+        let (snapshot, feed) = shared.subscribe_commits();
+        assert_eq!(snapshot.epoch(), 1);
+        shared.apply(&pa_delta(&shared, "b")).unwrap();
+        shared.apply(&pa_delta(&shared, "c")).unwrap();
+        // Exactly the post-subscription commits, in epoch order.
+        assert_eq!(feed.try_recv().unwrap().epoch, 2);
+        assert_eq!(feed.try_recv().unwrap().epoch, 3);
+        assert!(feed.try_recv().is_err());
+        // A dropped feed unsubscribes on the next commit without
+        // disturbing the writer.
+        drop(feed);
+        shared.apply(&pa_delta(&shared, "u")).unwrap();
+        assert_eq!(shared.epoch(), 4);
+    }
+
+    #[test]
+    fn apply_replica_skips_duplicates_and_rejects_gaps() {
+        let primary = SharedEngine::new(small_engine());
+        let follower = SharedEngine::new(small_engine());
+        follower.set_read_only(true);
+        let (_, feed) = primary.subscribe_commits();
+        for name in ["a", "b", "c"] {
+            primary.apply(&pa_delta(&primary, name)).unwrap();
+        }
+        let records: Vec<WalRecord> = (0..3).map(|_| feed.try_recv().unwrap()).collect();
+        assert_eq!(follower.apply_replica(&records[0]).unwrap(), 1);
+        // Replaying an already-applied epoch is a no-op, not an error.
+        assert_eq!(follower.apply_replica(&records[0]).unwrap(), 1);
+        // Skipping an epoch is a gap: the stream must resync.
+        let err = follower.apply_replica(&records[2]).unwrap_err();
+        assert!(err.to_string().contains("replication gap"), "{err}");
+        assert_eq!(follower.epoch(), 1);
+        // A heartbeat (empty record) only refreshes the source epoch.
+        let heartbeat = WalRecord {
+            epoch: 9,
+            facts: Vec::new(),
+            ne_pairs: Vec::new(),
+        };
+        assert_eq!(follower.apply_replica(&heartbeat).unwrap(), 1);
+        assert_eq!(follower.source_epoch(), 9);
+        assert_eq!(follower.stats().replication_lag(), 8);
+    }
+
+    #[test]
+    fn reset_replica_swaps_the_database_and_keeps_epochs_monotone() {
+        let primary = SharedEngine::new(small_engine());
+        for name in ["a", "b"] {
+            primary.apply(&pa_delta(&primary, name)).unwrap();
+        }
+        let follower = SharedEngine::new(small_engine());
+        follower.set_read_only(true);
+        let mut session = follower.session();
+        let q = session.prepare_text("(x) . P(x)").unwrap();
+        assert_eq!(session.execute(&q).unwrap().len(), 0);
+
+        let transferred = Engine::new(primary.snapshot().engine().db().clone());
+        follower.reset_replica(transferred, 2).unwrap();
+        assert_eq!(follower.epoch(), 2);
+        // Prepared artifacts are engine-bound: the pre-reset preparation
+        // refers to the replaced engine and must be redone. (The server
+        // prepares per request line, so this never reaches the wire.)
+        assert_eq!(
+            session.execute(&q).unwrap_err(),
+            EngineError::PreparedElsewhere
+        );
+        let q = session.prepare_text("(x) . P(x)").unwrap();
+        assert_eq!(session.execute(&q).unwrap().len(), 2);
+
+        // Running backwards is refused.
+        let stale = Engine::new(small_engine().db().clone());
+        let err = follower.reset_replica(stale, 1).unwrap_err();
+        assert!(err.to_string().contains("backwards"), "{err}");
+        assert_eq!(follower.epoch(), 2);
+    }
+
+    #[test]
+    fn promote_clears_read_only_and_bumps_the_generation() {
+        let follower = SharedEngine::new(small_engine());
+        follower.set_read_only(true);
+        follower.set_generation(3);
+        let delta = pa_delta(&follower, "a");
+        assert_eq!(follower.apply(&delta).unwrap_err(), EngineError::ReadOnly);
+
+        assert_eq!(follower.promote().unwrap(), 4);
+        assert!(!follower.is_read_only());
+        assert_eq!(follower.generation(), 4);
+        follower.apply(&delta).unwrap();
+        assert_eq!(follower.epoch(), 1);
+
+        // Promoting a primary is an operator error, not a toggle.
+        let err = follower.promote().unwrap_err();
+        assert!(
+            err.to_string().contains("already a writable primary"),
+            "{err}"
+        );
+        assert_eq!(follower.generation(), 4);
+    }
+
+    #[test]
+    fn follower_gauge_counts_attach_and_detach() {
+        let shared = SharedEngine::new(small_engine());
+        assert_eq!(shared.followers(), 0);
+        shared.follower_attached();
+        shared.follower_attached();
+        assert_eq!(shared.stats().followers, 2);
+        shared.follower_detached();
+        assert_eq!(shared.followers(), 1);
+        // A primary reports zero lag no matter what it has heard.
+        shared.note_source_epoch(7);
+        assert_eq!(shared.stats().replication_lag(), 0);
     }
 }

@@ -101,28 +101,40 @@ pub(crate) struct DurableState {
 
 impl DurableState {
     /// Appends the record for a just-applied changing delta, then writes
-    /// a checkpoint if the cadence says so. Called with the writer lock
-    /// held, before the snapshot is published.
-    pub(crate) fn log(&mut self, delta: &Delta, engine: &Engine) -> io::Result<()> {
+    /// a checkpoint (stamped with the serving `generation`) if the
+    /// cadence says so. Called with the writer lock held, before the
+    /// snapshot is published.
+    pub(crate) fn log(
+        &mut self,
+        delta: &Delta,
+        engine: &Engine,
+        generation: u64,
+    ) -> io::Result<()> {
         self.wal.append(&delta_to_record(delta, engine.epoch()))?;
         self.since_checkpoint += 1;
         if self.checkpoint_every > 0 && self.since_checkpoint >= self.checkpoint_every {
-            self.checkpoint(engine)?;
+            self.checkpoint(engine, generation)?;
         }
         Ok(())
     }
 
     /// Serializes the engine's database and checkpoints the log at its
-    /// epoch.
-    pub(crate) fn checkpoint(&mut self, engine: &Engine) -> io::Result<()> {
+    /// epoch, under the primary generation currently being served.
+    pub(crate) fn checkpoint(&mut self, engine: &Engine, generation: u64) -> io::Result<()> {
         let payload = qld_core::textio::to_text(engine.db());
-        self.wal.checkpoint(engine.epoch(), payload.as_bytes())?;
+        self.wal
+            .checkpoint(engine.epoch(), generation, payload.as_bytes())?;
         self.since_checkpoint = 0;
         Ok(())
     }
 
     pub(crate) fn stats(&self) -> WalStats {
         self.wal.stats()
+    }
+
+    /// Read-only view of the live log tail, for replication catch-up.
+    pub(crate) fn tail(&self) -> io::Result<(Option<qld_wal::Checkpoint>, Vec<WalRecord>)> {
+        self.wal.tail()
     }
 }
 
@@ -131,8 +143,9 @@ fn durability_err(e: io::Error) -> EngineError {
 }
 
 /// Serializes a changing delta as the storage-neutral WAL record for the
-/// epoch it produced.
-fn delta_to_record(delta: &Delta, epoch: u64) -> WalRecord {
+/// epoch it produced. Shared with the replication hooks in
+/// `concurrent.rs` — the feed streams exactly these records.
+pub(crate) fn delta_to_record(delta: &Delta, epoch: u64) -> WalRecord {
     WalRecord {
         epoch,
         facts: delta
@@ -144,8 +157,8 @@ fn delta_to_record(delta: &Delta, epoch: u64) -> WalRecord {
     }
 }
 
-/// The inverse of [`delta_to_record`], for replay.
-fn record_to_delta(record: &WalRecord) -> Delta {
+/// The inverse of [`delta_to_record`], for replay and replication.
+pub(crate) fn record_to_delta(record: &WalRecord) -> Delta {
     Delta {
         facts: record
             .facts
@@ -184,16 +197,18 @@ impl SharedEngine {
             ));
         }
         // Seed checkpoint: the directory is self-contained from now on —
-        // recovery never needs the original database file.
+        // recovery never needs the original database file. A fresh
+        // primary starts at generation 1 (generation 0 is reserved for
+        // legacy checkpoints written before fencing existed).
         let payload = qld_core::textio::to_text(engine.db());
-        wal.checkpoint(engine.epoch(), payload.as_bytes())
+        wal.checkpoint(engine.epoch(), 1, payload.as_bytes())
             .map_err(durability_err)?;
         let state = DurableState {
             wal,
             checkpoint_every: config.checkpoint_every,
             since_checkpoint: 0,
         };
-        Ok(SharedEngine::with_wal(engine, state))
+        Ok(SharedEngine::with_wal(engine, state, 1))
     }
 
     /// Rebuilds a durable engine from whatever the log holds: the newest
@@ -251,7 +266,10 @@ impl SharedEngine {
             checkpoint_every: config.checkpoint_every,
             since_checkpoint: 0,
         };
-        Ok((SharedEngine::with_wal(engine, state), report))
+        // Resume under the generation the checkpoint was written at;
+        // legacy pre-fencing checkpoints (generation 0) resume as 1.
+        let generation = checkpoint.generation.max(1);
+        Ok((SharedEngine::with_wal(engine, state, generation), report))
     }
 }
 

@@ -39,6 +39,11 @@ pub enum EngineError {
     /// durable engine whose log failed should be abandoned and
     /// recovered.
     Durability(String),
+    /// The engine is serving as a read-only replication follower:
+    /// mutations must go to the primary (or wait for a `promote`). The
+    /// `Display` text deliberately starts with `read-only` so the server
+    /// surfaces it as `error: read-only …` on the wire.
+    ReadOnly,
 }
 
 impl fmt::Display for EngineError {
@@ -52,6 +57,10 @@ impl fmt::Display for EngineError {
                 "prepared query belongs to a different engine; re-prepare it on this one"
             ),
             EngineError::Durability(e) => write!(f, "durability: {e}"),
+            EngineError::ReadOnly => write!(
+                f,
+                "read-only: this engine is a replication follower; send writes to the primary"
+            ),
         }
     }
 }

@@ -54,7 +54,9 @@ mod evidence;
 mod prepared;
 mod session;
 
-pub use concurrent::{EngineSnapshot, SharedEngine, SharedSession, SharedStats, SnapshotStats};
+pub use concurrent::{
+    CommitFeed, EngineSnapshot, SharedEngine, SharedSession, SharedStats, SnapshotStats,
+};
 pub use delta::{Delta, DeltaReport, DeltaStats, QueryFootprint};
 pub use durable::{DurabilityConfig, RecoveryReport};
 pub use error::EngineError;
@@ -71,7 +73,7 @@ pub use qld_core::exact::MappingStrategy;
 pub use qld_core::mappings::ParallelConfig;
 pub use qld_wal::{
     has_state as wal_has_state, DiskStorage, FaultPlan, FaultyStorage, FsyncPolicy, MemStorage,
-    ReadOnlyStorage, Storage, WalConfig, WalStats,
+    ReadOnlyStorage, Storage, WalConfig, WalRecord, WalStats,
 };
 
 #[cfg(test)]

@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod proto;
+pub mod replication;
 pub mod script;
 
 use proto::{Hello, Reply, PROTOCOL_VERSION};
@@ -542,6 +543,13 @@ fn serve_connection(
             // Re-authenticating an open or already-authed connection is a
             // harmless no-op.
             let _ = writeln!(reply, "done: epoch={}", shared.epoch());
+        } else if request.split_whitespace().next() == Some(":follow") {
+            // A follower takes the connection over entirely: it becomes a
+            // replication feed until the follower drops or the server
+            // shuts down, then closes. Write errors just mean the
+            // follower went away — it reconnects and resumes on its own.
+            let _ = replication::serve_feed(request, &mut writer, &shared, state);
+            break;
         } else {
             close = handle_request(
                 request,
@@ -582,6 +590,22 @@ fn handle_request(
     stats: &mut ConnectionStats,
     reply: &mut String,
 ) -> bool {
+    if request == ":promote" {
+        // Failover: turn this follower into a writable primary under a
+        // bumped generation. Admin-only in the sense that it rides the
+        // same auth gate as every other request.
+        match shared.promote() {
+            Ok(generation) => {
+                let _ = writeln!(reply, "promoted: generation={generation}");
+                let _ = writeln!(reply, "done: epoch={}", shared.epoch());
+            }
+            Err(e) => {
+                state.counters.errors_sent.fetch_add(1, Ordering::Relaxed);
+                let _ = writeln!(reply, "error: {e}");
+            }
+        }
+        return false;
+    }
     let snapshot = shared.snapshot();
     let mode = snapshot.engine().semantics();
     let parsed = script::parse_line(snapshot.engine().db().voc(), request);
@@ -620,6 +644,20 @@ fn handle_request(
                 server.protocol_errors
             );
             let _ = writeln!(reply, "stat: snapshot: {}", shared.snapshot_stats());
+            let engine = shared.stats();
+            let _ = writeln!(
+                reply,
+                "stat: replication: role={} generation={} applied={} lag={} followers={}",
+                if engine.read_only {
+                    "follower"
+                } else {
+                    "primary"
+                },
+                engine.generation,
+                engine.epoch,
+                engine.replication_lag(),
+                engine.followers
+            );
             if let Some(wal) = shared.wal_stats() {
                 let _ = writeln!(reply, "stat: wal: {wal}");
             }
@@ -832,6 +870,19 @@ impl Client {
         self.hello
     }
 
+    /// Sets (or clears, with `None`) the socket read/write timeout for
+    /// every subsequent request. By default a client blocks forever
+    /// waiting for a reply; with a timeout set, a wedged or partitioned
+    /// server surfaces as [`io::ErrorKind::TimedOut`] with a diagnostic
+    /// that says so — distinct from the `UnexpectedEof` "server closed
+    /// the connection" error a disconnect produces. After a timeout the
+    /// reply framing is unsynchronized: drop the client and reconnect.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_write_timeout(timeout)?;
+        self.reader.get_ref().set_read_timeout(timeout)?;
+        Ok(())
+    }
+
     /// Performs the `auth <token>` handshake.
     pub fn authenticate(&mut self, token: &str) -> io::Result<Reply> {
         self.request(&format!("auth {token}"))
@@ -852,11 +903,27 @@ impl Client {
         let mut line = String::new();
         loop {
             line.clear();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection mid-reply",
-                ));
+            match self.reader.read_line(&mut line) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection mid-reply",
+                    ));
+                }
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "server reply timed out (see Client::set_timeout); the connection \
+                         is unsynchronized — reconnect before retrying",
+                    ));
+                }
+                Err(e) => return Err(e),
             }
             if reply.push_line(&line) {
                 return Ok(reply);

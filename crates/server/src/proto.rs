@@ -10,8 +10,11 @@
 //!
 //! Each **request** is one script line (see [`crate::script`]):
 //! a query, `:insert …`, `:assert-ne …`, `:stats`, `:quit`, `:shutdown`,
-//! or — when the server was started with a token — the `auth <token>`
-//! handshake, which must come first.
+//! the admin verbs `:promote` (turn a follower into a writable primary)
+//! and `:follow epoch=<E> generation=<G>` (switch the connection into a
+//! replication feed — see [`crate::replication`]), or — when the server
+//! was started with a token — the `auth <token>` handshake, which must
+//! come first.
 //!
 //! Each **reply** is zero or more tagged data lines followed by exactly
 //! one terminator line, so the client always knows where a reply ends:
@@ -22,6 +25,7 @@
 //! evidence: auto → §5 approx, exact (Theorem 13), epoch 3 in 12.3µs
 //! delta: 1 fact(s) inserted (0 duplicate), …   -- mutation replies
 //! stat: …                         -- :stats replies
+//! promoted: generation=<G>        -- :promote replies
 //! done: epoch=<N>                 -- success terminator
 //! error: <diagnostic>             -- failure terminator
 //! ```
@@ -142,6 +146,9 @@ pub struct Reply {
     pub delta: Option<String>,
     /// `stat:` lines, if the request was `:stats`.
     pub stats: Vec<String>,
+    /// The new generation from a `promoted:` line, if the request was
+    /// `:promote`.
+    pub promoted: Option<u64>,
     /// The epoch stamped on the `done:` terminator.
     pub epoch: Option<u64>,
     /// The diagnostic from an `error:` terminator.
@@ -166,6 +173,10 @@ impl Reply {
             self.delta = Some(rest.to_string());
         } else if let Some(rest) = line.strip_prefix("stat: ") {
             self.stats.push(rest.to_string());
+        } else if let Some(rest) = line.strip_prefix("promoted:") {
+            self.promoted = rest
+                .split_whitespace()
+                .find_map(|w| w.strip_prefix("generation=").and_then(|g| g.parse().ok()));
         } else if let Some(rest) = line.strip_prefix("done:") {
             self.epoch = rest
                 .split_whitespace()
@@ -221,6 +232,12 @@ mod tests {
         assert!(err.push_line("error: quota: query quota exhausted (limit 2)"));
         assert!(!err.is_ok());
         assert!(err.error.as_deref().unwrap().starts_with("quota:"));
+
+        let mut promoted = Reply::default();
+        assert!(!promoted.push_line("promoted: generation=7"));
+        assert!(promoted.push_line("done: epoch=12"));
+        assert_eq!(promoted.promoted, Some(7));
+        assert_eq!(promoted.epoch, Some(12));
     }
 
     #[test]

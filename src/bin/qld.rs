@@ -8,7 +8,7 @@
 //! ```
 
 use querying_logical_databases::cli::{
-    concurrent_batch_file, parse_fsync, recover, serve, ConcurrentConfig, Mode, Outcome,
+    concurrent_batch_file, parse_fsync, promote, recover, serve, ConcurrentConfig, Mode, Outcome,
     RecoverOptions, ServeOptions, Session, MODE_USAGE,
 };
 use querying_logical_databases::core::CwDatabase;
@@ -20,6 +20,8 @@ fn usage() -> String {
         "usage: qld <database.qld> [--mode {MODE_USAGE}] [--threads <N>]\n\
          \x20          [--no-cache] [--batch <file>] [--sessions <N>] [-q <query>]...\n\
          \x20      qld serve <database.qld> [options]   (see qld serve --help)\n\
+         \x20      qld serve --follow <host:port> [options]   (replication follower)\n\
+         \x20      qld promote <host:port> [--token <secret>]   (failover)\n\
          \x20      qld recover <wal-dir> [--out <file.qld>] [--read-only]\n\
          With no -q/--batch, starts an interactive shell (:help for commands).\n\
          The default mode is `auto`: the engine runs the cheapest evaluation\n\
@@ -49,7 +51,7 @@ fn serve_usage() -> String {
          \x20          [--token <secret>] [--budget <mappings>] [--quota-queries <N>]\n\
          \x20          [--quota-deltas <N>] [--mode {MODE_USAGE}] [--threads <N>]\n\
          \x20          [--no-cache] [--wal-dir <dir>] [--fsync always|never|every:<N>]\n\
-         \x20          [--checkpoint-every <N>]\n\
+         \x20          [--checkpoint-every <N>] [--follow <host:port>]\n\
          Serves the database over TCP: a line protocol speaking the same\n\
          script dialect as --batch (queries, :insert, :assert-ne, :stats,\n\
          :quit, :shutdown), one shared engine with epoch-stamped snapshots\n\
@@ -63,7 +65,18 @@ fn serve_usage() -> String {
          durable); a directory that already holds a log is recovered and\n\
          the database file is ignored. `qld recover <dir>` replays a log\n\
          offline (repairing torn tails in place; --read-only to only\n\
-         inspect)."
+         inspect).\n\
+         --follow <host:port> runs a replication follower: instead of\n\
+         accepting writes, it streams the primary's commit feed (resuming\n\
+         from its last applied epoch across reconnects), serves wait-free\n\
+         reads at the epoch it has applied, and answers writes with\n\
+         `error: read-only`. The database argument is optional and only a\n\
+         placeholder — the feed transfers a snapshot on first contact.\n\
+         `qld promote <host:port>` turns a follower into the writable\n\
+         primary under a bumped generation, fencing the old primary's\n\
+         stream. --follow excludes --wal-dir (the primary owns the log);\n\
+         --token is used both for the server's own auth gate and to\n\
+         authenticate to the primary."
     )
 }
 
@@ -156,6 +169,13 @@ fn serve_main(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--follow" | "-f" => match iter.next() {
+                Some(addr) => opts.follow = Some(addr.clone()),
+                None => {
+                    eprintln!("--follow needs the primary's host:port");
+                    return ExitCode::from(2);
+                }
+            },
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => {
                 eprintln!("unexpected argument `{other}`\n{}", serve_usage());
@@ -163,16 +183,77 @@ fn serve_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    let Some(path) = path else {
-        eprintln!("{}", serve_usage());
+    if opts.follow.is_some() && opts.wal_dir.is_some() {
+        eprintln!("--follow and --wal-dir are mutually exclusive (the primary owns the log)");
         return ExitCode::from(2);
-    };
-    let Some(db) = load_db(&path) else {
-        return ExitCode::FAILURE;
+    }
+    // A follower needs no database file: its state arrives over the
+    // feed. If one is given anyway it is only the pre-sync placeholder.
+    let db = match (&path, opts.follow.is_some()) {
+        (Some(path), _) => match load_db(path) {
+            Some(db) => db,
+            None => return ExitCode::FAILURE,
+        },
+        // A closed-world database needs a non-empty domain, so the
+        // pre-sync placeholder holds one throwaway constant.
+        (None, true) => querying_logical_databases::core::textio::from_text("const bootstrap")
+            .expect("placeholder database text"),
+        (None, false) => {
+            eprintln!("{}", serve_usage());
+            return ExitCode::from(2);
+        }
     };
     let stdout = io::stdout();
     let mut out = stdout.lock();
     match serve(db, &opts, &mut out) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) | Err(_) => ExitCode::FAILURE,
+    }
+}
+
+fn promote_usage() -> &'static str {
+    "usage: qld promote <host:port> [--token <secret>]\n\
+     Asks the server at <host:port> — normally a `qld serve --follow`\n\
+     replica — to become the writable primary under a bumped generation\n\
+     (failover). After the ack the replica stops following, accepts\n\
+     writes, and the old primary's replication stream is fenced: every\n\
+     follower re-pointed at the new primary refuses the stale\n\
+     generation. Promoting a server that is already a writable primary\n\
+     fails with a diagnostic."
+}
+
+/// The `qld promote` subcommand.
+fn promote_main(args: &[String]) -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut token: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                println!("{}", promote_usage());
+                return ExitCode::SUCCESS;
+            }
+            "--token" => match iter.next() {
+                Some(t) => token = Some(t.clone()),
+                None => {
+                    eprintln!("--token needs a secret argument");
+                    return ExitCode::from(2);
+                }
+            },
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_owned()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{}", promote_usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("{}", promote_usage());
+        return ExitCode::from(2);
+    };
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    match promote(&addr, token.as_deref(), &mut out) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) | Err(_) => ExitCode::FAILURE,
     }
@@ -255,6 +336,9 @@ fn main() -> ExitCode {
     }
     if all_args.first().map(String::as_str) == Some("recover") {
         return recover_main(&all_args[1..]);
+    }
+    if all_args.first().map(String::as_str) == Some("promote") {
+        return promote_main(&all_args[1..]);
     }
     let mut args = all_args.into_iter();
     let mut path: Option<String> = None;

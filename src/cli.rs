@@ -17,8 +17,9 @@ use qld_engine::{
 use qld_logic::display::display_query;
 use qld_logic::parser::parse_query;
 use qld_logic::Vocabulary;
+use qld_server::replication::FollowerLink;
 use qld_server::script::{parse_fact, parse_line, ScriptLine};
-use qld_server::{proto, Server, ServerConfig};
+use qld_server::{proto, Client, RetryPolicy, Server, ServerConfig};
 use std::io::{self, Write};
 
 /// The shell's evaluation mode *is* the engine's semantics — one
@@ -705,6 +706,19 @@ pub fn concurrent_batch_text(
                     stats.deltas.ne_inserted
                 )?;
                 writeln!(out, "snapshot: {}", shared.snapshot_stats())?;
+                writeln!(
+                    out,
+                    "replication: role={} generation={} applied={} lag={} followers={}",
+                    if stats.read_only {
+                        "follower"
+                    } else {
+                        "primary"
+                    },
+                    stats.generation,
+                    stats.epoch,
+                    stats.replication_lag(),
+                    stats.followers
+                )?;
             }
             ScriptItem::Query { .. } => unreachable!("handled above"),
         }
@@ -828,6 +842,12 @@ pub struct ServeOptions {
     /// Checkpoint cadence in logged deltas (`--checkpoint-every`; `0`
     /// disables automatic checkpoints).
     pub checkpoint_every: u64,
+    /// Follower mode (`--follow <host:port>`): instead of accepting
+    /// writes, stream the replication feed from the primary at this
+    /// address and serve wait-free reads at the last applied epoch.
+    /// Mutually exclusive with `--wal-dir`; the database argument is
+    /// only a placeholder (the feed bootstrap replaces it).
+    pub follow: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -846,6 +866,7 @@ impl Default for ServeOptions {
             wal_dir: None,
             fsync: FsyncPolicy::Always,
             checkpoint_every: DurabilityConfig::default().checkpoint_every,
+            follow: None,
         }
     }
 }
@@ -870,19 +891,76 @@ pub fn parse_fsync(s: &str) -> Option<FsyncPolicy> {
 /// the process is killed). Returns whether the server ran and stopped
 /// cleanly.
 pub fn serve(db: CwDatabase, opts: &ServeOptions, out: &mut dyn Write) -> io::Result<bool> {
-    let build = |db: CwDatabase| {
-        let mut builder = Engine::builder(db).semantics(opts.mode);
-        if let Some(threads) = opts.threads {
+    let (mode, threads, cache, budget) = (opts.mode, opts.threads, opts.cache, opts.budget);
+    let build = move |db: CwDatabase| {
+        let mut builder = Engine::builder(db).semantics(mode);
+        if let Some(threads) = threads {
             builder = builder.parallelism(threads);
         }
-        if !opts.cache {
+        if !cache {
             builder = builder.cache_capacity(0);
         }
-        if let Some(budget) = opts.budget {
+        if let Some(budget) = budget {
             builder = builder.mapping_budget(budget);
         }
         builder.build()
     };
+
+    // Follower mode: no WAL of our own (the primary owns the log); the
+    // database argument is only a placeholder until the feed bootstraps.
+    if let Some(primary) = &opts.follow {
+        if opts.wal_dir.is_some() {
+            writeln!(
+                out,
+                "error: --follow and --wal-dir are mutually exclusive (the primary owns the log)"
+            )?;
+            return Ok(false);
+        }
+        let shared = SharedEngine::new(build(db));
+        let link = FollowerLink::new(
+            shared.clone(),
+            primary.clone(),
+            opts.token.clone(),
+            RetryPolicy::default(),
+            std::sync::Arc::new(build),
+        );
+        let handle = link.spawn();
+        let config = ServerConfig {
+            addr: opts.addr.clone(),
+            max_connections: opts.sessions_max,
+            auth_token: opts.token.clone(),
+            query_quota: opts.query_quota,
+            delta_quota: opts.delta_quota,
+            ..ServerConfig::default()
+        };
+        let server = match Server::bind(shared, config) {
+            Ok(server) => server,
+            Err(e) => {
+                writeln!(out, "error: cannot bind {}: {e}", opts.addr)?;
+                handle.stop();
+                return Ok(false);
+            }
+        };
+        writeln!(
+            out,
+            "following {primary} (read-only; writes are refused until `qld promote`)"
+        )?;
+        writeln!(out, "listening on {}", server.local_addr()?)?;
+        out.flush()?;
+        let result = server.run();
+        handle.stop();
+        return match result {
+            Ok(()) => {
+                writeln!(out, "server stopped")?;
+                Ok(true)
+            }
+            Err(e) => {
+                writeln!(out, "error: {e}")?;
+                Ok(false)
+            }
+        };
+    }
+
     let shared = match &opts.wal_dir {
         None => SharedEngine::new(build(db)),
         Some(dir) => {
@@ -955,6 +1033,63 @@ pub fn serve(db: CwDatabase, opts: &ServeOptions, out: &mut dyn Write) -> io::Re
         }
         Err(e) => {
             writeln!(out, "error: {e}")?;
+            Ok(false)
+        }
+    }
+}
+
+/// The `qld promote` driver: asks the server at `addr` — normally a
+/// `--follow` replica — to become the writable primary under a bumped
+/// generation. After the ack the old primary's stream is fenced: its
+/// feed carries a stale generation and every re-pointed follower
+/// refuses it. Returns whether the promotion was acknowledged.
+pub fn promote(addr: &str, token: Option<&str>, out: &mut dyn Write) -> io::Result<bool> {
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            writeln!(out, "error: cannot connect to {addr}: {e}")?;
+            return Ok(false);
+        }
+    };
+    if client.hello().auth_required {
+        let Some(token) = token else {
+            writeln!(out, "error: auth: the server requires --token <secret>")?;
+            return Ok(false);
+        };
+        match client.authenticate(token) {
+            Ok(reply) if reply.is_ok() => {}
+            Ok(reply) => {
+                writeln!(out, "error: {}", reply.error.unwrap_or_default())?;
+                return Ok(false);
+            }
+            Err(e) => {
+                writeln!(out, "error: {e}")?;
+                return Ok(false);
+            }
+        }
+    }
+    let reply = match client.request(":promote") {
+        Ok(reply) => reply,
+        Err(e) => {
+            writeln!(out, "error: {e}")?;
+            return Ok(false);
+        }
+    };
+    match (reply.promoted, reply.error) {
+        (Some(generation), None) => {
+            writeln!(
+                out,
+                "promoted: writable primary at generation {generation}, epoch {}",
+                reply.epoch.unwrap_or(0)
+            )?;
+            Ok(true)
+        }
+        (_, Some(e)) => {
+            writeln!(out, "error: {e}")?;
+            Ok(false)
+        }
+        _ => {
+            writeln!(out, "error: malformed reply to :promote")?;
             Ok(false)
         }
     }

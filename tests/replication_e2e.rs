@@ -1,0 +1,207 @@
+//! Process-level replication e2e through the `qld` binary: a real
+//! primary process, a real `--follow` replica process, writes streamed
+//! over loopback, the primary SIGKILLed mid-flight, and `qld promote`
+//! failing the replica over — writes resume under a bumped generation
+//! and reads never regress an epoch. This is the CI smoke in test form
+//! (CI runs it under `QLD_THREADS=1` and `QLD_THREADS=4`).
+
+use querying_logical_databases::prelude::Client;
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn qld() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qld"))
+}
+
+const DB: &str = "examples/data/philosophy.qld";
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = qld()
+        .args(args)
+        .stdin(Stdio::null())
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// Spawns `qld serve` with the given args and reads banner lines off its
+/// stdout until the `listening on <addr>` line, returning the child and
+/// the bound address.
+fn spawn_serve(args: &[&str]) -> (Child, String, std::io::Lines<impl BufRead>) {
+    let mut child = qld()
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+    let mut lines = std::io::BufReader::new(child.stdout.take().unwrap()).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("serve prints its listen banner")
+            .expect("banner reads");
+        if let Some(addr) = line.strip_prefix("listening on ") {
+            break addr.to_string();
+        }
+    };
+    (child, addr, lines)
+}
+
+/// Polls the follower until a query reply stamps `epoch` (the applied
+/// stream has caught up that far).
+fn wait_for_epoch(addr: &str, epoch: u64) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        if let Ok(mut client) = Client::connect(addr) {
+            if let Ok(reply) = client.request("(x) . TEACHES(socrates, x)") {
+                if reply.is_ok() && reply.epoch >= Some(epoch) {
+                    return;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never reached epoch {epoch}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The full failover story: stream writes through a primary process
+/// into a `--follow` replica process, SIGKILL the primary, `qld
+/// promote` the replica, and verify writes resume under the bumped
+/// generation while reads never regress.
+#[test]
+fn sigkill_primary_then_promote_follower_resumes_writes() {
+    let (mut primary, primary_addr, _primary_lines) =
+        spawn_serve(&["serve", DB, "--addr", "127.0.0.1:0"]);
+    let (mut follower, follower_addr, _follower_lines) =
+        spawn_serve(&["serve", "--follow", &primary_addr, "--addr", "127.0.0.1:0"]);
+
+    // Promoting the writable primary itself is refused.
+    let (stdout, _, ok) = run(&["promote", &primary_addr]);
+    assert!(!ok, "{stdout}");
+    assert!(stdout.contains("already a writable primary"), "{stdout}");
+
+    // Stream acknowledged writes through the primary.
+    let mut writer = Client::connect(&primary_addr).expect("writer connects");
+    for (i, line) in [
+        ":insert TEACHES(socrates, aristotle)",
+        ":insert TEACHES(plato, aristotle)",
+        ":insert TEACHES(aristotle, mystery)",
+    ]
+    .iter()
+    .enumerate()
+    {
+        let reply = writer.request(line).expect("insert round-trips");
+        assert!(reply.is_ok(), "{reply:?}");
+        assert_eq!(reply.epoch, Some(i as u64 + 1), "{reply:?}");
+    }
+    wait_for_epoch(&follower_addr, 3);
+
+    // The replica serves reads at the replicated epoch and refuses
+    // writes with a clean diagnostic.
+    let mut reader = Client::connect(&follower_addr).expect("reader connects");
+    let reply = reader.request("(x) . TEACHES(socrates, x)").unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    assert_eq!(reply.epoch, Some(3), "{reply:?}");
+    assert!(
+        reply.answers.contains(&"(aristotle)".to_string()),
+        "{reply:?}"
+    );
+    let reply = reader.request(":insert WISE(plato)").unwrap();
+    assert!(
+        reply
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .starts_with("read-only"),
+        "{reply:?}"
+    );
+    let reply = reader.request(":stats").unwrap();
+    assert!(
+        reply
+            .stats
+            .iter()
+            .any(|l| l.starts_with("replication: role=follower generation=1 applied=3")),
+        "{reply:?}"
+    );
+
+    // SIGKILL the primary mid-flight: no drain, no goodbye. The replica
+    // keeps serving its prefix and retries the dead address quietly.
+    primary.kill().expect("kill primary");
+    let _ = primary.wait();
+    let reply = reader.request("(x) . TEACHES(socrates, x)").unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    assert_eq!(reply.epoch, Some(3), "reads regressed after the crash");
+
+    // Fail over: `qld promote` bumps the generation and unlocks writes.
+    let (stdout, _, ok) = run(&["promote", &follower_addr]);
+    assert!(ok, "{stdout}");
+    assert!(
+        stdout.contains("promoted: writable primary at generation 2, epoch 3"),
+        "{stdout}"
+    );
+
+    // Writes resume on the new primary; epochs continue monotonically.
+    let reply = reader.request(":insert WISE(plato)").unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    assert_eq!(reply.epoch, Some(4), "{reply:?}");
+    let reply = reader.request("(x) . WISE(x)").unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    assert_eq!(reply.epoch, Some(4), "{reply:?}");
+    assert!(reply.answers.contains(&"(plato)".to_string()), "{reply:?}");
+    let reply = reader.request(":stats").unwrap();
+    assert!(
+        reply
+            .stats
+            .iter()
+            .any(|l| l.starts_with("replication: role=primary generation=2 applied=4")),
+        "{reply:?}"
+    );
+
+    // Graceful shutdown of the promoted server.
+    let reply = reader.shutdown_server().unwrap();
+    assert!(reply.is_ok(), "{reply:?}");
+    let status = follower.wait().expect("follower exits");
+    assert!(status.success(), "follower exited with {status:?}");
+}
+
+#[test]
+fn follow_flag_validates_its_arguments() {
+    let (_, stderr, ok) = run(&[
+        "serve",
+        "--follow",
+        "127.0.0.1:1",
+        "--wal-dir",
+        "/tmp/qld-never",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    let (_, stderr, ok) = run(&["serve", "--follow"]);
+    assert!(!ok);
+    assert!(stderr.contains("--follow needs"), "{stderr}");
+
+    let (stdout, _, ok) = run(&["serve", "--help"]);
+    assert!(ok);
+    assert!(stdout.contains("--follow"), "{stdout}");
+
+    let (stdout, _, ok) = run(&["promote", "--help"]);
+    assert!(ok);
+    assert!(stdout.contains("usage: qld promote"), "{stdout}");
+
+    let (_, stderr, ok) = run(&["promote"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage: qld promote"), "{stderr}");
+
+    // Promoting an unreachable address is a clean failure.
+    let (stdout, _, ok) = run(&["promote", "127.0.0.1:1"]);
+    assert!(!ok);
+    assert!(stdout.contains("cannot connect"), "{stdout}");
+}

@@ -381,3 +381,64 @@ fn busy_rejection_when_the_connection_cap_is_reached() {
         }
     }
 }
+
+/// `Client::set_timeout` (satellite): a wedged server surfaces as
+/// [`std::io::ErrorKind::TimedOut`] with a diagnostic that says so, a
+/// closed connection stays [`std::io::ErrorKind::UnexpectedEof`], and a
+/// generous timeout leaves normal requests untouched.
+#[test]
+fn client_timeout_distinguishes_wedged_from_closed() {
+    let greeting = proto::Hello {
+        version: proto::PROTOCOL_VERSION,
+        epoch: 0,
+        auth_required: false,
+    }
+    .render();
+
+    // A hand-rolled accept loop: greet, swallow one request line, then
+    // either wedge (hold the socket silently) or slam it shut.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let banner = greeting.clone();
+    let stage = thread::spawn(move || {
+        let mut wedged = Vec::new();
+        for turn in 0..2 {
+            let (mut socket, _) = listener.accept().unwrap();
+            writeln!(socket, "{banner}").unwrap();
+            let mut line = String::new();
+            BufReader::new(socket.try_clone().unwrap())
+                .read_line(&mut line)
+                .unwrap();
+            if turn == 0 {
+                wedged.push(socket); // never reply, never close
+            } // turn == 1: drop = close mid-reply
+        }
+        wedged
+    });
+
+    // Wedged: the request goes out, no reply ever comes back.
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_millis(80))).unwrap();
+    let err = client.request("exists x. P0(x, x)").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::TimedOut, "{err}");
+    assert!(err.to_string().contains("timed out"), "{err}");
+    drop(client);
+
+    // Closed: same timeout budget, but the error is the EOF diagnostic,
+    // not a timeout — the two failure modes stay distinguishable.
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(5))).unwrap();
+    let err = client.request("exists x. P0(x, x)").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+    assert!(err.to_string().contains("closed the connection"), "{err}");
+    stage.join().unwrap();
+
+    // A real server under a generous timeout answers normally.
+    let db = test_db(77);
+    let (running, addr) = start(&db, ServerConfig::default());
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(10))).unwrap();
+    let reply = client.request("exists x. P0(x, x)").unwrap();
+    assert!(reply.error.is_none(), "{reply:?}");
+    running.shutdown().unwrap();
+}

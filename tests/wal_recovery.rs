@@ -362,12 +362,12 @@ proptest! {
         known in 0u8..=10,
         ops in proptest::collection::vec((0u8..3, 0u32..8, 0u32..8), 1..5),
         tear in 1u64..10_000,
-        fsync_never in 0u8..=1,
+        fsync_pick in 0u8..=2,
     ) {
-        let fsync = if fsync_never == 1 {
-            FsyncPolicy::Never
-        } else {
-            FsyncPolicy::Always
+        let fsync = match fsync_pick {
+            0 => FsyncPolicy::Always,
+            1 => FsyncPolicy::Never,
+            _ => FsyncPolicy::EveryN(3),
         };
         let db = random_db(seed, n, f64::from(known) / 10.0);
         let queries = random_queries(&db, 2, seed);
