@@ -34,6 +34,18 @@ fn engine_with(db: &qld_core::CwDatabase, threads: usize) -> Engine {
 
 fn print_series() {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // Oversubscription falls back cleanly: asking for more workers than
+    // the machine has resolves to the host core count, never above it
+    // (so the 8-thread row on a small CI runner measures the clamped
+    // configuration, not 8 phantom workers).
+    for threads in THREAD_SWEEP {
+        let resolved = qld_core::mappings::ParallelConfig::new(threads).resolved_threads();
+        assert!(resolved >= 1, "at least one worker");
+        assert!(resolved <= cores, "never above host cores");
+        if threads > cores {
+            assert_eq!(resolved, cores, "threads > cores must clamp to the host");
+        }
+    }
     println!("\nE10: parallel kernel enumeration, high null density (cores available: {cores})");
     print_header(&[
         "|C|",

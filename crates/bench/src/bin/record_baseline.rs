@@ -3,7 +3,8 @@
 //! amortization, E12 incremental deltas, E13 in-process concurrent
 //! serving, E14 the same load over loopback TCP, E15 WAL append overhead
 //! and recovery replay, E16 replication catch-up, lag, and replica
-//! reads) once each and writes the measurements to a JSON
+//! reads, E17 free-null decomposition) once each and writes the
+//! measurements to a JSON
 //! file, so the repository carries a recorded perf trajectory instead of
 //! folklore.
 //!
@@ -18,8 +19,9 @@
 
 use qld_bench::{
     batch_queries, concurrent_load, fresh_facts, high_null_db, replication_load, scaling_query,
-    socket_load, standard_db, standard_queries, time_once,
+    socket_load, sparse_null_db, standard_db, standard_queries, time_once,
 };
+use qld_core::mappings::count_kernel_mappings;
 use qld_engine::{
     Backend, Delta, DiskStorage, DurabilityConfig, Engine, FsyncPolicy, MappingStrategy, Semantics,
     SharedEngine, WalConfig,
@@ -479,6 +481,55 @@ fn run_workloads(smoke: bool) -> Vec<Entry> {
         wall: report.read_p99,
         mappings: 0,
     });
+
+    // E17: free-null decomposition — the E1-style join workload with a
+    // tail of free constants (in no fact, no uniqueness axiom). The
+    // decomposed walk visits one canonical image per core kernel and
+    // null-block count; the classic walk visits the whole kernel space.
+    // `mappings` records visited images for both, so the committed
+    // baseline carries the reduction factor directly.
+    let (e17_core, e17_free) = if smoke { (5, 2) } else { (6, 4) };
+    let sparse = sparse_null_db(e17_core, e17_free, 42);
+    let sq = scaling_query(&sparse);
+    let mut answers: Option<qld_physical::Relation> = None;
+    let mut visited = [0u64; 2];
+    for (slot, (workload, decompose)) in [("e17_decomposed", true), ("e17_classic_kernels", false)]
+        .into_iter()
+        .enumerate()
+    {
+        let engine = Engine::builder(sparse.clone())
+            .semantics(Semantics::Exact)
+            .corollary2_fast_path(false)
+            .decompose(decompose)
+            .parallelism(1)
+            .build();
+        let prepared = engine.prepare(sq.clone()).unwrap();
+        let (ans, wall) = time_once(|| engine.execute(&prepared).unwrap());
+        match &answers {
+            None => answers = Some(ans.tuples().clone()),
+            Some(rel) => assert_eq!(ans.tuples(), rel, "decomposition changed answers"),
+        }
+        visited[slot] = ans.evidence().mappings_evaluated;
+        entries.push(Entry {
+            workload,
+            threads: 1,
+            wall,
+            mappings: ans.evidence().mappings_evaluated,
+        });
+    }
+    assert_eq!(
+        visited[1],
+        count_kernel_mappings(&sparse),
+        "classic walk must cover the kernel space"
+    );
+    if !smoke {
+        assert!(
+            visited[1] >= 10 * visited[0],
+            "expected ≥10× fewer visited images: {} vs {}",
+            visited[0],
+            visited[1]
+        );
+    }
 
     entries
 }

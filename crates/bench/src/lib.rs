@@ -43,6 +43,45 @@ pub fn high_null_db(num_consts: usize, seed: u64) -> CwDatabase {
     })
 }
 
+/// The E17 decomposition workload: the [`standard_db`] fact core over
+/// `n_core` constants, extended with `m_free` *free* constants (`f0,
+/// f1, …`) that appear in no fact and no uniqueness axiom — the
+/// signature of a logical database whose vocabulary is wider than its
+/// data (null-heavy records, staged-but-unused identifiers).
+///
+/// Every free constant multiplies the raw kernel count, but the
+/// free-null collapse in `qld_core::exact` folds all their placements
+/// into a handful of canonical images per core kernel, so this is the
+/// regime where the E17 decomposition bench shows its reduction.
+///
+/// # Panics
+/// Panics if the vocabulary rejects a fresh `f{i}` constant name (the
+/// generated names never collide with `standard_db`'s `k*`/`u*`).
+pub fn sparse_null_db(n_core: usize, m_free: usize, seed: u64) -> CwDatabase {
+    let core = standard_db(n_core, seed);
+    let mut voc = core.voc().clone();
+    for i in 0..m_free {
+        voc.add_const(&format!("f{i}"))
+            .expect("fresh free constant");
+    }
+    // Core constants keep their ids (the new names are appended), so the
+    // core's facts and uniqueness axioms transfer verbatim.
+    let mut builder = CwDatabase::builder(voc);
+    for p in core.voc().preds() {
+        for tuple in core.facts(p).iter() {
+            let args: Vec<qld_logic::ConstId> =
+                tuple.iter().map(|&e| qld_logic::ConstId(e)).collect();
+            builder = builder.fact(p, &args);
+        }
+    }
+    for &(a, b) in core.ne_pairs() {
+        builder = builder.unique(qld_logic::ConstId(a), qld_logic::ConstId(b));
+    }
+    builder
+        .build()
+        .expect("sparse-null database is well-formed")
+}
+
 /// The E10 scaling query: the standard join wrapped in `∨ z = z`, which
 /// makes every tuple certain — the candidate set never empties, early
 /// exit never fires, and every thread count enumerates exactly the same

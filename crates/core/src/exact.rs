@@ -28,7 +28,9 @@
 //!   result regardless of thread count.
 
 use crate::mappings::{
-    for_each_kernel_mapping_parallel, for_each_respecting_mapping_parallel, ParallelConfig,
+    analyze_decomposition, count_kernel_mappings, for_each_kernel_mapping_over_parallel,
+    for_each_kernel_mapping_parallel, for_each_respecting_mapping_parallel, DbDecomposition,
+    ParallelConfig,
 };
 use crate::ph::{apply_mapping_into, ph1};
 use crate::theory::CwDatabase;
@@ -64,6 +66,14 @@ pub struct ExactOptions {
     /// proven possible). On by default; differential tests disable it so
     /// `mappings_evaluated` totals are comparable across configurations.
     pub early_exit: bool,
+    /// Collapse *free* constants — no NE edge, no fact occurrence, not
+    /// mentioned by the query — out of the kernel enumeration (see the
+    /// module docs of [`crate::mappings`] and the decomposed evaluator
+    /// below). Answers are bit-identical; the enumeration shrinks from
+    /// "every placement of every free null" to one canonical image per
+    /// (core partition, fresh-null count). On by default; only applies to
+    /// [`MappingStrategy::Kernels`].
+    pub decompose: bool,
 }
 
 impl ExactOptions {
@@ -75,6 +85,7 @@ impl ExactOptions {
             corollary2_fast_path: true,
             parallel: ParallelConfig::default(),
             early_exit: true,
+            decompose: true,
         }
     }
 
@@ -106,8 +117,10 @@ impl Default for ExactOptions {
 /// Counters reported alongside an exact evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
-    /// Number of mappings actually evaluated, summed across workers
-    /// (early exit shortens this).
+    /// Number of database images actually built and evaluated, summed
+    /// across workers (early exit shortens this). On the decomposed path
+    /// this counts canonical images — one per (core partition, fresh-null
+    /// count) — not raw kernel mappings.
     pub mappings_evaluated: u64,
     /// Whether the Corollary 2 fast path answered the query.
     pub fast_path: bool,
@@ -115,6 +128,15 @@ pub struct EvalStats {
     /// sequential path, `0` when the fast path answered without
     /// enumerating any mapping).
     pub workers_used: u32,
+    /// NE-constraint-graph components of the database (isolated constants
+    /// included). `0` when the run didn't analyze the decomposition (fast
+    /// path, raw strategy, or `decompose: false`).
+    pub components: u32,
+    /// Kernel mappings the decomposed path never had to visit: the
+    /// closed-form kernel count minus `mappings_evaluated` (saturating;
+    /// includes mappings skipped by early exit on decomposed runs). `0`
+    /// on non-decomposed runs.
+    pub mappings_pruned: u64,
 }
 
 /// A flat candidate-tuple store: `count` tuples of `arity` elements in one
@@ -196,6 +218,49 @@ impl CandidateSet {
                 self.scratch[k] = h[self.data[start + k] as usize];
             }
             if answers.contains(&self.scratch) {
+                out.data.extend_from_slice(&self.data[start..start + arity]);
+                out.count += 1;
+            } else {
+                if write != read {
+                    self.data.copy_within(start..start + arity, write * arity);
+                }
+                write += 1;
+            }
+        }
+        self.count = write;
+        self.data.truncate(write * arity);
+    }
+
+    /// Keeps exactly the candidates `keep` approves (in place, preserving
+    /// order) — the decomposed evaluator's generalization of
+    /// [`CandidateSet::retain_mapped_in`], where a candidate's fate depends
+    /// on a search over free-null placements rather than one mapped image.
+    fn retain_where(&mut self, mut keep: impl FnMut(&[Elem]) -> bool) {
+        let arity = self.arity;
+        let mut write = 0usize;
+        for read in 0..self.count {
+            let start = read * arity;
+            if keep(&self.data[start..start + arity]) {
+                if write != read {
+                    self.data.copy_within(start..start + arity, write * arity);
+                }
+                write += 1;
+            }
+        }
+        self.count = write;
+        self.data.truncate(write * arity);
+    }
+
+    /// Moves the candidates `take` approves to the end of `out`, keeping
+    /// the rest (order preserved on both sides) — the generalization of
+    /// [`CandidateSet::split_mapped_in`].
+    fn split_where(&mut self, out: &mut CandidateSet, mut take: impl FnMut(&[Elem]) -> bool) {
+        debug_assert_eq!(self.arity, out.arity);
+        let arity = self.arity;
+        let mut write = 0usize;
+        for read in 0..self.count {
+            let start = read * arity;
+            if take(&self.data[start..start + arity]) {
                 out.data.extend_from_slice(&self.data[start..start + arity]);
                 out.count += 1;
             } else {
@@ -302,6 +367,429 @@ fn run_mappings<S: Send>(
     states
 }
 
+// ---------------------------------------------------------------------------
+// The free-null collapse: the decomposed Theorem 1 search.
+//
+// Call a constant *free* when it has no NE edge, occurs in no fact, and is
+// not mentioned by the query ([`DbDecomposition`] caches the
+// query-independent part). A kernel partition of `C` is then a partition of
+// the *core* (the other constants) plus a placement of each free constant
+// into a core block or one of `e` null-only blocks. The image `h(Ph₁(LB))`
+// only sees (a) the core partition and (b) `e`: null-only block
+// representatives are isolated domain elements — they occur in no mapped
+// fact and interpret no query constant — and free constants merged into
+// core blocks change nothing at all. Two kernels with the same core
+// partition and the same `e` have isomorphic images (match core blocks
+// identically, null-only blocks arbitrarily), the isomorphism fixes every
+// query constant's interpretation, and query answers are invariant under
+// isomorphism — so one canonical image per (core partition, `e`) decides
+// every candidate. Three moves:
+//
+// * **Canonical image**: core constants map to their block's least core
+//   member, the first `e` free constants map to themselves (the fresh
+//   isolated elements), the remaining free constants pile into the first
+//   fresh element (or the first core value when `e = 0`; `e ≥ 1` is forced
+//   when the core is empty). `mappings_evaluated` counts these images; the
+//   closed-form kernel count minus that is `mappings_pruned`.
+// * **Per-candidate placement search**: a candidate tuple containing `k`
+//   distinct free constants is decided by searching the canonical
+//   placements `g` of those constants into core blocks or fresh elements.
+//   Fresh elements are used in first-use order — the answer relation is
+//   closed under permuting the fresh elements, which are interchangeable
+//   isolated points of the image. A placement is *realizable* iff the
+//   `m − k` unmentioned free constants can still populate the other
+//   null-only blocks: `s ≥ e − (m − k)` for `s` the fresh elements used
+//   (and `s ≤ e` by construction). A certain-mode candidate dies on any
+//   realizable placement whose image tuple is outside the answers; a
+//   possible-mode candidate is proven by any realizable placement inside
+//   them. Candidates without free constants reduce to the classic
+//   membership test under the canonical mapping.
+// * **Ehrenfeucht–Fraïssé cap on `e`**: a first-order query of quantifier
+//   rank `qr` cannot distinguish images differing only in how many unused
+//   isolated elements they carry once both carry more than `qr`, and a
+//   candidate marks at most `arity` of them, so every verdict at
+//   `e > qr + arity + 1` already occurred at the cap (realizability only
+//   loosens as `e` shrinks). Second-order queries can count — `∃S…`
+//   distinguishes domain sizes — so the cap applies **only** when
+//   [`Query::is_first_order`]; otherwise `e` runs all the way to `m`.
+// ---------------------------------------------------------------------------
+
+/// The per-run decomposition plan: the query-dependent split of the
+/// constants for the free-null collapse.
+struct DecompPlan {
+    /// Non-free constants, ascending — the kernel enumeration runs here.
+    core: Vec<u32>,
+    /// Free constants (free in the database *and* unmentioned by every
+    /// query of the run), ascending.
+    free: Vec<u32>,
+    /// `is_free[c]` for every constant.
+    is_free: Vec<bool>,
+    /// Smallest valid null-only block count: `1` when the core is empty
+    /// (the free constants must map somewhere), else `0`.
+    e_min: usize,
+    /// Per-query cap on the null-only block count (the EF cap for
+    /// first-order queries, `m` otherwise).
+    caps: Vec<usize>,
+    /// NE components of the database, reported in the stats.
+    components: u32,
+}
+
+/// Builds the decomposition plan, or `None` when the decomposed path does
+/// not apply: decomposition disabled, raw-mapping strategy, or no free
+/// constant survives the queries' mentions.
+fn plan_decomposition(
+    db: &CwDatabase,
+    queries: &[Query],
+    opts: ExactOptions,
+    decomp: Option<&DbDecomposition>,
+) -> Option<DecompPlan> {
+    if !opts.decompose || opts.strategy != MappingStrategy::Kernels {
+        return None;
+    }
+    let n = db.num_consts();
+    let owned;
+    let decomp = match decomp {
+        Some(d) => d,
+        None => {
+            owned = analyze_decomposition(db);
+            &owned
+        }
+    };
+    let mut is_free = vec![false; n];
+    for &f in &decomp.free {
+        is_free[f as usize] = true;
+    }
+    for q in queries {
+        for c in q.body().constants() {
+            is_free[c.index()] = false;
+        }
+    }
+    let free: Vec<u32> = (0..n as u32).filter(|&c| is_free[c as usize]).collect();
+    if free.is_empty() {
+        return None;
+    }
+    let core: Vec<u32> = (0..n as u32).filter(|&c| !is_free[c as usize]).collect();
+    let m = free.len();
+    let caps = queries
+        .iter()
+        .map(|q| {
+            if q.is_first_order() {
+                m.min(q.body().quantifier_rank() + q.arity() + 1)
+            } else {
+                m
+            }
+        })
+        .collect();
+    Some(DecompPlan {
+        e_min: usize::from(core.is_empty()),
+        core,
+        free,
+        is_free,
+        caps,
+        components: decomp.components,
+    })
+}
+
+/// Reusable buffers for the per-candidate placement search.
+#[derive(Default)]
+struct PlacementScratch {
+    /// Distinct free constants of the candidate, in first-occurrence order.
+    distinct: Vec<Elem>,
+    /// Image value assigned to each distinct free constant.
+    assigned: Vec<Elem>,
+    /// The candidate's image tuple.
+    tau: Vec<Elem>,
+}
+
+/// The immutable inputs of one candidate's placement search.
+struct PlacementSearch<'a> {
+    cand: &'a [Elem],
+    /// The canonical mapping of the current image (core + free parts).
+    h: &'a [Elem],
+    is_free: &'a [bool],
+    free: &'a [u32],
+    /// Distinct block representatives of the current core partition.
+    core_values: &'a [Elem],
+    /// Null-only block count of the current image.
+    e: usize,
+    /// Realizability floor: fresh elements the placement must use so the
+    /// unmentioned free constants can fill the remaining null-only blocks.
+    e_need: usize,
+    answers: &'a Relation,
+    /// `true`: search for an image tuple **in** the answers (possible-mode
+    /// proof); `false`: for one **outside** them (certain-mode kill).
+    want_in: bool,
+}
+
+impl PlacementSearch<'_> {
+    /// Depth-first search over canonical placements of the candidate's
+    /// distinct free constants (`distinct[j..]` still unassigned,
+    /// `fresh_used` fresh elements opened so far).
+    fn rec(
+        &self,
+        j: usize,
+        fresh_used: usize,
+        distinct: &[Elem],
+        assigned: &mut [Elem],
+        tau: &mut Vec<Elem>,
+    ) -> bool {
+        let k = distinct.len();
+        if j == k {
+            if fresh_used < self.e_need {
+                return false;
+            }
+            tau.clear();
+            for &c in self.cand {
+                if self.is_free[c as usize] {
+                    let idx = distinct.iter().position(|&u| u == c).unwrap();
+                    tau.push(assigned[idx]);
+                } else {
+                    tau.push(self.h[c as usize]);
+                }
+            }
+            return self.answers.contains(tau) == self.want_in;
+        }
+        // Even opening a fresh element at every remaining position cannot
+        // reach the realizability floor: dead branch.
+        if fresh_used + (k - j) < self.e_need {
+            return false;
+        }
+        // Join a core block…
+        for &v in self.core_values {
+            assigned[j] = v;
+            if self.rec(j + 1, fresh_used, distinct, assigned, tau) {
+                return true;
+            }
+        }
+        // …share an already-opened fresh element…
+        for slot in 0..fresh_used {
+            assigned[j] = self.free[slot];
+            if self.rec(j + 1, fresh_used, distinct, assigned, tau) {
+                return true;
+            }
+        }
+        // …or open the next one (canonical first-use order).
+        if fresh_used < self.e {
+            assigned[j] = self.free[fresh_used];
+            if self.rec(j + 1, fresh_used + 1, distinct, assigned, tau) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Is there a realizable canonical placement of `cand`'s free constants
+/// whose image tuple's membership in `answers` equals `want_in`? See the
+/// free-null collapse notes above.
+#[allow(clippy::too_many_arguments)]
+fn candidate_has_placement(
+    cand: &[Elem],
+    h: &[Elem],
+    is_free: &[bool],
+    free: &[u32],
+    core_values: &[Elem],
+    e: usize,
+    want_in: bool,
+    answers: &Relation,
+    scratch: &mut PlacementScratch,
+) -> bool {
+    scratch.distinct.clear();
+    for &c in cand {
+        if is_free[c as usize] && !scratch.distinct.contains(&c) {
+            scratch.distinct.push(c);
+        }
+    }
+    let k = scratch.distinct.len();
+    if k == 0 {
+        scratch.tau.clear();
+        scratch.tau.extend(cand.iter().map(|&c| h[c as usize]));
+        return answers.contains(&scratch.tau) == want_in;
+    }
+    scratch.assigned.clear();
+    scratch.assigned.resize(k, 0);
+    let PlacementScratch {
+        distinct,
+        assigned,
+        tau,
+    } = scratch;
+    let search = PlacementSearch {
+        cand,
+        h,
+        is_free,
+        free,
+        core_values,
+        e,
+        e_need: e.saturating_sub(free.len() - k),
+        answers,
+        want_in,
+    };
+    search.rec(0, 0, distinct, assigned, tau)
+}
+
+/// Per-worker state of the decomposed evaluation: the decomposed analogue
+/// of [`MultiQueryEvaluator`] (single queries run as a batch of one — the
+/// merge and early-exit semantics coincide).
+struct DecompWorker<'a> {
+    eval: MappingEvaluator<'a>,
+    /// Per-query undecided candidates.
+    cands: Vec<CandidateSet>,
+    /// Per-query proven-possible candidates (possible mode only).
+    collected: Vec<CandidateSet>,
+    /// Queries whose undecided set is still non-empty.
+    live: usize,
+    /// Full canonical mapping buffer (every constant).
+    h: Vec<Elem>,
+    /// Distinct block representatives of the current core partition.
+    core_values: Vec<Elem>,
+    scratch: PlacementScratch,
+}
+
+/// Runs the decomposed Theorem 1 evaluation for a batch of queries and
+/// merges the workers: certain mode (`collect = false`) intersects the
+/// per-query survivor sets, possible mode (`collect = true`) unions the
+/// per-query proven sets. Answers are bit-identical to the undecomposed
+/// enumeration at any thread count.
+fn run_decomposed(
+    db: &CwDatabase,
+    base: &PhysicalDb,
+    queries: &[Query],
+    opts: ExactOptions,
+    plan: &DecompPlan,
+    collect: bool,
+) -> (Vec<Relation>, EvalStats) {
+    let n = db.num_consts();
+    let e_max = plan.caps.iter().copied().max().unwrap_or(0);
+    let (states, _completed) = for_each_kernel_mapping_over_parallel(
+        db,
+        &plan.core,
+        opts.parallel,
+        |_| DecompWorker {
+            eval: MappingEvaluator::new(base, &queries[0]),
+            cands: queries
+                .iter()
+                .map(|q| CandidateSet::full(n, q.arity()))
+                .collect(),
+            collected: queries
+                .iter()
+                .map(|q| CandidateSet::empty(q.arity()))
+                .collect(),
+            live: queries.len(),
+            h: vec![0; n],
+            core_values: Vec::new(),
+            scratch: PlacementScratch::default(),
+        },
+        |w, h_core| {
+            let DecompWorker {
+                eval,
+                cands,
+                collected,
+                live,
+                h,
+                core_values,
+                scratch,
+            } = w;
+            for (p, &c) in plan.core.iter().enumerate() {
+                h[c as usize] = h_core[p];
+            }
+            core_values.clear();
+            core_values.extend_from_slice(h_core);
+            core_values.sort_unstable();
+            core_values.dedup();
+            for e in plan.e_min..=e_max {
+                // With early exit on, stop once no live query's cap reaches
+                // this `e`. Without it, evaluate every (partition, e) image
+                // so `mappings_evaluated` is thread-count-independent.
+                if opts.early_exit
+                    && !(0..queries.len()).any(|i| e <= plan.caps[i] && !cands[i].is_empty())
+                {
+                    break;
+                }
+                for (idx, &f) in plan.free.iter().enumerate() {
+                    h[f as usize] = if idx < e {
+                        f
+                    } else if e > 0 {
+                        plan.free[0]
+                    } else {
+                        h[plan.core[0] as usize]
+                    };
+                }
+                let image = eval.image_for(h);
+                for (i, query) in queries.iter().enumerate() {
+                    if e > plan.caps[i] || cands[i].is_empty() {
+                        continue;
+                    }
+                    let answers = eval_query(image, query);
+                    if collect {
+                        cands[i].split_where(&mut collected[i], |cand| {
+                            candidate_has_placement(
+                                cand,
+                                h,
+                                &plan.is_free,
+                                &plan.free,
+                                core_values,
+                                e,
+                                true,
+                                &answers,
+                                scratch,
+                            )
+                        });
+                    } else {
+                        cands[i].retain_where(|cand| {
+                            !candidate_has_placement(
+                                cand,
+                                h,
+                                &plan.is_free,
+                                &plan.free,
+                                core_values,
+                                e,
+                                false,
+                                &answers,
+                                scratch,
+                            )
+                        });
+                    }
+                    if cands[i].is_empty() {
+                        *live -= 1;
+                    }
+                }
+            }
+            !opts.early_exit || *live > 0
+        },
+    );
+
+    let evaluated: u64 = states.iter().map(|w| w.eval.evaluated).sum();
+    let stats = EvalStats {
+        mappings_evaluated: evaluated,
+        fast_path: false,
+        workers_used: states.len() as u32,
+        components: plan.components,
+        mappings_pruned: count_kernel_mappings(db).saturating_sub(evaluated),
+    };
+    let answers = if collect {
+        (0..queries.len())
+            .map(|i| {
+                Relation::collect(
+                    queries[i].arity(),
+                    states
+                        .iter()
+                        .flat_map(|w| w.collected[i].iter().map(<[Elem]>::to_vec)),
+                )
+            })
+            .collect()
+    } else {
+        let mut states = states.into_iter();
+        let mut acc = states.next().expect("at least one worker").cands;
+        for w in states {
+            for (mine, theirs) in acc.iter_mut().zip(w.cands.iter()) {
+                mine.intersect_sorted(theirs);
+            }
+        }
+        acc.iter().map(CandidateSet::to_relation).collect()
+    };
+    (answers, stats)
+}
+
 /// Computes the certain answers `Q(LB)` with default options.
 pub fn certain_answers(db: &CwDatabase, query: &Query) -> Result<Relation, LogicError> {
     certain_answers_with(db, query, ExactOptions::new()).map(|(rel, _)| rel)
@@ -313,6 +801,17 @@ pub fn certain_answers_with(
     query: &Query,
     opts: ExactOptions,
 ) -> Result<(Relation, EvalStats), LogicError> {
+    certain_answers_with_decomp(db, query, opts, None)
+}
+
+/// [`certain_answers_with`] with a caller-cached [`DbDecomposition`] (the
+/// engine reuses one analysis across runs; `None` analyzes on the spot).
+pub fn certain_answers_with_decomp(
+    db: &CwDatabase,
+    query: &Query,
+    opts: ExactOptions,
+    decomp: Option<&DbDecomposition>,
+) -> Result<(Relation, EvalStats), LogicError> {
     query.check(db.voc())?;
 
     if opts.corollary2_fast_path && db.is_fully_specified() {
@@ -321,6 +820,13 @@ pub fn certain_answers_with(
             ..EvalStats::default()
         };
         return Ok((eval_query(&ph1(db), query), stats));
+    }
+
+    if let Some(plan) = plan_decomposition(db, std::slice::from_ref(query), opts, decomp) {
+        let base = ph1(db);
+        let (mut answers, stats) =
+            run_decomposed(db, &base, std::slice::from_ref(query), opts, &plan, false);
+        return Ok((answers.pop().expect("one query in, one answer out"), stats));
     }
 
     let arity = query.arity();
@@ -352,6 +858,7 @@ pub fn certain_answers_with(
         mappings_evaluated: states.iter().map(|w| w.eval.evaluated).sum(),
         fast_path: false,
         workers_used: states.len() as u32,
+        ..EvalStats::default()
     };
     let mut states = states.into_iter();
     let mut acc = states.next().expect("at least one worker").cands;
@@ -461,6 +968,16 @@ pub fn certain_answers_batch_with(
     queries: &[Query],
     opts: ExactOptions,
 ) -> Result<(Vec<Relation>, EvalStats), LogicError> {
+    certain_answers_batch_with_decomp(db, queries, opts, None)
+}
+
+/// [`certain_answers_batch_with`] with a caller-cached [`DbDecomposition`].
+pub fn certain_answers_batch_with_decomp(
+    db: &CwDatabase,
+    queries: &[Query],
+    opts: ExactOptions,
+    decomp: Option<&DbDecomposition>,
+) -> Result<(Vec<Relation>, EvalStats), LogicError> {
     for query in queries {
         query.check(db.voc())?;
     }
@@ -476,6 +993,11 @@ pub fn certain_answers_batch_with(
         };
         let answers = queries.iter().map(|q| eval_query(&base, q)).collect();
         return Ok((answers, stats));
+    }
+
+    if let Some(plan) = plan_decomposition(db, queries, opts, decomp) {
+        let base = ph1(db);
+        return Ok(run_decomposed(db, &base, queries, opts, &plan, false));
     }
 
     let n = db.num_consts();
@@ -497,6 +1019,7 @@ pub fn certain_answers_batch_with(
         mappings_evaluated: states.iter().map(|w| w.eval.evaluated).sum(),
         fast_path: false,
         workers_used: (states.len() as u32).max(1),
+        ..EvalStats::default()
     };
     let mut states = states.into_iter();
     let first = states.next().expect("at least one worker");
@@ -518,12 +1041,28 @@ pub fn possible_answers_batch_with(
     queries: &[Query],
     opts: ExactOptions,
 ) -> Result<(Vec<Relation>, EvalStats), LogicError> {
+    possible_answers_batch_with_decomp(db, queries, opts, None)
+}
+
+/// [`possible_answers_batch_with`] with a caller-cached [`DbDecomposition`].
+pub fn possible_answers_batch_with_decomp(
+    db: &CwDatabase,
+    queries: &[Query],
+    opts: ExactOptions,
+    decomp: Option<&DbDecomposition>,
+) -> Result<(Vec<Relation>, EvalStats), LogicError> {
     for query in queries {
         query.check(db.voc())?;
     }
     if queries.is_empty() {
         return Ok((Vec::new(), EvalStats::default()));
     }
+
+    if let Some(plan) = plan_decomposition(db, queries, opts, decomp) {
+        let base = ph1(db);
+        return Ok(run_decomposed(db, &base, queries, opts, &plan, true));
+    }
+
     let n = db.num_consts();
     let base = ph1(db);
     let states = run_mappings(
@@ -543,6 +1082,7 @@ pub fn possible_answers_batch_with(
         mappings_evaluated: states.iter().map(|w| w.eval.evaluated).sum(),
         fast_path: false,
         workers_used: (states.len() as u32).max(1),
+        ..EvalStats::default()
     };
     let answers = (0..queries.len())
         .map(|i| {
@@ -587,7 +1127,25 @@ pub fn possible_answers_with(
     query: &Query,
     opts: ExactOptions,
 ) -> Result<(Relation, EvalStats), LogicError> {
+    possible_answers_with_decomp(db, query, opts, None)
+}
+
+/// [`possible_answers_with`] with a caller-cached [`DbDecomposition`].
+pub fn possible_answers_with_decomp(
+    db: &CwDatabase,
+    query: &Query,
+    opts: ExactOptions,
+    decomp: Option<&DbDecomposition>,
+) -> Result<(Relation, EvalStats), LogicError> {
     query.check(db.voc())?;
+
+    if let Some(plan) = plan_decomposition(db, std::slice::from_ref(query), opts, decomp) {
+        let base = ph1(db);
+        let (mut answers, stats) =
+            run_decomposed(db, &base, std::slice::from_ref(query), opts, &plan, true);
+        return Ok((answers.pop().expect("one query in, one answer out"), stats));
+    }
+
     let arity = query.arity();
     let n = db.num_consts();
     let base = ph1(db);
@@ -619,6 +1177,7 @@ pub fn possible_answers_with(
         mappings_evaluated: states.iter().map(|w| w.eval.evaluated).sum(),
         fast_path: false,
         workers_used: states.len() as u32,
+        ..EvalStats::default()
     };
     let rel = Relation::collect(
         arity,
@@ -850,6 +1409,7 @@ mod tests {
         let opts = ExactOptions {
             corollary2_fast_path: false,
             early_exit: false,
+            decompose: false,
             ..ExactOptions::sequential()
         };
         let (ans, stats) = certain_answers_with(&db, &q, opts).unwrap();
@@ -857,6 +1417,74 @@ mod tests {
         assert_eq!(stats.mappings_evaluated, count_kernel_mappings(&db));
         let (_, pstats) = possible_answers_with(&db, &q, opts).unwrap();
         assert_eq!(pstats.mappings_evaluated, count_kernel_mappings(&db));
+    }
+
+    #[test]
+    fn decomposition_prunes_free_constant_images() {
+        use crate::mappings::count_kernel_mappings;
+        let db = teaching();
+        // `mystery` is free (no NE edge, no fact) and unmentioned: the
+        // pairwise-distinct core {socrates, plato, aristotle} has exactly
+        // one kernel partition, and the free constant contributes e ∈
+        // {0, 1} null-only blocks — 2 canonical images stand in for all 4
+        // kernel mappings.
+        let q = parse_query(db.voc(), "TEACHES(plato, socrates)").unwrap();
+        let opts = ExactOptions {
+            corollary2_fast_path: false,
+            early_exit: false,
+            ..ExactOptions::sequential()
+        };
+        let (ans, stats) = certain_answers_with(&db, &q, opts).unwrap();
+        assert!(ans.is_empty());
+        assert_eq!(stats.mappings_evaluated, 2);
+        assert_eq!(count_kernel_mappings(&db), 4);
+        assert_eq!(stats.mappings_pruned, 2);
+        // NE components: the pairwise-distinct triangle plus the isolated
+        // `mystery` singleton.
+        assert_eq!(stats.components, 2);
+
+        // A query that *mentions* the free constant pins it into the core:
+        // nothing left to collapse, the plain enumeration runs.
+        let qm = parse_query(db.voc(), "exists x. TEACHES(x, mystery)").unwrap();
+        let (_, mstats) = certain_answers_with(&db, &qm, opts).unwrap();
+        assert_eq!(mstats.mappings_evaluated, count_kernel_mappings(&db));
+        assert_eq!(mstats.mappings_pruned, 0);
+    }
+
+    #[test]
+    fn decomposed_matches_undecomposed_on_teaching_queries() {
+        let db = teaching();
+        for input in [
+            "(x) . TEACHES(socrates, x)",
+            "(x) . !TEACHES(socrates, x)",
+            "(x, y) . TEACHES(x, y)",
+            "(x, y) . !TEACHES(x, y)",
+            "TEACHES(plato, socrates)",
+            "TEACHES(socrates, plato)",
+            "(x) . x = mystery",
+            "(x) . !(x = mystery)",
+            "exists x. TEACHES(x, mystery)",
+            "(x) . exists y. TEACHES(y, x)",
+        ] {
+            let q = parse_query(db.voc(), input).unwrap();
+            for threads in [1usize, 4] {
+                let plain = ExactOptions {
+                    corollary2_fast_path: false,
+                    decompose: false,
+                    ..ExactOptions::with_threads(threads)
+                };
+                let decomposed = ExactOptions {
+                    decompose: true,
+                    ..plain
+                };
+                let (ca, _) = certain_answers_with(&db, &q, plain).unwrap();
+                let (cb, _) = certain_answers_with(&db, &q, decomposed).unwrap();
+                assert_eq!(ca, cb, "certain mismatch on {input} at {threads} threads");
+                let (pa, _) = possible_answers_with(&db, &q, plain).unwrap();
+                let (pb, _) = possible_answers_with(&db, &q, decomposed).unwrap();
+                assert_eq!(pa, pb, "possible mismatch on {input} at {threads} threads");
+            }
+        }
     }
 
     #[test]
@@ -948,6 +1576,7 @@ mod tests {
         .collect();
         let opts = ExactOptions {
             corollary2_fast_path: false,
+            decompose: false,
             ..ExactOptions::sequential()
         };
         let (_, stats) = certain_answers_batch_with(&db, &queries, opts).unwrap();
@@ -956,6 +1585,22 @@ mod tests {
         assert_eq!(stats.mappings_evaluated, count_kernel_mappings(&db));
         let (_, solo) = certain_answers_with(&db, &queries[0], opts).unwrap();
         assert_eq!(stats.mappings_evaluated, solo.mappings_evaluated);
+
+        // The decomposed batch shares one canonical-image enumeration the
+        // same way: batch total == the widest solo decomposed total, not a
+        // 3× sum.
+        let dopts = ExactOptions {
+            decompose: true,
+            ..opts
+        };
+        let (dbatch, dstats) = certain_answers_batch_with(&db, &queries, dopts).unwrap();
+        let mut widest = 0;
+        for (i, q) in queries.iter().enumerate() {
+            let (solo, sstats) = certain_answers_with(&db, q, dopts).unwrap();
+            assert_eq!(dbatch[i], solo, "decomposed batch diverged on query {i}");
+            widest = widest.max(sstats.mappings_evaluated);
+        }
+        assert_eq!(dstats.mappings_evaluated, widest);
     }
 
     #[test]

@@ -196,6 +196,20 @@ pub struct Evidence {
     /// [`EngineBuilder::parallelism`](crate::EngineBuilder::parallelism),
     /// `0` only for the regimes that never enumerate mappings.
     pub workers_used: u32,
+    /// NE-constraint components of the database (the pairwise-distinct
+    /// groups plus the isolated singletons) when a decomposed Theorem 1 /
+    /// possible-answer enumeration ran; `0` for every other regime and
+    /// for undecomposed enumerations.
+    pub components: u32,
+    /// Kernel mappings the free-null collapse *skipped*: the closed-form
+    /// kernel count minus the canonical images actually evaluated
+    /// (saturating; `0` when the decomposed path did not run).
+    pub mappings_pruned: u64,
+    /// Components whose decomposition analysis was served from the
+    /// engine's cross-delta cache instead of re-analyzed (equals
+    /// [`Evidence::components`] when the cache was warm, `0` on the run
+    /// that populated it or when decomposition did not run).
+    pub components_reused: u32,
     /// The answer was served from the engine's answer cache: no regime ran
     /// and no mappings were enumerated for this call (`mappings_evaluated`
     /// is 0); the regime/certificate fields describe the original
@@ -234,6 +248,15 @@ impl Evidence {
             s.push_str(&format!(", {} mapping(s)", self.mappings_evaluated));
             if let Some(n) = self.shared_batch {
                 s.push_str(&format!(" shared across batch of {n}"));
+            }
+        }
+        if self.components > 0 {
+            s.push_str(&format!(
+                ", {} component(s), {} mapping(s) pruned",
+                self.components, self.mappings_pruned
+            ));
+            if self.components_reused > 0 {
+                s.push_str(" (analysis reused)");
             }
         }
         if self.workers_used > 1 {
@@ -282,6 +305,9 @@ impl Answers {
         hit.evidence.cache_hit = true;
         hit.evidence.mappings_evaluated = 0;
         hit.evidence.workers_used = 0;
+        hit.evidence.components = 0;
+        hit.evidence.mappings_pruned = 0;
+        hit.evidence.components_reused = 0;
         hit.evidence.shared_batch = None;
         hit.evidence.elapsed = elapsed;
         hit
@@ -368,6 +394,9 @@ mod tests {
             elapsed: Duration::from_millis(1),
             mappings_evaluated: 15,
             workers_used: 1,
+            components: 0,
+            mappings_pruned: 0,
+            components_reused: 0,
             cache_hit: false,
             shared_batch: None,
             epoch: 3,
@@ -380,6 +409,23 @@ mod tests {
         assert!(!s.contains("worker"), "{s}");
         assert!(!s.contains("cached"), "{s}");
         assert!(!s.contains("batch"), "{s}");
+        // …and undecomposed runs don't advertise components.
+        assert!(!s.contains("component"), "{s}");
+        // Decomposed runs report components, pruning, and analysis reuse.
+        ev.components = 2;
+        ev.mappings_pruned = 7;
+        let s = ev.summary();
+        assert!(s.contains("2 component(s), 7 mapping(s) pruned"), "{s}");
+        assert!(!s.contains("analysis reused"), "{s}");
+        ev.components_reused = 2;
+        assert!(
+            ev.summary().contains("(analysis reused)"),
+            "{}",
+            ev.summary()
+        );
+        ev.components = 0;
+        ev.mappings_pruned = 0;
+        ev.components_reused = 0;
         // …multi-worker runs do.
         ev.workers_used = 4;
         assert!(ev.summary().contains("4 worker(s)"), "{}", ev.summary());

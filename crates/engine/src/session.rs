@@ -7,10 +7,13 @@ use crate::prepared::PreparedQuery;
 use qld_algebra::{compile_query_ordered, execute, optimize};
 use qld_approx::{exactness_theorem, AlphaMode, ApproxEngine, Backend, CompletenessTheorem};
 use qld_core::exact::{
-    certain_answers_batch_with, certain_answers_with, possible_answers_batch_with,
-    possible_answers_with, EvalStats, ExactOptions, MappingStrategy,
+    certain_answers_batch_with_decomp, certain_answers_with_decomp,
+    possible_answers_batch_with_decomp, possible_answers_with_decomp, EvalStats, ExactOptions,
+    MappingStrategy,
 };
-use qld_core::mappings::{count_kernel_mappings_up_to, ParallelConfig};
+use qld_core::mappings::{
+    analyze_decomposition, count_kernel_mappings_up_to, DbDecomposition, ParallelConfig,
+};
 use qld_core::ph::ph1;
 use qld_core::CwDatabase;
 use qld_logic::parser::parse_query;
@@ -214,6 +217,9 @@ struct RunOutcome {
     regime: Regime,
     certificate: Certificate,
     stats: EvalStats,
+    /// Components whose decomposition analysis came from the engine's
+    /// cross-delta cache (see [`Evidence::components_reused`]).
+    components_reused: u32,
     /// Certified upper bound, set only by the over-budget bounded pair.
     upper: Option<Relation>,
 }
@@ -227,6 +233,7 @@ impl RunOutcome {
             regime,
             certificate,
             stats: EvalStats::default(),
+            components_reused: 0,
             upper: None,
         }
     }
@@ -259,6 +266,9 @@ fn package(
             elapsed: start.elapsed(),
             mappings_evaluated: outcome.stats.mappings_evaluated,
             workers_used: outcome.stats.workers_used,
+            components: outcome.stats.components,
+            mappings_pruned: outcome.stats.mappings_pruned,
+            components_reused: outcome.components_reused,
             cache_hit: false,
             shared_batch,
             epoch,
@@ -290,6 +300,9 @@ struct EngineConfig {
     ne_store: NeStoreMode,
     strategy: MappingStrategy,
     corollary2_fast_path: bool,
+    /// Whether enumerations use the free-null collapse (component
+    /// decomposition) — answers are bit-identical either way.
+    decompose: bool,
     parallel: ParallelConfig,
     /// `Some(b)`: under [`Semantics::Auto`], refuse Theorem 1 escalations
     /// whose kernel-mapping count exceeds `b` and return certified bounds
@@ -319,6 +332,7 @@ impl EngineBuilder {
             semantics: Semantics::default(),
             config: EngineConfig {
                 corollary2_fast_path: true,
+                decompose: true,
                 answer_cache: true,
                 cache_capacity: DEFAULT_ANSWER_CACHE_CAPACITY,
                 ..EngineConfig::default()
@@ -379,6 +393,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables/disables the free-null collapse (component decomposition)
+    /// of the Theorem 1 / possible-answer enumerations (on by default).
+    /// Answers are bit-identical either way; decomposition evaluates one
+    /// canonical image per (core partition, null-block count) instead of
+    /// one per kernel mapping, reporting the skipped mappings in
+    /// [`Evidence::mappings_pruned`](crate::Evidence::mappings_pruned).
+    /// Turning it off pins the classic one-image-per-kernel accounting.
+    pub fn decompose(mut self, enabled: bool) -> Self {
+        self.config.decompose = enabled;
+        self
+    }
+
     /// Caps how many kernel mappings an [`Semantics::Auto`] escalation may
     /// enumerate. When the database's kernel count exceeds the budget, the
     /// engine refuses the hopeless Theorem 1 run and returns the certified
@@ -422,6 +448,7 @@ impl EngineBuilder {
             approx: OnceLock::new(),
             ph1: OnceLock::new(),
             kernel_count: OnceLock::new(),
+            decomp: OnceLock::new(),
             epoch: 0,
             counters: DeltaCounters::default(),
         }
@@ -490,6 +517,14 @@ pub struct Engine {
     /// (reset by [`Engine::apply`] when a delta adds uniqueness axioms —
     /// the count depends only on the axiom set, never on the facts).
     kernel_count: OnceLock<u64>,
+    /// Cross-delta cache of the NE-component / free-constant analysis the
+    /// decomposed enumeration starts from. Invalidated by [`Engine::apply`]
+    /// when a delta adds NE axioms (components can merge), or when an
+    /// inserted fact mentions a currently-free constant (that constant
+    /// stops being free); insert-only fact deltas over core constants
+    /// keep it warm, and [`Evidence::components_reused`] reports the
+    /// reuse per answer.
+    decomp: OnceLock<DbDecomposition>,
     /// The answer cache (see [`AnswerCache`]).
     cache: AnswerCache,
     /// Database epoch: bumped by every [`Engine::apply`] that changed
@@ -516,6 +551,7 @@ impl Clone for Engine {
             approx: self.approx.clone(),
             ph1: self.ph1.clone(),
             kernel_count: self.kernel_count.clone(),
+            decomp: self.decomp.clone(),
             cache: AnswerCache::new(self.cache.is_enabled(), self.config.cache_capacity),
             epoch: self.epoch,
             counters: self.counters.clone(),
@@ -773,6 +809,19 @@ impl Engine {
         if !new_ne.is_empty() {
             // The respecting-mapping count depends only on the axiom set.
             self.kernel_count = OnceLock::new();
+            // New NE edges merge components and un-free their endpoints.
+            self.decomp = OnceLock::new();
+        } else if let Some(d) = self.decomp.get() {
+            // A fact delta never frees a constant, but capturing one ends
+            // its freedom: re-analyze only when an inserted fact mentions
+            // a currently-free constant. Insert-only deltas over core
+            // constants keep the analysis warm across the epoch bump.
+            if new_facts
+                .iter()
+                .any(|(_, tuple)| tuple.iter().any(|&c| d.is_free(c)))
+            {
+                self.decomp = OnceLock::new();
+            }
         }
         let mut touched: Vec<PredId> = new_facts.iter().map(|(p, _)| *p).collect();
         touched.sort_unstable();
@@ -1052,14 +1101,15 @@ impl Engine {
             slots.push(slot);
         }
         let opts = self.exact_options();
+        let (decomp, warm) = self.decomposition();
         let ((rels, stats), regime, certificate) = match kind {
             EnumerationKind::Certain => (
-                certain_answers_batch_with(&self.db, &queries, opts)?,
+                certain_answers_batch_with_decomp(&self.db, &queries, opts, decomp)?,
                 Regime::Theorem1,
                 Certificate::ExactTheorem1,
             ),
             EnumerationKind::Possible => (
-                possible_answers_batch_with(&self.db, &queries, opts)?,
+                possible_answers_batch_with_decomp(&self.db, &queries, opts, decomp)?,
                 Regime::PossibleWorlds,
                 Certificate::PossibleUpperBound,
             ),
@@ -1070,6 +1120,7 @@ impl Engine {
                 tuples: rels[slot].clone(),
                 regime,
                 certificate,
+                components_reused: if warm { stats.components } else { 0 },
                 stats,
                 upper: None,
             };
@@ -1103,19 +1154,35 @@ impl Engine {
         ExactOptions {
             strategy: self.config.strategy,
             corollary2_fast_path: false,
+            decompose: self.config.decompose,
             parallel: self.config.parallel,
             ..ExactOptions::new()
         }
     }
 
+    /// The cached decomposition analysis for this epoch, plus whether this
+    /// call found it already warm (a previous run populated it and no
+    /// delta since invalidated it). `None` when decomposition is disabled.
+    fn decomposition(&self) -> (Option<&DbDecomposition>, bool) {
+        if !self.config.decompose {
+            return (None, false);
+        }
+        let warm = self.decomp.get().is_some();
+        let d = self.decomp.get_or_init(|| analyze_decomposition(&self.db));
+        (Some(d), warm)
+    }
+
     /// The full Theorem 1 enumeration — shared by `Exact` semantics and
     /// `Auto` escalation so the two can never diverge.
     fn run_theorem1(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
-        let (rel, stats) = certain_answers_with(&self.db, prepared.query(), self.exact_options())?;
+        let (decomp, warm) = self.decomposition();
+        let (rel, stats) =
+            certain_answers_with_decomp(&self.db, prepared.query(), self.exact_options(), decomp)?;
         Ok(RunOutcome {
             tuples: rel,
             regime: Regime::Theorem1,
             certificate: Certificate::ExactTheorem1,
+            components_reused: if warm { stats.components } else { 0 },
             stats,
             upper: None,
         })
@@ -1140,11 +1207,14 @@ impl Engine {
     }
 
     fn run_possible(&self, prepared: &PreparedQuery) -> Result<RunOutcome, EngineError> {
-        let (rel, stats) = possible_answers_with(&self.db, prepared.query(), self.exact_options())?;
+        let (decomp, warm) = self.decomposition();
+        let (rel, stats) =
+            possible_answers_with_decomp(&self.db, prepared.query(), self.exact_options(), decomp)?;
         Ok(RunOutcome {
             tuples: rel,
             regime: Regime::PossibleWorlds,
             certificate: Certificate::PossibleUpperBound,
+            components_reused: if warm { stats.components } else { 0 },
             stats,
             upper: None,
         })
@@ -1252,6 +1322,7 @@ impl Engine {
             regime: Regime::Approximation,
             certificate: Certificate::BoundedPair,
             stats: EvalStats::default(),
+            components_reused: 0,
             upper: Some(upper),
         })
     }
@@ -1558,6 +1629,88 @@ mod tests {
         let exact = engine.query(text).unwrap();
         assert_eq!(exact.evidence().certificate, Certificate::ExactTheorem1);
         assert!(exact.evidence().mappings_evaluated > 0);
+    }
+
+    #[test]
+    fn decomposition_cache_reuse_and_invalidation() {
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b", "u", "v"]).unwrap();
+        let p = voc.add_pred("P", 1).unwrap();
+        // a ≠ b with P(a): `u` and `v` are free (no NE edge, no fact).
+        let db = CwDatabase::builder(voc)
+            .fact(p, &[ids[0]])
+            .unique(ids[0], ids[1])
+            .build()
+            .unwrap();
+        let mut engine = Engine::builder(db)
+            .semantics(Semantics::Exact)
+            .answer_cache(false)
+            .build();
+        let text = "(x) . !P(x)";
+        // First decomposed run pays the analysis (nothing reused)…
+        let first = engine.query(text).unwrap();
+        assert!(first.evidence().components > 0);
+        assert!(first.evidence().mappings_pruned > 0);
+        assert_eq!(first.evidence().components_reused, 0);
+        // …and every later run at the same epoch reuses it.
+        let second = engine.query(text).unwrap();
+        assert_eq!(second.evidence().components, first.evidence().components);
+        assert_eq!(
+            second.evidence().components_reused,
+            second.evidence().components
+        );
+        // An insert-only fact delta over *core* constants keeps the
+        // analysis warm across the epoch bump…
+        engine
+            .apply(&Delta::new().insert_fact(p, &[ids[1]]))
+            .unwrap();
+        let warm = engine.query(text).unwrap();
+        assert_eq!(
+            warm.evidence().components_reused,
+            warm.evidence().components
+        );
+        // …a fact capturing a free constant re-analyzes…
+        engine
+            .apply(&Delta::new().insert_fact(p, &[ids[2]]))
+            .unwrap();
+        let recooled = engine.query(text).unwrap();
+        assert_eq!(recooled.evidence().components_reused, 0);
+        // …and so does a new NE axiom (components can merge).
+        engine.query(text).unwrap();
+        engine
+            .apply(&Delta::new().assert_ne(ids[2], ids[3]))
+            .unwrap();
+        let after_ne = engine.query(text).unwrap();
+        assert_eq!(after_ne.evidence().components_reused, 0);
+    }
+
+    #[test]
+    fn decompose_knob_pins_classic_accounting() {
+        let mut voc = Vocabulary::new();
+        let ids = voc.add_consts(["a", "b", "u"]).unwrap();
+        let p = voc.add_pred("P", 1).unwrap();
+        let db = CwDatabase::builder(voc)
+            .fact(p, &[ids[0]])
+            .unique(ids[0], ids[1])
+            .build()
+            .unwrap();
+        let classic = Engine::builder(db.clone())
+            .semantics(Semantics::Exact)
+            .decompose(false)
+            .answer_cache(false)
+            .build();
+        let decomposed = Engine::builder(db)
+            .semantics(Semantics::Exact)
+            .answer_cache(false)
+            .build();
+        let text = "(x) . !P(x)";
+        let a = classic.query(text).unwrap();
+        let b = decomposed.query(text).unwrap();
+        assert_eq!(a.tuples(), b.tuples());
+        assert_eq!(a.evidence().components, 0);
+        assert_eq!(a.evidence().mappings_pruned, 0);
+        assert!(b.evidence().mappings_pruned > 0);
+        assert!(a.evidence().mappings_evaluated > b.evidence().mappings_evaluated);
     }
 
     #[test]

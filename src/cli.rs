@@ -266,6 +266,14 @@ impl Session {
             self.engine.cache_len(),
             self.engine.cache_capacity()
         )?;
+        let decomp = qld_core::mappings::analyze_decomposition(self.db());
+        writeln!(
+            out,
+            "decomposition: {} NE component(s), {} free constant(s) \
+             (enumeration collapses them to canonical images)",
+            decomp.components,
+            decomp.free.len()
+        )?;
         let deltas = self.engine.delta_stats();
         writeln!(
             out,
@@ -706,6 +714,14 @@ pub fn concurrent_batch_text(
                     stats.deltas.ne_inserted
                 )?;
                 writeln!(out, "snapshot: {}", shared.snapshot_stats())?;
+                let decomp =
+                    qld_core::mappings::analyze_decomposition(shared.snapshot().engine().db());
+                writeln!(
+                    out,
+                    "decomposition: {} NE component(s), {} free constant(s)",
+                    decomp.components,
+                    decomp.free.len()
+                )?;
                 writeln!(
                     out,
                     "replication: role={} generation={} applied={} lag={} followers={}",

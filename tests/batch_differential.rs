@@ -110,9 +110,14 @@ proptest! {
     ) {
         let db = random_db(seed.wrapping_add(7), n, f64::from(known) / 10.0);
         let queries = random_queries(&db, batch_size, seed.wrapping_mul(13));
+        // `decompose: false`: this test pins the *undecomposed* shared-
+        // enumeration accounting (batch total == kernel count == solo
+        // total). The decomposed path changes those totals by design;
+        // its own invariants live in tests/decomposition_differential.rs.
         let opts = ExactOptions {
             corollary2_fast_path: false,
             early_exit: false,
+            decompose: false,
             ..ExactOptions::with_threads(threads)
         };
         let (certain, cstats) = certain_answers_batch_with(&db, &queries, opts).unwrap();
@@ -179,8 +184,12 @@ fn engine_batch_shares_exactly_one_enumeration() {
         "(x) . (forall y. !P0(x, y)) | x = x",
         "(x) . !P1(x) | x = x",
     ];
+    // `decompose(false)` pins the classic one-image-per-kernel accounting
+    // this test asserts; the decomposed engine walks fewer canonical
+    // images by design (checked below against the same answers).
     let engine = Engine::builder(db.clone())
         .semantics(Semantics::Exact)
+        .decompose(false)
         .answer_cache(false)
         .build();
     let prepared: Vec<_> = texts
@@ -203,5 +212,26 @@ fn engine_batch_shares_exactly_one_enumeration() {
         let solo = engine.execute(&prepared[i]).unwrap();
         assert_eq!(a.tuples(), solo.tuples());
         assert_eq!(solo.evidence().mappings_evaluated, kernel_count);
+    }
+
+    // The decomposed engine returns the same tuples while never paying
+    // more than the classic walk (and accounts for what it skipped).
+    let decomposed = Engine::builder(db)
+        .semantics(Semantics::Exact)
+        .answer_cache(false)
+        .build();
+    let dprepared: Vec<_> = texts
+        .iter()
+        .map(|t| decomposed.prepare_text(t).unwrap())
+        .collect();
+    let dbatch = decomposed.execute_batch(&dprepared).unwrap();
+    for (i, a) in dbatch.iter().enumerate() {
+        assert_eq!(a.tuples(), batch[i].tuples(), "decomposed batch diverged");
+        assert!(a.evidence().mappings_evaluated <= kernel_count);
+        assert_eq!(
+            a.evidence().mappings_evaluated + a.evidence().mappings_pruned,
+            kernel_count,
+            "evaluated + pruned must cover the kernel space"
+        );
     }
 }

@@ -1,0 +1,248 @@
+//! Differential tests of the free-null decomposition (the sub-exponential
+//! Theorem 1 search): a decomposing engine must be answer-for-answer and
+//! certificate-for-certificate identical to the classic full kernel walk
+//! (`decompose(false)`) and to the raw Theorem-1-verbatim mapping walk —
+//! across every semantics, on random databases and random query sets,
+//! and *after* random delta sequences exercising the cross-delta
+//! decomposition memo. The accounting invariant rides along: visited
+//! images plus pruned mappings must cover the kernel space exactly, and
+//! the closed-form kernel counter must agree with brute enumeration.
+//!
+//! Run under `QLD_THREADS=1` and `QLD_THREADS=4` (CI does both): the
+//! decomposed walk must be thread-count deterministic.
+
+use proptest::prelude::*;
+use querying_logical_databases::core::exact::{certain_answers_with, ExactOptions};
+use querying_logical_databases::core::mappings::{
+    count_kernel_mappings, count_kernel_mappings_by_enumeration,
+};
+use querying_logical_databases::core::CwDatabase;
+use querying_logical_databases::logic::{ConstId, Query};
+use querying_logical_databases::prelude::{
+    Delta, Engine, MappingStrategy, PreparedQuery, Semantics,
+};
+use querying_logical_databases::workloads::{
+    random_cw_db, random_query, DbGenConfig, QueryFragment, QueryGenConfig,
+};
+
+fn random_db(seed: u64, n: usize, known: f64) -> CwDatabase {
+    random_cw_db(&DbGenConfig {
+        num_consts: n,
+        pred_arities: vec![2, 1],
+        // Sparser facts than the other differential suites: constants
+        // outside every fact and axiom are exactly the free constants
+        // the decomposition collapses, so leave room for them to occur.
+        facts_per_pred: 2,
+        known_fraction: known,
+        extra_ne_pairs: (seed % 3) as usize,
+        seed,
+    })
+}
+
+fn random_queries(db: &CwDatabase, count: usize, seed: u64) -> Vec<Query> {
+    (0..count)
+        .map(|i| {
+            random_query(
+                db.voc(),
+                &QueryGenConfig {
+                    fragment: if i % 2 == 0 {
+                        QueryFragment::FullFo
+                    } else {
+                        QueryFragment::Positive
+                    },
+                    max_depth: 3,
+                    head_arity: i % 3,
+                    seed: seed.wrapping_mul(43).wrapping_add(i as u64 * 769),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Builds the three engines under test over the same database: the
+/// decomposing default, the classic undecomposed kernel walk, and the
+/// raw respecting-mapping walk (Theorem 1 verbatim).
+fn engine_trio(db: &CwDatabase, threads: usize) -> [Engine; 3] {
+    let build = |strategy: MappingStrategy, decompose: bool| {
+        Engine::builder(db.clone())
+            .mapping_strategy(strategy)
+            .decompose(decompose)
+            .parallelism(threads)
+            .answer_cache(false)
+            .build()
+    };
+    [
+        build(MappingStrategy::Kernels, true),
+        build(MappingStrategy::Kernels, false),
+        build(MappingStrategy::RawMappings, false),
+    ]
+}
+
+/// One generated mutation, as in `tests/delta_differential.rs`: fact
+/// inserts land on both core and free constants (re-capturing free ones
+/// — the memo-invalidation path), NE asserts always reset the memo.
+fn op_to_delta(db: &CwDatabase, op: (u8, u32, u32)) -> Option<Delta> {
+    let n = db.num_consts() as u32;
+    let (kind, a, b) = op;
+    let (a, b) = (ConstId(a % n), ConstId(b % n));
+    let p0 = db.voc().pred_id("P0").unwrap();
+    let p1 = db.voc().pred_id("P1").unwrap();
+    match kind {
+        0 => Some(Delta::new().insert_fact(p0, &[a, b])),
+        1 => Some(Delta::new().insert_fact(p1, &[a])),
+        _ if a != b => Some(Delta::new().assert_ne(a, b)),
+        _ => None,
+    }
+}
+
+fn assert_trio_agrees(
+    engines: &[Engine; 3],
+    prepared: &[Vec<PreparedQuery>; 3],
+    queries: &[Query],
+    context: &str,
+) -> Result<(), TestCaseError> {
+    let kernel_count = count_kernel_mappings(engines[0].db());
+    for (qi, q) in queries.iter().enumerate() {
+        for semantics in Semantics::ALL {
+            let decomposed = engines[0].execute_as(&prepared[0][qi], semantics).unwrap();
+            let classic = engines[1].execute_as(&prepared[1][qi], semantics).unwrap();
+            let raw = engines[2].execute_as(&prepared[2][qi], semantics).unwrap();
+            prop_assert_eq!(
+                decomposed.tuples(),
+                classic.tuples(),
+                "decomposed tuples diverged from classic walk under {:?} on {:?} ({})",
+                semantics,
+                q,
+                context
+            );
+            prop_assert_eq!(
+                decomposed.tuples(),
+                raw.tuples(),
+                "decomposed tuples diverged from raw walk under {:?} on {:?} ({})",
+                semantics,
+                q,
+                context
+            );
+            prop_assert_eq!(
+                decomposed.evidence().certificate,
+                classic.evidence().certificate,
+                "certificate diverged under {:?} on {:?} ({})",
+                semantics,
+                q,
+                context
+            );
+            // Accounting: when the decomposition ran (`components > 0` —
+            // it stands down when no constant is free or another regime
+            // answered), whatever it skipped is reported, and together
+            // with what it visited covers the kernel space. The classic
+            // fallback path reports fewer under early exit and prunes
+            // nothing, so the invariant is specific to the decomposition.
+            let e = decomposed.evidence();
+            if e.components > 0 {
+                prop_assert_eq!(
+                    e.mappings_evaluated + e.mappings_pruned,
+                    kernel_count,
+                    "evaluated + pruned must equal the kernel count ({})",
+                    context
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Decomposed ≡ classic ≡ raw on random databases and queries, under
+    /// every semantics; the pruning accounting covers the kernel space.
+    #[test]
+    fn decomposed_equals_classic_and_raw(
+        seed in 0u64..10_000,
+        n in 1usize..6,
+        known in 0u8..=10,
+        threads in 1usize..=4,
+    ) {
+        let db = random_db(seed, n, f64::from(known) / 10.0);
+        let queries = random_queries(&db, 3, seed);
+        let engines = engine_trio(&db, threads);
+        let prepared = [0, 1, 2].map(|i| {
+            queries
+                .iter()
+                .map(|q| engines[i].prepare(q.clone()).unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert_trio_agrees(&engines, &prepared, &queries, "static db")?;
+    }
+
+    /// The same equivalence *through* random delta sequences: the
+    /// decomposing engine keeps (or correctly invalidates) its cached
+    /// decomposition across fact inserts and NE asserts, and stays
+    /// bit-identical to engines that recompute everything.
+    #[test]
+    fn decomposed_equals_classic_after_deltas(
+        seed in 0u64..10_000,
+        n in 2usize..6,
+        known in 0u8..=10,
+        ops in proptest::collection::vec((0u8..3, 0u32..8, 0u32..8), 1..5),
+        threads in 1usize..=4,
+    ) {
+        let db = random_db(seed.wrapping_add(17), n, f64::from(known) / 10.0);
+        let queries = random_queries(&db, 2, seed.wrapping_mul(7));
+        let mut engines = engine_trio(&db, threads);
+        let prepared = [0, 1, 2].map(|i| {
+            queries
+                .iter()
+                .map(|q| engines[i].prepare(q.clone()).unwrap())
+                .collect::<Vec<_>>()
+        });
+        // Warm the decomposition memo (and every derived structure)
+        // before mutating, so the deltas exercise invalidation rather
+        // than first-use initialization.
+        assert_trio_agrees(&engines, &prepared, &queries, "pre-delta warmup")?;
+        for (i, &op) in ops.iter().enumerate() {
+            let Some(delta) = op_to_delta(engines[0].db(), op) else { continue };
+            for engine in &mut engines {
+                engine.apply(&delta).unwrap();
+            }
+            assert_trio_agrees(
+                &engines,
+                &prepared,
+                &queries,
+                &format!("after op {i} = {op:?}"),
+            )?;
+        }
+    }
+
+    /// The closed-form kernel counter (Stirling/Bell products over NE
+    /// components) agrees with brute-force kernel enumeration, and the
+    /// core evaluator's totals line up with it when early exit is off.
+    #[test]
+    fn closed_form_kernel_count_matches_enumeration(
+        seed in 0u64..10_000,
+        n in 1usize..7,
+        known in 0u8..=10,
+    ) {
+        let db = random_db(seed.wrapping_add(101), n, f64::from(known) / 10.0);
+        let closed = count_kernel_mappings(&db);
+        prop_assert_eq!(closed, count_kernel_mappings_by_enumeration(&db));
+        // With decomposition off and no early exit, the evaluator visits
+        // exactly that many kernel images.
+        let q = random_queries(&db, 1, seed).pop().unwrap();
+        let opts = ExactOptions {
+            corollary2_fast_path: false,
+            early_exit: false,
+            decompose: false,
+            ..ExactOptions::new()
+        };
+        let (_, stats) = certain_answers_with(&db, &q, opts).unwrap();
+        prop_assert_eq!(stats.mappings_evaluated, closed);
+        // And with decomposition on, visited + pruned covers the space.
+        let (_, dstats) = certain_answers_with(
+            &db,
+            &q,
+            ExactOptions { decompose: true, ..opts },
+        ).unwrap();
+        prop_assert_eq!(dstats.mappings_evaluated + dstats.mappings_pruned, closed);
+    }
+}
